@@ -1,0 +1,68 @@
+// E9: validates the closed-form overhead of §4.1.5 — the Figure-6 update
+// algorithm needs E = N/D iterations in expectation, where N is the
+// volume size and D the number of dummy blocks.
+//
+// Counters: measured_iterations (empirical mean), analytic_n_over_d, and
+// the implied I/O overhead (2 I/Os per iteration vs 2 for a conventional
+// update).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "workload/file_population.h"
+#include "workload/update_stream.h"
+
+namespace steghide::bench {
+namespace {
+
+constexpr uint64_t kVolumeBlocks = 16384;  // 64 MB
+
+void RunAnalyticCheck(benchmark::State& state, double utilization) {
+  for (auto _ : state) {
+    Rng rng(static_cast<uint64_t>(utilization * 1000));
+    auto sys = MakeSystem(SystemKind::kStegHideStar, kVolumeBlocks,
+                          7000 + static_cast<uint64_t>(utilization * 100));
+    const uint64_t target_bytes = static_cast<uint64_t>(
+        utilization * static_cast<double>(kVolumeBlocks) * 4080.0);
+    auto pop = workload::CreatePopulationBytes(*sys.adapter, rng,
+                                               target_bytes, 4ull << 20);
+    if (!pop.ok()) std::abort();
+
+    sys.nvagent->ResetUpdateStats();
+    const auto ops = workload::MakeUniformUpdateStream(
+        *pop, sys.adapter->payload_size(), rng, /*count=*/400, 1);
+    if (!workload::ApplyUpdateStream(*sys.adapter, ops, rng).ok()) {
+      std::abort();
+    }
+
+    const auto& st = sys.nvagent->update_stats();
+    const double n_over_d =
+        static_cast<double>(kVolumeBlocks) /
+        static_cast<double>(sys.nvagent->bitmap().dummy_count());
+    state.counters["measured_iterations"] = st.MeanIterations();
+    state.counters["analytic_n_over_d"] = n_over_d;
+    state.counters["relative_error"] =
+        std::abs(st.MeanIterations() - n_over_d) / n_over_d;
+    state.counters["io_per_update"] =
+        static_cast<double>(st.io_reads + st.io_writes) /
+        static_cast<double>(st.data_updates);
+  }
+}
+
+}  // namespace
+}  // namespace steghide::bench
+
+int main(int argc, char** argv) {
+  using namespace steghide::bench;
+  for (int pct : {5, 10, 20, 30, 40, 50, 60}) {
+    benchmark::RegisterBenchmark(
+        ("AnalyticOverhead/utilization_pct:" + std::to_string(pct)).c_str(),
+        [pct](benchmark::State& s) { RunAnalyticCheck(s, pct / 100.0); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

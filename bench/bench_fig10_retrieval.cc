@@ -1,0 +1,102 @@
+// Reproduces Figure 10 of the paper: data-retrieval performance.
+//  (a) access time vs file size, single user        (Fig. 10a / E1)
+//  (b) access time vs number of concurrent users    (Fig. 10b / E2)
+//
+// All reported values are VIRTUAL disk milliseconds from the DiskModel
+// (counters access_time_s / mean_access_s); wall-clock columns are
+// meaningless here. Volume: 512 MB, 4 KB blocks; files (4,8] MB as in
+// Table 2.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "workload/concurrency.h"
+#include "workload/file_population.h"
+
+namespace steghide::bench {
+namespace {
+
+constexpr uint64_t kVolumeBlocks = 131072;  // 512 MB
+
+void RunFileSizeSweep(benchmark::State& state, SystemKind kind,
+                      uint64_t file_mb) {
+  for (auto _ : state) {
+    const uint64_t file_bytes = file_mb << 20;
+    const uint64_t data_blocks = file_bytes / 4080 + 16;
+    auto sys = MakeSystem(kind, kVolumeBlocks, 1000 + file_mb,
+                          /*steghide_dummy_blocks=*/data_blocks + 4096);
+    auto id = sys.adapter->CreateFile(file_bytes);
+    if (!id.ok()) std::abort();
+
+    const double t0 = sys.clock_ms();
+    workload::FileReadTask task(sys.adapter.get(), *id, file_bytes);
+    for (;;) {
+      auto done = task.Step();
+      if (!done.ok()) std::abort();
+      if (*done) break;
+    }
+    state.counters["access_time_s"] = (sys.clock_ms() - t0) / 1e3;
+  }
+}
+
+void RunConcurrencySweep(benchmark::State& state, SystemKind kind,
+                         uint64_t users) {
+  for (auto _ : state) {
+    Rng rng(2000 + users);
+    // Each user retrieves one (4,8] MB file (Table 2).
+    const uint64_t est_blocks = users * (8ull << 20) / 4080 + 16;
+    auto sys = MakeSystem(kind, kVolumeBlocks, 3000 + users,
+                          /*steghide_dummy_blocks=*/est_blocks + 4096);
+    workload::PopulationSpec spec;
+    spec.file_count = users;
+    auto pop = workload::CreatePopulation(*sys.adapter, rng, spec);
+    if (!pop.ok()) std::abort();
+
+    std::vector<std::unique_ptr<workload::IoTask>> tasks;
+    for (size_t u = 0; u < users; ++u) {
+      tasks.push_back(std::make_unique<workload::FileReadTask>(
+          sys.adapter.get(), pop->ids[u], pop->sizes[u]));
+    }
+    const double t0 = sys.clock_ms();
+    auto finish =
+        workload::RunConcurrently(tasks, [&] { return sys.clock_ms(); });
+    if (!finish.ok()) std::abort();
+    double sum = 0;
+    for (double f : *finish) sum += f - t0;
+    state.counters["mean_access_s"] =
+        sum / static_cast<double>(users) / 1e3;
+  }
+}
+
+}  // namespace
+}  // namespace steghide::bench
+
+int main(int argc, char** argv) {
+  using namespace steghide::bench;
+  for (SystemKind kind : kAllSystems) {
+    for (uint64_t mb : {2, 4, 6, 8, 10}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig10a/") + SystemName(kind) +
+           "/file_mb:" + std::to_string(mb)).c_str(),
+          [kind, mb](benchmark::State& s) { RunFileSizeSweep(s, kind, mb); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (SystemKind kind : kAllSystems) {
+    for (uint64_t users : {1, 2, 4, 8, 16, 32}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig10b/") + SystemName(kind) +
+           "/users:" + std::to_string(users)).c_str(),
+          [kind, users](benchmark::State& s) {
+            RunConcurrencySweep(s, kind, users);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Reproduces Figure 11 of the paper: update performance.
+//  (a) update time vs space utilization (10-50 %)       (Fig. 11a / E3)
+//  (b) update time vs consecutive blocks (1-5), u=25 %  (Fig. 11b / E4)
+//  (c) update time vs concurrency (1-32), range 5       (Fig. 11c / E5)
+//
+// Counters report VIRTUAL disk milliseconds (mean_update_ms /
+// mean_access_s); ignore wall-clock columns.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "workload/concurrency.h"
+#include "workload/file_population.h"
+#include "workload/update_stream.h"
+
+namespace steghide::bench {
+namespace {
+
+// A "steganographic volume utilization" sweep needs the data to be a
+// controlled fraction of the volume.
+constexpr uint64_t kUtilVolumeBlocks = 16384;  // 64 MB
+constexpr uint64_t kConcVolumeBlocks = 163840;
+// Headroom for file headers and indirect blocks, which occupy volume
+// space on top of the data blocks.
+constexpr uint64_t kHeaderMargin = 256;
+
+// Data blocks that make the volume `util` full.
+uint64_t DataBlocksFor(double util) {
+  return static_cast<uint64_t>(
+      util * static_cast<double>(kUtilVolumeBlocks - kHeaderMargin));
+}
+
+// StegHide provisions its whole usable volume as the dummy pool; data
+// allocation then claims from it, leaving exactly (1-util) of it dummy —
+// the same utilization semantics as the non-volatile agent's bitmap over
+// the volume.
+uint64_t DummyPoolFor(double /*util*/) {
+  return kUtilVolumeBlocks - kHeaderMargin;
+}
+
+// Populates `sys` to utilization `util` of the volume and returns the
+// population. For StegHide the dummy pool was provisioned by the caller.
+workload::FilePopulation Populate(SystemUnderTest& sys, double util,
+                                  uint64_t /*volume_blocks*/, Rng& rng) {
+  const uint64_t target_bytes = DataBlocksFor(util) * 4080;
+  auto pop = workload::CreatePopulationBytes(*sys.adapter, rng, target_bytes,
+                                             4ull << 20);
+  if (!pop.ok()) std::abort();
+  return std::move(pop).value();
+}
+
+void RunUtilizationSweep(benchmark::State& state, SystemKind kind,
+                         double util) {
+  for (auto _ : state) {
+    Rng rng(100 + static_cast<uint64_t>(util * 100));
+    auto sys = MakeSystem(kind, kUtilVolumeBlocks,
+                          4000 + static_cast<uint64_t>(util * 100),
+                          DummyPoolFor(util));
+    auto pop = Populate(sys, util, kUtilVolumeBlocks, rng);
+
+    const auto ops = workload::MakeUniformUpdateStream(
+        pop, sys.adapter->payload_size(), rng, /*count=*/150,
+        /*range_blocks=*/1);
+    const double t0 = sys.clock_ms();
+    if (!workload::ApplyUpdateStream(*sys.adapter, ops, rng).ok()) {
+      std::abort();
+    }
+    state.counters["mean_update_ms"] =
+        (sys.clock_ms() - t0) / static_cast<double>(ops.size());
+  }
+}
+
+void RunRangeSweep(benchmark::State& state, SystemKind kind, uint64_t range) {
+  constexpr double kUtil = 0.25;  // the paper fixes utilization at 25 %
+  for (auto _ : state) {
+    Rng rng(200 + range);
+    auto sys = MakeSystem(kind, kUtilVolumeBlocks, 5000 + range,
+                          DummyPoolFor(kUtil));
+    auto pop = Populate(sys, kUtil, kUtilVolumeBlocks, rng);
+
+    const auto ops = workload::MakeUniformUpdateStream(
+        pop, sys.adapter->payload_size(), rng, /*count=*/100, range);
+    const double t0 = sys.clock_ms();
+    if (!workload::ApplyUpdateStream(*sys.adapter, ops, rng).ok()) {
+      std::abort();
+    }
+    state.counters["mean_update_ms"] =
+        (sys.clock_ms() - t0) / static_cast<double>(ops.size());
+  }
+}
+
+void RunConcurrencySweep(benchmark::State& state, SystemKind kind,
+                         uint64_t users) {
+  constexpr uint64_t kRange = 5;  // the paper fixes the range at 5 blocks
+  for (auto _ : state) {
+    Rng rng(300 + users);
+    const uint64_t est_blocks = users * (8ull << 20) / 4080 + 16;
+    auto sys = MakeSystem(kind, kConcVolumeBlocks, 6000 + users,
+                          est_blocks * 2 + 1024);
+    workload::PopulationSpec spec;
+    spec.file_count = users;
+    auto pop = workload::CreatePopulation(*sys.adapter, rng, spec);
+    if (!pop.ok()) std::abort();
+
+    // One range-5 update per user, each within his own file, interleaved
+    // block by block.
+    const size_t payload = sys.adapter->payload_size();
+    std::vector<std::unique_ptr<workload::IoTask>> tasks;
+    for (uint64_t u = 0; u < users; ++u) {
+      const uint64_t file_blocks = (pop->sizes[u] + payload - 1) / payload;
+      workload::UpdateOp op;
+      op.file = pop->ids[u];
+      op.range_blocks = std::min<uint64_t>(kRange, file_blocks);
+      op.first_block = rng.Uniform(file_blocks - op.range_blocks + 1);
+      tasks.push_back(std::make_unique<workload::UpdateRangeTask>(
+          sys.adapter.get(), op, 900 + u));
+    }
+    const double t0 = sys.clock_ms();
+    auto finish =
+        workload::RunConcurrently(tasks, [&] { return sys.clock_ms(); });
+    if (!finish.ok()) std::abort();
+    double sum = 0;
+    for (double f : *finish) sum += f - t0;
+    state.counters["mean_access_s"] =
+        sum / static_cast<double>(users) / 1e3;
+  }
+}
+
+}  // namespace
+}  // namespace steghide::bench
+
+int main(int argc, char** argv) {
+  using namespace steghide::bench;
+  for (SystemKind kind : kAllSystems) {
+    for (int u10 : {1, 2, 3, 4, 5}) {
+      const double util = u10 / 10.0;
+      benchmark::RegisterBenchmark(
+          (std::string("Fig11a/") + SystemName(kind) +
+           "/utilization_pct:" + std::to_string(u10 * 10)).c_str(),
+          [kind, util](benchmark::State& s) {
+            RunUtilizationSweep(s, kind, util);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (SystemKind kind : kAllSystems) {
+    for (uint64_t range : {1, 2, 3, 4, 5}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig11b/") + SystemName(kind) +
+           "/consecutive_blocks:" + std::to_string(range)).c_str(),
+          [kind, range](benchmark::State& s) { RunRangeSweep(s, kind, range); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (SystemKind kind : kAllSystems) {
+    for (uint64_t users : {1, 2, 4, 8, 16, 32}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig11c/") + SystemName(kind) +
+           "/users:" + std::to_string(users)).c_str(),
+          [kind, users](benchmark::State& s) {
+            RunConcurrencySweep(s, kind, users);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,203 @@
+// E10/E11: operationalises Definition 1 (§3.2.4). An attacker armed with
+// chi-square and KS tests compares a suspect observation against a
+// dummy-only reference:
+//
+//   UpdateAnalysis/StegHide     hot-block updates hidden by Figure 6
+//                               -> expect distinguished = 0
+//   UpdateAnalysis/StegFS2003   same workload on the 2003 baseline
+//                               -> expect distinguished = 1
+//   TrafficAnalysis/Oblivious   hot reads through the oblivious store
+//                               -> expect distinguished = 0
+//   TrafficAnalysis/Direct      hot reads at fixed locations
+//                               -> expect distinguished = 1
+//
+// Counters: distinguished (0/1), chi2_p, ks_p.
+
+#include <benchmark/benchmark.h>
+
+#include "agent/volatile_agent.h"
+#include "analysis/distinguisher.h"
+#include "analysis/snapshot_diff.h"
+#include "baseline/stegfs2003.h"
+#include "oblivious/oblivious_store.h"
+#include "storage/mem_block_device.h"
+#include "storage/snapshot.h"
+#include "storage/trace_device.h"
+#include "util/random.h"
+
+namespace steghide::bench {
+namespace {
+
+constexpr uint64_t kBlocks = 2048;
+constexpr int kRounds = 120;
+
+analysis::DistinguisherOptions Opts() {
+  analysis::DistinguisherOptions opts;
+  opts.alpha = 0.01;
+  opts.num_bins = 16;
+  return opts;
+}
+
+void ReportVerdict(benchmark::State& state,
+                   const analysis::DistinguisherVerdict& verdict) {
+  state.counters["distinguished"] = verdict.distinguished ? 1.0 : 0.0;
+  state.counters["chi2_p"] = verdict.position_chi2.p_value;
+  state.counters["ks_p"] = verdict.position_ks.p_value;
+}
+
+std::vector<uint64_t> StegHideUpdateCampaign(uint64_t seed,
+                                             int real_per_round) {
+  storage::MemBlockDevice dev(kBlocks, 4096);
+  stegfs::StegFsCore core(&dev, stegfs::StegFsOptions{seed, true});
+  if (!core.Format().ok()) std::abort();
+  agent::VolatileAgent agent(&core);
+  if (!agent.CreateDummyFile("u", 600).ok()) std::abort();
+  auto id = agent.CreateHiddenFile("u");
+  if (!id.ok()) std::abort();
+  const size_t payload = core.payload_size();
+  if (!agent.Write(*id, 0, Bytes(payload * 200, 1)).ok()) std::abort();
+
+  analysis::UpdateAnalysisObserver observer(kBlocks);
+  auto prev = storage::Snapshot::Capture(dev);
+  const Bytes fresh(payload, 0x42);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int op = 0; op < 5; ++op) {
+      if (op < real_per_round) {
+        // Worst case: one hot logical block, as in a repeated table write.
+        if (!agent.Write(*id, 3 * payload, fresh).ok()) std::abort();
+      } else {
+        if (!agent.IdleDummyUpdates(1).ok()) std::abort();
+      }
+    }
+    auto next = storage::Snapshot::Capture(dev);
+    if (!observer.ObserveDiff(*prev, *next).ok()) std::abort();
+    prev = std::move(next);
+  }
+  return observer.counts();
+}
+
+void BM_UpdateStegHide(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto reference = StegHideUpdateCampaign(1, 0);
+    const auto suspect = StegHideUpdateCampaign(2, 2);
+    ReportVerdict(state, analysis::DistinguishUpdateCounts(suspect, reference,
+                                                           Opts()));
+  }
+}
+
+void BM_UpdateStegFs2003(benchmark::State& state) {
+  for (auto _ : state) {
+    storage::MemBlockDevice dev(kBlocks, 4096);
+    stegfs::StegFsCore core(&dev, stegfs::StegFsOptions{3, true});
+    if (!core.Format().ok()) std::abort();
+    baseline::StegFs2003 fs(&core);
+    auto id = fs.CreateFile();
+    if (!id.ok()) std::abort();
+    const size_t payload = core.payload_size();
+    if (!fs.Write(*id, 0, Bytes(payload * 200, 1)).ok()) std::abort();
+
+    analysis::UpdateAnalysisObserver observer(kBlocks);
+    auto prev = storage::Snapshot::Capture(dev);
+    const Bytes fresh(payload, 0x42);
+    for (int round = 0; round < kRounds; ++round) {
+      for (int op = 0; op < 2; ++op) {
+        if (!fs.UpdateBlock(*id, 3, fresh.data()).ok()) std::abort();
+      }
+      auto next = storage::Snapshot::Capture(dev);
+      if (!observer.ObserveDiff(*prev, *next).ok()) std::abort();
+      prev = std::move(next);
+    }
+    const auto reference = StegHideUpdateCampaign(4, 0);
+    ReportVerdict(state, analysis::DistinguishUpdateCounts(
+                             observer.counts(), reference, Opts()));
+  }
+}
+
+storage::IoTrace ObliviousReadCampaign(uint64_t seed, bool hot) {
+  storage::MemBlockDevice mem(1024, 4096);
+  storage::TraceBlockDevice traced(&mem);
+  oblivious::ObliviousStoreOptions opts;
+  opts.buffer_blocks = 8;
+  opts.capacity_blocks = 256;
+  opts.partition_base = 0;
+  opts.scratch_base = 600;
+  opts.drbg_seed = seed;
+  auto store = oblivious::ObliviousStore::Create(&traced, opts);
+  if (!store.ok()) std::abort();
+  Bytes payload((*store)->payload_size(), 1);
+  for (uint64_t id = 0; id < 256; ++id) {
+    if (!(*store)->Insert(id, payload.data()).ok()) std::abort();
+  }
+  traced.ClearTrace();
+  Rng rng(seed);
+  Bytes out((*store)->payload_size());
+  for (int i = 0; i < 1500; ++i) {
+    if (hot && rng.Bernoulli(0.7)) {
+      if (!(*store)->Read(7, out.data()).ok()) std::abort();
+    } else {
+      if (!(*store)->DummyRead().ok()) std::abort();
+    }
+  }
+  return traced.trace();
+}
+
+void BM_TrafficOblivious(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto reference = ObliviousReadCampaign(10, false);
+    const auto suspect = ObliviousReadCampaign(20, true);
+    analysis::DistinguisherOptions opts = Opts();
+    opts.num_bins = 32;
+    ReportVerdict(state, analysis::DistinguishTraces(suspect, reference,
+                                                     1024, opts));
+  }
+}
+
+void BM_TrafficDirect(benchmark::State& state) {
+  for (auto _ : state) {
+    storage::MemBlockDevice mem(1024, 4096);
+    storage::TraceBlockDevice traced(&mem);
+    Bytes buf(4096);
+    Rng rng(30);
+    storage::IoTrace reference;
+    for (int i = 0; i < 4000; ++i) {
+      if (!traced.ReadBlock(rng.Uniform(1024), buf.data()).ok()) std::abort();
+    }
+    reference = traced.trace();
+    traced.ClearTrace();
+    for (int i = 0; i < 4000; ++i) {
+      const uint64_t b = rng.Bernoulli(0.7) ? 42 : rng.Uniform(1024);
+      if (!traced.ReadBlock(b, buf.data()).ok()) std::abort();
+    }
+    analysis::DistinguisherOptions opts = Opts();
+    opts.num_bins = 32;
+    ReportVerdict(state, analysis::DistinguishTraces(traced.trace(),
+                                                     reference, 1024, opts));
+  }
+}
+
+}  // namespace
+}  // namespace steghide::bench
+
+int main(int argc, char** argv) {
+  using namespace steghide::bench;
+  benchmark::RegisterBenchmark("Definition1/UpdateAnalysis/StegHide",
+                               BM_UpdateStegHide)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Definition1/UpdateAnalysis/StegFS2003",
+                               BM_UpdateStegFs2003)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Definition1/TrafficAnalysis/ObliviousStore",
+                               BM_TrafficOblivious)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Definition1/TrafficAnalysis/DirectReads",
+                               BM_TrafficDirect)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

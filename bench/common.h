@@ -1,0 +1,133 @@
+#ifndef STEGHIDE_BENCH_COMMON_H_
+#define STEGHIDE_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "agent/nonvolatile_agent.h"
+#include "agent/volatile_agent.h"
+#include "baseline/plain_fs.h"
+#include "baseline/stegfs2003.h"
+#include "storage/mem_block_device.h"
+#include "storage/sim_device.h"
+#include "workload/adapters.h"
+
+namespace steghide::bench {
+
+/// The five systems of Table 3.
+enum class SystemKind {
+  kStegHide,      // Construction 2, volatile agent (implemented system)
+  kStegHideStar,  // Construction 1, non-volatile agent
+  kStegFs2003,    // previous StegFS [12]
+  kCleanDisk,     // fresh native FS, contiguous files
+  kFragDisk,      // aged native FS, 8-block fragments
+};
+
+inline const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kStegHide:
+      return "StegHide";
+    case SystemKind::kStegHideStar:
+      return "StegHide*";
+    case SystemKind::kStegFs2003:
+      return "StegFS";
+    case SystemKind::kCleanDisk:
+      return "CleanDisk";
+    case SystemKind::kFragDisk:
+      return "FragDisk";
+  }
+  return "?";
+}
+
+inline constexpr SystemKind kAllSystems[] = {
+    SystemKind::kStegHide, SystemKind::kStegHideStar, SystemKind::kStegFs2003,
+    SystemKind::kCleanDisk, SystemKind::kFragDisk};
+
+/// One fully wired system over a simulated disk. All benchmark times are
+/// read from sim->clock_ms() (virtual milliseconds), never from wall
+/// time — see DESIGN.md §1.
+struct SystemUnderTest {
+  std::unique_ptr<storage::MemBlockDevice> mem;
+  std::unique_ptr<storage::SimBlockDevice> sim;
+  std::unique_ptr<stegfs::StegFsCore> core;
+  std::unique_ptr<agent::VolatileAgent> vagent;
+  std::unique_ptr<agent::NonVolatileAgent> nvagent;
+  std::unique_ptr<baseline::StegFs2003> steg2003;
+  std::unique_ptr<baseline::PlainFs> plain;
+  std::unique_ptr<workload::FsAdapter> adapter;
+
+  double clock_ms() const { return sim->clock_ms(); }
+};
+
+/// Builds a formatted system. For the volatile agent (`kStegHide`) a
+/// workload user "bench" is logged in with one dummy file of
+/// `steghide_dummy_blocks` blocks — its relocation pool. Other systems
+/// ignore that parameter.
+inline SystemUnderTest MakeSystem(SystemKind kind, uint64_t volume_blocks,
+                                  uint64_t seed,
+                                  uint64_t steghide_dummy_blocks = 4096) {
+  SystemUnderTest sys;
+  sys.mem = std::make_unique<storage::MemBlockDevice>(volume_blocks, 4096);
+  sys.sim = std::make_unique<storage::SimBlockDevice>(
+      sys.mem.get(), storage::DiskModelParams{});
+
+  switch (kind) {
+    case SystemKind::kCleanDisk:
+      sys.plain = std::make_unique<baseline::PlainFs>(
+          sys.sim.get(), baseline::PlainFs::CleanDisk());
+      sys.adapter = std::make_unique<workload::PlainFsAdapter>(
+          sys.plain.get(), "CleanDisk");
+      return sys;
+    case SystemKind::kFragDisk:
+      sys.plain = std::make_unique<baseline::PlainFs>(
+          sys.sim.get(), baseline::PlainFs::FragDisk());
+      sys.adapter = std::make_unique<workload::PlainFsAdapter>(
+          sys.plain.get(), "FragDisk");
+      return sys;
+    default:
+      break;
+  }
+
+  sys.core = std::make_unique<stegfs::StegFsCore>(
+      sys.sim.get(), stegfs::StegFsOptions{seed, true});
+  if (!sys.core->Format().ok()) std::abort();
+  // Formatting is out of scope for every measurement.
+  sys.sim->ResetStats();
+
+  switch (kind) {
+    case SystemKind::kStegHide: {
+      sys.vagent = std::make_unique<agent::VolatileAgent>(sys.core.get());
+      // Dummy files are capped at the maximum file size; provision the
+      // pool as several files, as a real user population would.
+      constexpr uint64_t kChunk = 8192;
+      for (uint64_t left = steghide_dummy_blocks; left > 0;) {
+        const uint64_t take = std::min(left, kChunk);
+        if (!sys.vagent->CreateDummyFile("bench", take).ok()) std::abort();
+        left -= take;
+      }
+      sys.adapter = std::make_unique<workload::VolatileAgentAdapter>(
+          sys.vagent.get(), "bench");
+      break;
+    }
+    case SystemKind::kStegHideStar: {
+      sys.nvagent = std::make_unique<agent::NonVolatileAgent>(
+          sys.core.get(), agent::NonVolatileAgent::Options{});
+      sys.adapter = std::make_unique<workload::NonVolatileAgentAdapter>(
+          sys.nvagent.get());
+      break;
+    }
+    case SystemKind::kStegFs2003: {
+      sys.steg2003 = std::make_unique<baseline::StegFs2003>(sys.core.get());
+      sys.adapter =
+          std::make_unique<workload::StegFs2003Adapter>(sys.steg2003.get());
+      break;
+    }
+    default:
+      std::abort();
+  }
+  return sys;
+}
+
+}  // namespace steghide::bench
+
+#endif  // STEGHIDE_BENCH_COMMON_H_

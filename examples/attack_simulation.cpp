@@ -1,0 +1,139 @@
+// Attack simulation: plays the paper's update-analysis attacker (§3.1,
+// Figure 1) against both the 2003 StegFS baseline and this paper's
+// StegHide construction, using the same hot-block workload — a DBMS
+// updating one table page again and again.
+//
+// The attacker snapshots the raw storage between rounds, diffs the
+// snapshots, and runs chi-square/KS tests against a dummy-only reference.
+
+#include <cstdio>
+
+#include "agent/volatile_agent.h"
+#include "analysis/distinguisher.h"
+#include "analysis/snapshot_diff.h"
+#include "baseline/stegfs2003.h"
+#include "storage/mem_block_device.h"
+#include "storage/snapshot.h"
+
+using namespace steghide;
+
+namespace {
+
+constexpr uint64_t kBlocks = 2048;
+constexpr int kRounds = 100;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintVerdict(const char* label,
+                  const analysis::DistinguisherVerdict& verdict) {
+  std::printf("%-28s chi2 p=%-10.3g ks p=%-10.3g -> %s\n", label,
+              verdict.position_chi2.p_value, verdict.position_ks.p_value,
+              verdict.distinguished
+                  ? "DISTINGUISHED: hidden data detected"
+                  : "indistinguishable from dummy traffic");
+}
+
+// Dummy-only campaign on StegHide: the attacker's reference for "what the
+// system looks like when nobody is doing anything".
+Result<std::vector<uint64_t>> StegHideCampaign(uint64_t seed,
+                                               int hot_updates_per_round) {
+  storage::MemBlockDevice dev(kBlocks, 4096);
+  stegfs::StegFsCore core(&dev, stegfs::StegFsOptions{seed});
+  STEGHIDE_RETURN_IF_ERROR(core.Format());
+  agent::VolatileAgent agent(&core);
+  STEGHIDE_RETURN_IF_ERROR(agent.CreateDummyFile("db", 600).status());
+  STEGHIDE_ASSIGN_OR_RETURN(const auto id, agent.CreateHiddenFile("db"));
+  const size_t payload = core.payload_size();
+  STEGHIDE_RETURN_IF_ERROR(agent.Write(id, 0, Bytes(payload * 200, 1)));
+
+  analysis::UpdateAnalysisObserver observer(kBlocks);
+  STEGHIDE_ASSIGN_OR_RETURN(auto prev, storage::Snapshot::Capture(dev));
+  const Bytes page(payload, 0xdb);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < hot_updates_per_round; ++i) {
+      // "UPDATE sal_table SET salary += 100000 WHERE name = 'Bob'" — the
+      // same page, every time.
+      STEGHIDE_RETURN_IF_ERROR(agent.Write(id, 3 * payload, page));
+    }
+    STEGHIDE_RETURN_IF_ERROR(
+        agent.IdleDummyUpdates(5 - hot_updates_per_round));
+    STEGHIDE_ASSIGN_OR_RETURN(auto next, storage::Snapshot::Capture(dev));
+    STEGHIDE_RETURN_IF_ERROR(observer.ObserveDiff(prev, next));
+    prev = std::move(next);
+  }
+  return observer.counts();
+}
+
+}  // namespace
+
+int main() {
+  analysis::DistinguisherOptions opts;
+  opts.alpha = 0.01;
+  opts.num_bins = 16;
+
+  std::printf("attacker: %d snapshot diffs, chi-square + KS at alpha=%.2f\n\n",
+              kRounds, opts.alpha);
+
+  auto reference = StegHideCampaign(1, /*hot_updates_per_round=*/0);
+  if (!reference.ok()) return Fail(reference.status());
+
+  // --- StegFS 2003: in-place updates, no cover traffic -----------------
+  {
+    storage::MemBlockDevice dev(kBlocks, 4096);
+    stegfs::StegFsCore core(&dev, stegfs::StegFsOptions{2});
+    if (auto st = core.Format(); !st.ok()) return Fail(st);
+    baseline::StegFs2003 fs(&core);
+    auto id = fs.CreateFile();
+    if (!id.ok()) return Fail(id.status());
+    const size_t payload = core.payload_size();
+    if (auto st = fs.Write(*id, 0, Bytes(payload * 200, 1)); !st.ok()) {
+      return Fail(st);
+    }
+
+    analysis::UpdateAnalysisObserver observer(kBlocks);
+    auto prev = storage::Snapshot::Capture(dev);
+    if (!prev.ok()) return Fail(prev.status());
+    const Bytes page(payload, 0xdb);
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < 2; ++i) {
+        if (auto st = fs.UpdateBlock(*id, 3, page.data()); !st.ok()) {
+          return Fail(st);
+        }
+      }
+      auto next = storage::Snapshot::Capture(dev);
+      if (!next.ok()) return Fail(next.status());
+      if (auto st = observer.ObserveDiff(*prev, *next); !st.ok()) {
+        return Fail(st);
+      }
+      prev = std::move(next).value();
+    }
+    PrintVerdict("StegFS (2003), hot updates:",
+                 analysis::DistinguishUpdateCounts(observer.counts(),
+                                                   *reference, opts));
+  }
+
+  // --- StegHide: Figure-6 relocation + dummy updates --------------------
+  {
+    auto suspect = StegHideCampaign(3, /*hot_updates_per_round=*/2);
+    if (!suspect.ok()) return Fail(suspect.status());
+    PrintVerdict("StegHide (2004), hot updates:",
+                 analysis::DistinguishUpdateCounts(*suspect, *reference,
+                                                   opts));
+  }
+
+  // --- Sanity: dummy-only vs dummy-only ---------------------------------
+  {
+    auto quiet = StegHideCampaign(4, 0);
+    if (!quiet.ok()) return Fail(quiet.status());
+    PrintVerdict("StegHide, no user activity:",
+                 analysis::DistinguishUpdateCounts(*quiet, *reference, opts));
+  }
+
+  std::printf(
+      "\nthe 2003 system leaks the hot page through snapshot diffs; the\n"
+      "2004 mechanisms make the same workload statistically invisible.\n");
+  return 0;
+}

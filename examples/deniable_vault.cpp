@@ -1,0 +1,112 @@
+// Deniable vault: the plausible-deniability story of §4.2, played out.
+//
+// Alice keeps a real file and dummy files on a shared volume. When an
+// adversary coerces her, she surrenders (a) her dummy files and (b) her
+// real file's header components with a *decoy* content key, claiming it
+// is yet another dummy. The example shows why nothing the adversary can
+// compute from the volume contradicts her.
+
+#include <cstdio>
+#include <string>
+
+#include "agent/volatile_agent.h"
+#include "stegfs/stegfs_core.h"
+#include "storage/mem_block_device.h"
+
+using namespace steghide;
+
+namespace {
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool LooksRandom(const Bytes& data) {
+  // Crude check: byte histogram close to flat.
+  size_t counts[256] = {};
+  for (uint8_t b : data) counts[b]++;
+  const double expected = static_cast<double>(data.size()) / 256.0;
+  for (size_t c : counts) {
+    if (static_cast<double>(c) > 4.0 * expected + 8) return false;
+  }
+  return true;
+}
+}  // namespace
+
+int main() {
+  storage::MemBlockDevice device(8192, 4096);  // 32 MB volume
+  stegfs::StegFsCore core(&device, stegfs::StegFsOptions{424242});
+  if (auto st = core.Format(); !st.ok()) return Fail(st);
+
+  const std::string secret = "wire 2,000,000 to acct CH93-0076-2011-6238";
+  std::string real_fak_text, dummy1_text, dummy2_text;
+
+  // --- Alice's normal session ------------------------------------------
+  {
+    agent::VolatileAgent agent(&core);
+    auto dummy1 = agent.CreateDummyFile("alice", 512);
+    auto dummy2 = agent.CreateDummyFile("alice", 512);
+    auto file = agent.CreateHiddenFile("alice");
+    if (!dummy1.ok() || !dummy2.ok() || !file.ok()) return 1;
+    if (auto st =
+            agent.Write(*file, 0, Bytes(secret.begin(), secret.end()));
+        !st.ok()) {
+      return Fail(st);
+    }
+    if (auto st = agent.Flush(*file); !st.ok()) return Fail(st);
+
+    real_fak_text = agent.GetFak(*file)->Serialize();
+    dummy1_text = agent.GetFak(*dummy1)->Serialize();
+    dummy2_text = agent.GetFak(*dummy2)->Serialize();
+    if (auto st = agent.Logout("alice"); !st.ok()) return Fail(st);
+  }
+  std::printf("alice hid %zu secret bytes among 2 dummy files\n\n",
+              secret.size());
+
+  // --- Coercion --------------------------------------------------------
+  // The adversary: "we know you store things here. give us your keys."
+  // Alice hands over the two dummy files, plus the real file disguised
+  // with a decoy content key.
+  auto real_fak = stegfs::FileAccessKey::Deserialize(real_fak_text);
+  if (!real_fak.ok()) return Fail(real_fak.status());
+  crypto::HashDrbg decoy_rng(uint64_t{5});
+  const stegfs::FileAccessKey surrendered =
+      real_fak->WithDecoyContentKey(decoy_rng);
+
+  agent::VolatileAgent adversary_agent(&core);
+  for (const auto& [label, text] :
+       {std::pair<std::string, std::string>{"dummy #1", dummy1_text},
+        {"dummy #2", dummy2_text},
+        {"the 'dummy' that is really the secret", surrendered.Serialize()}}) {
+    auto fak = stegfs::FileAccessKey::Deserialize(text);
+    if (!fak.ok()) return Fail(fak.status());
+    auto opened = adversary_agent.DiscloseDummyFile("adversary", *fak);
+    if (!opened.ok()) return Fail(opened.status());
+
+    // The adversary decrypts the content with the surrendered key.
+    auto loaded = core.LoadFile(*fak);
+    if (!loaded.ok()) return Fail(loaded.status());
+    Bytes content(core.payload_size());
+    if (loaded->num_data_blocks() > 0) {
+      if (auto st = core.ReadFileBlock(*loaded, 0, content.data()); !st.ok()) {
+        return Fail(st);
+      }
+    }
+    std::printf("adversary opens %-40s -> header valid, %llu blocks, "
+                "content %s\n",
+                label.c_str(),
+                static_cast<unsigned long long>(loaded->num_data_blocks()),
+                LooksRandom(content) ? "looks like random bytes"
+                                     : "HAS STRUCTURE (deniability broken!)");
+  }
+
+  // --- Alice, later, with the true key ---------------------------------
+  agent::VolatileAgent agent(&core);
+  auto file = agent.DiscloseHiddenFile("alice", *real_fak);
+  if (!file.ok()) return Fail(file.status());
+  auto content = agent.Read(*file, 0, secret.size());
+  if (!content.ok()) return Fail(content.status());
+  std::printf("\nalice, with the real content key, still reads: %s\n",
+              std::string(content->begin(), content->end()).c_str());
+  return 0;
+}

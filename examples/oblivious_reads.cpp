@@ -1,0 +1,123 @@
+// Oblivious reads: serves a skewed read workload through the Section-5
+// oblivious storage and shows (a) correct contents, (b) the observable
+// access pattern staying flat, and (c) the cost structure the paper
+// reports in Table 4 / Figure 12.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "agent/volatile_agent.h"
+#include "oblivious/steg_partition_reader.h"
+#include "storage/mem_block_device.h"
+#include "storage/sim_device.h"
+#include "storage/trace_device.h"
+#include "util/random.h"
+
+using namespace steghide;
+
+namespace {
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+}  // namespace
+
+int main() {
+  // StegFS partition (8 MB) and oblivious partition on separate devices so
+  // each can be instrumented independently.
+  storage::MemBlockDevice steg_mem(2048, 4096);
+  storage::MemBlockDevice obli_mem(1024, 4096);
+  storage::TraceBlockDevice obli_traced(&obli_mem);
+  storage::SimBlockDevice obli_sim(&obli_traced, storage::DiskModelParams{});
+
+  stegfs::StegFsCore core(&steg_mem, stegfs::StegFsOptions{777});
+  if (auto st = core.Format(); !st.ok()) return Fail(st);
+
+  // Hide a 64-block file through the volatile agent.
+  agent::VolatileAgent agent(&core);
+  if (!agent.CreateDummyFile("u", 256).ok()) return 1;
+  auto id = agent.CreateHiddenFile("u");
+  if (!id.ok()) return Fail(id.status());
+  const size_t payload = core.payload_size();
+  Bytes data(64 * payload);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i / payload);  // block index as content
+  }
+  if (auto st = agent.Write(*id, 0, data); !st.ok()) return Fail(st);
+  if (auto st = agent.Flush(*id); !st.ok()) return Fail(st);
+
+  // Build the oblivious cache: B = 8 blocks, N = 256 -> k = 5 levels.
+  oblivious::ObliviousStoreOptions opts;
+  opts.buffer_blocks = 8;
+  opts.capacity_blocks = 256;
+  opts.partition_base = 0;
+  opts.scratch_base = 2 * 256 - 2 * 8;  // after the hierarchy
+  auto store = oblivious::ObliviousStore::Create(&obli_sim, opts);
+  if (!store.ok()) return Fail(store.status());
+  (*store)->set_clock_fn([&] { return obli_sim.clock_ms(); });
+
+  auto file = core.LoadFile(*agent.GetFak(*id));
+  if (!file.ok()) return Fail(file.status());
+  file->agent_tag = 1;
+  oblivious::StegPartitionReader reader(&core, store->get());
+
+  std::printf("oblivious store: %d levels, hierarchy %llu blocks\n",
+              (*store)->height(),
+              static_cast<unsigned long long>((*store)->hierarchy_blocks()));
+
+  // Skewed workload: 60 % of reads hit block 7, rest uniform. Verify
+  // contents on every read.
+  Rng rng(99);
+  Bytes out(payload);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t logical = rng.Bernoulli(0.6) ? 7 : rng.Uniform(64);
+    if (auto st = reader.ReadBlock(*file, logical, out.data()); !st.ok()) {
+      return Fail(st);
+    }
+    if (out[0] != static_cast<uint8_t>(logical)) {
+      std::fprintf(stderr, "content mismatch at block %llu\n",
+                   static_cast<unsigned long long>(logical));
+      return 1;
+    }
+    // Interleave idle dummy traffic, as the agent would.
+    if (i % 10 == 0) {
+      if (auto st = reader.IdleDummyOp(); !st.ok()) return Fail(st);
+    }
+  }
+
+  const auto& rs = reader.stats();
+  std::printf("reads served: cache_hits=%llu real_fetches=%llu "
+              "dummy=%llu decoy=%llu\n",
+              static_cast<unsigned long long>(rs.cache_hits),
+              static_cast<unsigned long long>(rs.real_fetches),
+              static_cast<unsigned long long>(rs.dummy_reads),
+              static_cast<unsigned long long>(rs.decoy_reads));
+
+  const auto& st = (*store)->stats();
+  std::printf("oblivious store: overhead factor %.1f I/Os per request "
+              "(a 60%%-hot workload mostly hits the agent buffer; for the "
+              "paper's uniform-sweep 10k figure see bench_table4)\n",
+              st.OverheadFactor());
+  std::printf("time split: retrieve %.0f%%, sort %.0f%%\n",
+              100.0 * st.retrieve_ms / (st.retrieve_ms + st.sort_ms),
+              100.0 * st.sort_ms / (st.retrieve_ms + st.sort_ms));
+
+  // The observable pattern: per-block read counts on the oblivious
+  // partition. A 60%-hot workload must NOT show a hot block.
+  std::vector<uint64_t> counts(obli_mem.num_blocks(), 0);
+  for (const auto& ev : obli_traced.trace()) {
+    if (ev.kind == storage::TraceEvent::Kind::kRead) ++counts[ev.block_id];
+  }
+  const uint64_t hottest = *std::max_element(counts.begin(), counts.end());
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  std::printf("observable reads on the oblivious partition: %llu; "
+              "hottest single block saw %.2f%% of them\n",
+              static_cast<unsigned long long>(total),
+              100.0 * static_cast<double>(hottest) /
+                  static_cast<double>(total));
+  std::printf("(the workload sent 60%% of requests to one block — the "
+              "skew is gone from the wire)\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#ifndef STEGHIDE_AGENT_FILE_IO_H_
+#define STEGHIDE_AGENT_FILE_IO_H_
+
+#include "agent/update_engine.h"
+#include "stegfs/stegfs_core.h"
+#include "util/result.h"
+
+namespace steghide::agent {
+
+/// Byte-granularity read over a hidden file's block map. Reads past
+/// file_size are truncated; a read entirely past the end returns an empty
+/// buffer.
+Result<Bytes> ReadBytes(stegfs::StegFsCore& core,
+                        const stegfs::HiddenFile& file, uint64_t offset,
+                        size_t n);
+
+/// Byte-granularity write. Blocks already backing the range are updated
+/// through the engine (Figure-6 relocation); blocks past the current end
+/// are appended through the engine's claim loop. Gaps between the old end
+/// and `offset` are zero-filled. Extends file_size as needed and marks the
+/// file dirty.
+Status WriteBytes(stegfs::StegFsCore& core, UpdateEngine& engine,
+                  stegfs::HiddenFile& file, uint64_t offset,
+                  const uint8_t* data, size_t n);
+
+/// Shrinks `file` to `new_size` bytes, returning the released physical
+/// blocks in `released` (the caller — the agent — re-registers them as
+/// dummies). Growth is not supported here; use WriteBytes.
+Status TruncateBytes(stegfs::StegFsCore& core, stegfs::HiddenFile& file,
+                     uint64_t new_size, std::vector<uint64_t>* released);
+
+}  // namespace steghide::agent
+
+#endif  // STEGHIDE_AGENT_FILE_IO_H_

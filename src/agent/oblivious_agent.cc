@@ -1,0 +1,100 @@
+#include "agent/oblivious_agent.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace steghide::agent {
+
+using oblivious::StegPartitionReader;
+using stegfs::HiddenFile;
+
+ObliviousAgent::ObliviousAgent(
+    stegfs::StegFsCore* core,
+    std::unique_ptr<oblivious::ObliviousStore> store)
+    : core_(core), agent_(core), store_(std::move(store)) {
+  reader_ = std::make_unique<StegPartitionReader>(core_, store_.get());
+}
+
+Result<std::unique_ptr<ObliviousAgent>> ObliviousAgent::Create(
+    stegfs::StegFsCore* core, storage::BlockDevice* cache_device,
+    const oblivious::ObliviousStoreOptions& store_options) {
+  STEGHIDE_ASSIGN_OR_RETURN(auto store, oblivious::ObliviousStore::Create(
+                                            cache_device, store_options));
+  return std::unique_ptr<ObliviousAgent>(
+      new ObliviousAgent(core, std::move(store)));
+}
+
+Result<Bytes> ObliviousAgent::Read(FileId id, uint64_t offset, size_t n) {
+  STEGHIDE_ASSIGN_OR_RETURN(const HiddenFile* file, agent_.InspectFile(id));
+  if (offset >= file->file_size) return Bytes{};
+  const uint64_t end = std::min<uint64_t>(offset + n, file->file_size);
+  const size_t payload = core_->payload_size();
+
+  Bytes out;
+  out.reserve(end - offset);
+  Bytes buf(payload);
+  for (uint64_t logical = offset / payload; logical * payload < end;
+       ++logical) {
+    STEGHIDE_RETURN_IF_ERROR(reader_->ReadBlock(*file, logical, buf.data()));
+    const uint64_t begin = logical * payload;
+    const uint64_t lo = std::max<uint64_t>(offset, begin);
+    const uint64_t hi = std::min<uint64_t>(end, begin + payload);
+    out.insert(out.end(), buf.data() + (lo - begin), buf.data() + (hi - begin));
+  }
+  return out;
+}
+
+Status ObliviousAgent::Write(FileId id, uint64_t offset, const uint8_t* data,
+                             size_t n) {
+  if (n == 0) return Status::OK();
+  STEGHIDE_ASSIGN_OR_RETURN(const HiddenFile* file, agent_.InspectFile(id));
+  const size_t payload = core_->payload_size();
+  const uint64_t end = offset + n;
+
+  Bytes block(payload);
+  for (uint64_t logical = offset / payload; logical * payload < end;
+       ++logical) {
+    const uint64_t begin = logical * payload;
+    const uint64_t lo = std::max<uint64_t>(offset, begin);
+    const uint64_t hi = std::min<uint64_t>(end, begin + payload);
+
+    const bool partial = (lo != begin || hi != begin + payload);
+    const bool existing = logical < file->num_data_blocks();
+    if (partial && existing) {
+      // Read-modify-write through the hidden read path, so the fetch is
+      // as pattern-free as any other read.
+      STEGHIDE_RETURN_IF_ERROR(
+          reader_->ReadBlock(*file, logical, block.data()));
+    } else {
+      std::fill(block.begin(), block.end(), 0);
+    }
+    std::memcpy(block.data() + (lo - begin), data + (lo - offset), hi - lo);
+
+    // Persist on the StegFS partition via the Figure-6 relocating update
+    // (this also extends the file for appends). Write the whole cached
+    // block, but never extend the file past max(old end, new end) —
+    // clamping avoids rounding a trailing partial block up to a full one.
+    const uint64_t keep =
+        existing ? std::min<uint64_t>(payload, file->file_size - begin) : 0;
+    const uint64_t write_len = std::max<uint64_t>(hi - begin, keep);
+    STEGHIDE_RETURN_IF_ERROR(
+        agent_.Write(id, begin, block.data(), write_len));
+    // ...and refresh the cached copy with a hidden update, so subsequent
+    // oblivious reads see the new content.
+    if (existing || store_->Contains(StegPartitionReader::MakeRecordId(
+                        *file, logical))) {
+      STEGHIDE_RETURN_IF_ERROR(store_->Write(
+          StegPartitionReader::MakeRecordId(*file, logical), block.data()));
+    }
+    // The file image may have been reallocated by growth; re-inspect.
+    STEGHIDE_ASSIGN_OR_RETURN(file, agent_.InspectFile(id));
+  }
+  return Status::OK();
+}
+
+Status ObliviousAgent::IdleDummyOp() {
+  STEGHIDE_RETURN_IF_ERROR(agent_.IdleDummyUpdates(1));
+  return reader_->IdleDummyOp();
+}
+
+}  // namespace steghide::agent

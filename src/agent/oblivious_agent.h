@@ -1,0 +1,94 @@
+#ifndef STEGHIDE_AGENT_OBLIVIOUS_AGENT_H_
+#define STEGHIDE_AGENT_OBLIVIOUS_AGENT_H_
+
+#include <memory>
+
+#include "agent/volatile_agent.h"
+#include "oblivious/oblivious_store.h"
+#include "oblivious/steg_partition_reader.h"
+
+namespace steghide::agent {
+
+/// The complete system of Section 5: a volatile agent whose *updates* are
+/// hidden by the Figure-6 mechanism on the StegFS partition, and whose
+/// *reads* are diverted to the oblivious storage.
+///
+/// Consistency rule (§5.1.2): a write enters the oblivious cache as a
+/// hidden update (indistinguishable from a read on the wire) and is
+/// "repeated on the StegFS partition to ensure consistency" through the
+/// update engine. The cache keys records by (file, logical block), so
+/// relocations on the StegFS partition never invalidate cached content.
+///
+/// The two partitions may live on the same device (disjoint block ranges)
+/// or on separate devices; the constructor takes them independently.
+class ObliviousAgent {
+ public:
+  using UserId = VolatileAgent::UserId;
+  using FileId = VolatileAgent::FileId;
+
+  /// `core` is the StegFS partition; `cache_device` hosts the oblivious
+  /// hierarchy + scratch per `store_options`. Neither is owned.
+  static Result<std::unique_ptr<ObliviousAgent>> Create(
+      stegfs::StegFsCore* core, storage::BlockDevice* cache_device,
+      const oblivious::ObliviousStoreOptions& store_options);
+
+  // ---- Sessions (forwarded to the volatile agent) -----------------------
+
+  Result<FileId> DiscloseHiddenFile(const UserId& user,
+                                    const stegfs::FileAccessKey& fak) {
+    return agent_.DiscloseHiddenFile(user, fak);
+  }
+  Result<FileId> DiscloseDummyFile(const UserId& user,
+                                   const stegfs::FileAccessKey& fak) {
+    return agent_.DiscloseDummyFile(user, fak);
+  }
+  Result<FileId> CreateHiddenFile(const UserId& user) {
+    return agent_.CreateHiddenFile(user);
+  }
+  Result<FileId> CreateDummyFile(const UserId& user, uint64_t num_blocks) {
+    return agent_.CreateDummyFile(user, num_blocks);
+  }
+  Status Logout(const UserId& user) { return agent_.Logout(user); }
+  Result<stegfs::FileAccessKey> GetFak(FileId id) const {
+    return agent_.GetFak(id);
+  }
+  Result<uint64_t> FileSize(FileId id) const { return agent_.FileSize(id); }
+  Status Flush(FileId id) { return agent_.Flush(id); }
+
+  // ---- Hidden-access I/O -------------------------------------------------
+
+  /// Oblivious read: buffer/levels of the cache, with first-time fetches
+  /// randomised per Figure 8(a).
+  Result<Bytes> Read(FileId id, uint64_t offset, size_t n);
+
+  /// Hidden write: cache write (read-shaped on the wire) + Figure-6
+  /// relocating update on the StegFS partition.
+  Status Write(FileId id, uint64_t offset, const uint8_t* data, size_t n);
+  Status Write(FileId id, uint64_t offset, const Bytes& data) {
+    return Write(id, offset, data.data(), data.size());
+  }
+
+  /// One idle-time dummy op on every traffic surface: a dummy update on
+  /// the StegFS partition (§4.1.3), a dummy partition read and a dummy
+  /// oblivious read (§5.1.1).
+  Status IdleDummyOp();
+
+  // ---- Introspection -------------------------------------------------------
+
+  VolatileAgent& volatile_agent() { return agent_; }
+  oblivious::ObliviousStore& store() { return *store_; }
+  const oblivious::StegPartitionReader& reader() const { return *reader_; }
+
+ private:
+  ObliviousAgent(stegfs::StegFsCore* core,
+                 std::unique_ptr<oblivious::ObliviousStore> store);
+
+  stegfs::StegFsCore* core_;
+  VolatileAgent agent_;
+  std::unique_ptr<oblivious::ObliviousStore> store_;
+  std::unique_ptr<oblivious::StegPartitionReader> reader_;
+};
+
+}  // namespace steghide::agent
+
+#endif  // STEGHIDE_AGENT_OBLIVIOUS_AGENT_H_

@@ -1,0 +1,101 @@
+#include "agent/update_engine.h"
+
+#include <cstring>
+
+namespace steghide::agent {
+
+using stegfs::HiddenFile;
+using stegfs::kNullBlock;
+
+UpdateEngine::UpdateEngine(stegfs::StegFsCore* core, BlockRegistry* registry)
+    : core_(core), registry_(registry) {}
+
+Result<uint64_t> UpdateEngine::SelectTarget(uint64_t self) {
+  const uint64_t domain = registry_->DomainSize();
+  if (domain == 0) {
+    return Status::FailedPrecondition("empty selection domain");
+  }
+  // The expected number of iterations is N/D (§4.1.5); the cap only guards
+  // against a mis-configured volume with no dummy blocks at all.
+  const uint64_t max_iterations = 64 * domain + 64;
+  for (uint64_t attempt = 0; attempt < max_iterations; ++attempt) {
+    ++stats_.loop_iterations;
+    const uint64_t candidate =
+        registry_->DomainBlock(core_->drbg().Uniform(domain));
+    if (candidate == self || registry_->IsDummy(candidate)) return candidate;
+    // Landed on another data block: dummy-update it and draw again
+    // (Figure 6, the "goto Re" branch).
+    STEGHIDE_RETURN_IF_ERROR(registry_->DummyUpdate(candidate));
+    stats_.io_reads += 1;
+    stats_.io_writes += 1;
+  }
+  return Status::NoSpace("no dummy block found in selection domain");
+}
+
+Status UpdateEngine::Update(HiddenFile& file, uint64_t logical,
+                            const PayloadEditor& edit) {
+  if (logical >= file.num_data_blocks()) {
+    return Status::OutOfRange("update beyond end of file");
+  }
+  const uint64_t b1 = file.block_ptrs[logical];
+  ++stats_.data_updates;
+
+  STEGHIDE_ASSIGN_OR_RETURN(const uint64_t target, SelectTarget(b1));
+
+  // Final iteration: read B1 (the read half of the paper's two I/Os),
+  // apply the edit, and write the result to the selected block.
+  Bytes payload(core_->payload_size());
+  STEGHIDE_RETURN_IF_ERROR(core_->ReadFileBlock(file, logical, payload.data()));
+  ++stats_.io_reads;
+  edit(payload.data());
+
+  STEGHIDE_RETURN_IF_ERROR(
+      core_->WriteDataBlockAt(file, target, payload.data()));
+  ++stats_.io_writes;
+
+  if (target != b1) {
+    file.block_ptrs[logical] = target;
+    file.dirty = true;
+    registry_->OnRelocate(file, logical, b1, target);
+  }
+  return Status::OK();
+}
+
+Status UpdateEngine::Append(HiddenFile& file, const uint8_t* payload) {
+  if (file.num_data_blocks() >=
+      stegfs::MaxFileBlocks(core_->codec().block_size())) {
+    return Status::NoSpace("file reached maximum size");
+  }
+  ++stats_.allocations;
+  STEGHIDE_ASSIGN_OR_RETURN(const uint64_t target, SelectTarget(kNullBlock));
+
+  STEGHIDE_RETURN_IF_ERROR(core_->WriteDataBlockAt(file, target, payload));
+  ++stats_.io_writes;
+
+  file.block_ptrs.push_back(target);
+  file.dirty = true;
+  registry_->OnClaim(file, target);
+  return Status::OK();
+}
+
+Result<uint64_t> UpdateEngine::ClaimDummyBlock(HiddenFile& file) {
+  ++stats_.allocations;
+  STEGHIDE_ASSIGN_OR_RETURN(const uint64_t target, SelectTarget(kNullBlock));
+  registry_->OnClaimTree(file, target);
+  return target;
+}
+
+Status UpdateEngine::DummyUpdate() {
+  const uint64_t domain = registry_->DomainSize();
+  if (domain == 0) {
+    return Status::FailedPrecondition("empty selection domain");
+  }
+  const uint64_t block = registry_->DomainBlock(core_->drbg().Uniform(domain));
+  STEGHIDE_RETURN_IF_ERROR(registry_->DummyUpdate(block));
+  ++stats_.dummy_updates;
+  stats_.io_reads += 1;
+  stats_.io_writes += 1;
+  return Status::OK();
+}
+
+}  // namespace steghide::agent

@@ -1,0 +1,126 @@
+#include "analysis/chi_square.h"
+
+#include <cmath>
+
+namespace steghide::analysis {
+
+namespace {
+
+// Regularised incomplete gamma via series (x < a+1) or continued fraction
+// (x >= a+1); standard formulation after Numerical Recipes gammp/gammq.
+double GammaPSeries(double a, double x) {
+  const double gln = std::lgamma(a);
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-12) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - gln);
+}
+
+double GammaQContinuedFraction(double a, double x) {
+  const double gln = std::lgamma(a);
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-12) break;
+  }
+  return std::exp(-x + a * std::log(x) - gln) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaQ(double a, double x) {
+  if (x < 0.0 || a <= 0.0) return 1.0;
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareSurvival(double statistic, double dof) {
+  if (dof <= 0.0) return 1.0;
+  return RegularizedGammaQ(dof / 2.0, statistic / 2.0);
+}
+
+ChiSquareResult ChiSquareUniformTest(const std::vector<uint64_t>& counts) {
+  std::vector<double> expected(counts.size(), 1.0);
+  return ChiSquareGoodnessOfFit(counts, expected);
+}
+
+ChiSquareResult ChiSquareGoodnessOfFit(const std::vector<uint64_t>& counts,
+                                       const std::vector<double>& expected) {
+  ChiSquareResult result;
+  if (counts.size() != expected.size() || counts.size() < 2) return result;
+
+  double total_observed = 0.0;
+  double total_expected = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total_observed += static_cast<double>(counts[i]);
+    total_expected += expected[i];
+  }
+  if (total_observed == 0.0 || total_expected == 0.0) return result;
+
+  double stat = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double e = expected[i] / total_expected * total_observed;
+    if (e <= 0.0) continue;
+    const double diff = static_cast<double>(counts[i]) - e;
+    stat += diff * diff / e;
+  }
+  result.statistic = stat;
+  result.dof = static_cast<double>(counts.size() - 1);
+  result.p_value = ChiSquareSurvival(stat, result.dof);
+  return result;
+}
+
+ChiSquareResult ChiSquareTwoSampleTest(const std::vector<uint64_t>& a,
+                                       const std::vector<uint64_t>& b) {
+  ChiSquareResult result;
+  if (a.size() != b.size() || a.size() < 2) return result;
+
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total_a += static_cast<double>(a[i]);
+    total_b += static_cast<double>(b[i]);
+  }
+  if (total_a == 0.0 || total_b == 0.0) return result;
+
+  // Standard two-sample chi-square with scaling constants for unequal
+  // sample sizes (K1 = sqrt(Nb/Na), K2 = sqrt(Na/Nb)).
+  const double k1 = std::sqrt(total_b / total_a);
+  const double k2 = std::sqrt(total_a / total_b);
+  double stat = 0.0;
+  size_t used_bins = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double ai = static_cast<double>(a[i]);
+    const double bi = static_cast<double>(b[i]);
+    if (ai + bi == 0.0) continue;
+    ++used_bins;
+    const double diff = k1 * ai - k2 * bi;
+    stat += diff * diff / (ai + bi);
+  }
+  if (used_bins < 2) return result;
+  result.statistic = stat;
+  result.dof = static_cast<double>(used_bins - 1);
+  result.p_value = ChiSquareSurvival(stat, result.dof);
+  return result;
+}
+
+}  // namespace steghide::analysis

@@ -1,0 +1,45 @@
+#ifndef STEGHIDE_ANALYSIS_CHI_SQUARE_H_
+#define STEGHIDE_ANALYSIS_CHI_SQUARE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace steghide::analysis {
+
+/// Outcome of a chi-square goodness-of-fit / homogeneity test.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  /// P(X >= statistic) under the null hypothesis.
+  double p_value = 1.0;
+
+  bool RejectAt(double alpha) const { return p_value < alpha; }
+};
+
+/// Tests whether `counts` is consistent with a uniform distribution over
+/// its bins. Bins with zero expected count are impossible here (expected =
+/// total / bins); callers should bin so that the expectation is >= ~5.
+ChiSquareResult ChiSquareUniformTest(const std::vector<uint64_t>& counts);
+
+/// Tests whether `counts` is consistent with the given expected
+/// frequencies (need not be normalised).
+ChiSquareResult ChiSquareGoodnessOfFit(const std::vector<uint64_t>& counts,
+                                       const std::vector<double>& expected);
+
+/// Two-sample homogeneity test: were `a` and `b` drawn from the same
+/// distribution over the bins? This is the Definition-1 comparison: the
+/// attacker holds one trace known to be dummy-only and one suspect trace.
+ChiSquareResult ChiSquareTwoSampleTest(const std::vector<uint64_t>& a,
+                                       const std::vector<uint64_t>& b);
+
+/// Upper regularised incomplete gamma function Q(a, x), exposed for the
+/// statistics tests.
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom.
+double ChiSquareSurvival(double statistic, double dof);
+
+}  // namespace steghide::analysis
+
+#endif  // STEGHIDE_ANALYSIS_CHI_SQUARE_H_

@@ -1,0 +1,93 @@
+#include "analysis/distinguisher.h"
+
+#include <sstream>
+
+#include "analysis/snapshot_diff.h"
+
+namespace steghide::analysis {
+
+std::string DistinguisherVerdict::ToString() const {
+  std::ostringstream os;
+  os << (distinguished ? "DISTINGUISHED" : "indistinguishable")
+     << " (alpha=" << alpha << ", chi2 p=" << position_chi2.p_value
+     << ", ks p=" << position_ks.p_value << ")";
+  return os.str();
+}
+
+namespace {
+
+std::vector<double> CountsToPositions(const std::vector<uint64_t>& counts) {
+  // Expands per-block counts back into a positional sample, normalised to
+  // [0, 1) for the KS test.
+  std::vector<double> positions;
+  const double n = static_cast<double>(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    for (uint64_t c = 0; c < counts[i]; ++c) {
+      positions.push_back(static_cast<double>(i) / n);
+    }
+  }
+  return positions;
+}
+
+DistinguisherVerdict Compare(const std::vector<uint64_t>& suspect,
+                             const std::vector<uint64_t>& reference,
+                             const DistinguisherOptions& opts) {
+  DistinguisherVerdict verdict;
+  verdict.alpha = opts.alpha;
+  verdict.position_chi2 = ChiSquareTwoSampleTest(
+      BinCounts(suspect, opts.num_bins), BinCounts(reference, opts.num_bins));
+  verdict.position_ks = KsTwoSampleTest(CountsToPositions(suspect),
+                                        CountsToPositions(reference));
+  verdict.distinguished = verdict.position_chi2.RejectAt(opts.alpha) ||
+                          verdict.position_ks.RejectAt(opts.alpha);
+  return verdict;
+}
+
+}  // namespace
+
+DistinguisherVerdict DistinguishUpdateCounts(
+    const std::vector<uint64_t>& suspect,
+    const std::vector<uint64_t>& reference, const DistinguisherOptions& opts) {
+  return Compare(suspect, reference, opts);
+}
+
+std::vector<uint64_t> WriteCountsByBlock(const storage::IoTrace& trace,
+                                         uint64_t num_blocks) {
+  std::vector<uint64_t> counts(num_blocks, 0);
+  for (const auto& ev : trace) {
+    if (ev.kind == storage::TraceEvent::Kind::kWrite &&
+        ev.block_id < num_blocks) {
+      ++counts[ev.block_id];
+    }
+  }
+  return counts;
+}
+
+std::vector<uint64_t> ReadCountsByBlock(const storage::IoTrace& trace,
+                                        uint64_t num_blocks) {
+  std::vector<uint64_t> counts(num_blocks, 0);
+  for (const auto& ev : trace) {
+    if (ev.kind == storage::TraceEvent::Kind::kRead &&
+        ev.block_id < num_blocks) {
+      ++counts[ev.block_id];
+    }
+  }
+  return counts;
+}
+
+DistinguisherVerdict DistinguishTraces(const storage::IoTrace& suspect,
+                                       const storage::IoTrace& reference,
+                                       uint64_t num_blocks,
+                                       const DistinguisherOptions& opts) {
+  // Writes and reads are analysed together positionally: concatenate both
+  // kinds' per-block counts so a skew in either betrays the stream.
+  std::vector<uint64_t> s = WriteCountsByBlock(suspect, num_blocks);
+  std::vector<uint64_t> sr = ReadCountsByBlock(suspect, num_blocks);
+  s.insert(s.end(), sr.begin(), sr.end());
+  std::vector<uint64_t> r = WriteCountsByBlock(reference, num_blocks);
+  std::vector<uint64_t> rr = ReadCountsByBlock(reference, num_blocks);
+  r.insert(r.end(), rr.begin(), rr.end());
+  return Compare(s, r, opts);
+}
+
+}  // namespace steghide::analysis

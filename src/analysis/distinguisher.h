@@ -1,0 +1,63 @@
+#ifndef STEGHIDE_ANALYSIS_DISTINGUISHER_H_
+#define STEGHIDE_ANALYSIS_DISTINGUISHER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/chi_square.h"
+#include "analysis/ks_test.h"
+#include "storage/trace_device.h"
+
+namespace steghide::analysis {
+
+/// Operationalisation of Definition 1 (§3.2.4): an attacker holding a
+/// sample of observed accesses tries to decide whether real user activity
+/// is hidden inside what should be a pure dummy stream. The attacker
+/// "wins" (the system is insecure) when a statistical test distinguishes
+/// the suspect observation from the dummy-only reference at significance
+/// `alpha`.
+struct DistinguisherVerdict {
+  /// Binned positional homogeneity (two-sample chi-square).
+  ChiSquareResult position_chi2;
+  /// Positional distribution equality (two-sample KS on addresses).
+  KsResult position_ks;
+  /// True when any test rejects at the configured alpha: the attacker
+  /// distinguished the traces.
+  bool distinguished = false;
+  double alpha = 0.01;
+
+  std::string ToString() const;
+};
+
+struct DistinguisherOptions {
+  /// Significance level of each test.
+  double alpha = 0.01;
+  /// Bins for the positional chi-square.
+  size_t num_bins = 64;
+};
+
+/// Update-analysis attacker: compares per-block update counts extracted
+/// from snapshot diffs (`suspect`) against a dummy-only reference
+/// campaign of similar length (`reference`).
+DistinguisherVerdict DistinguishUpdateCounts(
+    const std::vector<uint64_t>& suspect,
+    const std::vector<uint64_t>& reference, const DistinguisherOptions& opts);
+
+/// Traffic-analysis attacker: compares two observed I/O request streams
+/// (suspect vs dummy-only) over a volume of `num_blocks`, optionally
+/// restricted to one operation kind.
+DistinguisherVerdict DistinguishTraces(const storage::IoTrace& suspect,
+                                       const storage::IoTrace& reference,
+                                       uint64_t num_blocks,
+                                       const DistinguisherOptions& opts);
+
+/// Helper: per-block counts of write operations in a trace.
+std::vector<uint64_t> WriteCountsByBlock(const storage::IoTrace& trace,
+                                         uint64_t num_blocks);
+/// Helper: per-block counts of read operations in a trace.
+std::vector<uint64_t> ReadCountsByBlock(const storage::IoTrace& trace,
+                                        uint64_t num_blocks);
+
+}  // namespace steghide::analysis
+
+#endif  // STEGHIDE_ANALYSIS_DISTINGUISHER_H_

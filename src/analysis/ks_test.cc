@@ -1,0 +1,68 @@
+#include "analysis/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace steghide::analysis {
+
+double KolmogorovSurvival(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  // Q_KS(l) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 l^2); converges fast.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult KsTwoSampleTest(std::vector<double> a, std::vector<double> b) {
+  KsResult result;
+  if (a.empty() || b.empty()) return result;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  size_t ia = 0;
+  size_t ib = 0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double va = a[ia];
+    const double vb = b[ib];
+    if (va <= vb) ++ia;
+    if (vb <= va) ++ib;
+    const double cdf_a = static_cast<double>(ia) / na;
+    const double cdf_b = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(cdf_a - cdf_b));
+  }
+  result.statistic = d;
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  result.p_value =
+      KolmogorovSurvival((sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d);
+  return result;
+}
+
+KsResult KsUniformTest(std::vector<double> samples) {
+  KsResult result;
+  if (samples.empty()) return result;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double cdf = std::clamp(samples[i], 0.0, 1.0);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(cdf - lo), std::fabs(hi - cdf)});
+  }
+  result.statistic = d;
+  const double sqrt_n = std::sqrt(n);
+  result.p_value = KolmogorovSurvival((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return result;
+}
+
+}  // namespace steghide::analysis

@@ -1,0 +1,29 @@
+#ifndef STEGHIDE_ANALYSIS_KS_TEST_H_
+#define STEGHIDE_ANALYSIS_KS_TEST_H_
+
+#include <vector>
+
+namespace steghide::analysis {
+
+/// Outcome of a Kolmogorov–Smirnov test.
+struct KsResult {
+  double statistic = 0.0;  // max CDF distance D
+  double p_value = 1.0;
+
+  bool RejectAt(double alpha) const { return p_value < alpha; }
+};
+
+/// Two-sample KS test: were the samples drawn from the same continuous
+/// distribution? Used on positional traces (e.g. the sequence of updated
+/// block addresses), complementing the binned chi-square view.
+KsResult KsTwoSampleTest(std::vector<double> a, std::vector<double> b);
+
+/// One-sample KS test against the uniform distribution on [0, 1).
+KsResult KsUniformTest(std::vector<double> samples);
+
+/// Asymptotic Kolmogorov survival function Q_KS(lambda).
+double KolmogorovSurvival(double lambda);
+
+}  // namespace steghide::analysis
+
+#endif  // STEGHIDE_ANALYSIS_KS_TEST_H_

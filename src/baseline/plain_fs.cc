@@ -1,0 +1,131 @@
+#include "baseline/plain_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace steghide::baseline {
+
+PlainFs::PlainFs(storage::BlockDevice* device, const Options& options)
+    : device_(device), options_(options), rng_(options.seed) {
+  if (options_.fragment_blocks > 0) {
+    const uint64_t num_extents =
+        device_->num_blocks() / options_.fragment_blocks;
+    free_extents_.resize(num_extents);
+    for (uint64_t i = 0; i < num_extents; ++i) free_extents_[i] = i;
+    // A well-used disk hands out extents in effectively arbitrary order.
+    rng_.Shuffle(free_extents_);
+  }
+}
+
+Result<PlainFs::FileId> PlainFs::CreateFile(uint64_t size_bytes) {
+  const size_t bs = device_->block_size();
+  const uint64_t need = (size_bytes + bs - 1) / bs;
+
+  PlainFile file;
+  file.size = size_bytes;
+  file.blocks.reserve(need);
+
+  if (options_.fragment_blocks == 0) {
+    if (bump_ + need > device_->num_blocks()) {
+      return Status::NoSpace("volume full");
+    }
+    for (uint64_t i = 0; i < need; ++i) file.blocks.push_back(bump_ + i);
+    bump_ += need;
+  } else {
+    uint64_t remaining = need;
+    while (remaining > 0) {
+      if (free_extents_.empty()) return Status::NoSpace("volume full");
+      const uint64_t extent = free_extents_.back();
+      free_extents_.pop_back();
+      const uint64_t base = extent * options_.fragment_blocks;
+      const uint64_t take =
+          std::min<uint64_t>(remaining, options_.fragment_blocks);
+      for (uint64_t i = 0; i < take; ++i) file.blocks.push_back(base + i);
+      remaining -= take;
+    }
+  }
+
+  const FileId id = next_id_++;
+  files_.emplace(id, std::move(file));
+  return id;
+}
+
+Result<const PlainFs::PlainFile*> PlainFs::Lookup(FileId id) const {
+  const auto it = files_.find(id);
+  if (it == files_.end()) return Status::NotFound("unknown file");
+  return &it->second;
+}
+
+Result<PlainFs::PlainFile*> PlainFs::Lookup(FileId id) {
+  const auto it = files_.find(id);
+  if (it == files_.end()) return Status::NotFound("unknown file");
+  return &it->second;
+}
+
+Result<Bytes> PlainFs::Read(FileId id, uint64_t offset, size_t n) {
+  STEGHIDE_ASSIGN_OR_RETURN(const PlainFile* file, Lookup(id));
+  if (offset >= file->size) return Bytes{};
+  const uint64_t end = std::min<uint64_t>(offset + n, file->size);
+  const size_t bs = device_->block_size();
+
+  Bytes out;
+  out.reserve(end - offset);
+  Bytes buf(bs);
+  for (uint64_t logical = offset / bs; logical * bs < end; ++logical) {
+    STEGHIDE_RETURN_IF_ERROR(
+        device_->ReadBlock(file->blocks[logical], buf.data()));
+    const uint64_t begin = logical * bs;
+    const uint64_t lo = std::max<uint64_t>(offset, begin);
+    const uint64_t hi = std::min<uint64_t>(end, begin + bs);
+    out.insert(out.end(), buf.data() + (lo - begin), buf.data() + (hi - begin));
+  }
+  return out;
+}
+
+Status PlainFs::Write(FileId id, uint64_t offset, const uint8_t* data,
+                      size_t n) {
+  STEGHIDE_ASSIGN_OR_RETURN(PlainFile * file, Lookup(id));
+  if (offset + n > file->blocks.size() * device_->block_size()) {
+    return Status::OutOfRange("write beyond allocated size");
+  }
+  const size_t bs = device_->block_size();
+  const uint64_t end = offset + n;
+  Bytes buf(bs);
+  for (uint64_t logical = offset / bs; logical * bs < end; ++logical) {
+    const uint64_t begin = logical * bs;
+    const uint64_t lo = std::max<uint64_t>(offset, begin);
+    const uint64_t hi = std::min<uint64_t>(end, begin + bs);
+    const uint64_t physical = file->blocks[logical];
+    // Conventional read-modify-write in place.
+    STEGHIDE_RETURN_IF_ERROR(device_->ReadBlock(physical, buf.data()));
+    std::memcpy(buf.data() + (lo - begin), data + (lo - offset), hi - lo);
+    STEGHIDE_RETURN_IF_ERROR(device_->WriteBlock(physical, buf.data()));
+  }
+  file->size = std::max<uint64_t>(file->size, end);
+  return Status::OK();
+}
+
+Status PlainFs::UpdateBlock(FileId id, uint64_t logical,
+                            const uint8_t* payload) {
+  STEGHIDE_ASSIGN_OR_RETURN(PlainFile * file, Lookup(id));
+  if (logical >= file->blocks.size()) {
+    return Status::OutOfRange("logical block beyond file");
+  }
+  const uint64_t physical = file->blocks[logical];
+  Bytes buf(device_->block_size());
+  STEGHIDE_RETURN_IF_ERROR(device_->ReadBlock(physical, buf.data()));
+  std::memcpy(buf.data(), payload, buf.size());
+  return device_->WriteBlock(physical, buf.data());
+}
+
+Result<uint64_t> PlainFs::FileSize(FileId id) const {
+  STEGHIDE_ASSIGN_OR_RETURN(const PlainFile* file, Lookup(id));
+  return file->size;
+}
+
+Result<uint64_t> PlainFs::FileBlocks(FileId id) const {
+  STEGHIDE_ASSIGN_OR_RETURN(const PlainFile* file, Lookup(id));
+  return file->blocks.size();
+}
+
+}  // namespace steghide::baseline

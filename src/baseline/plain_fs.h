@@ -1,0 +1,84 @@
+#ifndef STEGHIDE_BASELINE_PLAIN_FS_H_
+#define STEGHIDE_BASELINE_PLAIN_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace steghide::baseline {
+
+/// Model of a native (non-steganographic) file system, covering both
+/// baselines of Table 3:
+///
+///  * CleanDisk  — "a fresh Linux file system, whose files reside on
+///    contiguous data blocks": fragment_blocks = 0, extents allocated by a
+///    bump pointer, so whole files are sequential on disk.
+///  * FragDisk   — "a well used file system whose storage is fragmented,
+///    and we simulate it by breaking each file into fragments of 8
+///    blocks": fragment_blocks = 8, fragments placed at shuffled positions
+///    across the volume.
+///
+/// Updates are conventional read-modify-write in place (two I/Os), with no
+/// encryption, relocation or dummy traffic — this is the performance
+/// yardstick the steganographic systems are charged against.
+class PlainFs {
+ public:
+  struct Options {
+    /// 0 = contiguous layout (CleanDisk); otherwise the fragment size in
+    /// blocks (FragDisk uses 8).
+    uint64_t fragment_blocks = 0;
+    /// Seed for the fragment-placement shuffle.
+    uint64_t seed = 42;
+  };
+
+  using FileId = uint64_t;
+
+  /// `device` is borrowed and must outlive the file system.
+  PlainFs(storage::BlockDevice* device, const Options& options);
+
+  static Options CleanDisk() { return Options{0, 42}; }
+  static Options FragDisk() { return Options{8, 42}; }
+
+  /// Allocates a file of `size_bytes` (rounded up to whole blocks).
+  Result<FileId> CreateFile(uint64_t size_bytes);
+
+  Result<Bytes> Read(FileId id, uint64_t offset, size_t n);
+  Status Write(FileId id, uint64_t offset, const uint8_t* data, size_t n);
+  Status Write(FileId id, uint64_t offset, const Bytes& data) {
+    return Write(id, offset, data.data(), data.size());
+  }
+
+  /// Conventional single-block update: read the block, modify, write it
+  /// back in place.
+  Status UpdateBlock(FileId id, uint64_t logical, const uint8_t* payload);
+
+  Result<uint64_t> FileSize(FileId id) const;
+  Result<uint64_t> FileBlocks(FileId id) const;
+
+  size_t payload_size() const { return device_->block_size(); }
+
+ private:
+  struct PlainFile {
+    uint64_t size = 0;
+    std::vector<uint64_t> blocks;  // logical -> physical
+  };
+
+  Result<const PlainFile*> Lookup(FileId id) const;
+  Result<PlainFile*> Lookup(FileId id);
+
+  storage::BlockDevice* device_;
+  Options options_;
+  Rng rng_;
+  std::vector<uint64_t> free_extents_;  // fragmented mode: shuffled extents
+  uint64_t bump_ = 0;                   // contiguous mode: next free block
+  std::map<FileId, PlainFile> files_;
+  FileId next_id_ = 1;
+};
+
+}  // namespace steghide::baseline
+
+#endif  // STEGHIDE_BASELINE_PLAIN_FS_H_

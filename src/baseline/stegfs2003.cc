@@ -1,0 +1,163 @@
+#include "baseline/stegfs2003.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace steghide::baseline {
+
+using stegfs::FileAccessKey;
+using stegfs::HiddenFile;
+
+StegFs2003::StegFs2003(stegfs::StegFsCore* core)
+    : core_(core), bitmap_(core->num_blocks()) {}
+
+Result<uint64_t> StegFs2003::AllocateBlock() {
+  if (bitmap_.dummy_count() == 0) return Status::NoSpace("volume full");
+  uint64_t b;
+  do {
+    b = core_->drbg().Uniform(core_->num_blocks());
+  } while (bitmap_.IsData(b));
+  bitmap_.MarkData(b);
+  return b;
+}
+
+Result<StegFs2003::FileId> StegFs2003::CreateFile() {
+  auto file = std::make_unique<HiddenFile>();
+  file->fak = FileAccessKey::Random(core_->drbg(), core_->num_blocks());
+  STEGHIDE_ASSIGN_OR_RETURN(file->fak.header_location, AllocateBlock());
+  file->dirty = true;
+  STEGHIDE_RETURN_IF_ERROR(core_->StoreFile(*file));
+  const FileId id = next_id_++;
+  files_.emplace(id, std::move(file));
+  return id;
+}
+
+Result<StegFs2003::FileId> StegFs2003::OpenFile(const FileAccessKey& fak) {
+  STEGHIDE_ASSIGN_OR_RETURN(HiddenFile file, core_->LoadFile(fak));
+  bitmap_.MarkData(fak.header_location);
+  for (uint64_t b : file.indirect_locs) bitmap_.MarkData(b);
+  for (uint64_t b : file.block_ptrs) bitmap_.MarkData(b);
+  auto holder = std::make_unique<HiddenFile>(std::move(file));
+  const FileId id = next_id_++;
+  files_.emplace(id, std::move(holder));
+  return id;
+}
+
+Result<HiddenFile*> StegFs2003::Lookup(FileId id) {
+  const auto it = files_.find(id);
+  if (it == files_.end()) return Status::NotFound("unknown file handle");
+  return it->second.get();
+}
+
+Result<const HiddenFile*> StegFs2003::Lookup(FileId id) const {
+  const auto it = files_.find(id);
+  if (it == files_.end()) return Status::NotFound("unknown file handle");
+  return static_cast<const HiddenFile*>(it->second.get());
+}
+
+Result<Bytes> StegFs2003::Read(FileId id, uint64_t offset, size_t n) {
+  STEGHIDE_ASSIGN_OR_RETURN(HiddenFile * file, Lookup(id));
+  if (offset >= file->file_size) return Bytes{};
+  const uint64_t end = std::min<uint64_t>(offset + n, file->file_size);
+  const size_t payload = core_->payload_size();
+  Bytes out;
+  out.reserve(end - offset);
+  Bytes buf(payload);
+  for (uint64_t logical = offset / payload; logical * payload < end;
+       ++logical) {
+    STEGHIDE_RETURN_IF_ERROR(core_->ReadFileBlock(*file, logical, buf.data()));
+    const uint64_t begin = logical * payload;
+    const uint64_t lo = std::max<uint64_t>(offset, begin);
+    const uint64_t hi = std::min<uint64_t>(end, begin + payload);
+    out.insert(out.end(), buf.data() + (lo - begin), buf.data() + (hi - begin));
+  }
+  return out;
+}
+
+Status StegFs2003::Write(FileId id, uint64_t offset, const uint8_t* data,
+                         size_t n) {
+  if (n == 0) return Status::OK();
+  STEGHIDE_ASSIGN_OR_RETURN(HiddenFile * file, Lookup(id));
+  const size_t payload = core_->payload_size();
+  const uint64_t end = offset + n;
+
+  if (offset > file->file_size) {
+    const Bytes zeros(payload, 0);
+    while (file->num_data_blocks() * payload < offset) {
+      STEGHIDE_ASSIGN_OR_RETURN(const uint64_t b, AllocateBlock());
+      STEGHIDE_RETURN_IF_ERROR(
+          core_->WriteDataBlockAt(*file, b, zeros.data()));
+      file->block_ptrs.push_back(b);
+      file->dirty = true;
+    }
+  }
+
+  Bytes buf(payload);
+  for (uint64_t logical = offset / payload; logical * payload < end;
+       ++logical) {
+    const uint64_t begin = logical * payload;
+    const uint64_t lo = std::max<uint64_t>(offset, begin);
+    const uint64_t hi = std::min<uint64_t>(end, begin + payload);
+
+    if (logical < file->num_data_blocks()) {
+      // Read-modify-write at the block's fixed location — no relocation,
+      // no cover traffic. This is exactly what update analysis exploits.
+      STEGHIDE_RETURN_IF_ERROR(
+          core_->ReadFileBlock(*file, logical, buf.data()));
+      std::memcpy(buf.data() + (lo - begin), data + (lo - offset), hi - lo);
+      STEGHIDE_RETURN_IF_ERROR(core_->WriteDataBlockAt(
+          *file, file->block_ptrs[logical], buf.data()));
+    } else {
+      std::fill(buf.begin(), buf.end(), 0);
+      std::memcpy(buf.data() + (lo - begin), data + (lo - offset), hi - lo);
+      STEGHIDE_ASSIGN_OR_RETURN(const uint64_t b, AllocateBlock());
+      STEGHIDE_RETURN_IF_ERROR(core_->WriteDataBlockAt(*file, b, buf.data()));
+      file->block_ptrs.push_back(b);
+      file->dirty = true;
+    }
+  }
+  if (end > file->file_size) {
+    file->file_size = end;
+    file->dirty = true;
+  }
+  return Status::OK();
+}
+
+Status StegFs2003::UpdateBlock(FileId id, uint64_t logical,
+                               const uint8_t* payload) {
+  STEGHIDE_ASSIGN_OR_RETURN(HiddenFile * file, Lookup(id));
+  if (logical >= file->num_data_blocks()) {
+    return Status::OutOfRange("logical block beyond file");
+  }
+  Bytes buf(core_->payload_size());
+  STEGHIDE_RETURN_IF_ERROR(core_->ReadFileBlock(*file, logical, buf.data()));
+  std::memcpy(buf.data(), payload, buf.size());
+  return core_->WriteDataBlockAt(*file, file->block_ptrs[logical], buf.data());
+}
+
+Status StegFs2003::Flush(FileId id) {
+  STEGHIDE_ASSIGN_OR_RETURN(HiddenFile * file, Lookup(id));
+  const uint64_t needed = HiddenFile::IndirectNeeded(
+      file->num_data_blocks(), core_->codec().block_size());
+  while (file->indirect_locs.size() < needed) {
+    STEGHIDE_ASSIGN_OR_RETURN(const uint64_t b, AllocateBlock());
+    file->indirect_locs.push_back(b);
+  }
+  while (file->indirect_locs.size() > needed) {
+    bitmap_.MarkDummy(file->indirect_locs.back());
+    file->indirect_locs.pop_back();
+  }
+  return core_->StoreFile(*file);
+}
+
+Result<FileAccessKey> StegFs2003::GetFak(FileId id) const {
+  STEGHIDE_ASSIGN_OR_RETURN(const HiddenFile* file, Lookup(id));
+  return file->fak;
+}
+
+Result<uint64_t> StegFs2003::FileSize(FileId id) const {
+  STEGHIDE_ASSIGN_OR_RETURN(const HiddenFile* file, Lookup(id));
+  return file->file_size;
+}
+
+}  // namespace steghide::baseline

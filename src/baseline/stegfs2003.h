@@ -1,0 +1,70 @@
+#ifndef STEGHIDE_BASELINE_STEGFS2003_H_
+#define STEGHIDE_BASELINE_STEGFS2003_H_
+
+#include <map>
+#include <memory>
+
+#include "stegfs/bitmap.h"
+#include "stegfs/stegfs_core.h"
+#include "util/result.h"
+
+namespace steghide::baseline {
+
+/// The authors' previous system, "StegFS" of [12] (ICDE 2003), used as a
+/// baseline throughout the paper's evaluation.
+///
+/// It already hides the *existence* of files: blocks are encrypted,
+/// scattered uniformly, and reachable only through the FAK-rooted header
+/// tree. What it lacks are the mechanisms this paper adds — updates are
+/// conventional in-place read-modify-writes with no relocation and no
+/// dummy traffic, so consecutive snapshots expose exactly which blocks
+/// carry live data (the Figure 1 attack), and reads go straight to the
+/// data's fixed locations.
+class StegFs2003 {
+ public:
+  using FileId = uint64_t;
+
+  /// `core` is borrowed; the volume must be freshly formatted.
+  explicit StegFs2003(stegfs::StegFsCore* core);
+
+  /// Creates an empty hidden file with a random FAK.
+  Result<FileId> CreateFile();
+
+  /// Opens an existing file by FAK.
+  Result<FileId> OpenFile(const stegfs::FileAccessKey& fak);
+
+  Result<Bytes> Read(FileId id, uint64_t offset, size_t n);
+
+  /// In-place writes; appended blocks are scattered uniformly at random
+  /// (that part is inherited by the 2004 design).
+  Status Write(FileId id, uint64_t offset, const uint8_t* data, size_t n);
+  Status Write(FileId id, uint64_t offset, const Bytes& data) {
+    return Write(id, offset, data.data(), data.size());
+  }
+
+  Status Flush(FileId id);
+  Result<stegfs::FileAccessKey> GetFak(FileId id) const;
+  Result<uint64_t> FileSize(FileId id) const;
+
+  /// Direct single-block in-place update (read + write), the baseline
+  /// against which the Figure-6 overhead is measured.
+  Status UpdateBlock(FileId id, uint64_t logical, const uint8_t* payload);
+
+  double utilization() const { return bitmap_.utilization(); }
+  stegfs::StegFsCore& core() { return *core_; }
+
+ private:
+  Result<stegfs::HiddenFile*> Lookup(FileId id);
+  Result<const stegfs::HiddenFile*> Lookup(FileId id) const;
+  /// Uniformly random free block, claimed in the bitmap.
+  Result<uint64_t> AllocateBlock();
+
+  stegfs::StegFsCore* core_;
+  stegfs::BlockBitmap bitmap_;
+  std::map<FileId, std::unique_ptr<stegfs::HiddenFile>> files_;
+  FileId next_id_ = 1;
+};
+
+}  // namespace steghide::baseline
+
+#endif  // STEGHIDE_BASELINE_STEGFS2003_H_

@@ -1,0 +1,48 @@
+#ifndef STEGHIDE_CRYPTO_AES_H_
+#define STEGHIDE_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace steghide::crypto {
+
+/// AES block cipher (FIPS 197) with 128/192/256-bit keys, implemented with
+/// 32-bit lookup tables. This is the block cipher the paper specifies for
+/// encrypting every storage block (Section 6.1).
+///
+/// The class only exposes single-block ECB primitives; modes of operation
+/// live in cbc.h.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  Aes() = default;
+
+  /// Expands `key` (16, 24 or 32 bytes). Any other size yields
+  /// InvalidArgument and leaves the cipher unusable.
+  Status SetKey(const uint8_t* key, size_t key_len);
+  Status SetKey(const Bytes& key) { return SetKey(key.data(), key.size()); }
+
+  bool has_key() const { return rounds_ != 0; }
+
+  /// Encrypts one 16-byte block. `in` and `out` may alias.
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block. `in` and `out` may alias.
+  void DecryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+ private:
+  // Up to 15 round keys of 4 words each (AES-256: 14 rounds + initial).
+  uint32_t enc_keys_[60] = {};
+  uint32_t dec_keys_[60] = {};
+  int rounds_ = 0;
+};
+
+}  // namespace steghide::crypto
+
+#endif  // STEGHIDE_CRYPTO_AES_H_

@@ -1,0 +1,45 @@
+#include "crypto/cbc.h"
+
+#include <cstring>
+
+namespace steghide::crypto {
+
+Status CbcCipher::Encrypt(const Iv& iv, const uint8_t* in, size_t n,
+                          uint8_t* out) const {
+  if (!aes_.has_key()) return Status::FailedPrecondition("CBC key not set");
+  if (n % Aes::kBlockSize != 0) {
+    return Status::InvalidArgument("CBC length must be a multiple of 16");
+  }
+  uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), sizeof(chain));
+  for (size_t off = 0; off < n; off += Aes::kBlockSize) {
+    uint8_t block[Aes::kBlockSize];
+    std::memcpy(block, in + off, sizeof(block));
+    XorBytes(block, chain, sizeof(block));
+    aes_.EncryptBlock(block, out + off);
+    std::memcpy(chain, out + off, sizeof(chain));
+  }
+  return Status::OK();
+}
+
+Status CbcCipher::Decrypt(const Iv& iv, const uint8_t* in, size_t n,
+                          uint8_t* out) const {
+  if (!aes_.has_key()) return Status::FailedPrecondition("CBC key not set");
+  if (n % Aes::kBlockSize != 0) {
+    return Status::InvalidArgument("CBC length must be a multiple of 16");
+  }
+  uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), sizeof(chain));
+  for (size_t off = 0; off < n; off += Aes::kBlockSize) {
+    uint8_t cipher_block[Aes::kBlockSize];
+    std::memcpy(cipher_block, in + off, sizeof(cipher_block));
+    uint8_t plain[Aes::kBlockSize];
+    aes_.DecryptBlock(cipher_block, plain);
+    XorBytes(plain, chain, sizeof(plain));
+    std::memcpy(out + off, plain, sizeof(plain));
+    std::memcpy(chain, cipher_block, sizeof(chain));
+  }
+  return Status::OK();
+}
+
+}  // namespace steghide::crypto

@@ -1,0 +1,45 @@
+#ifndef STEGHIDE_CRYPTO_CBC_H_
+#define STEGHIDE_CRYPTO_CBC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace steghide::crypto {
+
+/// 16-byte initialization vector. Every storage block starts with one
+/// (Figure 5 of the paper); rewriting a block with a fresh IV changes the
+/// whole ciphertext, which is what makes dummy updates indistinguishable
+/// from real ones.
+using Iv = std::array<uint8_t, Aes::kBlockSize>;
+
+/// AES-CBC over whole multiples of the AES block size, without padding.
+/// The steganographic file system always encrypts fixed-size block
+/// payloads, so padding is unnecessary; callers must pass sizes that are a
+/// multiple of 16.
+class CbcCipher {
+ public:
+  CbcCipher() = default;
+
+  Status SetKey(const uint8_t* key, size_t key_len) {
+    return aes_.SetKey(key, key_len);
+  }
+  Status SetKey(const Bytes& key) { return aes_.SetKey(key); }
+
+  /// Encrypts `n` bytes (n % 16 == 0) of `in` into `out` (may alias),
+  /// chaining from `iv`.
+  Status Encrypt(const Iv& iv, const uint8_t* in, size_t n, uint8_t* out) const;
+
+  /// Decrypts `n` bytes (n % 16 == 0) of `in` into `out` (may alias).
+  Status Decrypt(const Iv& iv, const uint8_t* in, size_t n, uint8_t* out) const;
+
+ private:
+  Aes aes_;
+};
+
+}  // namespace steghide::crypto
+
+#endif  // STEGHIDE_CRYPTO_CBC_H_

@@ -1,0 +1,44 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace steghide::crypto {
+
+HmacSha256::HmacSha256(const uint8_t* key, size_t key_len) {
+  uint8_t key_block[Sha256::kBlockSize] = {};
+  if (key_len > Sha256::kBlockSize) {
+    const auto digest = Sha256::Hash(key, key_len);
+    std::memcpy(key_block, digest.data(), digest.size());
+  } else {
+    std::memcpy(key_block, key, key_len);
+  }
+
+  uint8_t ipad_key[Sha256::kBlockSize];
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad_key[i] = key_block[i] ^ 0x36;
+    opad_key_[i] = key_block[i] ^ 0x5c;
+  }
+  inner_.Update(ipad_key, sizeof(ipad_key));
+}
+
+Sha256::Digest HmacSha256::Finish() {
+  const auto inner_digest = inner_.Finish();
+  Sha256 outer;
+  outer.Update(opad_key_, sizeof(opad_key_));
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+Sha256::Digest HmacSha256::Mac(const Bytes& key, const Bytes& message) {
+  HmacSha256 h(key);
+  h.Update(message);
+  return h.Finish();
+}
+
+Sha256::Digest HmacSha256::Mac(const Bytes& key, std::string_view message) {
+  HmacSha256 h(key);
+  h.Update(message);
+  return h.Finish();
+}
+
+}  // namespace steghide::crypto

@@ -1,0 +1,34 @@
+#ifndef STEGHIDE_CRYPTO_HMAC_H_
+#define STEGHIDE_CRYPTO_HMAC_H_
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace steghide::crypto {
+
+/// HMAC-SHA256 (RFC 2104). Used for keyed derivations: subkeys of a file
+/// access key, header-location derivation, and the hash-index nonce keys of
+/// the oblivious store.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(const uint8_t* key, size_t key_len);
+  explicit HmacSha256(const Bytes& key) : HmacSha256(key.data(), key.size()) {}
+
+  void Update(const uint8_t* data, size_t n) { inner_.Update(data, n); }
+  void Update(const Bytes& data) { inner_.Update(data); }
+  void Update(std::string_view s) { inner_.Update(s); }
+
+  Sha256::Digest Finish();
+
+  /// One-shot convenience.
+  static Sha256::Digest Mac(const Bytes& key, const Bytes& message);
+  static Sha256::Digest Mac(const Bytes& key, std::string_view message);
+
+ private:
+  uint8_t opad_key_[Sha256::kBlockSize];
+  Sha256 inner_;
+};
+
+}  // namespace steghide::crypto
+
+#endif  // STEGHIDE_CRYPTO_HMAC_H_

@@ -1,0 +1,43 @@
+#include "crypto/key.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace steghide::crypto {
+
+Bytes DeriveSubkey(const Bytes& master, std::string_view label,
+                   size_t out_len) {
+  assert(out_len <= Sha256::kDigestSize);
+  HmacSha256 mac(master);
+  mac.Update(label);
+  const auto digest = mac.Finish();
+  return Bytes(digest.begin(), digest.begin() + out_len);
+}
+
+uint64_t DeriveUint64(const Bytes& master, std::string_view label) {
+  HmacSha256 mac(master);
+  mac.Update(label);
+  const auto digest = mac.Finish();
+  return LoadBigEndian64(digest.data());
+}
+
+Bytes KeyFromPassphrase(std::string_view passphrase, std::string_view salt,
+                        int iterations, size_t out_len) {
+  assert(out_len <= Sha256::kDigestSize);
+  Bytes pass(passphrase.begin(), passphrase.end());
+  HmacSha256 first(pass);
+  first.Update(salt);
+  auto u = first.Finish();
+  auto acc = u;
+  for (int i = 1; i < iterations; ++i) {
+    HmacSha256 mac(pass);
+    mac.Update(u.data(), u.size());
+    u = mac.Finish();
+    for (size_t b = 0; b < acc.size(); ++b) acc[b] ^= u[b];
+  }
+  return Bytes(acc.begin(), acc.begin() + out_len);
+}
+
+}  // namespace steghide::crypto

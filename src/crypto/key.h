@@ -1,0 +1,36 @@
+#ifndef STEGHIDE_CRYPTO_KEY_H_
+#define STEGHIDE_CRYPTO_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace steghide::crypto {
+
+/// Default symmetric key length for the file system (AES-128).
+inline constexpr size_t kDefaultKeyLen = 16;
+
+/// Derives a labelled subkey from `master`:
+///   subkey = HMAC-SHA256(master, label)[0 : out_len]
+/// with out_len <= 32. Distinct labels give computationally independent
+/// keys, which is how a FileAccessKey expands into its location / header /
+/// content components (Section 4.2.1 of the paper).
+Bytes DeriveSubkey(const Bytes& master, std::string_view label,
+                   size_t out_len = kDefaultKeyLen);
+
+/// Derives a 64-bit value from `master` and a label; used for header
+/// location derivation (location = H(FAK, path) mod disk size).
+uint64_t DeriveUint64(const Bytes& master, std::string_view label);
+
+/// Stretches a human passphrase into a master key using iterated
+/// HMAC-SHA256 (a fixed-iteration PBKDF2-like loop; this reproduction is
+/// not concerned with GPU-resistance tuning).
+Bytes KeyFromPassphrase(std::string_view passphrase, std::string_view salt,
+                        int iterations = 10000,
+                        size_t out_len = kDefaultKeyLen);
+
+}  // namespace steghide::crypto
+
+#endif  // STEGHIDE_CRYPTO_KEY_H_

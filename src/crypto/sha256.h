@@ -1,0 +1,56 @@
+#ifndef STEGHIDE_CRYPTO_SHA256_H_
+#define STEGHIDE_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace steghide::crypto {
+
+/// SHA-256 as specified in FIPS 180-2. The paper uses SHA-256 both as the
+/// basis of its pseudo-random number generator and (in our reproduction)
+/// to derive block locations and subkeys from file access keys.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs `n` bytes.
+  void Update(const uint8_t* data, size_t n);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  /// Produces the digest. The object must not be used afterwards except
+  /// via Reset().
+  Digest Finish();
+
+  /// Returns the object to its initial state.
+  void Reset();
+
+  /// One-shot convenience.
+  static Digest Hash(const uint8_t* data, size_t n);
+  static Digest Hash(const Bytes& data) { return Hash(data.data(), data.size()); }
+  static Digest Hash(std::string_view s) {
+    return Hash(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+ private:
+  void Compress(const uint8_t block[kBlockSize]);
+
+  uint32_t h_[8];
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace steghide::crypto
+
+#endif  // STEGHIDE_CRYPTO_SHA256_H_

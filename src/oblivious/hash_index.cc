@@ -1,0 +1,29 @@
+#include "oblivious/hash_index.h"
+
+namespace steghide::oblivious {
+
+void HashIndex::Rebuild(uint64_t nonce) {
+  nonce_ = nonce;
+  map_.clear();
+}
+
+uint64_t HashIndex::HashKey(RecordId id) const {
+  // splitmix64-style mix of (nonce, id); the nonce re-keys the mapping on
+  // every rebuild.
+  uint64_t z = id + nonce_ + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void HashIndex::Put(RecordId id, uint64_t slot) { map_[HashKey(id)] = slot; }
+
+std::optional<uint64_t> HashIndex::Get(RecordId id) const {
+  const auto it = map_.find(HashKey(id));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void HashIndex::Erase(RecordId id) { map_.erase(HashKey(id)); }
+
+}  // namespace steghide::oblivious

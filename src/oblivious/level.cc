@@ -1,0 +1,18 @@
+#include "oblivious/level.h"
+
+namespace steghide::oblivious {
+
+void Level::InstallOrder(std::vector<RecordId> order, uint64_t index_nonce) {
+  slot_ids = std::move(order);
+  index.Rebuild(index_nonce);
+  for (uint64_t slot = 0; slot < slot_ids.size(); ++slot) {
+    index.Put(slot_ids[slot], slot);
+  }
+}
+
+void Level::Clear(uint64_t index_nonce) {
+  slot_ids.clear();
+  index.Rebuild(index_nonce);
+}
+
+}  // namespace steghide::oblivious

@@ -1,0 +1,56 @@
+#ifndef STEGHIDE_OBLIVIOUS_LEVEL_H_
+#define STEGHIDE_OBLIVIOUS_LEVEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oblivious/hash_index.h"
+
+namespace steghide::oblivious {
+
+/// One level of the oblivious-storage hierarchy (Figure 7). Level i
+/// (1-based) spans `capacity = 2^i * B` device blocks starting at `base`.
+///
+/// Slots [0, occupied()) hold sealed records appended since the last
+/// re-order. A slot is *stale* when a newer copy of its record exists
+/// higher up (in a lower-numbered level or later slot); the index tracks
+/// only the authoritative copy per record. Stale slots are still read by
+/// dummy probes — to an observer every slot is equally opaque — and are
+/// dropped at the next re-order.
+struct Level {
+  uint64_t base = 0;
+  uint64_t capacity = 0;
+
+  /// slot -> record id, for every occupied slot (including stale ones).
+  std::vector<RecordId> slot_ids;
+
+  /// record id -> authoritative slot.
+  HashIndex index;
+
+  uint64_t occupied() const { return slot_ids.size(); }
+  uint64_t live_count() const { return index.size(); }
+  bool empty() const { return slot_ids.empty(); }
+
+  /// True when the slot's record has been superseded within this level.
+  bool IsStale(uint64_t slot) const {
+    const auto s = index.Get(slot_ids[slot]);
+    return !s.has_value() || *s != slot;
+  }
+
+  /// Registers a record appended at the next free slot.
+  void AppendSlot(RecordId id) {
+    index.Put(id, slot_ids.size());
+    slot_ids.push_back(id);
+  }
+
+  /// Installs a post-re-order layout: `order` lists the record ids slot by
+  /// slot (all authoritative, no duplicates).
+  void InstallOrder(std::vector<RecordId> order, uint64_t index_nonce);
+
+  /// Empties the level (after its content was dumped downward).
+  void Clear(uint64_t index_nonce);
+};
+
+}  // namespace steghide::oblivious
+
+#endif  // STEGHIDE_OBLIVIOUS_LEVEL_H_

@@ -1,0 +1,89 @@
+#ifndef STEGHIDE_OBLIVIOUS_MERGE_SORT_H_
+#define STEGHIDE_OBLIVIOUS_MERGE_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/cbc.h"
+#include "crypto/drbg.h"
+#include "stegfs/block_codec.h"
+#include "storage/block_device.h"
+#include "util/result.h"
+
+namespace steghide::oblivious {
+
+/// External merge sort over sealed blocks, the re-order primitive of
+/// §5.1.2 ("we apply the external merge sort algorithm").
+///
+/// Usage: feed blocks with Add() — each is read from the device, decrypted,
+/// and assigned the caller's 64-bit sort tag (a random tag yields a
+/// uniformly random concealed permutation). The sorter buffers up to
+/// `run_blocks` payloads in memory (the agent's buffer), spilling sorted,
+/// re-encrypted runs to the scratch region. Finish() merges the runs in a
+/// single chunked multi-way pass into the destination region and returns
+/// the caller-supplied labels in final order.
+///
+/// I/O pattern matters more than the sort itself here: run formation and
+/// the merge read/write chunks sequentially, which is why the paper's
+/// sorting overhead, despite costing the most I/Os, takes under 30 % of
+/// the time (Figure 12(b)).
+class ExternalMergeSorter {
+ public:
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+  };
+
+  /// None of the pointers are owned; all must outlive the sorter.
+  /// `scratch_base` is the first block of the scratch (sort) partition;
+  /// `run_blocks` is the in-memory run size in blocks (the agent buffer
+  /// size B of the paper).
+  ExternalMergeSorter(storage::BlockDevice* device,
+                      const stegfs::BlockCodec* codec,
+                      const crypto::CbcCipher* cipher, crypto::HashDrbg* drbg,
+                      uint64_t scratch_base, uint64_t run_blocks);
+
+  /// Reads the sealed block at device position `src_block`, attaching
+  /// `tag` (sort key) and `label` (opaque, returned in final order).
+  Status Add(uint64_t src_block, uint64_t tag, uint64_t label);
+
+  /// Adds an item whose payload is already in memory (e.g. the agent's
+  /// buffer contents) — no device read.
+  Status AddInMemory(const Bytes& payload, uint64_t tag, uint64_t label);
+
+  /// Merges everything to device positions [dst_base, dst_base + n) in
+  /// ascending tag order and returns the labels in that order. The sorter
+  /// is spent afterwards.
+  Result<std::vector<uint64_t>> Finish(uint64_t dst_base);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Item {
+    uint64_t tag;
+    uint64_t label;
+    Bytes payload;
+  };
+  struct Run {
+    uint64_t base;  // first scratch block
+    std::vector<uint64_t> tags;
+    std::vector<uint64_t> labels;
+  };
+
+  Status SpillRun();
+
+  storage::BlockDevice* device_;
+  const stegfs::BlockCodec* codec_;
+  const crypto::CbcCipher* cipher_;
+  crypto::HashDrbg* drbg_;
+  uint64_t scratch_base_;
+  uint64_t scratch_used_ = 0;
+  uint64_t run_blocks_;
+  std::vector<Item> pending_;
+  std::vector<Run> runs_;
+  Stats stats_;
+};
+
+}  // namespace steghide::oblivious
+
+#endif  // STEGHIDE_OBLIVIOUS_MERGE_SORT_H_

@@ -1,0 +1,280 @@
+#include "oblivious/oblivious_store.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/key.h"
+#include "oblivious/merge_sort.h"
+
+namespace steghide::oblivious {
+
+namespace {
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+ObliviousStore::ObliviousStore(storage::BlockDevice* device,
+                               const ObliviousStoreOptions& options)
+    : device_(device),
+      options_(options),
+      codec_(device->block_size()),
+      drbg_(options.drbg_seed) {}
+
+Result<std::unique_ptr<ObliviousStore>> ObliviousStore::Create(
+    storage::BlockDevice* device, const ObliviousStoreOptions& options) {
+  const uint64_t b = options.buffer_blocks;
+  const uint64_t n = options.capacity_blocks;
+  if (b == 0 || n <= b || n % b != 0 || !IsPowerOfTwo(n / b)) {
+    return Status::InvalidArgument(
+        "capacity must be buffer * 2^k with k >= 1");
+  }
+  std::unique_ptr<ObliviousStore> store(new ObliviousStore(device, options));
+
+  Bytes key = options.store_key.empty()
+                  ? store->drbg_.Generate(crypto::kDefaultKeyLen)
+                  : options.store_key;
+  STEGHIDE_RETURN_IF_ERROR(store->cipher_.SetKey(key));
+
+  uint64_t base = options.partition_base;
+  for (uint64_t cap = 2 * b; cap <= n; cap *= 2) {
+    Level level;
+    level.base = base;
+    level.capacity = cap;
+    base += cap;
+    store->levels_.push_back(std::move(level));
+  }
+  const uint64_t hierarchy_end = base;
+
+  // Geometry checks: hierarchy and scratch must fit the device and not
+  // overlap each other.
+  if (hierarchy_end > device->num_blocks() ||
+      options.scratch_base + n > device->num_blocks()) {
+    return Status::InvalidArgument("oblivious partitions exceed device");
+  }
+  const bool overlap = options.scratch_base < hierarchy_end &&
+                       options.partition_base < options.scratch_base + n;
+  if (overlap) {
+    return Status::InvalidArgument("scratch overlaps level hierarchy");
+  }
+  return store;
+}
+
+uint64_t ObliviousStore::hierarchy_blocks() const {
+  return 2 * options_.capacity_blocks - 2 * options_.buffer_blocks;
+}
+
+bool ObliviousStore::Contains(RecordId id) const {
+  return present_.find(id) != present_.end();
+}
+
+std::vector<uint64_t> ObliviousStore::LevelOccupancy() const {
+  std::vector<uint64_t> occ;
+  occ.reserve(levels_.size());
+  for (const Level& level : levels_) occ.push_back(level.live_count());
+  return occ;
+}
+
+Status ObliviousStore::ChargeIndexProbe(const Level& level) {
+  if (!options_.charge_index_io || level.empty()) return Status::OK();
+  // The spilled index sits "in the front of the corresponding level"; one
+  // probe reads one of its blocks. We model the cost by reading the
+  // level's first block (the content is irrelevant to the cost model).
+  Bytes block(codec_.block_size());
+  STEGHIDE_RETURN_IF_ERROR(device_->ReadBlock(level.base, block.data()));
+  ++stats_.index_io;
+  return Status::OK();
+}
+
+Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
+  if (!options_.charge_index_io) return Status::OK();
+  // 16 bytes per entry (hashed key + slot), written sequentially.
+  const uint64_t entry_bytes = 16 * level.live_count();
+  const uint64_t blocks =
+      (entry_bytes + codec_.block_size() - 1) / codec_.block_size();
+  Bytes block(codec_.block_size(), 0);
+  for (uint64_t i = 0; i < blocks && i < level.capacity; ++i) {
+    STEGHIDE_RETURN_IF_ERROR(
+        device_->WriteBlock(level.base + i, block.data()));
+    ++stats_.index_io;
+  }
+  return Status::OK();
+}
+
+Status ObliviousStore::ScanLevels(RecordId id, uint8_t* out_payload) {
+  bool found = false;
+  Bytes block(codec_.block_size());
+  Bytes payload(codec_.payload_size());
+  for (Level& level : levels_) {
+    if (level.empty()) continue;
+    STEGHIDE_RETURN_IF_ERROR(ChargeIndexProbe(level));
+    uint64_t slot;
+    const auto hit = level.index.Get(id);
+    if (!found && hit.has_value()) {
+      slot = *hit;
+      found = true;
+      STEGHIDE_RETURN_IF_ERROR(
+          device_->ReadBlock(level.base + slot, block.data()));
+      ++stats_.level_probe_reads;
+      STEGHIDE_RETURN_IF_ERROR(
+          codec_.Open(cipher_, block.data(), payload.data()));
+      if (out_payload != nullptr) {
+        std::memcpy(out_payload, payload.data(), payload.size());
+      }
+    } else {
+      // Decoy: uniformly random occupied slot. Stale slots are eligible —
+      // to the observer every slot is the same.
+      slot = drbg_.Uniform(level.occupied());
+      STEGHIDE_RETURN_IF_ERROR(
+          device_->ReadBlock(level.base + slot, block.data()));
+      ++stats_.level_probe_reads;
+    }
+  }
+  if (!found) {
+    return Status::Internal("record in present set but not found in levels");
+  }
+  return Status::OK();
+}
+
+Status ObliviousStore::Read(RecordId id, uint8_t* out_payload) {
+  if (!Contains(id)) return Status::NotFound("record not cached");
+  ++stats_.user_reads;
+  const double t0 = Clock();
+
+  const auto buf_it = buffer_.find(id);
+  if (buf_it != buffer_.end()) {
+    // Buffer hit: served from agent memory, no observable I/O.
+    ++stats_.buffer_hits;
+    std::memcpy(out_payload, buf_it->second.data(), buf_it->second.size());
+    stats_.retrieve_ms += Clock() - t0;
+    return Status::OK();
+  }
+
+  STEGHIDE_RETURN_IF_ERROR(ScanLevels(id, out_payload));
+  stats_.retrieve_ms += Clock() - t0;
+
+  // The record joins the buffer so the slot just exposed is never read
+  // again before a re-order.
+  return BufferInsert(id, out_payload);
+}
+
+Status ObliviousStore::Write(RecordId id, const uint8_t* payload) {
+  if (!Contains(id)) return Insert(id, payload);
+  ++stats_.user_writes;
+  const double t0 = Clock();
+  if (buffer_.find(id) == buffer_.end()) {
+    // Same touch pattern as a read — an observer cannot tell a hidden
+    // update from a retrieval. The fetched content is superseded.
+    STEGHIDE_RETURN_IF_ERROR(ScanLevels(id, nullptr));
+  }
+  stats_.retrieve_ms += Clock() - t0;
+  return BufferInsert(id, payload);
+}
+
+Status ObliviousStore::Insert(RecordId id, const uint8_t* payload) {
+  if (!Contains(id)) {
+    if (record_count() >= options_.capacity_blocks) {
+      return Status::NoSpace("oblivious store at capacity");
+    }
+    present_.insert(id);
+    present_list_.push_back(id);
+  }
+  return BufferInsert(id, payload);
+}
+
+Status ObliviousStore::DummyRead() {
+  if (present_list_.empty()) return Status::OK();
+  const RecordId id = present_list_[drbg_.Uniform(present_list_.size())];
+  Bytes payload(codec_.payload_size());
+  // Count as dummy, not user read.
+  ++stats_.dummy_reads;
+  --stats_.user_reads;  // Read() below increments user_reads
+  return Read(id, payload.data());
+}
+
+Status ObliviousStore::BufferInsert(RecordId id, const uint8_t* payload) {
+  Bytes& slot = buffer_[id];
+  slot.assign(payload, payload + codec_.payload_size());
+  if (buffer_.size() >= options_.buffer_blocks) return FlushBuffer();
+  return Status::OK();
+}
+
+Status ObliviousStore::FlushBuffer() {
+  const double t0 = Clock();
+  ++stats_.buffer_flushes;
+
+  Level& level1 = levels_.front();
+  // With a single level (k = 1) the level is also the last one; dedup at
+  // re-order guarantees fit because distinct records never exceed N.
+  if (levels_.size() > 1 &&
+      level1.live_count() + buffer_.size() > level1.capacity) {
+    STEGHIDE_RETURN_IF_ERROR(Dump(0));
+  }
+
+  std::vector<std::pair<RecordId, const Bytes*>> in_memory;
+  in_memory.reserve(buffer_.size());
+  for (const auto& [id, payload] : buffer_) in_memory.emplace_back(id, &payload);
+
+  STEGHIDE_RETURN_IF_ERROR(ReorderInto(level1, nullptr, in_memory));
+  buffer_.clear();
+  stats_.sort_ms += Clock() - t0;
+  return Status::OK();
+}
+
+Status ObliviousStore::Dump(size_t i) {
+  // Levels are 0-indexed here; the paper's dump(i) merges level i into
+  // level i+1, cascading when the target is itself full.
+  if (i + 1 >= levels_.size()) {
+    return Status::Internal("dump called on the last level");
+  }
+  Level& source = levels_[i];
+  Level& target = levels_[i + 1];
+  if (i + 2 < levels_.size() &&
+      target.live_count() + source.live_count() > target.capacity) {
+    STEGHIDE_RETURN_IF_ERROR(Dump(i + 1));
+  }
+  // For the last level the capacity equals the store's record capacity,
+  // so the merged (deduplicated) content always fits.
+  return ReorderInto(target, &source, {});
+}
+
+Status ObliviousStore::ReorderInto(
+    Level& target, Level* source,
+    const std::vector<std::pair<RecordId, const Bytes*>>& in_memory) {
+  ExternalMergeSorter sorter(device_, &codec_, &cipher_, &drbg_,
+                             options_.scratch_base, options_.buffer_blocks);
+  std::unordered_set<RecordId> added;
+
+  // Priority: in-memory (newest) > source level > target level.
+  for (const auto& [id, payload] : in_memory) {
+    STEGHIDE_RETURN_IF_ERROR(
+        sorter.AddInMemory(*payload, drbg_.NextUint64(), id));
+    added.insert(id);
+  }
+  for (Level* src : {source, &target}) {
+    if (src == nullptr) continue;
+    for (uint64_t slot = 0; slot < src->occupied(); ++slot) {
+      const RecordId id = src->slot_ids[slot];
+      if (src->IsStale(slot)) continue;
+      if (added.find(id) != added.end()) continue;
+      added.insert(id);
+      STEGHIDE_RETURN_IF_ERROR(
+          sorter.Add(src->base + slot, drbg_.NextUint64(), id));
+    }
+  }
+
+  if (added.size() > target.capacity) {
+    return Status::Internal("re-order overflow: level capacity exceeded");
+  }
+
+  STEGHIDE_ASSIGN_OR_RETURN(std::vector<uint64_t> order,
+                            sorter.Finish(target.base));
+  target.InstallOrder(std::move(order), drbg_.NextUint64());
+  if (source != nullptr) source->Clear(drbg_.NextUint64());
+
+  ++stats_.reorders;
+  stats_.reorder_reads += sorter.stats().reads;
+  stats_.reorder_writes += sorter.stats().writes;
+  STEGHIDE_RETURN_IF_ERROR(ChargeIndexRebuild(target));
+  return Status::OK();
+}
+
+}  // namespace steghide::oblivious

@@ -1,0 +1,180 @@
+#ifndef STEGHIDE_OBLIVIOUS_OBLIVIOUS_STORE_H_
+#define STEGHIDE_OBLIVIOUS_OBLIVIOUS_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/cbc.h"
+#include "crypto/drbg.h"
+#include "oblivious/level.h"
+#include "stegfs/block_codec.h"
+#include "storage/block_device.h"
+#include "util/result.h"
+
+namespace steghide::oblivious {
+
+struct ObliviousStoreOptions {
+  /// Agent buffer size B, in blocks.
+  uint64_t buffer_blocks = 16;
+  /// Last-level size N, in blocks. Must be buffer_blocks * 2^k for some
+  /// k >= 1; the hierarchy then has k levels of sizes 2B, 4B, ..., N and
+  /// occupies 2N - 2B device blocks.
+  uint64_t capacity_blocks = 1024;
+  /// First device block of the level hierarchy.
+  uint64_t partition_base = 0;
+  /// First device block of the sort (scratch) partition; needs
+  /// capacity_blocks blocks and must not overlap the hierarchy.
+  uint64_t scratch_base = 0;
+  /// Key sealing every record in the store; empty draws a random key.
+  Bytes store_key;
+  /// Seed for the store's DRBG (IVs, shuffle tags, dummy-probe slots).
+  uint64_t drbg_seed = 7;
+  /// Ablation: model the §5.1.2 variant whose per-level hash indices are
+  /// too big for agent memory and live, encrypted, "in the front of the
+  /// corresponding level". When set, every level probe pays one extra
+  /// index-block read and every re-order pays sequential index writes.
+  bool charge_index_io = false;
+};
+
+struct ObliviousStats {
+  uint64_t user_reads = 0;
+  uint64_t user_writes = 0;
+  uint64_t dummy_reads = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t level_probe_reads = 0;  // scan reads (real + decoy)
+  uint64_t index_io = 0;           // charge_index_io extra operations
+  uint64_t reorder_reads = 0;
+  uint64_t reorder_writes = 0;
+  uint64_t reorders = 0;
+  uint64_t buffer_flushes = 0;
+  double retrieve_ms = 0.0;  // virtual time in scans
+  double sort_ms = 0.0;      // virtual time in flush/dump/re-order
+
+  uint64_t TotalIo() const {
+    return level_probe_reads + index_io + reorder_reads + reorder_writes;
+  }
+  /// Mean device I/Os per served request — the "overhead factor" of
+  /// Table 4 (a conventional file system serves a read with one I/O).
+  double OverheadFactor() const {
+    const uint64_t requests = user_reads + user_writes + dummy_reads;
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(TotalIo()) / static_cast<double>(requests);
+  }
+};
+
+/// The oblivious storage of Section 5 — a hierarchical, shuffled disk
+/// cache whose observable access pattern is independent of the request
+/// stream.
+///
+/// Records are fixed-size payloads (device block size minus IV) named by
+/// 64-bit ids. Reading a cached record touches exactly one slot in every
+/// non-empty level (the real slot where it is found, uniformly random
+/// decoys elsewhere) and re-buffers the record; once the buffer holds B
+/// records they are merged into level 1, and full levels cascade downward,
+/// each merge re-encrypting and re-shuffling the destination level to a
+/// fresh concealed permutation via external merge sort. Any record is
+/// therefore read at most once per level between re-orders, which is the
+/// oblivious-RAM argument for indistinguishability (§5.1.2).
+class ObliviousStore {
+ public:
+  /// `device` is borrowed and must outlive the store. Validates the
+  /// geometry in `options`.
+  static Result<std::unique_ptr<ObliviousStore>> Create(
+      storage::BlockDevice* device, const ObliviousStoreOptions& options);
+
+  /// Number of levels k = log2(N/B).
+  int height() const { return static_cast<int>(levels_.size()); }
+
+  /// Device blocks occupied by the hierarchy (2N - 2B).
+  uint64_t hierarchy_blocks() const;
+
+  /// True if `id` is cached (buffer or any level). Memory-only check.
+  bool Contains(RecordId id) const;
+
+  /// Number of distinct records cached.
+  uint64_t record_count() const { return present_.size(); }
+
+  /// Reads record `id` into `out_payload` (payload_size bytes). The
+  /// record must be present (callers check Contains() and fetch misses
+  /// from the StegFS partition — see StegPartitionReader).
+  Status Read(RecordId id, uint8_t* out_payload);
+
+  /// Hidden update: indistinguishable from Read on the wire (same level
+  /// touches), with the new payload entering through the buffer. The
+  /// caller also repeats the write on the StegFS partition for
+  /// persistence (§5.1.2).
+  Status Write(RecordId id, const uint8_t* payload);
+
+  /// First-time insertion of a record fetched from the StegFS partition.
+  /// Buffer-only; no level touches (the fetch itself was the observable
+  /// I/O).
+  Status Insert(RecordId id, const uint8_t* payload);
+
+  /// Dummy read: retrieves a uniformly random cached record through the
+  /// full Read path. No-op when the store is empty.
+  Status DummyRead();
+
+  const ObliviousStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ObliviousStats(); }
+
+  /// Wires a virtual-clock sampler (e.g. SimBlockDevice::clock_ms) so the
+  /// stats can split retrieve vs sort time, Figure 12(b).
+  void set_clock_fn(std::function<double()> fn) { clock_fn_ = std::move(fn); }
+
+  size_t payload_size() const { return codec_.payload_size(); }
+
+  /// Level occupancies, for tests and introspection.
+  std::vector<uint64_t> LevelOccupancy() const;
+
+ private:
+  ObliviousStore(storage::BlockDevice* device,
+                 const ObliviousStoreOptions& options);
+
+  double Clock() const { return clock_fn_ ? clock_fn_() : 0.0; }
+
+  /// Performs the per-level touch pattern for `id`; if `out_payload` is
+  /// non-null the found record is copied there.
+  Status ScanLevels(RecordId id, uint8_t* out_payload);
+
+  /// Puts a payload in the buffer, flushing when it reaches B records.
+  Status BufferInsert(RecordId id, const uint8_t* payload);
+
+  Status FlushBuffer();
+
+  /// Dumps level `i` (1-based) into level i+1 (merging + re-shuffle).
+  Status Dump(size_t i);
+
+  /// Rebuilds `target` from its own live records, optional `source` level
+  /// records (which win on duplicates) and optional in-memory records
+  /// (which win over everything). Empties `source`.
+  Status ReorderInto(Level& target, Level* source,
+                     const std::vector<std::pair<RecordId, const Bytes*>>&
+                         in_memory);
+
+  /// charge_index_io: one index-block read for a probe of `level`.
+  Status ChargeIndexProbe(const Level& level);
+  /// charge_index_io: sequential index rewrite after re-ordering `level`.
+  Status ChargeIndexRebuild(const Level& level);
+
+  storage::BlockDevice* device_;
+  ObliviousStoreOptions options_;
+  stegfs::BlockCodec codec_;
+  crypto::HashDrbg drbg_;
+  crypto::CbcCipher cipher_;
+  std::vector<Level> levels_;  // levels_[0] is level 1 (size 2B)
+
+  std::unordered_map<RecordId, Bytes> buffer_;
+  std::unordered_set<RecordId> present_;
+  std::vector<RecordId> present_list_;  // for uniform dummy-read sampling
+
+  std::function<double()> clock_fn_;
+  ObliviousStats stats_;
+};
+
+}  // namespace steghide::oblivious
+
+#endif  // STEGHIDE_OBLIVIOUS_OBLIVIOUS_STORE_H_

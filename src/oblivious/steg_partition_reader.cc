@@ -1,0 +1,51 @@
+#include "oblivious/steg_partition_reader.h"
+
+namespace steghide::oblivious {
+
+StegPartitionReader::StegPartitionReader(stegfs::StegFsCore* core,
+                                         ObliviousStore* store)
+    : core_(core), store_(store) {}
+
+Status StegPartitionReader::ReadBlock(const stegfs::HiddenFile& file,
+                                      uint64_t logical, uint8_t* out_payload) {
+  if (logical >= file.num_data_blocks()) {
+    return Status::OutOfRange("read beyond end of file");
+  }
+  const RecordId id = MakeRecordId(file, logical);
+  if (store_->Contains(id)) {
+    ++stats_.cache_hits;
+    return store_->Read(id, out_payload);
+  }
+
+  // Figure 8(a): randomise the fetch by interleaving decoy re-reads of
+  // already-fetched blocks.
+  const uint64_t m = core_->num_blocks();
+  Bytes raw;
+  for (;;) {
+    const uint64_t x = core_->drbg().Uniform(m);
+    if (x >= fetched_.size()) break;
+    const uint64_t decoy = fetched_[core_->drbg().Uniform(fetched_.size())];
+    STEGHIDE_RETURN_IF_ERROR(core_->ReadRaw(decoy, raw));
+    ++stats_.decoy_reads;
+  }
+
+  STEGHIDE_RETURN_IF_ERROR(core_->ReadFileBlock(file, logical, out_payload));
+  ++stats_.real_fetches;
+  fetched_.push_back(file.block_ptrs[logical]);
+  return store_->Insert(id, out_payload);
+}
+
+Status StegPartitionReader::DummyStegRead() {
+  Bytes raw;
+  const uint64_t b3 = core_->drbg().Uniform(core_->num_blocks());
+  STEGHIDE_RETURN_IF_ERROR(core_->ReadRaw(b3, raw));
+  ++stats_.dummy_reads;
+  return Status::OK();
+}
+
+Status StegPartitionReader::IdleDummyOp() {
+  STEGHIDE_RETURN_IF_ERROR(store_->DummyRead());
+  return DummyStegRead();
+}
+
+}  // namespace steghide::oblivious

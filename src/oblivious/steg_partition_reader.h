@@ -1,0 +1,68 @@
+#ifndef STEGHIDE_OBLIVIOUS_STEG_PARTITION_READER_H_
+#define STEGHIDE_OBLIVIOUS_STEG_PARTITION_READER_H_
+
+#include <vector>
+
+#include "oblivious/oblivious_store.h"
+#include "stegfs/stegfs_core.h"
+
+namespace steghide::oblivious {
+
+/// Read-path front end combining the StegFS partition with the oblivious
+/// storage, per §5.1.1 and Figure 8(a).
+///
+/// The first read of any file block fetches it from the StegFS partition
+/// and copies it into the oblivious store; all later reads are served
+/// obliviously from the store. To keep the *fetch* pattern random too, a
+/// fetch is preceded by a geometrically distributed number of decoy reads
+/// of already-fetched blocks: with S blocks fetched so far out of an
+/// M-block partition, each loop iteration re-reads a random fetched block
+/// with probability |S|/M (Figure 8(a)'s "if X < sizeof(S)" branch).
+/// Combined with the one-fetch-per-block rule, every observable read of
+/// the StegFS partition is uniformly distributed.
+class StegPartitionReader {
+ public:
+  struct Stats {
+    uint64_t cache_hits = 0;   // served by the oblivious store
+    uint64_t real_fetches = 0;  // first-time fetches from the partition
+    uint64_t decoy_reads = 0;   // Figure 8(a) re-reads of fetched blocks
+    uint64_t dummy_reads = 0;   // idle-time dummy reads
+  };
+
+  /// Neither pointer is owned. `core` is the StegFS partition (its whole
+  /// device is the partition); `store` is the oblivious cache.
+  StegPartitionReader(stegfs::StegFsCore* core, ObliviousStore* store);
+
+  /// Record id for a file block; file.agent_tag and logical must each fit
+  /// in 32 bits.
+  static RecordId MakeRecordId(const stegfs::HiddenFile& file,
+                               uint64_t logical) {
+    return (file.agent_tag << 32) | logical;
+  }
+
+  /// Reads logical block `logical` of `file` into `out_payload`.
+  Status ReadBlock(const stegfs::HiddenFile& file, uint64_t logical,
+                   uint8_t* out_payload);
+
+  /// Idle-time dummy read on the StegFS partition: one uniformly random
+  /// block (Figure 8(a), else-branch).
+  Status DummyStegRead();
+
+  /// Idle-time dummy op exercising both partitions the way a cached read
+  /// plus a fetch would: a dummy oblivious read and a dummy partition
+  /// read.
+  Status IdleDummyOp();
+
+  const Stats& stats() const { return stats_; }
+  uint64_t fetched_count() const { return fetched_.size(); }
+
+ private:
+  stegfs::StegFsCore* core_;
+  ObliviousStore* store_;
+  std::vector<uint64_t> fetched_;  // physical blocks already copied (the set S)
+  Stats stats_;
+};
+
+}  // namespace steghide::oblivious
+
+#endif  // STEGHIDE_OBLIVIOUS_STEG_PARTITION_READER_H_

@@ -1,0 +1,61 @@
+#include "stegfs/bitmap.h"
+
+#include <cassert>
+
+namespace steghide::stegfs {
+
+BlockBitmap::BlockBitmap(uint64_t num_blocks)
+    : num_blocks_(num_blocks), words_((num_blocks + 63) / 64, 0) {}
+
+bool BlockBitmap::IsData(uint64_t block_id) const {
+  assert(block_id < num_blocks_);
+  return (words_[block_id / 64] >> (block_id % 64)) & 1;
+}
+
+void BlockBitmap::MarkData(uint64_t block_id) {
+  assert(block_id < num_blocks_);
+  uint64_t& w = words_[block_id / 64];
+  const uint64_t mask = uint64_t{1} << (block_id % 64);
+  if (!(w & mask)) {
+    w |= mask;
+    ++data_count_;
+  }
+}
+
+void BlockBitmap::MarkDummy(uint64_t block_id) {
+  assert(block_id < num_blocks_);
+  uint64_t& w = words_[block_id / 64];
+  const uint64_t mask = uint64_t{1} << (block_id % 64);
+  if (w & mask) {
+    w &= ~mask;
+    --data_count_;
+  }
+}
+
+Bytes BlockBitmap::Serialize() const {
+  Bytes out(8 + words_.size() * 8);
+  StoreBigEndian64(out.data(), num_blocks_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    StoreBigEndian64(out.data() + 8 + 8 * i, words_[i]);
+  }
+  return out;
+}
+
+Result<BlockBitmap> BlockBitmap::Deserialize(const Bytes& data) {
+  if (data.size() < 8) return Status::Corruption("bitmap: truncated");
+  const uint64_t n = LoadBigEndian64(data.data());
+  BlockBitmap bm(n);
+  if (data.size() != 8 + bm.words_.size() * 8) {
+    return Status::Corruption("bitmap: size mismatch");
+  }
+  for (size_t i = 0; i < bm.words_.size(); ++i) {
+    bm.words_[i] = LoadBigEndian64(data.data() + 8 + 8 * i);
+  }
+  // Recount set bits; trailing bits past num_blocks_ must be zero.
+  uint64_t count = 0;
+  for (uint64_t b = 0; b < n; ++b) count += bm.IsData(b) ? 1 : 0;
+  bm.data_count_ = count;
+  return bm;
+}
+
+}  // namespace steghide::stegfs

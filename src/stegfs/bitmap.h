@@ -1,0 +1,58 @@
+#ifndef STEGHIDE_STEGFS_BITMAP_H_
+#define STEGHIDE_STEGFS_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace steghide::stegfs {
+
+/// Data-vs-dummy block map used by the non-volatile agent (Construction 1).
+/// A set bit marks a block that carries real data (file header, indirect or
+/// content block); clear bits are abandoned/dummy blocks.
+///
+/// The paper's non-volatile agent "possesses a non-volatile memory for
+/// keeping some secrets on the file system"; this bitmap is that secret,
+/// so it lives in agent memory and can be serialized (the caller is
+/// responsible for encrypting the serialization if it is written to an
+/// untrusted medium).
+class BlockBitmap {
+ public:
+  explicit BlockBitmap(uint64_t num_blocks);
+
+  uint64_t num_blocks() const { return num_blocks_; }
+
+  bool IsData(uint64_t block_id) const;
+  bool IsDummy(uint64_t block_id) const { return !IsData(block_id); }
+
+  void MarkData(uint64_t block_id);
+  void MarkDummy(uint64_t block_id);
+
+  /// Number of data blocks (set bits).
+  uint64_t data_count() const { return data_count_; }
+  /// Number of dummy blocks.
+  uint64_t dummy_count() const { return num_blocks_ - data_count_; }
+  /// Fraction of the volume carrying data, the "space utilization" of
+  /// Figure 11(a).
+  double utilization() const {
+    return num_blocks_ == 0
+               ? 0.0
+               : static_cast<double>(data_count_) /
+                     static_cast<double>(num_blocks_);
+  }
+
+  /// Flat serialization: num_blocks (8 bytes BE) + packed bits.
+  Bytes Serialize() const;
+  static Result<BlockBitmap> Deserialize(const Bytes& data);
+
+ private:
+  uint64_t num_blocks_;
+  uint64_t data_count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace steghide::stegfs
+
+#endif  // STEGHIDE_STEGFS_BITMAP_H_

@@ -1,0 +1,34 @@
+#include "stegfs/block_codec.h"
+
+#include <cstring>
+
+namespace steghide::stegfs {
+
+Status BlockCodec::Seal(const crypto::CbcCipher& cipher,
+                        crypto::HashDrbg& drbg, const uint8_t* payload,
+                        uint8_t* out_block) const {
+  crypto::Iv iv;
+  drbg.Generate(iv.data(), iv.size());
+  std::memcpy(out_block, iv.data(), kIvSize);
+  return cipher.Encrypt(iv, payload, payload_size(), out_block + kIvSize);
+}
+
+Status BlockCodec::Open(const crypto::CbcCipher& cipher, const uint8_t* block,
+                        uint8_t* out_payload) const {
+  crypto::Iv iv;
+  std::memcpy(iv.data(), block, kIvSize);
+  return cipher.Decrypt(iv, block + kIvSize, payload_size(), out_payload);
+}
+
+Status BlockCodec::Refresh(const crypto::CbcCipher& cipher,
+                           crypto::HashDrbg& drbg, uint8_t* block) const {
+  Bytes payload(payload_size());
+  STEGHIDE_RETURN_IF_ERROR(Open(cipher, block, payload.data()));
+  return Seal(cipher, drbg, payload.data(), block);
+}
+
+void BlockCodec::Randomize(crypto::HashDrbg& drbg, uint8_t* block) const {
+  drbg.Generate(block, block_size_);
+}
+
+}  // namespace steghide::stegfs

@@ -1,0 +1,49 @@
+#ifndef STEGHIDE_STEGFS_BLOCK_CODEC_H_
+#define STEGHIDE_STEGFS_BLOCK_CODEC_H_
+
+#include "crypto/cbc.h"
+#include "crypto/drbg.h"
+#include "stegfs/format.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace steghide::stegfs {
+
+/// Seals and opens on-disk blocks in the IV ∥ E_key(data field) format of
+/// Figure 5. Stateless except for the block size.
+class BlockCodec {
+ public:
+  explicit BlockCodec(size_t block_size) : block_size_(block_size) {}
+
+  size_t block_size() const { return block_size_; }
+  size_t payload_size() const { return PayloadSize(block_size_); }
+
+  /// Encrypts `payload` (payload_size() bytes) under `cipher` with a fresh
+  /// random IV drawn from `drbg`, producing a full block image in
+  /// `out_block` (block_size() bytes).
+  Status Seal(const crypto::CbcCipher& cipher, crypto::HashDrbg& drbg,
+              const uint8_t* payload, uint8_t* out_block) const;
+
+  /// Decrypts a full block image into `out_payload` (payload_size()
+  /// bytes).
+  Status Open(const crypto::CbcCipher& cipher, const uint8_t* block,
+              uint8_t* out_payload) const;
+
+  /// Dummy update on a block image: decrypts, draws a fresh IV, and
+  /// re-encrypts in place, leaving the plaintext untouched. Every
+  /// ciphertext byte changes, exactly like a real content update.
+  Status Refresh(const crypto::CbcCipher& cipher, crypto::HashDrbg& drbg,
+                 uint8_t* block) const;
+
+  /// Overwrites the whole block image with fresh randomness — the state of
+  /// an abandoned block, and also a valid dummy update for blocks whose
+  /// plaintext is meaningless (dummy-file content).
+  void Randomize(crypto::HashDrbg& drbg, uint8_t* block) const;
+
+ private:
+  size_t block_size_;
+};
+
+}  // namespace steghide::stegfs
+
+#endif  // STEGHIDE_STEGFS_BLOCK_CODEC_H_

@@ -1,0 +1,125 @@
+#include "stegfs/directory.h"
+
+#include <algorithm>
+
+namespace steghide::stegfs {
+
+namespace {
+constexpr uint32_t kDirMagic = 0x53474449;  // "SGDI"
+constexpr size_t kMaxNameLen = 4096;
+}  // namespace
+
+Status Directory::Add(Entry entry) {
+  if (entry.name.empty() || entry.name.size() > kMaxNameLen) {
+    return Status::InvalidArgument("entry name empty or too long");
+  }
+  if (Contains(entry.name)) {
+    return Status::AlreadyExists("entry '" + entry.name + "' exists");
+  }
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status Directory::Remove(std::string_view name) {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const Entry& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    return Status::NotFound("entry '" + std::string(name) + "' not found");
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+Result<Directory::Entry> Directory::Lookup(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e;
+  }
+  return Status::NotFound("entry '" + std::string(name) + "' not found");
+}
+
+bool Directory::Contains(std::string_view name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.name == name; });
+}
+
+Bytes Directory::Serialize() const {
+  Bytes out;
+  out.resize(8);
+  StoreBigEndian32(out.data(), kDirMagic);
+  StoreBigEndian32(out.data() + 4, static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    uint8_t fixed[2];
+    fixed[0] = static_cast<uint8_t>(e.name.size() >> 8);
+    fixed[1] = static_cast<uint8_t>(e.name.size());
+    out.insert(out.end(), fixed, fixed + 2);
+    out.insert(out.end(), e.name.begin(), e.name.end());
+    uint8_t loc[8];
+    StoreBigEndian64(loc, e.fak.header_location);
+    out.insert(out.end(), loc, loc + 8);
+    uint8_t klen = static_cast<uint8_t>(e.fak.header_key.size());
+    out.push_back(klen);
+    out.insert(out.end(), e.fak.header_key.begin(), e.fak.header_key.end());
+    klen = static_cast<uint8_t>(e.fak.content_key.size());
+    out.push_back(klen);
+    out.insert(out.end(), e.fak.content_key.begin(), e.fak.content_key.end());
+    out.push_back(e.is_directory ? 1 : 0);
+  }
+  return out;
+}
+
+Result<Directory> Directory::Deserialize(const Bytes& data) {
+  size_t pos = 0;
+  auto need = [&](size_t n) -> Status {
+    if (pos + n > data.size()) {
+      return Status::Corruption("directory: truncated");
+    }
+    return Status::OK();
+  };
+
+  STEGHIDE_RETURN_IF_ERROR(need(8));
+  if (LoadBigEndian32(data.data()) != kDirMagic) {
+    return Status::Corruption("directory: bad magic");
+  }
+  const uint32_t count = LoadBigEndian32(data.data() + 4);
+  pos = 8;
+
+  Directory dir;
+  for (uint32_t i = 0; i < count; ++i) {
+    STEGHIDE_RETURN_IF_ERROR(need(2));
+    const size_t name_len = (static_cast<size_t>(data[pos]) << 8) | data[pos + 1];
+    pos += 2;
+    if (name_len == 0 || name_len > kMaxNameLen) {
+      return Status::Corruption("directory: bad name length");
+    }
+    STEGHIDE_RETURN_IF_ERROR(need(name_len));
+    Entry entry;
+    entry.name.assign(data.begin() + pos, data.begin() + pos + name_len);
+    pos += name_len;
+
+    STEGHIDE_RETURN_IF_ERROR(need(8));
+    entry.fak.header_location = LoadBigEndian64(data.data() + pos);
+    pos += 8;
+
+    for (Bytes* key : {&entry.fak.header_key, &entry.fak.content_key}) {
+      STEGHIDE_RETURN_IF_ERROR(need(1));
+      const size_t klen = data[pos++];
+      if (klen != 16 && klen != 24 && klen != 32) {
+        return Status::Corruption("directory: bad key length");
+      }
+      STEGHIDE_RETURN_IF_ERROR(need(klen));
+      key->assign(data.begin() + pos, data.begin() + pos + klen);
+      pos += klen;
+    }
+
+    STEGHIDE_RETURN_IF_ERROR(need(1));
+    entry.is_directory = data[pos++] != 0;
+    STEGHIDE_RETURN_IF_ERROR(dir.Add(std::move(entry)));
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("directory: trailing bytes");
+  }
+  return dir;
+}
+
+}  // namespace steghide::stegfs

@@ -1,0 +1,77 @@
+#ifndef STEGHIDE_STEGFS_DIRECTORY_H_
+#define STEGHIDE_STEGFS_DIRECTORY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stegfs/keys.h"
+#include "util/result.h"
+
+namespace steghide::stegfs {
+
+/// Hidden directory: a name -> FAK table that itself lives inside a
+/// hidden file, giving the hierarchical "protected directory" structure
+/// of StegFS [12]. Whoever holds the directory's FAK can enumerate and
+/// open everything beneath it; without it, neither the names nor the
+/// existence of the subtree can be established.
+///
+/// The class is pure data (serializable table); Store/Load helpers at the
+/// bottom bind it to an agent. Entries may reference sub-directories,
+/// forming an arbitrarily deep tree from one root FAK.
+class Directory {
+ public:
+  struct Entry {
+    std::string name;
+    FileAccessKey fak;
+    bool is_directory = false;
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  /// Adds an entry; fails with AlreadyExists on a duplicate name.
+  Status Add(Entry entry);
+
+  /// Removes an entry by name; NotFound if absent.
+  Status Remove(std::string_view name);
+
+  /// Looks an entry up by name.
+  Result<Entry> Lookup(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Compact binary serialization (encrypted implicitly by living in a
+  /// hidden file's content blocks).
+  Bytes Serialize() const;
+  static Result<Directory> Deserialize(const Bytes& data);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Persists `dir` into the hidden file `id` through `agent` (any agent
+/// exposing Write/Truncate, e.g. VolatileAgent or NonVolatileAgent).
+template <typename Agent>
+Status StoreDirectory(Agent& agent, typename Agent::FileId id,
+                      const Directory& dir) {
+  const Bytes data = dir.Serialize();
+  STEGHIDE_RETURN_IF_ERROR(agent.Write(id, 0, data));
+  // Shrink away any tail of a previously larger directory.
+  return agent.Truncate(id, data.size());
+}
+
+/// Loads a directory from the hidden file `id`.
+template <typename Agent>
+Result<Directory> LoadDirectory(Agent& agent, typename Agent::FileId id) {
+  STEGHIDE_ASSIGN_OR_RETURN(const uint64_t size, agent.FileSize(id));
+  STEGHIDE_ASSIGN_OR_RETURN(const Bytes data,
+                            agent.Read(id, 0, static_cast<size_t>(size)));
+  return Directory::Deserialize(data);
+}
+
+}  // namespace steghide::stegfs
+
+#endif  // STEGHIDE_STEGFS_DIRECTORY_H_

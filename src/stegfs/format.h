@@ -1,0 +1,76 @@
+#ifndef STEGHIDE_STEGFS_FORMAT_H_
+#define STEGHIDE_STEGFS_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes.h"
+#include "storage/block_device.h"
+
+namespace steghide::stegfs {
+
+/// On-disk layout (Figure 5 of the paper).
+///
+/// Every block on the volume, whether it carries hidden data or abandoned
+/// random bytes, has the same shape:
+///
+///   +----------------+------------------------------------+
+///   | IV (16 bytes)  | data field (block_size - 16 bytes) |
+///   +----------------+------------------------------------+
+///
+/// The data field is encrypted with AES-CBC seeded by the IV. Re-writing a
+/// block with a fresh IV changes every ciphertext byte, so an observer
+/// cannot tell a pure IV refresh (dummy update) from a content change.
+inline constexpr size_t kIvSize = crypto::Aes::kBlockSize;
+
+/// Usable payload bytes per block.
+inline constexpr size_t PayloadSize(size_t block_size) {
+  return block_size - kIvSize;
+}
+
+/// Hidden files are trees: a header block (the root, at a location
+/// derivable from the file access key) holding direct pointers and
+/// pointers to indirect blocks, which in turn hold data-block pointers.
+///
+/// Header data-field layout (all integers big-endian):
+///   0   magic (8)            = kHeaderMagic; verifies the header key
+///   8   file_size (8)        logical byte length
+///   16  num_data_blocks (8)
+///   24  flags (4)            reserved, always 0. Deliberately, a file's
+///                            dummy-vs-real role is *never* recorded on
+///                            disk: the headers of real and dummy files
+///                            are structurally identical, otherwise
+///                            disclosing a header key would prove which
+///                            kind the file is and break deniability.
+///   28  reserved (4)
+///   32  direct pointers      kNumDirectPtrs x 8
+///   ..  indirect pointers    kNumIndirectPtrs x 8
+/// The remainder of the data field is zero, which after encryption is
+/// indistinguishable from abandoned randomness.
+inline constexpr uint64_t kHeaderMagic = 0x5354454748445231ULL;  // "STEGHDR1"
+
+inline constexpr size_t kNumDirectPtrs = 400;
+inline constexpr size_t kNumIndirectPtrs = 60;
+
+/// Pointers per indirect block.
+inline constexpr size_t PtrsPerIndirect(size_t block_size) {
+  return PayloadSize(block_size) / 8;
+}
+
+/// Maximum data blocks a single file can span.
+inline constexpr uint64_t MaxFileBlocks(size_t block_size) {
+  return kNumDirectPtrs + kNumIndirectPtrs * PtrsPerIndirect(block_size);
+}
+
+/// Sentinel for "no block".
+inline constexpr uint64_t kNullBlock = ~uint64_t{0};
+
+/// Minimum block size that fits the header layout (and sanity floor).
+inline constexpr size_t kMinBlockSize =
+    kIvSize + 32 + 8 * (kNumDirectPtrs + kNumIndirectPtrs);
+
+static_assert(storage::kDefaultBlockSize >= kMinBlockSize);
+
+}  // namespace steghide::stegfs
+
+#endif  // STEGHIDE_STEGFS_FORMAT_H_

@@ -1,0 +1,95 @@
+#include "stegfs/header.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace steghide::stegfs {
+
+namespace {
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffFileSize = 8;
+constexpr size_t kOffNumBlocks = 16;
+constexpr size_t kOffFlags = 24;
+constexpr size_t kOffDirect = 32;
+constexpr size_t OffIndirect() { return kOffDirect + 8 * kNumDirectPtrs; }
+}  // namespace
+
+uint64_t HiddenFile::IndirectNeeded(uint64_t num_data_blocks,
+                                    size_t block_size) {
+  if (num_data_blocks <= kNumDirectPtrs) return 0;
+  const uint64_t rest = num_data_blocks - kNumDirectPtrs;
+  const uint64_t per = PtrsPerIndirect(block_size);
+  return (rest + per - 1) / per;
+}
+
+void SerializeHeader(const HiddenFile& file, size_t block_size,
+                     uint8_t* payload) {
+  assert(file.num_data_blocks() <= MaxFileBlocks(block_size));
+  assert(file.indirect_locs.size() ==
+         HiddenFile::IndirectNeeded(file.num_data_blocks(), block_size));
+  std::memset(payload, 0, PayloadSize(block_size));
+  StoreBigEndian64(payload + kOffMagic, kHeaderMagic);
+  StoreBigEndian64(payload + kOffFileSize, file.file_size);
+  StoreBigEndian64(payload + kOffNumBlocks, file.num_data_blocks());
+  StoreBigEndian32(payload + kOffFlags, 0);
+
+  const uint64_t direct =
+      std::min<uint64_t>(file.num_data_blocks(), kNumDirectPtrs);
+  for (uint64_t i = 0; i < direct; ++i) {
+    StoreBigEndian64(payload + kOffDirect + 8 * i, file.block_ptrs[i]);
+  }
+  for (uint64_t i = 0; i < file.indirect_locs.size(); ++i) {
+    StoreBigEndian64(payload + OffIndirect() + 8 * i, file.indirect_locs[i]);
+  }
+}
+
+Status ParseHeader(const uint8_t* payload, size_t block_size,
+                   HiddenFile* out) {
+  if (LoadBigEndian64(payload + kOffMagic) != kHeaderMagic) {
+    return Status::PermissionDenied("not a file header under this key");
+  }
+  out->file_size = LoadBigEndian64(payload + kOffFileSize);
+  const uint64_t num_blocks = LoadBigEndian64(payload + kOffNumBlocks);
+  if (num_blocks > MaxFileBlocks(block_size)) {
+    return Status::Corruption("header: block count out of range");
+  }
+  out->block_ptrs.assign(num_blocks, kNullBlock);
+  const uint64_t direct = std::min<uint64_t>(num_blocks, kNumDirectPtrs);
+  for (uint64_t i = 0; i < direct; ++i) {
+    out->block_ptrs[i] = LoadBigEndian64(payload + kOffDirect + 8 * i);
+  }
+  const uint64_t indirect = HiddenFile::IndirectNeeded(num_blocks, block_size);
+  out->indirect_locs.assign(indirect, kNullBlock);
+  for (uint64_t i = 0; i < indirect; ++i) {
+    out->indirect_locs[i] = LoadBigEndian64(payload + OffIndirect() + 8 * i);
+  }
+  out->dirty = false;
+  return Status::OK();
+}
+
+void SerializeIndirect(const HiddenFile& file, uint64_t index,
+                       size_t block_size, uint8_t* payload) {
+  const uint64_t per = PtrsPerIndirect(block_size);
+  const uint64_t begin = kNumDirectPtrs + index * per;
+  const uint64_t end =
+      std::min<uint64_t>(begin + per, file.num_data_blocks());
+  assert(begin < end);
+  std::memset(payload, 0, PayloadSize(block_size));
+  for (uint64_t i = begin; i < end; ++i) {
+    StoreBigEndian64(payload + 8 * (i - begin), file.block_ptrs[i]);
+  }
+}
+
+void ParseIndirect(const uint8_t* payload, uint64_t index, size_t block_size,
+                   HiddenFile* out) {
+  const uint64_t per = PtrsPerIndirect(block_size);
+  const uint64_t begin = kNumDirectPtrs + index * per;
+  const uint64_t end =
+      std::min<uint64_t>(begin + per, out->num_data_blocks());
+  for (uint64_t i = begin; i < end; ++i) {
+    out->block_ptrs[i] = LoadBigEndian64(payload + 8 * (i - begin));
+  }
+}
+
+}  // namespace steghide::stegfs

@@ -1,0 +1,76 @@
+#ifndef STEGHIDE_STEGFS_HEADER_H_
+#define STEGHIDE_STEGFS_HEADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stegfs/format.h"
+#include "stegfs/keys.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace steghide::stegfs {
+
+/// In-memory image of a hidden file: the decrypted header tree flattened
+/// into a logical-to-physical block map.
+///
+/// Mirrors the paper's design point that "the file header is always placed
+/// in the cache and is written out only when the file is saved": agents
+/// mutate this object freely (block relocations update `block_ptrs`) and
+/// only pay header/indirect I/O on flush.
+///
+/// `is_dummy` is in-memory state only. On disk, dummy and real files are
+/// byte-for-byte indistinguishable; the role is asserted by the user when
+/// the FAK is disclosed.
+struct HiddenFile {
+  FileAccessKey fak;
+  bool is_dummy = false;
+  uint64_t file_size = 0;
+
+  /// Logical data-block index -> physical block id.
+  std::vector<uint64_t> block_ptrs;
+
+  /// Physical locations of the indirect blocks currently backing the
+  /// pointer tree on disk. Maintained at flush time.
+  std::vector<uint64_t> indirect_locs;
+
+  /// True when in-memory state diverges from the on-disk header tree.
+  bool dirty = false;
+
+  /// Opaque agent-assigned identifier (e.g. the volatile agent's FileId),
+  /// so registry callbacks can map a HiddenFile& back to its bookkeeping.
+  /// Not persisted.
+  uint64_t agent_tag = 0;
+
+  uint64_t num_data_blocks() const { return block_ptrs.size(); }
+
+  /// Indirect blocks required to hold the pointers beyond the direct
+  /// range.
+  static uint64_t IndirectNeeded(uint64_t num_data_blocks, size_t block_size);
+};
+
+/// Serialises the header-block payload (magic, size, direct and indirect
+/// pointer tables). `payload` must be PayloadSize(block_size) bytes.
+void SerializeHeader(const HiddenFile& file, size_t block_size,
+                     uint8_t* payload);
+
+/// Parses and validates a decrypted header payload. Returns
+/// PermissionDenied if the magic does not match, which callers surface as
+/// "no such file" — a wrong key and an absent file are indistinguishable
+/// by design.
+Status ParseHeader(const uint8_t* payload, size_t block_size,
+                   HiddenFile* out);
+
+/// Serialises the payload of indirect block `index` (pointers
+/// [kNumDirectPtrs + index*P, ...+P) of the file).
+void SerializeIndirect(const HiddenFile& file, uint64_t index,
+                       size_t block_size, uint8_t* payload);
+
+/// Parses indirect block `index`, filling the corresponding range of
+/// `out->block_ptrs` (which ParseHeader has already sized).
+void ParseIndirect(const uint8_t* payload, uint64_t index, size_t block_size,
+                   HiddenFile* out);
+
+}  // namespace steghide::stegfs
+
+#endif  // STEGHIDE_STEGFS_HEADER_H_

@@ -1,0 +1,80 @@
+#include "stegfs/keys.h"
+
+#include <charconv>
+
+#include "crypto/key.h"
+
+namespace steghide::stegfs {
+
+FileAccessKey FileAccessKey::Random(crypto::HashDrbg& drbg,
+                                    uint64_t num_blocks) {
+  FileAccessKey fak;
+  fak.header_location = drbg.Uniform(num_blocks);
+  fak.header_key = drbg.Generate(crypto::kDefaultKeyLen);
+  fak.content_key = drbg.Generate(crypto::kDefaultKeyLen);
+  return fak;
+}
+
+FileAccessKey FileAccessKey::FromPassphrase(std::string_view passphrase,
+                                            std::string_view path,
+                                            uint64_t num_blocks) {
+  const Bytes master = crypto::KeyFromPassphrase(passphrase, path,
+                                                 /*iterations=*/2048,
+                                                 crypto::kDefaultKeyLen);
+  FileAccessKey fak;
+  fak.header_location = DeriveLocationCandidate(passphrase, path, 0,
+                                                num_blocks);
+  fak.header_key = crypto::DeriveSubkey(master, "header-key");
+  fak.content_key = crypto::DeriveSubkey(master, "content-key");
+  return fak;
+}
+
+uint64_t FileAccessKey::DeriveLocationCandidate(std::string_view passphrase,
+                                                std::string_view path,
+                                                uint64_t i,
+                                                uint64_t num_blocks) {
+  const Bytes master = crypto::KeyFromPassphrase(passphrase, path,
+                                                 /*iterations=*/2048,
+                                                 crypto::kDefaultKeyLen);
+  const std::string label = "header-location:" + std::to_string(i);
+  return crypto::DeriveUint64(master, label) % num_blocks;
+}
+
+std::string FileAccessKey::Serialize() const {
+  return std::to_string(header_location) + ":" + ToHex(header_key) + ":" +
+         ToHex(content_key);
+}
+
+Result<FileAccessKey> FileAccessKey::Deserialize(std::string_view text) {
+  const size_t c1 = text.find(':');
+  if (c1 == std::string_view::npos) {
+    return Status::InvalidArgument("FAK: missing ':'");
+  }
+  const size_t c2 = text.find(':', c1 + 1);
+  if (c2 == std::string_view::npos) {
+    return Status::InvalidArgument("FAK: missing second ':'");
+  }
+  FileAccessKey fak;
+  const std::string_view loc = text.substr(0, c1);
+  const auto [ptr, ec] =
+      std::from_chars(loc.data(), loc.data() + loc.size(), fak.header_location);
+  if (ec != std::errc() || ptr != loc.data() + loc.size()) {
+    return Status::InvalidArgument("FAK: bad location");
+  }
+  fak.header_key = FromHex(text.substr(c1 + 1, c2 - c1 - 1));
+  fak.content_key = FromHex(text.substr(c2 + 1));
+  if (fak.header_key.size() != crypto::kDefaultKeyLen ||
+      fak.content_key.size() != crypto::kDefaultKeyLen) {
+    return Status::InvalidArgument("FAK: bad key length");
+  }
+  return fak;
+}
+
+FileAccessKey FileAccessKey::WithDecoyContentKey(
+    crypto::HashDrbg& drbg) const {
+  FileAccessKey decoy = *this;
+  decoy.content_key = drbg.Generate(crypto::kDefaultKeyLen);
+  return decoy;
+}
+
+}  // namespace steghide::stegfs

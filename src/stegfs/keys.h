@@ -1,0 +1,61 @@
+#ifndef STEGHIDE_STEGFS_KEYS_H_
+#define STEGHIDE_STEGFS_KEYS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/drbg.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace steghide::stegfs {
+
+/// File access key — the FAK of Section 4.2.1. It "comprises 3 components:
+/// the location of the file header, a header key for encrypting the header
+/// information, and a content key for encrypting the file content."
+///
+/// The components are *independent* secrets, which is what enables
+/// plausible deniability: the owner of a hidden file can disclose the
+/// header location and header key while presenting a wrong content key,
+/// and claim the file is one of his dummy files. Nothing on disk can
+/// contradict him.
+struct FileAccessKey {
+  uint64_t header_location = 0;
+  Bytes header_key;   // 16 bytes (AES-128)
+  Bytes content_key;  // 16 bytes; ignored for dummy files
+
+  /// Generates a fresh FAK with an independently random location in
+  /// [0, num_blocks) and random keys.
+  static FileAccessKey Random(crypto::HashDrbg& drbg, uint64_t num_blocks);
+
+  /// Deterministically derives a FAK from a passphrase and path, so a user
+  /// can re-derive his keys anywhere-anytime without storing them. The
+  /// header location is the first of a probe sequence; see
+  /// DeriveLocationCandidate.
+  static FileAccessKey FromPassphrase(std::string_view passphrase,
+                                      std::string_view path,
+                                      uint64_t num_blocks);
+
+  /// i-th candidate header location for a passphrase-derived FAK; used to
+  /// probe past occupied slots at create/open time.
+  static uint64_t DeriveLocationCandidate(std::string_view passphrase,
+                                          std::string_view path, uint64_t i,
+                                          uint64_t num_blocks);
+
+  /// Serializes to "location:headerkeyhex:contentkeyhex" so examples can
+  /// print and re-read keys. Not a security boundary.
+  std::string Serialize() const;
+  static Result<FileAccessKey> Deserialize(std::string_view text);
+
+  /// The deniable view of this key: same location and header key, but a
+  /// freshly random content key. Handing this to an adversary makes the
+  /// file indistinguishable from a dummy file.
+  FileAccessKey WithDecoyContentKey(crypto::HashDrbg& drbg) const;
+
+  bool operator==(const FileAccessKey&) const = default;
+};
+
+}  // namespace steghide::stegfs
+
+#endif  // STEGHIDE_STEGFS_KEYS_H_

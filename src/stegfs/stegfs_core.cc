@@ -1,0 +1,146 @@
+#include "stegfs/stegfs_core.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace steghide::stegfs {
+
+StegFsCore::StegFsCore(storage::BlockDevice* device,
+                       const StegFsOptions& options)
+    : device_(device),
+      codec_(device->block_size()),
+      drbg_(options.drbg_seed),
+      format_rng_(options.drbg_seed ^ 0x666f726d61745f5fULL),
+      fast_format_(options.fast_format) {
+  assert(device->block_size() >= kMinBlockSize);
+}
+
+Status StegFsCore::Format() {
+  Bytes block(codec_.block_size());
+  for (uint64_t b = 0; b < device_->num_blocks(); ++b) {
+    if (fast_format_) {
+      format_rng_.Fill(block.data(), block.size());
+    } else {
+      drbg_.Generate(block.data(), block.size());
+    }
+    STEGHIDE_RETURN_IF_ERROR(device_->WriteBlock(b, block.data()));
+  }
+  return Status::OK();
+}
+
+Result<const crypto::CbcCipher*> StegFsCore::CipherFor(const Bytes& key) {
+  auto it = cipher_cache_.find(key);
+  if (it != cipher_cache_.end()) return it->second.get();
+  auto cipher = std::make_unique<crypto::CbcCipher>();
+  STEGHIDE_RETURN_IF_ERROR(cipher->SetKey(key));
+  const crypto::CbcCipher* ptr = cipher.get();
+  cipher_cache_.emplace(key, std::move(cipher));
+  return ptr;
+}
+
+Result<HiddenFile> StegFsCore::LoadFile(const FileAccessKey& fak) {
+  if (fak.header_location >= num_blocks()) {
+    return Status::OutOfRange("header location beyond volume");
+  }
+  STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* header_cipher,
+                            CipherFor(fak.header_key));
+  Bytes block;
+  STEGHIDE_RETURN_IF_ERROR(ReadRaw(fak.header_location, block));
+  Bytes payload(codec_.payload_size());
+  STEGHIDE_RETURN_IF_ERROR(
+      codec_.Open(*header_cipher, block.data(), payload.data()));
+
+  HiddenFile file;
+  file.fak = fak;
+  STEGHIDE_RETURN_IF_ERROR(
+      ParseHeader(payload.data(), codec_.block_size(), &file));
+
+  // Pull in indirect blocks to complete the pointer map.
+  for (uint64_t i = 0; i < file.indirect_locs.size(); ++i) {
+    STEGHIDE_RETURN_IF_ERROR(ReadRaw(file.indirect_locs[i], block));
+    STEGHIDE_RETURN_IF_ERROR(
+        codec_.Open(*header_cipher, block.data(), payload.data()));
+    ParseIndirect(payload.data(), i, codec_.block_size(), &file);
+  }
+  return file;
+}
+
+Status StegFsCore::StoreFile(HiddenFile& file) {
+  if (file.num_data_blocks() > MaxFileBlocks(codec_.block_size())) {
+    return Status::InvalidArgument(
+        "file exceeds the maximum representable size");
+  }
+  const uint64_t indirect_needed =
+      HiddenFile::IndirectNeeded(file.num_data_blocks(), codec_.block_size());
+  if (file.indirect_locs.size() != indirect_needed) {
+    return Status::FailedPrecondition(
+        "indirect block locations not sized for file");
+  }
+  STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* header_cipher,
+                            CipherFor(file.fak.header_key));
+
+  Bytes payload(codec_.payload_size());
+  Bytes block(codec_.block_size());
+
+  SerializeHeader(file, codec_.block_size(), payload.data());
+  STEGHIDE_RETURN_IF_ERROR(
+      codec_.Seal(*header_cipher, drbg_, payload.data(), block.data()));
+  STEGHIDE_RETURN_IF_ERROR(WriteRaw(file.fak.header_location, block));
+
+  for (uint64_t i = 0; i < file.indirect_locs.size(); ++i) {
+    SerializeIndirect(file, i, codec_.block_size(), payload.data());
+    STEGHIDE_RETURN_IF_ERROR(
+        codec_.Seal(*header_cipher, drbg_, payload.data(), block.data()));
+    STEGHIDE_RETURN_IF_ERROR(WriteRaw(file.indirect_locs[i], block));
+  }
+  file.dirty = false;
+  return Status::OK();
+}
+
+Status StegFsCore::ReadFileBlock(const HiddenFile& file, uint64_t logical,
+                                 uint8_t* out_payload) {
+  if (logical >= file.num_data_blocks()) {
+    return Status::OutOfRange("logical block beyond end of file");
+  }
+  const uint64_t physical = file.block_ptrs[logical];
+  Bytes block;
+  STEGHIDE_RETURN_IF_ERROR(ReadRaw(physical, block));
+  if (file.is_dummy) {
+    // Dummy content is unkeyed randomness; hand back the raw data field.
+    std::memcpy(out_payload, block.data() + kIvSize, codec_.payload_size());
+    return Status::OK();
+  }
+  STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* cipher,
+                            CipherFor(file.fak.content_key));
+  return codec_.Open(*cipher, block.data(), out_payload);
+}
+
+Status StegFsCore::WriteDataBlockAt(const HiddenFile& file, uint64_t physical,
+                                    const uint8_t* payload) {
+  Bytes block(codec_.block_size());
+  if (file.is_dummy) {
+    codec_.Randomize(drbg_, block.data());
+  } else {
+    STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* cipher,
+                              CipherFor(file.fak.content_key));
+    STEGHIDE_RETURN_IF_ERROR(
+        codec_.Seal(*cipher, drbg_, payload, block.data()));
+  }
+  return WriteRaw(physical, block);
+}
+
+Status StegFsCore::ReadRaw(uint64_t physical, Bytes& out) {
+  return device_->ReadBlock(physical, out);
+}
+
+Status StegFsCore::WriteRaw(uint64_t physical, const Bytes& block) {
+  return device_->WriteBlock(physical, block);
+}
+
+Status StegFsCore::RandomizeBlock(uint64_t physical) {
+  Bytes block(codec_.block_size());
+  codec_.Randomize(drbg_, block.data());
+  return WriteRaw(physical, block);
+}
+
+}  // namespace steghide::stegfs

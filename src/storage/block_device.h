@@ -1,0 +1,56 @@
+#ifndef STEGHIDE_STORAGE_BLOCK_DEVICE_H_
+#define STEGHIDE_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace steghide::storage {
+
+/// Default block size used throughout the reproduction; matches the
+/// paper's workload parameters (Table 2: 4 KB disk blocks).
+inline constexpr size_t kDefaultBlockSize = 4096;
+
+/// Abstract fixed-block-size random-access storage volume — the "raw
+/// storage" of the paper's system model (Figure 3). Implementations:
+///
+///  * MemBlockDevice   — RAM-backed, for tests and simulation.
+///  * FileBlockDevice  — backed by a host file.
+///  * SimBlockDevice   — decorates another device with a rotational-disk
+///                       timing model and a virtual clock.
+///  * TraceBlockDevice — decorates another device, recording the I/O
+///                       sequence an attacker monitoring the storage would
+///                       observe.
+///
+/// Block ids are zero-based. Implementations are not required to be
+/// thread-safe; the simulation layer serialises access, as a single
+/// spindle would.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Reads block `block_id` into `out` (block_size() bytes).
+  virtual Status ReadBlock(uint64_t block_id, uint8_t* out) = 0;
+
+  /// Writes block_size() bytes of `data` to block `block_id`.
+  virtual Status WriteBlock(uint64_t block_id, const uint8_t* data) = 0;
+
+  virtual uint64_t num_blocks() const = 0;
+  virtual size_t block_size() const = 0;
+
+  /// Persists buffered state, where applicable.
+  virtual Status Flush() { return Status::OK(); }
+
+  /// Convenience wrappers with bounds-checked Bytes buffers.
+  Status ReadBlock(uint64_t block_id, Bytes& out);
+  Status WriteBlock(uint64_t block_id, const Bytes& data);
+
+ protected:
+  /// Shared bounds check for implementations.
+  Status CheckRange(uint64_t block_id) const;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_BLOCK_DEVICE_H_

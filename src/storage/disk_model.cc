@@ -1,0 +1,55 @@
+#include "storage/disk_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace steghide::storage {
+
+DiskModel::DiskModel(const DiskModelParams& params, uint64_t num_blocks,
+                     size_t block_size)
+    : params_(params), num_blocks_(num_blocks) {
+  transfer_ms_per_block_ = static_cast<double>(block_size) /
+                           (params_.transfer_mb_per_s * 1e6) * 1e3;
+  avg_rotational_ms_ = 0.5 * 60.0 * 1e3 / params_.rpm;
+  // Calibrate k so a seek across a third of the disk costs avg_seek_ms.
+  const double third = std::max(1.0, static_cast<double>(num_blocks_) / 3.0);
+  seek_coeff_ = (params_.avg_seek_ms - params_.track_to_track_ms) /
+                std::sqrt(third);
+}
+
+double DiskModel::SeekTime(uint64_t distance) const {
+  if (distance == 0) return 0.0;
+  const double t = params_.track_to_track_ms +
+                   seek_coeff_ * std::sqrt(static_cast<double>(distance));
+  return std::min(t, params_.full_stroke_ms);
+}
+
+double DiskModel::PeekAccessCost(uint64_t block_id) const {
+  if (has_position_ && block_id == head_block_) {
+    // Streaming continuation: no seek or rotational delay, but each
+    // request still pays command processing (block-at-a-time I/O, as the
+    // evaluated file systems issue it).
+    return params_.controller_overhead_ms + transfer_ms_per_block_;
+  }
+  const uint64_t distance =
+      has_position_ ? (block_id > head_block_ ? block_id - head_block_
+                                              : head_block_ - block_id)
+                    : num_blocks_ / 3;
+  return params_.controller_overhead_ms + SeekTime(distance) +
+         avg_rotational_ms_ + transfer_ms_per_block_;
+}
+
+double DiskModel::Access(uint64_t block_id) {
+  const double cost = PeekAccessCost(block_id);
+  if (has_position_ && block_id == head_block_) {
+    ++sequential_accesses_;
+  } else {
+    ++random_accesses_;
+  }
+  has_position_ = true;
+  head_block_ = block_id + 1;
+  clock_ms_ += cost;
+  return cost;
+}
+
+}  // namespace steghide::storage

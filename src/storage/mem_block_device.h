@@ -1,0 +1,37 @@
+#ifndef STEGHIDE_STORAGE_MEM_BLOCK_DEVICE_H_
+#define STEGHIDE_STORAGE_MEM_BLOCK_DEVICE_H_
+
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace steghide::storage {
+
+/// RAM-backed block device. Content is zero-initialised; the file-system
+/// formatting step overwrites every block with random ciphertext, as the
+/// paper requires (abandoned blocks are "initially filled with random
+/// data").
+class MemBlockDevice : public BlockDevice {
+ public:
+  MemBlockDevice(uint64_t num_blocks, size_t block_size = kDefaultBlockSize);
+
+  using BlockDevice::ReadBlock;
+  using BlockDevice::WriteBlock;
+
+  Status ReadBlock(uint64_t block_id, uint8_t* out) override;
+  Status WriteBlock(uint64_t block_id, const uint8_t* data) override;
+  uint64_t num_blocks() const override { return num_blocks_; }
+  size_t block_size() const override { return block_size_; }
+
+  /// Direct read-only view of a block, for snapshotting without copies.
+  const uint8_t* BlockData(uint64_t block_id) const;
+
+ private:
+  uint64_t num_blocks_;
+  size_t block_size_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_MEM_BLOCK_DEVICE_H_

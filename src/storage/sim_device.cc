@@ -1,0 +1,34 @@
+#include "storage/sim_device.h"
+
+namespace steghide::storage {
+
+SimBlockDevice::SimBlockDevice(BlockDevice* backing,
+                               const DiskModelParams& params)
+    : backing_(backing),
+      model_(params, backing->num_blocks(), backing->block_size()) {}
+
+void SimBlockDevice::Charge(uint64_t block_id) {
+  const uint64_t seq_before = model_.sequential_accesses();
+  stats_.busy_ms += model_.Access(block_id);
+  if (model_.sequential_accesses() > seq_before) {
+    ++stats_.sequential;
+  } else {
+    ++stats_.random;
+  }
+}
+
+Status SimBlockDevice::ReadBlock(uint64_t block_id, uint8_t* out) {
+  STEGHIDE_RETURN_IF_ERROR(backing_->ReadBlock(block_id, out));
+  Charge(block_id);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status SimBlockDevice::WriteBlock(uint64_t block_id, const uint8_t* data) {
+  STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlock(block_id, data));
+  Charge(block_id);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+}  // namespace steghide::storage

@@ -1,0 +1,59 @@
+#ifndef STEGHIDE_STORAGE_SIM_DEVICE_H_
+#define STEGHIDE_STORAGE_SIM_DEVICE_H_
+
+#include <memory>
+
+#include "storage/block_device.h"
+#include "storage/disk_model.h"
+
+namespace steghide::storage {
+
+/// Aggregate I/O counters of a SimBlockDevice.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t sequential = 0;
+  uint64_t random = 0;
+  double busy_ms = 0.0;
+
+  uint64_t total_ops() const { return reads + writes; }
+};
+
+/// Decorates a backing device with the DiskModel: every read/write is
+/// forwarded to the backing store and charged on the virtual clock.
+/// Experiments create one SimBlockDevice per volume and read elapsed
+/// virtual time via clock_ms().
+class SimBlockDevice : public BlockDevice {
+ public:
+  /// Does not take ownership of `backing`, which must outlive this object.
+  SimBlockDevice(BlockDevice* backing, const DiskModelParams& params);
+
+  using BlockDevice::ReadBlock;
+  using BlockDevice::WriteBlock;
+
+  Status ReadBlock(uint64_t block_id, uint8_t* out) override;
+  Status WriteBlock(uint64_t block_id, const uint8_t* data) override;
+  uint64_t num_blocks() const override { return backing_->num_blocks(); }
+  size_t block_size() const override { return backing_->block_size(); }
+  Status Flush() override { return backing_->Flush(); }
+
+  double clock_ms() const { return model_.clock_ms(); }
+  const IoStats& stats() const { return stats_; }
+  DiskModel& model() { return model_; }
+
+  /// Resets counters but not the clock (experiments often measure phases).
+  void ResetStats() { stats_ = IoStats(); }
+
+  BlockDevice* backing() { return backing_; }
+
+ private:
+  void Charge(uint64_t block_id);
+
+  BlockDevice* backing_;
+  DiskModel model_;
+  IoStats stats_;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_SIM_DEVICE_H_

@@ -1,0 +1,37 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+
+namespace steghide::storage {
+
+uint64_t Snapshot::FingerprintBlock(const uint8_t* data, size_t n) {
+  // FNV-1a over 8-byte lanes with a finalizing mix (splitmix64). Collision
+  // probability at experiment scale (~2^20 blocks) is negligible for a
+  // 64-bit digest.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t lane;
+    std::memcpy(&lane, data + i, 8);
+    h = (h ^ lane) * 0x100000001b3ULL;
+  }
+  for (; i < n; ++i) h = (h ^ data[i]) * 0x100000001b3ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+Result<Snapshot> Snapshot::Capture(BlockDevice& device) {
+  std::vector<uint64_t> fps(device.num_blocks());
+  Bytes buf(device.block_size());
+  for (uint64_t b = 0; b < device.num_blocks(); ++b) {
+    STEGHIDE_RETURN_IF_ERROR(device.ReadBlock(b, buf.data()));
+    fps[b] = FingerprintBlock(buf.data(), buf.size());
+  }
+  return Snapshot(std::move(fps));
+}
+
+}  // namespace steghide::storage

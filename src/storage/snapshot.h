@@ -1,0 +1,42 @@
+#ifndef STEGHIDE_STORAGE_SNAPSHOT_H_
+#define STEGHIDE_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "util/result.h"
+
+namespace steghide::storage {
+
+/// A point-in-time fingerprint of every block on a volume — the tool of
+/// the paper's *first* attacker class, who "can scan the whole raw storage
+/// repeatedly" and compare consecutive snapshots (update analysis,
+/// Section 3.1).
+///
+/// Stores a 64-bit non-cryptographic fingerprint per block (the attacker
+/// only needs change detection, not content). Capturing reads the device
+/// out-of-band: pass the backing store, not the SimBlockDevice, so that
+/// attacker scans do not consume the defender's virtual disk time.
+class Snapshot {
+ public:
+  static Result<Snapshot> Capture(BlockDevice& device);
+
+  uint64_t num_blocks() const { return fingerprints_.size(); }
+  uint64_t fingerprint(uint64_t block_id) const {
+    return fingerprints_[block_id];
+  }
+
+  /// 64-bit mix of a block's content.
+  static uint64_t FingerprintBlock(const uint8_t* data, size_t n);
+
+ private:
+  explicit Snapshot(std::vector<uint64_t> fingerprints)
+      : fingerprints_(std::move(fingerprints)) {}
+
+  std::vector<uint64_t> fingerprints_;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,4 @@
+#include "storage/trace_device.h"
+
+// TraceBlockDevice is header-only; this file exists so the build surface
+// of the storage module stays uniform (one .cc per component).

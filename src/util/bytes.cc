@@ -1,0 +1,85 @@
+#include "util/bytes.h"
+
+namespace steghide {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(const uint8_t* data, size_t n) {
+  std::string out;
+  out.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0x0f]);
+  }
+  return out;
+}
+
+std::string ToHex(const Bytes& data) { return ToHex(data.data(), data.size()); }
+
+Bytes FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return {};
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t n) {
+  uint8_t acc = 0;
+  for (size_t i = 0; i < n; ++i) acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) {
+    // Still touch the data to keep timing independent of content.
+    uint8_t acc = 0;
+    for (uint8_t v : a) acc |= v;
+    (void)acc;
+    return false;
+  }
+  return ConstantTimeEqual(a.data(), b.data(), a.size());
+}
+
+void StoreBigEndian32(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v >> 24);
+  out[1] = static_cast<uint8_t>(v >> 16);
+  out[2] = static_cast<uint8_t>(v >> 8);
+  out[3] = static_cast<uint8_t>(v);
+}
+
+void StoreBigEndian64(uint8_t* out, uint64_t v) {
+  StoreBigEndian32(out, static_cast<uint32_t>(v >> 32));
+  StoreBigEndian32(out + 4, static_cast<uint32_t>(v));
+}
+
+uint32_t LoadBigEndian32(const uint8_t* in) {
+  return (static_cast<uint32_t>(in[0]) << 24) |
+         (static_cast<uint32_t>(in[1]) << 16) |
+         (static_cast<uint32_t>(in[2]) << 8) | static_cast<uint32_t>(in[3]);
+}
+
+uint64_t LoadBigEndian64(const uint8_t* in) {
+  return (static_cast<uint64_t>(LoadBigEndian32(in)) << 32) |
+         LoadBigEndian32(in + 4);
+}
+
+void XorBytes(uint8_t* dst, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace steghide

@@ -1,0 +1,40 @@
+#ifndef STEGHIDE_UTIL_BYTES_H_
+#define STEGHIDE_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace steghide {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Lowercase hex encoding of `data`.
+std::string ToHex(const uint8_t* data, size_t n);
+std::string ToHex(const Bytes& data);
+
+/// Parses lowercase/uppercase hex into bytes. Returns empty vector on
+/// malformed input (odd length or non-hex character).
+Bytes FromHex(std::string_view hex);
+
+/// Constant-time equality; returns false on length mismatch without
+/// shortcutting the comparison of the common prefix.
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t n);
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b);
+
+/// Big-endian encode/decode of fixed-width integers (used by crypto and the
+/// on-disk formats, which are defined big-endian for readability in hex
+/// dumps).
+void StoreBigEndian32(uint8_t* out, uint32_t v);
+void StoreBigEndian64(uint8_t* out, uint64_t v);
+uint32_t LoadBigEndian32(const uint8_t* in);
+uint64_t LoadBigEndian64(const uint8_t* in);
+
+/// XORs `n` bytes of `src` into `dst`.
+void XorBytes(uint8_t* dst, const uint8_t* src, size_t n);
+
+}  // namespace steghide
+
+#endif  // STEGHIDE_UTIL_BYTES_H_

@@ -1,0 +1,62 @@
+#ifndef STEGHIDE_UTIL_HISTOGRAM_H_
+#define STEGHIDE_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace steghide {
+
+/// Accumulates scalar samples (latencies, iteration counts, ...) and
+/// reports summary statistics. Stores all samples, which is fine at
+/// experiment scale (<= a few million values).
+class Histogram {
+ public:
+  void Add(double v);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2
+  /// samples.
+  double stddev() const;
+  /// Linear-interpolated percentile, q in [0,100].
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+
+  void Clear();
+
+  /// One-line summary, e.g. "n=100 mean=1.23 p50=1.1 p99=4.5".
+  std::string ToString() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+/// Counts occurrences over a fixed number of integer-labeled bins; the
+/// analysis module feeds these into the chi-square uniformity test.
+class CountHistogram {
+ public:
+  explicit CountHistogram(size_t num_bins) : counts_(num_bins, 0) {}
+
+  void Add(size_t bin) { counts_.at(bin)++; }
+  uint64_t count(size_t bin) const { return counts_.at(bin); }
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t total() const;
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace steghide
+
+#endif  // STEGHIDE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,56 @@
+#ifndef STEGHIDE_UTIL_RANDOM_H_
+#define STEGHIDE_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace steghide {
+
+/// Deterministic, fast, non-cryptographic PRNG (xoshiro256**), used for
+/// workload generation and simulation decisions that do not carry security
+/// weight. Security-relevant randomness (IVs, block selection in the update
+/// engine, shuffle tags) comes from crypto::HashDrbg instead.
+///
+/// Every experiment takes an explicit seed so results reproduce
+/// bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so there is no modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fills `out` with random bytes.
+  void Fill(uint8_t* out, size_t n);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace steghide
+
+#endif  // STEGHIDE_UTIL_RANDOM_H_

@@ -1,0 +1,73 @@
+#ifndef STEGHIDE_UTIL_RESULT_H_
+#define STEGHIDE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace steghide {
+
+/// Either a value of type T or an error Status. Analogous to
+/// absl::StatusOr / arrow::Result.
+///
+/// Usage:
+///   Result<FileHandle> r = fs.Open(key);
+///   if (!r.ok()) return r.status();
+///   FileHandle h = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define STEGHIDE_ASSIGN_OR_RETURN(lhs, expr)                    \
+  auto STEGHIDE_CONCAT_(_res_, __LINE__) = (expr);              \
+  if (!STEGHIDE_CONCAT_(_res_, __LINE__).ok())                  \
+    return STEGHIDE_CONCAT_(_res_, __LINE__).status();          \
+  lhs = std::move(STEGHIDE_CONCAT_(_res_, __LINE__)).value()
+
+#define STEGHIDE_CONCAT_(a, b) STEGHIDE_CONCAT_IMPL_(a, b)
+#define STEGHIDE_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace steghide
+
+#endif  // STEGHIDE_UTIL_RESULT_H_

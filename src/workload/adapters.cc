@@ -1,0 +1,83 @@
+#include "workload/adapters.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace steghide::workload {
+
+namespace {
+// Files are populated with zeros; the steganographic systems encrypt, so
+// content does not affect the I/O pattern, and the baselines are
+// content-agnostic.
+Status FillFile(FsAdapter::FileId id, uint64_t size_bytes, size_t payload,
+                const std::function<Status(FsAdapter::FileId, uint64_t,
+                                           const uint8_t*, size_t)>& write) {
+  const Bytes zeros(payload, 0);
+  uint64_t written = 0;
+  while (written < size_bytes) {
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(payload, size_bytes - written));
+    STEGHIDE_RETURN_IF_ERROR(write(id, written, zeros.data(), n));
+    written += n;
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<FsAdapter::FileId> VolatileAgentAdapter::CreateFile(
+    uint64_t size_bytes) {
+  STEGHIDE_ASSIGN_OR_RETURN(const FileId id, agent_->CreateHiddenFile(user_));
+  STEGHIDE_RETURN_IF_ERROR(FillFile(
+      id, size_bytes, payload_size(),
+      [this](FileId f, uint64_t off, const uint8_t* d, size_t n) {
+        return agent_->Write(f, off, d, n);
+      }));
+  return id;
+}
+
+Result<Bytes> VolatileAgentAdapter::Read(FileId id, uint64_t offset,
+                                         size_t n) {
+  return agent_->Read(id, offset, n);
+}
+
+Status VolatileAgentAdapter::UpdateBlock(FileId id, uint64_t logical,
+                                         const uint8_t* payload) {
+  return agent_->Write(id, logical * payload_size(), payload, payload_size());
+}
+
+Result<FsAdapter::FileId> NonVolatileAgentAdapter::CreateFile(
+    uint64_t size_bytes) {
+  STEGHIDE_ASSIGN_OR_RETURN(const FileId id, agent_->CreateFile());
+  STEGHIDE_RETURN_IF_ERROR(FillFile(
+      id, size_bytes, payload_size(),
+      [this](FileId f, uint64_t off, const uint8_t* d, size_t n) {
+        return agent_->Write(f, off, d, n);
+      }));
+  return id;
+}
+
+Result<Bytes> NonVolatileAgentAdapter::Read(FileId id, uint64_t offset,
+                                            size_t n) {
+  return agent_->Read(id, offset, n);
+}
+
+Status NonVolatileAgentAdapter::UpdateBlock(FileId id, uint64_t logical,
+                                            const uint8_t* payload) {
+  return agent_->Write(id, logical * payload_size(), payload, payload_size());
+}
+
+Result<FsAdapter::FileId> StegFs2003Adapter::CreateFile(uint64_t size_bytes) {
+  STEGHIDE_ASSIGN_OR_RETURN(const FileId id, fs_->CreateFile());
+  STEGHIDE_RETURN_IF_ERROR(FillFile(
+      id, size_bytes, payload_size(),
+      [this](FileId f, uint64_t off, const uint8_t* d, size_t n) {
+        return fs_->Write(f, off, d, n);
+      }));
+  return id;
+}
+
+Result<Bytes> StegFs2003Adapter::Read(FileId id, uint64_t offset, size_t n) {
+  return fs_->Read(id, offset, n);
+}
+
+}  // namespace steghide::workload

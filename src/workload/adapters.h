@@ -1,0 +1,112 @@
+#ifndef STEGHIDE_WORKLOAD_ADAPTERS_H_
+#define STEGHIDE_WORKLOAD_ADAPTERS_H_
+
+#include <string>
+
+#include "agent/nonvolatile_agent.h"
+#include "agent/volatile_agent.h"
+#include "baseline/plain_fs.h"
+#include "baseline/stegfs2003.h"
+#include "workload/fs_adapter.h"
+
+namespace steghide::workload {
+
+/// StegHide — Construction 2, the volatile agent. Files are created for a
+/// fixed workload user, which must already have a dummy file disclosed
+/// (relocation targets come from it).
+class VolatileAgentAdapter : public FsAdapter {
+ public:
+  VolatileAgentAdapter(agent::VolatileAgent* agent,
+                       agent::VolatileAgent::UserId user)
+      : agent_(agent), user_(std::move(user)) {}
+
+  Result<FileId> CreateFile(uint64_t size_bytes) override;
+  Result<Bytes> Read(FileId id, uint64_t offset, size_t n) override;
+  Status UpdateBlock(FileId id, uint64_t logical,
+                     const uint8_t* payload) override;
+  Result<uint64_t> FileSize(FileId id) const override {
+    return agent_->FileSize(id);
+  }
+  size_t payload_size() const override {
+    return agent_->core().payload_size();
+  }
+  const char* name() const override { return "StegHide"; }
+
+ private:
+  agent::VolatileAgent* agent_;
+  agent::VolatileAgent::UserId user_;
+};
+
+/// StegHide* — Construction 1, the non-volatile agent.
+class NonVolatileAgentAdapter : public FsAdapter {
+ public:
+  explicit NonVolatileAgentAdapter(agent::NonVolatileAgent* agent)
+      : agent_(agent) {}
+
+  Result<FileId> CreateFile(uint64_t size_bytes) override;
+  Result<Bytes> Read(FileId id, uint64_t offset, size_t n) override;
+  Status UpdateBlock(FileId id, uint64_t logical,
+                     const uint8_t* payload) override;
+  Result<uint64_t> FileSize(FileId id) const override {
+    return agent_->FileSize(id);
+  }
+  size_t payload_size() const override {
+    return agent_->core().payload_size();
+  }
+  const char* name() const override { return "StegHide*"; }
+
+ private:
+  agent::NonVolatileAgent* agent_;
+};
+
+/// StegFS — the 2003 baseline.
+class StegFs2003Adapter : public FsAdapter {
+ public:
+  explicit StegFs2003Adapter(baseline::StegFs2003* fs) : fs_(fs) {}
+
+  Result<FileId> CreateFile(uint64_t size_bytes) override;
+  Result<Bytes> Read(FileId id, uint64_t offset, size_t n) override;
+  Status UpdateBlock(FileId id, uint64_t logical,
+                     const uint8_t* payload) override {
+    return fs_->UpdateBlock(id, logical, payload);
+  }
+  Result<uint64_t> FileSize(FileId id) const override {
+    return fs_->FileSize(id);
+  }
+  size_t payload_size() const override { return fs_->core().payload_size(); }
+  const char* name() const override { return "StegFS"; }
+
+ private:
+  baseline::StegFs2003* fs_;
+};
+
+/// CleanDisk / FragDisk — the native file-system models.
+class PlainFsAdapter : public FsAdapter {
+ public:
+  PlainFsAdapter(baseline::PlainFs* fs, std::string name)
+      : fs_(fs), name_(std::move(name)) {}
+
+  Result<FileId> CreateFile(uint64_t size_bytes) override {
+    return fs_->CreateFile(size_bytes);
+  }
+  Result<Bytes> Read(FileId id, uint64_t offset, size_t n) override {
+    return fs_->Read(id, offset, n);
+  }
+  Status UpdateBlock(FileId id, uint64_t logical,
+                     const uint8_t* payload) override {
+    return fs_->UpdateBlock(id, logical, payload);
+  }
+  Result<uint64_t> FileSize(FileId id) const override {
+    return fs_->FileSize(id);
+  }
+  size_t payload_size() const override { return fs_->payload_size(); }
+  const char* name() const override { return name_.c_str(); }
+
+ private:
+  baseline::PlainFs* fs_;
+  std::string name_;
+};
+
+}  // namespace steghide::workload
+
+#endif  // STEGHIDE_WORKLOAD_ADAPTERS_H_

@@ -1,0 +1,55 @@
+#include "workload/concurrency.h"
+
+#include <algorithm>
+
+namespace steghide::workload {
+
+FileReadTask::FileReadTask(FsAdapter* fs, FsAdapter::FileId id,
+                           uint64_t size_bytes)
+    : fs_(fs), id_(id), size_bytes_(size_bytes) {}
+
+Result<bool> FileReadTask::Step() {
+  if (offset_ >= size_bytes_) return true;
+  const size_t n = static_cast<size_t>(std::min<uint64_t>(
+      fs_->payload_size(), size_bytes_ - offset_));
+  STEGHIDE_ASSIGN_OR_RETURN(const Bytes chunk, fs_->Read(id_, offset_, n));
+  (void)chunk;
+  offset_ += n;
+  return offset_ >= size_bytes_;
+}
+
+UpdateRangeTask::UpdateRangeTask(FsAdapter* fs, const UpdateOp& op,
+                                 uint64_t rng_seed)
+    : fs_(fs), op_(op), rng_(rng_seed) {}
+
+Result<bool> UpdateRangeTask::Step() {
+  if (done_ >= op_.range_blocks) return true;
+  Bytes payload(fs_->payload_size());
+  rng_.Fill(payload.data(), payload.size());
+  STEGHIDE_RETURN_IF_ERROR(
+      fs_->UpdateBlock(op_.file, op_.first_block + done_, payload.data()));
+  ++done_;
+  return done_ >= op_.range_blocks;
+}
+
+Result<std::vector<double>> RunConcurrently(
+    std::vector<std::unique_ptr<IoTask>>& tasks,
+    const std::function<double()>& clock) {
+  std::vector<double> finish_times(tasks.size(), 0.0);
+  std::vector<bool> done(tasks.size(), false);
+  size_t remaining = tasks.size();
+  while (remaining > 0) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (done[i]) continue;
+      STEGHIDE_ASSIGN_OR_RETURN(const bool finished, tasks[i]->Step());
+      if (finished) {
+        done[i] = true;
+        finish_times[i] = clock ? clock() : 0.0;
+        --remaining;
+      }
+    }
+  }
+  return finish_times;
+}
+
+}  // namespace steghide::workload

@@ -1,0 +1,62 @@
+#ifndef STEGHIDE_WORKLOAD_CONCURRENCY_H_
+#define STEGHIDE_WORKLOAD_CONCURRENCY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/fs_adapter.h"
+#include "workload/update_stream.h"
+
+namespace steghide::workload {
+
+/// One user's in-flight request, advanced one block at a time.
+class IoTask {
+ public:
+  virtual ~IoTask() = default;
+
+  /// Performs one block-granularity step. Returns true when the task has
+  /// completed (the call that returns true performed the final step).
+  virtual Result<bool> Step() = 0;
+};
+
+/// Sequentially reads a whole file, one block per step.
+class FileReadTask : public IoTask {
+ public:
+  FileReadTask(FsAdapter* fs, FsAdapter::FileId id, uint64_t size_bytes);
+  Result<bool> Step() override;
+
+ private:
+  FsAdapter* fs_;
+  FsAdapter::FileId id_;
+  uint64_t size_bytes_;
+  uint64_t offset_ = 0;
+};
+
+/// Applies one UpdateOp, one block per step.
+class UpdateRangeTask : public IoTask {
+ public:
+  UpdateRangeTask(FsAdapter* fs, const UpdateOp& op, uint64_t rng_seed);
+  Result<bool> Step() override;
+
+ private:
+  FsAdapter* fs_;
+  UpdateOp op_;
+  Rng rng_;
+  uint64_t done_ = 0;
+};
+
+/// Simulates `tasks.size()` concurrent users sharing one disk: requests
+/// are interleaved round-robin at block granularity, which is how
+/// concurrency destroys the sequential layout advantage of CleanDisk and
+/// FragDisk in Figures 10(b) and 11(c). Returns, per task, the virtual
+/// clock value at its completion; `clock` samples the shared
+/// SimBlockDevice.
+Result<std::vector<double>> RunConcurrently(
+    std::vector<std::unique_ptr<IoTask>>& tasks,
+    const std::function<double()>& clock);
+
+}  // namespace steghide::workload
+
+#endif  // STEGHIDE_WORKLOAD_CONCURRENCY_H_

@@ -1,0 +1,44 @@
+#include "workload/file_population.h"
+
+#include <numeric>
+
+namespace steghide::workload {
+
+uint64_t FilePopulation::total_bytes() const {
+  return std::accumulate(sizes.begin(), sizes.end(), uint64_t{0});
+}
+
+Result<FilePopulation> CreatePopulation(FsAdapter& fs, Rng& rng,
+                                        const PopulationSpec& spec) {
+  FilePopulation pop;
+  pop.ids.reserve(spec.file_count);
+  pop.sizes.reserve(spec.file_count);
+  for (uint64_t i = 0; i < spec.file_count; ++i) {
+    const uint64_t size =
+        rng.UniformRange(spec.min_bytes + 1, spec.max_bytes);
+    STEGHIDE_ASSIGN_OR_RETURN(const FsAdapter::FileId id,
+                              fs.CreateFile(size));
+    pop.ids.push_back(id);
+    pop.sizes.push_back(size);
+  }
+  return pop;
+}
+
+Result<FilePopulation> CreatePopulationBytes(FsAdapter& fs, Rng& rng,
+                                             uint64_t target_bytes,
+                                             uint64_t file_bytes) {
+  (void)rng;
+  FilePopulation pop;
+  uint64_t created = 0;
+  while (created < target_bytes) {
+    const uint64_t size = std::min(file_bytes, target_bytes - created);
+    STEGHIDE_ASSIGN_OR_RETURN(const FsAdapter::FileId id,
+                              fs.CreateFile(size));
+    pop.ids.push_back(id);
+    pop.sizes.push_back(size);
+    created += size;
+  }
+  return pop;
+}
+
+}  // namespace steghide::workload

@@ -1,0 +1,40 @@
+#ifndef STEGHIDE_WORKLOAD_FILE_POPULATION_H_
+#define STEGHIDE_WORKLOAD_FILE_POPULATION_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "workload/fs_adapter.h"
+
+namespace steghide::workload {
+
+/// A created set of workload files.
+struct FilePopulation {
+  std::vector<FsAdapter::FileId> ids;
+  std::vector<uint64_t> sizes;
+
+  uint64_t total_bytes() const;
+};
+
+struct PopulationSpec {
+  uint64_t file_count = 1;
+  /// File sizes drawn uniformly from (min_bytes, max_bytes] — the paper's
+  /// workload uses (4, 8] MB (Table 2).
+  uint64_t min_bytes = 4ull << 20;
+  uint64_t max_bytes = 8ull << 20;
+};
+
+/// Creates `spec.file_count` files through the adapter with sizes drawn
+/// from `rng`.
+Result<FilePopulation> CreatePopulation(FsAdapter& fs, Rng& rng,
+                                        const PopulationSpec& spec);
+
+/// Creates files until the device utilisation reaches approximately
+/// `target_bytes` in total (used for the Figure 11(a) utilisation sweep).
+Result<FilePopulation> CreatePopulationBytes(FsAdapter& fs, Rng& rng,
+                                             uint64_t target_bytes,
+                                             uint64_t file_bytes);
+
+}  // namespace steghide::workload
+
+#endif  // STEGHIDE_WORKLOAD_FILE_POPULATION_H_

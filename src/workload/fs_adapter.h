@@ -1,0 +1,45 @@
+#ifndef STEGHIDE_WORKLOAD_FS_ADAPTER_H_
+#define STEGHIDE_WORKLOAD_FS_ADAPTER_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace steghide::workload {
+
+/// Uniform facade over the five systems compared in the paper's
+/// evaluation (Table 3): StegHide (volatile agent), StegHide*
+/// (non-volatile agent), StegFS [12], CleanDisk and FragDisk. Benchmarks
+/// drive all systems through this interface so that every system sees an
+/// identical workload.
+class FsAdapter {
+ public:
+  using FileId = uint64_t;
+
+  virtual ~FsAdapter() = default;
+
+  /// Creates a file and writes `size_bytes` of workload data.
+  virtual Result<FileId> CreateFile(uint64_t size_bytes) = 0;
+
+  /// Reads [offset, offset+n) of the file.
+  virtual Result<Bytes> Read(FileId id, uint64_t offset, size_t n) = 0;
+
+  /// Updates one whole logical block in place (content `payload`,
+  /// payload_size() bytes). This is the unit operation of the Figure 11
+  /// experiments.
+  virtual Status UpdateBlock(FileId id, uint64_t logical,
+                             const uint8_t* payload) = 0;
+
+  virtual Result<uint64_t> FileSize(FileId id) const = 0;
+
+  /// Usable bytes per block for this system.
+  virtual size_t payload_size() const = 0;
+
+  /// Human-readable system name ("StegHide", "CleanDisk", ...).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace steghide::workload
+
+#endif  // STEGHIDE_WORKLOAD_FS_ADAPTER_H_

@@ -1,0 +1,69 @@
+#include "workload/update_stream.h"
+
+#include <algorithm>
+
+#include "workload/zipf.h"
+
+namespace steghide::workload {
+
+namespace {
+UpdateOp DrawOp(const FilePopulation& pop, size_t payload_size, Rng& rng,
+                uint64_t range_blocks, size_t file_index) {
+  UpdateOp op;
+  op.file = pop.ids[file_index];
+  const uint64_t file_blocks = std::max<uint64_t>(
+      1, (pop.sizes[file_index] + payload_size - 1) / payload_size);
+  op.range_blocks = std::min<uint64_t>(range_blocks, file_blocks);
+  op.first_block = rng.Uniform(file_blocks - op.range_blocks + 1);
+  return op;
+}
+}  // namespace
+
+std::vector<UpdateOp> MakeUniformUpdateStream(const FilePopulation& pop,
+                                              size_t payload_size, Rng& rng,
+                                              uint64_t count,
+                                              uint64_t range_blocks) {
+  std::vector<UpdateOp> ops;
+  ops.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const size_t file_index =
+        static_cast<size_t>(rng.Uniform(pop.ids.size()));
+    ops.push_back(DrawOp(pop, payload_size, rng, range_blocks, file_index));
+  }
+  return ops;
+}
+
+std::vector<UpdateOp> MakeZipfUpdateStream(const FilePopulation& pop,
+                                           size_t payload_size, Rng& rng,
+                                           uint64_t count,
+                                           uint64_t range_blocks,
+                                           double zipf_theta) {
+  ZipfGenerator zipf(pop.ids.size(), zipf_theta);
+  std::vector<UpdateOp> ops;
+  ops.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const size_t file_index = static_cast<size_t>(zipf.Next(rng));
+    ops.push_back(DrawOp(pop, payload_size, rng, range_blocks, file_index));
+  }
+  return ops;
+}
+
+Status ApplyUpdate(FsAdapter& fs, const UpdateOp& op, Rng& rng) {
+  Bytes payload(fs.payload_size());
+  for (uint64_t b = 0; b < op.range_blocks; ++b) {
+    rng.Fill(payload.data(), payload.size());
+    STEGHIDE_RETURN_IF_ERROR(
+        fs.UpdateBlock(op.file, op.first_block + b, payload.data()));
+  }
+  return Status::OK();
+}
+
+Status ApplyUpdateStream(FsAdapter& fs, const std::vector<UpdateOp>& ops,
+                         Rng& rng) {
+  for (const UpdateOp& op : ops) {
+    STEGHIDE_RETURN_IF_ERROR(ApplyUpdate(fs, op, rng));
+  }
+  return Status::OK();
+}
+
+}  // namespace steghide::workload

@@ -1,0 +1,47 @@
+#ifndef STEGHIDE_WORKLOAD_UPDATE_STREAM_H_
+#define STEGHIDE_WORKLOAD_UPDATE_STREAM_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "workload/file_population.h"
+#include "workload/fs_adapter.h"
+
+namespace steghide::workload {
+
+/// One update request: `range_blocks` consecutive logical blocks of a
+/// file, starting at `first_block` — the unit of the Figure 11
+/// experiments ("an update is performed on a large range of data which may
+/// occupy more than one consecutive data blocks").
+struct UpdateOp {
+  FsAdapter::FileId file = 0;
+  uint64_t first_block = 0;
+  uint64_t range_blocks = 1;
+};
+
+/// Draws `count` update ops over the population: uniformly random file,
+/// uniformly random aligned position, fixed range.
+std::vector<UpdateOp> MakeUniformUpdateStream(const FilePopulation& pop,
+                                              size_t payload_size, Rng& rng,
+                                              uint64_t count,
+                                              uint64_t range_blocks);
+
+/// Draws ops with Zipf-skewed file popularity (extension workload; the
+/// paper's streams are uniform).
+std::vector<UpdateOp> MakeZipfUpdateStream(const FilePopulation& pop,
+                                           size_t payload_size, Rng& rng,
+                                           uint64_t count,
+                                           uint64_t range_blocks,
+                                           double zipf_theta);
+
+/// Applies one op through the adapter (block-sized writes of fresh
+/// workload bytes).
+Status ApplyUpdate(FsAdapter& fs, const UpdateOp& op, Rng& rng);
+
+/// Applies a whole stream; returns OK on success.
+Status ApplyUpdateStream(FsAdapter& fs, const std::vector<UpdateOp>& ops,
+                         Rng& rng);
+
+}  // namespace steghide::workload
+
+#endif  // STEGHIDE_WORKLOAD_UPDATE_STREAM_H_

@@ -1,0 +1,26 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace steghide::workload {
+
+ZipfGenerator::ZipfGenerator(size_t n, double theta) {
+  cdf_.resize(n == 0 ? 1 : n);
+  double acc = 0.0;
+  for (size_t i = 0; i < cdf_.size(); ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+size_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace steghide::workload

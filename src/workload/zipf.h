@@ -1,0 +1,29 @@
+#ifndef STEGHIDE_WORKLOAD_ZIPF_H_
+#define STEGHIDE_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace steghide::workload {
+
+/// Zipf-distributed index sampler over [0, n): item i has probability
+/// proportional to 1 / (i+1)^theta. theta = 0 degenerates to uniform.
+/// Used for skewed-popularity extension workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double theta);
+
+  /// Draws one index using `rng`.
+  size_t Next(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities
+};
+
+}  // namespace steghide::workload
+
+#endif  // STEGHIDE_WORKLOAD_ZIPF_H_

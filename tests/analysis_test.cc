@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/chi_square.h"
+#include "analysis/distinguisher.h"
+#include "analysis/ks_test.h"
+#include "analysis/snapshot_diff.h"
+#include "storage/mem_block_device.h"
+#include "util/random.h"
+
+namespace steghide::analysis {
+namespace {
+
+// ---- chi-square machinery -------------------------------------------------
+
+TEST(GammaTest, KnownValues) {
+  // Q(1, x) = exp(-x).
+  EXPECT_NEAR(RegularizedGammaQ(1.0, 2.0), std::exp(-2.0), 1e-9);
+  // Q(0.5, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(RegularizedGammaQ(0.5, 1.0), std::erfc(1.0), 1e-9);
+  EXPECT_NEAR(RegularizedGammaQ(3.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(ChiSquareTest, SurvivalKnownValues) {
+  // Chi-square with 1 dof at 3.841 → p ≈ 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1), 0.05, 0.001);
+  // 10 dof at 18.307 → p ≈ 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(18.307, 10), 0.05, 0.001);
+}
+
+TEST(ChiSquareTest, UniformCountsPass) {
+  Rng rng(1);
+  std::vector<uint64_t> counts(32, 0);
+  for (int i = 0; i < 32000; ++i) counts[rng.Uniform(32)]++;
+  const auto r = ChiSquareUniformTest(counts);
+  EXPECT_FALSE(r.RejectAt(0.01)) << "p=" << r.p_value;
+}
+
+TEST(ChiSquareTest, SkewedCountsRejected) {
+  std::vector<uint64_t> counts(32, 100);
+  counts[5] = 400;  // hot bin
+  const auto r = ChiSquareUniformTest(counts);
+  EXPECT_TRUE(r.RejectAt(0.01));
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquareTest, GoodnessOfFitAgainstNonUniformExpectation) {
+  // Observed matching a 2:1 expectation passes; against uniform it fails.
+  std::vector<uint64_t> counts = {2000, 1000, 2000, 1000};
+  const auto fit =
+      ChiSquareGoodnessOfFit(counts, {2.0, 1.0, 2.0, 1.0});
+  EXPECT_FALSE(fit.RejectAt(0.01));
+  const auto uniform = ChiSquareUniformTest(counts);
+  EXPECT_TRUE(uniform.RejectAt(0.01));
+}
+
+TEST(ChiSquareTest, TwoSampleSameDistributionPasses) {
+  Rng rng(2);
+  std::vector<uint64_t> a(16, 0), b(16, 0);
+  for (int i = 0; i < 8000; ++i) a[rng.Uniform(16)]++;
+  for (int i = 0; i < 12000; ++i) b[rng.Uniform(16)]++;  // unequal sizes
+  const auto r = ChiSquareTwoSampleTest(a, b);
+  EXPECT_FALSE(r.RejectAt(0.01)) << "p=" << r.p_value;
+}
+
+TEST(ChiSquareTest, TwoSampleDifferentDistributionsRejected) {
+  Rng rng(3);
+  std::vector<uint64_t> a(16, 0), b(16, 0);
+  for (int i = 0; i < 8000; ++i) a[rng.Uniform(16)]++;
+  for (int i = 0; i < 8000; ++i) b[rng.Uniform(8)]++;  // half the range
+  const auto r = ChiSquareTwoSampleTest(a, b);
+  EXPECT_TRUE(r.RejectAt(0.01));
+}
+
+TEST(ChiSquareTest, DegenerateInputsSafe) {
+  EXPECT_FALSE(ChiSquareUniformTest({}).RejectAt(0.01));
+  EXPECT_FALSE(ChiSquareUniformTest({5}).RejectAt(0.01));
+  EXPECT_FALSE(ChiSquareTwoSampleTest({1, 2}, {1}).RejectAt(0.01));
+  EXPECT_FALSE(ChiSquareTwoSampleTest({0, 0}, {0, 0}).RejectAt(0.01));
+}
+
+// ---- KS test -----------------------------------------------------------------
+
+TEST(KsTest, KolmogorovSurvivalKnownValues) {
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.05, 0.005);
+  EXPECT_NEAR(KolmogorovSurvival(1.63), 0.01, 0.003);
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+}
+
+TEST(KsTest, SameDistributionPasses) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) a.push_back(rng.NextDouble());
+  for (int i = 0; i < 2000; ++i) b.push_back(rng.NextDouble());
+  EXPECT_FALSE(KsTwoSampleTest(a, b).RejectAt(0.01));
+}
+
+TEST(KsTest, ShiftedDistributionRejected) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) a.push_back(rng.NextDouble());
+  for (int i = 0; i < 2000; ++i) b.push_back(0.1 + 0.9 * rng.NextDouble());
+  EXPECT_TRUE(KsTwoSampleTest(a, b).RejectAt(0.01));
+}
+
+TEST(KsTest, UniformTest) {
+  Rng rng(6);
+  std::vector<double> uniform, squared;
+  for (int i = 0; i < 3000; ++i) {
+    const double u = rng.NextDouble();
+    uniform.push_back(u);
+    squared.push_back(u * u);
+  }
+  EXPECT_FALSE(KsUniformTest(uniform).RejectAt(0.01));
+  EXPECT_TRUE(KsUniformTest(squared).RejectAt(0.01));
+}
+
+// ---- snapshot diff / observer ---------------------------------------------------
+
+TEST(SnapshotDiffTest, FindsExactChanges) {
+  storage::MemBlockDevice dev(64, 512);
+  auto s1 = storage::Snapshot::Capture(dev);
+  ASSERT_TRUE(s1.ok());
+  Bytes data(512, 1);
+  ASSERT_TRUE(dev.WriteBlock(10, data.data()).ok());
+  ASSERT_TRUE(dev.WriteBlock(20, data.data()).ok());
+  auto s2 = storage::Snapshot::Capture(dev);
+  ASSERT_TRUE(s2.ok());
+  const auto diff = DiffSnapshots(*s1, *s2);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, (std::vector<uint64_t>{10, 20}));
+}
+
+TEST(SnapshotDiffTest, MismatchedSizesRejected) {
+  storage::MemBlockDevice a(4, 512), b(8, 512);
+  auto sa = storage::Snapshot::Capture(a);
+  auto sb = storage::Snapshot::Capture(b);
+  EXPECT_FALSE(DiffSnapshots(*sa, *sb).ok());
+}
+
+TEST(ObserverTest, AccumulatesAcrossCampaign) {
+  storage::MemBlockDevice dev(32, 512);
+  UpdateAnalysisObserver observer(32);
+  Bytes data(512, 0);
+  auto prev = storage::Snapshot::Capture(dev);
+  ASSERT_TRUE(prev.ok());
+  for (int round = 1; round <= 3; ++round) {
+    data[0] = static_cast<uint8_t>(round);
+    ASSERT_TRUE(dev.WriteBlock(7, data.data()).ok());
+    auto next = storage::Snapshot::Capture(dev);
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(observer.ObserveDiff(*prev, *next).ok());
+    prev = std::move(next);
+  }
+  EXPECT_EQ(observer.total_updates(), 3u);
+  EXPECT_EQ(observer.counts()[7], 3u);
+  EXPECT_EQ(observer.counts()[8], 0u);
+}
+
+TEST(BinCountsTest, PartitionsEvenly) {
+  std::vector<uint64_t> counts(100, 1);
+  const auto bins = BinCounts(counts, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  for (uint64_t b : bins) EXPECT_EQ(b, 10u);
+}
+
+TEST(BinCountsTest, HandlesUnevenSizes) {
+  std::vector<uint64_t> counts(10, 1);
+  const auto bins = BinCounts(counts, 3);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0] + bins[1] + bins[2], 10u);
+}
+
+// ---- distinguisher -----------------------------------------------------------------
+
+TEST(DistinguisherTest, UniformVsUniformIndistinguishable) {
+  Rng rng(7);
+  std::vector<uint64_t> suspect(1024, 0), reference(1024, 0);
+  for (int i = 0; i < 20000; ++i) suspect[rng.Uniform(1024)]++;
+  for (int i = 0; i < 20000; ++i) reference[rng.Uniform(1024)]++;
+  const auto verdict =
+      DistinguishUpdateCounts(suspect, reference, DistinguisherOptions{});
+  EXPECT_FALSE(verdict.distinguished) << verdict.ToString();
+}
+
+TEST(DistinguisherTest, HotSpotDetected) {
+  Rng rng(8);
+  std::vector<uint64_t> suspect(1024, 0), reference(1024, 0);
+  for (int i = 0; i < 20000; ++i) reference[rng.Uniform(1024)]++;
+  // Suspect: a table being updated in place — a hot 16-block region.
+  for (int i = 0; i < 18000; ++i) suspect[rng.Uniform(1024)]++;
+  for (int i = 0; i < 2000; ++i) suspect[512 + rng.Uniform(16)]++;
+  const auto verdict =
+      DistinguishUpdateCounts(suspect, reference, DistinguisherOptions{});
+  EXPECT_TRUE(verdict.distinguished) << verdict.ToString();
+}
+
+TEST(DistinguisherTest, TraceComparison) {
+  using storage::TraceEvent;
+  Rng rng(9);
+  storage::IoTrace dummy_only, with_data;
+  for (int i = 0; i < 5000; ++i) {
+    dummy_only.push_back({TraceEvent::Kind::kWrite, rng.Uniform(256)});
+    with_data.push_back({TraceEvent::Kind::kWrite, rng.Uniform(256)});
+  }
+  // Hidden activity: repeated writes to one block.
+  for (int i = 0; i < 500; ++i) {
+    with_data.push_back({TraceEvent::Kind::kWrite, 42});
+  }
+  const auto caught =
+      DistinguishTraces(with_data, dummy_only, 256, DistinguisherOptions{});
+  EXPECT_TRUE(caught.distinguished);
+
+  storage::IoTrace clean;
+  for (int i = 0; i < 5500; ++i) {
+    clean.push_back({TraceEvent::Kind::kWrite, rng.Uniform(256)});
+  }
+  const auto missed =
+      DistinguishTraces(clean, dummy_only, 256, DistinguisherOptions{});
+  EXPECT_FALSE(missed.distinguished) << missed.ToString();
+}
+
+TEST(DistinguisherTest, CountHelpers) {
+  using storage::TraceEvent;
+  storage::IoTrace trace = {{TraceEvent::Kind::kWrite, 1},
+                            {TraceEvent::Kind::kRead, 1},
+                            {TraceEvent::Kind::kWrite, 3}};
+  const auto writes = WriteCountsByBlock(trace, 4);
+  const auto reads = ReadCountsByBlock(trace, 4);
+  EXPECT_EQ(writes, (std::vector<uint64_t>{0, 1, 0, 1}));
+  EXPECT_EQ(reads, (std::vector<uint64_t>{0, 1, 0, 0}));
+}
+
+}  // namespace
+}  // namespace steghide::analysis

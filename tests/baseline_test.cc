@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/plain_fs.h"
+#include "baseline/stegfs2003.h"
+#include "storage/mem_block_device.h"
+#include "storage/sim_device.h"
+
+namespace steghide::baseline {
+namespace {
+
+// ---- PlainFs ------------------------------------------------------------
+
+TEST(PlainFsTest, CleanDiskLayoutIsContiguous) {
+  storage::MemBlockDevice dev(1024, 4096);
+  PlainFs fs(&dev, PlainFs::CleanDisk());
+  auto f1 = fs.CreateFile(10 * 4096);
+  auto f2 = fs.CreateFile(5 * 4096);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(*fs.FileBlocks(*f1), 10u);
+  EXPECT_EQ(*fs.FileBlocks(*f2), 5u);
+
+  // Contiguity check via the disk model: a full-file read must be almost
+  // entirely sequential.
+  storage::MemBlockDevice backing(1024, 4096);
+  storage::SimBlockDevice sim(&backing, storage::DiskModelParams{});
+  PlainFs timed(&sim, PlainFs::CleanDisk());
+  auto f = timed.CreateFile(100 * 4096);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(timed.Read(*f, 0, 100 * 4096).ok());
+  EXPECT_GE(sim.stats().sequential, 99u);
+}
+
+TEST(PlainFsTest, FragDiskReadsSeekBetweenFragments) {
+  storage::MemBlockDevice backing(4096, 4096);
+  storage::SimBlockDevice sim(&backing, storage::DiskModelParams{});
+  PlainFs fs(&sim, PlainFs::FragDisk());
+  auto f = fs.CreateFile(64 * 4096);  // 8 fragments of 8 blocks
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.Read(*f, 0, 64 * 4096).ok());
+  // Each 8-block fragment is internally sequential: 7 sequential reads per
+  // fragment, one seek between fragments.
+  EXPECT_EQ(sim.stats().random, 8u);
+  EXPECT_EQ(sim.stats().sequential, 56u);
+}
+
+TEST(PlainFsTest, ReadWriteRoundTrip) {
+  storage::MemBlockDevice dev(256, 4096);
+  PlainFs fs(&dev, PlainFs::FragDisk());
+  auto f = fs.CreateFile(3 * 4096);
+  ASSERT_TRUE(f.ok());
+  Bytes data(5000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(fs.Write(*f, 100, data).ok());
+  auto back = fs.Read(*f, 100, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(PlainFsTest, WriteBeyondAllocationRejected) {
+  storage::MemBlockDevice dev(256, 4096);
+  PlainFs fs(&dev, PlainFs::CleanDisk());
+  auto f = fs.CreateFile(4096);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(fs.Write(*f, 4090, Bytes(100, 1)).ok());
+}
+
+TEST(PlainFsTest, VolumeFull) {
+  storage::MemBlockDevice dev(16, 4096);
+  PlainFs fs(&dev, PlainFs::CleanDisk());
+  EXPECT_TRUE(fs.CreateFile(16 * 4096).ok());
+  EXPECT_EQ(fs.CreateFile(4096).status().code(), StatusCode::kNoSpace);
+}
+
+TEST(PlainFsTest, FragmentPlacementIsScattered) {
+  storage::MemBlockDevice dev(4096, 4096);
+  PlainFs fs(&dev, PlainFs::FragDisk());
+  auto f = fs.CreateFile(32 * 4096);
+  ASSERT_TRUE(f.ok());
+  // Probe indirectly: sequential read of the file must incur several
+  // non-adjacent jumps (tested above); here check allocation granularity.
+  EXPECT_EQ(*fs.FileBlocks(*f), 32u);
+}
+
+TEST(PlainFsTest, UpdateBlockInPlace) {
+  storage::MemBlockDevice dev(64, 4096);
+  PlainFs fs(&dev, PlainFs::CleanDisk());
+  auto f = fs.CreateFile(2 * 4096);
+  ASSERT_TRUE(f.ok());
+  const Bytes payload(4096, 0x5c);
+  ASSERT_TRUE(fs.UpdateBlock(*f, 1, payload.data()).ok());
+  auto back = fs.Read(*f, 4096, 4096);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+  EXPECT_FALSE(fs.UpdateBlock(*f, 2, payload.data()).ok());
+}
+
+// ---- StegFs2003 --------------------------------------------------------------
+
+class StegFs2003Test : public ::testing::Test {
+ protected:
+  StegFs2003Test()
+      : dev_(2048, 4096), core_(&dev_, stegfs::StegFsOptions{51, true}),
+        fs_(&core_) {
+    EXPECT_TRUE(core_.Format().ok());
+  }
+  storage::MemBlockDevice dev_;
+  stegfs::StegFsCore core_;
+  StegFs2003 fs_;
+};
+
+TEST_F(StegFs2003Test, WriteReadRoundTrip) {
+  auto id = fs_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  Bytes data(20000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i * 3);
+  ASSERT_TRUE(fs_.Write(*id, 0, data).ok());
+  auto back = fs_.Read(*id, 0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(StegFs2003Test, ReopenByFak) {
+  auto id = fs_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(fs_.Write(*id, 0, Bytes(10000, 0x2d)).ok());
+  ASSERT_TRUE(fs_.Flush(*id).ok());
+  const auto fak = fs_.GetFak(*id);
+  ASSERT_TRUE(fak.ok());
+
+  StegFs2003 second(&core_);
+  auto reopened = second.OpenFile(*fak);
+  ASSERT_TRUE(reopened.ok());
+  auto back = second.Read(*reopened, 0, 10000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, Bytes(10000, 0x2d));
+}
+
+TEST_F(StegFs2003Test, UpdatesStayInPlace) {
+  auto id = fs_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  const size_t payload = core_.payload_size();
+  ASSERT_TRUE(fs_.Write(*id, 0, Bytes(payload * 4, 1)).ok());
+  ASSERT_TRUE(fs_.Flush(*id).ok());
+  const auto fak = fs_.GetFak(*id);
+  const auto before = core_.LoadFile(*fak);
+  ASSERT_TRUE(before.ok());
+
+  // The 2003 system rewrites blocks at fixed positions — the very
+  // weakness the 2004 paper attacks.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs_.Write(*id, 0, Bytes(payload * 4, 2)).ok());
+  }
+  ASSERT_TRUE(fs_.Flush(*id).ok());
+  const auto after = core_.LoadFile(*fak);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->block_ptrs, after->block_ptrs);
+}
+
+TEST_F(StegFs2003Test, BlocksAreScattered) {
+  auto id = fs_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  const size_t payload = core_.payload_size();
+  ASSERT_TRUE(fs_.Write(*id, 0, Bytes(payload * 50, 1)).ok());
+  ASSERT_TRUE(fs_.Flush(*id).ok());
+  const auto loaded = core_.LoadFile(*fs_.GetFak(*id));
+  ASSERT_TRUE(loaded.ok());
+  // Not contiguous: count adjacent pairs.
+  uint64_t adjacent = 0;
+  for (size_t i = 1; i < loaded->block_ptrs.size(); ++i) {
+    if (loaded->block_ptrs[i] == loaded->block_ptrs[i - 1] + 1) ++adjacent;
+  }
+  EXPECT_LT(adjacent, 5u);
+  // And all distinct.
+  std::set<uint64_t> uniq(loaded->block_ptrs.begin(),
+                          loaded->block_ptrs.end());
+  EXPECT_EQ(uniq.size(), loaded->block_ptrs.size());
+}
+
+TEST_F(StegFs2003Test, UpdateBlockBounds) {
+  auto id = fs_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  Bytes payload(core_.payload_size(), 1);
+  EXPECT_FALSE(fs_.UpdateBlock(*id, 0, payload.data()).ok());
+  ASSERT_TRUE(fs_.Write(*id, 0, payload).ok());
+  EXPECT_TRUE(fs_.UpdateBlock(*id, 0, payload.data()).ok());
+}
+
+}  // namespace
+}  // namespace steghide::baseline

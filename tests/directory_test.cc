@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "agent/volatile_agent.h"
+#include "stegfs/directory.h"
+#include "storage/mem_block_device.h"
+
+namespace steghide::stegfs {
+namespace {
+
+FileAccessKey TestFak(uint64_t loc, uint8_t seed) {
+  return FileAccessKey{loc, Bytes(16, seed), Bytes(16, uint8_t(seed + 1))};
+}
+
+TEST(DirectoryTest, AddLookupRemove) {
+  Directory dir;
+  ASSERT_TRUE(dir.Add({"report.doc", TestFak(10, 1), false}).ok());
+  ASSERT_TRUE(dir.Add({"sub", TestFak(20, 2), true}).ok());
+  EXPECT_EQ(dir.size(), 2u);
+
+  auto entry = dir.Lookup("report.doc");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->fak.header_location, 10u);
+  EXPECT_FALSE(entry->is_directory);
+  EXPECT_TRUE(dir.Lookup("sub")->is_directory);
+  EXPECT_FALSE(dir.Lookup("nope").ok());
+
+  ASSERT_TRUE(dir.Remove("report.doc").ok());
+  EXPECT_FALSE(dir.Contains("report.doc"));
+  EXPECT_EQ(dir.Remove("report.doc").code(), StatusCode::kNotFound);
+}
+
+TEST(DirectoryTest, DuplicateAndInvalidNamesRejected) {
+  Directory dir;
+  ASSERT_TRUE(dir.Add({"a", TestFak(1, 1), false}).ok());
+  EXPECT_EQ(dir.Add({"a", TestFak(2, 2), false}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(dir.Add({"", TestFak(3, 3), false}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dir.Add({std::string(5000, 'x'), TestFak(4, 4), false}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DirectoryTest, SerializeRoundTrip) {
+  Directory dir;
+  ASSERT_TRUE(dir.Add({"alpha", TestFak(111, 3), false}).ok());
+  ASSERT_TRUE(dir.Add({"beta/γ utf8 name", TestFak(222, 5), true}).ok());
+  ASSERT_TRUE(dir.Add({"empty-keys-no", TestFak(333, 7), false}).ok());
+
+  const auto back = Directory::Deserialize(dir.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->entries(), dir.entries());
+}
+
+TEST(DirectoryTest, EmptyDirectoryRoundTrips) {
+  Directory dir;
+  const auto back = Directory::Deserialize(dir.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(DirectoryTest, DeserializeRejectsCorruption) {
+  Directory dir;
+  ASSERT_TRUE(dir.Add({"x", TestFak(1, 1), false}).ok());
+  Bytes good = dir.Serialize();
+
+  EXPECT_FALSE(Directory::Deserialize({}).ok());
+
+  Bytes bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(Directory::Deserialize(bad_magic).ok());
+
+  Bytes truncated(good.begin(), good.end() - 3);
+  EXPECT_FALSE(Directory::Deserialize(truncated).ok());
+
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(Directory::Deserialize(trailing).ok());
+
+  Bytes bad_keylen = good;
+  // Key length byte sits after magic(8) + namelen(2) + name(1) + loc(8).
+  bad_keylen[8 + 2 + 1 + 8] = 17;
+  EXPECT_FALSE(Directory::Deserialize(bad_keylen).ok());
+}
+
+// ---- end-to-end over a hidden file ----------------------------------------
+
+class DirectoryOnAgentTest : public ::testing::Test {
+ protected:
+  DirectoryOnAgentTest()
+      : dev_(2048, 4096), core_(&dev_, StegFsOptions{61, true}),
+        agent_(&core_) {
+    EXPECT_TRUE(core_.Format().ok());
+    EXPECT_TRUE(agent_.CreateDummyFile("alice", 300).ok());
+  }
+  storage::MemBlockDevice dev_;
+  StegFsCore core_;
+  agent::VolatileAgent agent_;
+};
+
+TEST_F(DirectoryOnAgentTest, HierarchicalVaultFromOneRootFak) {
+  // Build: root/ { notes.txt, secrets/ { plan.txt } }
+  auto notes = agent_.CreateHiddenFile("alice");
+  auto plan = agent_.CreateHiddenFile("alice");
+  auto subdir_file = agent_.CreateHiddenFile("alice");
+  auto root_file = agent_.CreateHiddenFile("alice");
+  ASSERT_TRUE(notes.ok() && plan.ok() && subdir_file.ok() && root_file.ok());
+
+  const Bytes notes_data = {'n', 'o', 't', 'e', 's'};
+  const Bytes plan_data = {'p', 'l', 'a', 'n'};
+  ASSERT_TRUE(agent_.Write(*notes, 0, notes_data).ok());
+  ASSERT_TRUE(agent_.Write(*plan, 0, plan_data).ok());
+
+  Directory secrets;
+  ASSERT_TRUE(secrets.Add({"plan.txt", *agent_.GetFak(*plan), false}).ok());
+  ASSERT_TRUE(StoreDirectory(agent_, *subdir_file, secrets).ok());
+
+  Directory root;
+  ASSERT_TRUE(root.Add({"notes.txt", *agent_.GetFak(*notes), false}).ok());
+  ASSERT_TRUE(
+      root.Add({"secrets", *agent_.GetFak(*subdir_file), true}).ok());
+  ASSERT_TRUE(StoreDirectory(agent_, *root_file, root).ok());
+  const auto root_fak = agent_.GetFak(*root_file);
+  ASSERT_TRUE(root_fak.ok());
+  for (auto id : {*notes, *plan, *subdir_file, *root_file}) {
+    ASSERT_TRUE(agent_.Flush(id).ok());
+  }
+  ASSERT_TRUE(agent_.Logout("alice").ok());
+
+  // A later session reconstructs the whole tree from the root FAK alone.
+  auto root_id = agent_.DiscloseHiddenFile("alice", *root_fak);
+  ASSERT_TRUE(root_id.ok());
+  auto loaded_root = LoadDirectory(agent_, *root_id);
+  ASSERT_TRUE(loaded_root.ok());
+  ASSERT_EQ(loaded_root->size(), 2u);
+
+  auto sub_entry = loaded_root->Lookup("secrets");
+  ASSERT_TRUE(sub_entry.ok());
+  ASSERT_TRUE(sub_entry->is_directory);
+  auto sub_id = agent_.DiscloseHiddenFile("alice", sub_entry->fak);
+  ASSERT_TRUE(sub_id.ok());
+  auto loaded_sub = LoadDirectory(agent_, *sub_id);
+  ASSERT_TRUE(loaded_sub.ok());
+
+  auto plan_entry = loaded_sub->Lookup("plan.txt");
+  ASSERT_TRUE(plan_entry.ok());
+  auto plan_id = agent_.DiscloseHiddenFile("alice", plan_entry->fak);
+  ASSERT_TRUE(plan_id.ok());
+  EXPECT_EQ(*agent_.Read(*plan_id, 0, plan_data.size()), plan_data);
+}
+
+TEST_F(DirectoryOnAgentTest, RewriteShrinksCleanly) {
+  auto dir_file = agent_.CreateHiddenFile("alice");
+  ASSERT_TRUE(dir_file.ok());
+
+  Directory big;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(big.Add({"entry-" + std::to_string(i),
+                         FileAccessKey{uint64_t(i), Bytes(16, 1), Bytes(16, 2)},
+                         false})
+                    .ok());
+  }
+  ASSERT_TRUE(StoreDirectory(agent_, *dir_file, big).ok());
+
+  Directory small;
+  ASSERT_TRUE(small.Add({"only", FileAccessKey{1, Bytes(16, 1), Bytes(16, 2)},
+                         false})
+                  .ok());
+  ASSERT_TRUE(StoreDirectory(agent_, *dir_file, small).ok());
+
+  auto back = LoadDirectory(agent_, *dir_file);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 1u);
+  EXPECT_TRUE(back->Contains("only"));
+}
+
+}  // namespace
+}  // namespace steghide::stegfs

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "agent/oblivious_agent.h"
+#include "storage/mem_block_device.h"
+#include "util/random.h"
+
+namespace steghide::agent {
+namespace {
+
+class ObliviousAgentTest : public ::testing::Test {
+ protected:
+  ObliviousAgentTest()
+      : steg_mem_(4096, 4096),
+        cache_mem_(512, 4096),
+        core_(&steg_mem_, stegfs::StegFsOptions{91, true}) {
+    EXPECT_TRUE(core_.Format().ok());
+    oblivious::ObliviousStoreOptions opts;
+    opts.buffer_blocks = 8;
+    opts.capacity_blocks = 128;  // k = 4
+    opts.partition_base = 0;
+    opts.scratch_base = 2 * 128 - 2 * 8;
+    auto agent = ObliviousAgent::Create(&core_, &cache_mem_, opts);
+    EXPECT_TRUE(agent.ok()) << agent.status().ToString();
+    agent_ = std::move(agent).value();
+    EXPECT_TRUE(agent_->CreateDummyFile("u", 400).ok());
+  }
+
+  Bytes Pattern(size_t n, uint8_t seed) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(seed + i * 3);
+    return out;
+  }
+
+  storage::MemBlockDevice steg_mem_;
+  storage::MemBlockDevice cache_mem_;
+  stegfs::StegFsCore core_;
+  std::unique_ptr<ObliviousAgent> agent_;
+};
+
+TEST_F(ObliviousAgentTest, WriteThenObliviousReadRoundTrip) {
+  auto id = agent_->CreateHiddenFile("u");
+  ASSERT_TRUE(id.ok());
+  const Bytes data = Pattern(30000, 5);
+  ASSERT_TRUE(agent_->Write(*id, 0, data).ok());
+  const auto back = agent_->Read(*id, 0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(ObliviousAgentTest, RepeatedReadsComeFromCache) {
+  auto id = agent_->CreateHiddenFile("u");
+  ASSERT_TRUE(id.ok());
+  const size_t payload = core_.payload_size();
+  ASSERT_TRUE(agent_->Write(*id, 0, Pattern(payload * 4, 1)).ok());
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(agent_->Read(*id, 0, payload * 4).ok());
+  }
+  // §5.1.1: each block is fetched from the partition at most once.
+  EXPECT_LE(agent_->reader().stats().real_fetches, 4u);
+}
+
+TEST_F(ObliviousAgentTest, WriteAfterReadIsVisibleObliviously) {
+  auto id = agent_->CreateHiddenFile("u");
+  ASSERT_TRUE(id.ok());
+  const size_t payload = core_.payload_size();
+  ASSERT_TRUE(agent_->Write(*id, 0, Bytes(payload * 3, 0x11)).ok());
+  // Prime the cache.
+  ASSERT_TRUE(agent_->Read(*id, 0, payload * 3).ok());
+
+  // Overwrite the middle block, then read through the cache again.
+  ASSERT_TRUE(agent_->Write(*id, payload, Bytes(payload, 0x22)).ok());
+  const auto back = agent_->Read(*id, 0, payload * 3);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(Bytes(back->begin(), back->begin() + payload),
+            Bytes(payload, 0x11));
+  EXPECT_EQ(Bytes(back->begin() + payload, back->begin() + 2 * payload),
+            Bytes(payload, 0x22));
+  EXPECT_EQ(Bytes(back->begin() + 2 * payload, back->end()),
+            Bytes(payload, 0x11));
+}
+
+TEST_F(ObliviousAgentTest, PartialWritesPreserveSurroundings) {
+  auto id = agent_->CreateHiddenFile("u");
+  ASSERT_TRUE(id.ok());
+  const Bytes data = Pattern(10000, 9);
+  ASSERT_TRUE(agent_->Write(*id, 0, data).ok());
+  ASSERT_TRUE(agent_->Read(*id, 0, data.size()).ok());  // prime cache
+
+  ASSERT_TRUE(agent_->Write(*id, 5000, Bytes(100, 0xee)).ok());
+  const auto back = agent_->Read(*id, 4990, 120);
+  ASSERT_TRUE(back.ok());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ((*back)[i], data[4990 + i]);
+  for (int i = 10; i < 110; ++i) EXPECT_EQ((*back)[i], 0xee);
+  for (int i = 110; i < 120; ++i) EXPECT_EQ((*back)[i], data[5100 + i - 110]);
+  EXPECT_EQ(*agent_->FileSize(*id), data.size());  // no accidental growth
+}
+
+TEST_F(ObliviousAgentTest, WritesArePersistedOnStegPartition) {
+  auto id = agent_->CreateHiddenFile("u");
+  ASSERT_TRUE(id.ok());
+  const Bytes data = Pattern(20000, 13);
+  ASSERT_TRUE(agent_->Write(*id, 0, data).ok());
+  ASSERT_TRUE(agent_->Read(*id, 0, 1).ok());  // cache holds block 0
+  ASSERT_TRUE(agent_->Write(*id, 0, Bytes(10, 0x77)).ok());
+  ASSERT_TRUE(agent_->Flush(*id).ok());
+  const auto fak = agent_->GetFak(*id);
+  ASSERT_TRUE(agent_->Logout("u").ok());
+
+  // The cache dies with the agent (it is volatile memory + a shuffled
+  // scratch area); the StegFS partition alone must carry the truth.
+  auto re = agent_->DiscloseHiddenFile("u", *fak);
+  ASSERT_TRUE(re.ok());
+  const auto back = agent_->volatile_agent().Read(*re, 0, 10);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, Bytes(10, 0x77));
+}
+
+TEST_F(ObliviousAgentTest, SoakMixedOpsWithMirror) {
+  auto id = agent_->CreateHiddenFile("u");
+  ASSERT_TRUE(id.ok());
+  const size_t payload = core_.payload_size();
+  constexpr uint64_t kBlocks = 20;
+  std::vector<Bytes> mirror(kBlocks, Bytes(payload, 0));
+  ASSERT_TRUE(agent_->Write(*id, 0, Bytes(kBlocks * payload, 0)).ok());
+
+  Rng rng(17);
+  for (int op = 0; op < 300; ++op) {
+    const uint64_t b = rng.Uniform(kBlocks);
+    if (rng.Bernoulli(0.4)) {
+      Bytes fresh(payload);
+      rng.Fill(fresh.data(), fresh.size());
+      ASSERT_TRUE(agent_->Write(*id, b * payload, fresh).ok());
+      mirror[b] = fresh;
+    } else {
+      const auto got = agent_->Read(*id, b * payload, payload);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got, mirror[b]) << "op " << op << " block " << b;
+    }
+    if (op % 25 == 0) ASSERT_TRUE(agent_->IdleDummyOp().ok());
+  }
+}
+
+TEST_F(ObliviousAgentTest, GeometryErrorsSurfaceAtCreate) {
+  oblivious::ObliviousStoreOptions bad;
+  bad.buffer_blocks = 8;
+  bad.capacity_blocks = 24;  // not B * 2^k
+  EXPECT_FALSE(ObliviousAgent::Create(&core_, &cache_mem_, bad).ok());
+}
+
+}  // namespace
+}  // namespace steghide::agent

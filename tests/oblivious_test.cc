@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "oblivious/hash_index.h"
+#include "oblivious/merge_sort.h"
+#include "oblivious/oblivious_store.h"
+#include "storage/mem_block_device.h"
+#include "storage/sim_device.h"
+#include "util/random.h"
+
+namespace steghide::oblivious {
+namespace {
+
+// ---- HashIndex ---------------------------------------------------------
+
+TEST(HashIndexTest, PutGetErase) {
+  HashIndex idx;
+  idx.Rebuild(1);
+  idx.Put(10, 3);
+  idx.Put(11, 4);
+  EXPECT_EQ(idx.Get(10), std::optional<uint64_t>(3));
+  EXPECT_EQ(idx.Get(11), std::optional<uint64_t>(4));
+  EXPECT_EQ(idx.Get(12), std::nullopt);
+  idx.Put(10, 9);
+  EXPECT_EQ(idx.Get(10), std::optional<uint64_t>(9));
+  idx.Erase(10);
+  EXPECT_EQ(idx.Get(10), std::nullopt);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(HashIndexTest, RebuildClearsAndRekeys) {
+  HashIndex idx;
+  idx.Rebuild(1);
+  idx.Put(5, 5);
+  idx.Rebuild(2);
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.nonce(), 2u);
+  EXPECT_EQ(idx.Get(5), std::nullopt);
+}
+
+// ---- ExternalMergeSorter -------------------------------------------------
+
+class MergeSorterTest : public ::testing::Test {
+ protected:
+  MergeSorterTest()
+      : dev_(256, 4096), codec_(4096), drbg_(uint64_t{31}) {
+    EXPECT_TRUE(cipher_.SetKey(drbg_.Generate(16)).ok());
+  }
+
+  // Seals `payload` at device block `pos`.
+  void PutBlock(uint64_t pos, const Bytes& payload) {
+    Bytes block(4096);
+    ASSERT_TRUE(codec_.Seal(cipher_, drbg_, payload.data(), block.data()).ok());
+    ASSERT_TRUE(dev_.WriteBlock(pos, block.data()).ok());
+  }
+
+  Bytes GetBlock(uint64_t pos) {
+    Bytes block(4096), payload(codec_.payload_size());
+    EXPECT_TRUE(dev_.ReadBlock(pos, block.data()).ok());
+    EXPECT_TRUE(codec_.Open(cipher_, block.data(), payload.data()).ok());
+    return payload;
+  }
+
+  storage::MemBlockDevice dev_;
+  stegfs::BlockCodec codec_;
+  crypto::HashDrbg drbg_;
+  crypto::CbcCipher cipher_;
+};
+
+TEST_F(MergeSorterTest, InMemoryFastPath) {
+  // 4 items, run size 8: everything sorts in memory.
+  ExternalMergeSorter sorter(&dev_, &codec_, &cipher_, &drbg_, 128, 8);
+  std::map<uint64_t, Bytes> payloads;
+  for (uint64_t i = 0; i < 4; ++i) {
+    Bytes p(codec_.payload_size(), static_cast<uint8_t>(i + 1));
+    payloads[i] = p;
+    ASSERT_TRUE(sorter.AddInMemory(p, /*tag=*/100 - i, /*label=*/i).ok());
+  }
+  auto order = sorter.Finish(/*dst_base=*/0);
+  ASSERT_TRUE(order.ok());
+  // Tags were descending, so labels come back reversed.
+  EXPECT_EQ(*order, (std::vector<uint64_t>{3, 2, 1, 0}));
+  for (uint64_t slot = 0; slot < 4; ++slot) {
+    EXPECT_EQ(GetBlock(slot), payloads[(*order)[slot]]);
+  }
+  EXPECT_EQ(sorter.stats().reads, 0u);  // no scratch traffic
+}
+
+TEST_F(MergeSorterTest, MultiRunExternalSort) {
+  constexpr uint64_t kItems = 40;
+  constexpr uint64_t kRun = 8;
+  // Source blocks at positions 0..39; scratch at 64; destination at 128.
+  std::map<uint64_t, Bytes> payloads;
+  Rng rng(5);
+  for (uint64_t i = 0; i < kItems; ++i) {
+    Bytes p(codec_.payload_size());
+    rng.Fill(p.data(), p.size());
+    payloads[i] = p;
+    PutBlock(i, p);
+  }
+  ExternalMergeSorter sorter(&dev_, &codec_, &cipher_, &drbg_, 64, kRun);
+  std::vector<uint64_t> tags(kItems);
+  for (uint64_t i = 0; i < kItems; ++i) {
+    tags[i] = rng.Next();
+    ASSERT_TRUE(sorter.Add(i, tags[i], i).ok());
+  }
+  auto order = sorter.Finish(128);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  ASSERT_EQ(order->size(), kItems);
+
+  // Labels must come out in ascending tag order...
+  for (size_t i = 1; i < order->size(); ++i) {
+    EXPECT_LE(tags[(*order)[i - 1]], tags[(*order)[i]]);
+  }
+  // ...and each destination slot must hold the right payload.
+  std::set<uint64_t> seen;
+  for (uint64_t slot = 0; slot < kItems; ++slot) {
+    const uint64_t label = (*order)[slot];
+    seen.insert(label);
+    EXPECT_EQ(GetBlock(128 + slot), payloads[label]) << "slot " << slot;
+  }
+  EXPECT_EQ(seen.size(), kItems);  // a permutation, nothing lost
+}
+
+// ---- ObliviousStore -------------------------------------------------------
+
+ObliviousStoreOptions SmallOptions() {
+  ObliviousStoreOptions opts;
+  opts.buffer_blocks = 4;
+  opts.capacity_blocks = 32;  // k = 3 levels: 8, 16, 32
+  opts.partition_base = 0;
+  opts.scratch_base = 60;  // hierarchy needs 2*32-2*4 = 56 blocks
+  opts.drbg_seed = 77;
+  return opts;
+}
+
+class ObliviousStoreTest : public ::testing::Test {
+ protected:
+  ObliviousStoreTest() : mem_(128, 4096), sim_(&mem_, storage::DiskModelParams{}) {
+    auto store = ObliviousStore::Create(&sim_, SmallOptions());
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(store).value();
+    store_->set_clock_fn([this] { return sim_.clock_ms(); });
+  }
+
+  Bytes Payload(uint8_t seed) {
+    Bytes p(store_->payload_size());
+    for (size_t i = 0; i < p.size(); ++i) {
+      p[i] = static_cast<uint8_t>(seed + i);
+    }
+    return p;
+  }
+
+  storage::MemBlockDevice mem_;
+  storage::SimBlockDevice sim_;
+  std::unique_ptr<ObliviousStore> store_;
+};
+
+TEST_F(ObliviousStoreTest, GeometryValidation) {
+  storage::MemBlockDevice small(16, 4096);
+  ObliviousStoreOptions opts = SmallOptions();
+  EXPECT_FALSE(ObliviousStore::Create(&small, opts).ok());  // doesn't fit
+
+  opts = SmallOptions();
+  opts.capacity_blocks = 24;  // not B * 2^k
+  EXPECT_FALSE(ObliviousStore::Create(&mem_, opts).ok());
+
+  opts = SmallOptions();
+  opts.scratch_base = 10;  // overlaps hierarchy
+  EXPECT_FALSE(ObliviousStore::Create(&mem_, opts).ok());
+}
+
+TEST_F(ObliviousStoreTest, HeightMatchesLog2) {
+  EXPECT_EQ(store_->height(), 3);
+  EXPECT_EQ(store_->hierarchy_blocks(), 56u);
+}
+
+TEST_F(ObliviousStoreTest, InsertReadRoundTrip) {
+  ASSERT_TRUE(store_->Insert(1, Payload(10).data()).ok());
+  EXPECT_TRUE(store_->Contains(1));
+  Bytes out(store_->payload_size());
+  ASSERT_TRUE(store_->Read(1, out.data()).ok());
+  EXPECT_EQ(out, Payload(10));
+}
+
+TEST_F(ObliviousStoreTest, MissingRecordIsNotFoundWithoutIo) {
+  Bytes out(store_->payload_size());
+  const auto io_before = sim_.stats().total_ops();
+  EXPECT_EQ(store_->Read(99, out.data()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sim_.stats().total_ops(), io_before);
+}
+
+TEST_F(ObliviousStoreTest, SurvivesCascadedDumpsProperty) {
+  // Fill to capacity, then read everything back repeatedly: dumps cascade
+  // through all levels and every record must stay intact.
+  for (uint64_t id = 0; id < 32; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(static_cast<uint8_t>(id)).data()).ok());
+  }
+  Bytes out(store_->payload_size());
+  Rng rng(9);
+  for (int round = 0; round < 200; ++round) {
+    const uint64_t id = rng.Uniform(32);
+    ASSERT_TRUE(store_->Read(id, out.data()).ok()) << "round " << round;
+    ASSERT_EQ(out, Payload(static_cast<uint8_t>(id))) << "round " << round;
+  }
+  EXPECT_GT(store_->stats().reorders, 0u);
+}
+
+TEST_F(ObliviousStoreTest, WriteSupersedesOldVersion) {
+  ASSERT_TRUE(store_->Insert(5, Payload(1).data()).ok());
+  // Push it down into the levels.
+  for (uint64_t id = 100; id < 108; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(2).data()).ok());
+  }
+  ASSERT_TRUE(store_->Write(5, Payload(42).data()).ok());
+  Bytes out(store_->payload_size());
+  ASSERT_TRUE(store_->Read(5, out.data()).ok());
+  EXPECT_EQ(out, Payload(42));
+  // And after more churn forces merges, the new version still wins.
+  for (uint64_t id = 200; id < 216; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(3).data()).ok());
+  }
+  ASSERT_TRUE(store_->Read(5, out.data()).ok());
+  EXPECT_EQ(out, Payload(42));
+}
+
+TEST_F(ObliviousStoreTest, CapacityEnforced) {
+  for (uint64_t id = 0; id < 32; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(0).data()).ok());
+  }
+  EXPECT_EQ(store_->Insert(500, Payload(0).data()).code(),
+            StatusCode::kNoSpace);
+  // Updating an existing record is still fine.
+  EXPECT_TRUE(store_->Insert(3, Payload(9).data()).ok());
+}
+
+TEST_F(ObliviousStoreTest, EveryMissReadsOneSlotPerNonEmptyLevel) {
+  for (uint64_t id = 0; id < 16; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(0).data()).ok());
+  }
+  // Drain the buffer's worth of ids so reads go to the levels.
+  Bytes out(store_->payload_size());
+  for (int i = 0; i < 50; ++i) {
+    store_->ResetStats();
+    // Occupancy must be sampled before the read: the read may trigger a
+    // buffer flush that reshapes the hierarchy.
+    uint64_t non_empty = 0;
+    for (uint64_t occ : store_->LevelOccupancy()) {
+      if (occ > 0) ++non_empty;
+    }
+    const uint64_t id = static_cast<uint64_t>(i) % 16;
+    ASSERT_TRUE(store_->Read(id, out.data()).ok());
+    const auto& st = store_->stats();
+    if (st.buffer_hits == 1) continue;  // buffer hit: no level touches
+    // One probe per non-empty level, no more, no less — the observable
+    // invariant that makes reads pattern-free. (Occupancy counts live
+    // records; a level holding only stale slots still gets probed, so
+    // allow the stale-only case by checking >=.)
+    EXPECT_GE(st.level_probe_reads, non_empty) << "read " << i;
+    EXPECT_LE(st.level_probe_reads,
+              static_cast<uint64_t>(store_->height()));
+  }
+}
+
+TEST_F(ObliviousStoreTest, DummyReadsAreServed) {
+  EXPECT_TRUE(store_->DummyRead().ok());  // empty store: no-op
+  for (uint64_t id = 0; id < 8; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(1).data()).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store_->DummyRead().ok());
+  }
+  EXPECT_EQ(store_->stats().dummy_reads, 20u);
+  EXPECT_EQ(store_->stats().user_reads, 0u);
+}
+
+TEST_F(ObliviousStoreTest, StatsSplitRetrieveAndSortTime) {
+  for (uint64_t id = 0; id < 32; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(0).data()).ok());
+  }
+  Bytes out(store_->payload_size());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Read(i % 32, out.data()).ok());
+  }
+  const auto& st = store_->stats();
+  EXPECT_GT(st.retrieve_ms, 0.0);
+  EXPECT_GT(st.sort_ms, 0.0);
+  // Total accounted virtual time should not exceed the device clock.
+  EXPECT_LE(st.retrieve_ms + st.sort_ms, sim_.clock_ms() + 1e-6);
+}
+
+TEST_F(ObliviousStoreTest, OverheadFactorIsOrderTenK) {
+  for (uint64_t id = 0; id < 32; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(0).data()).ok());
+  }
+  store_->ResetStats();
+  Bytes out(store_->payload_size());
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(store_->Read(rng.Uniform(32), out.data()).ok());
+  }
+  const double factor = store_->stats().OverheadFactor();
+  // §5.2 predicts ~10k I/Os per request (k = 3 here → ~30); accept a broad
+  // band since buffer hits dilute it.
+  EXPECT_GT(factor, 3.0 * store_->height());
+  EXPECT_LT(factor, 20.0 * store_->height());
+}
+
+TEST_F(ObliviousStoreTest, ProbePositionsLookUniformProperty) {
+  // Collect decoy/real probe slots indirectly: after many reads, the
+  // device-level read positions within each level should cover the level
+  // broadly (no hot slot). We approximate via reorder churn + probe count.
+  for (uint64_t id = 0; id < 32; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(0).data()).ok());
+  }
+  Bytes out(store_->payload_size());
+  Rng rng(23);
+  // Zipf-skewed REQUESTS: a heavily skewed workload...
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t id = rng.Bernoulli(0.8) ? 3 : rng.Uniform(32);
+    ASSERT_TRUE(store_->Read(id, out.data()).ok());
+  }
+  // ...must still produce one probe per non-empty level per miss — the
+  // hot record does not create hot disk locations because it re-enters
+  // the buffer and levels get re-shuffled.
+  EXPECT_GT(store_->stats().level_probe_reads, 0u);
+  EXPECT_GT(store_->stats().reorders, 5u);
+}
+
+// Geometry sweep: the store must keep every record intact under heavy
+// churn for any (B, N) shape, from a single level to a deep hierarchy.
+struct Geometry {
+  uint64_t buffer;
+  uint64_t capacity;
+};
+
+class ObliviousGeometryTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(ObliviousGeometryTest, SoakAllGeometriesProperty) {
+  const Geometry g = GetParam();
+  const uint64_t hierarchy = 2 * g.capacity - 2 * g.buffer;
+  storage::MemBlockDevice mem(hierarchy + g.capacity + 4, 4096);
+
+  ObliviousStoreOptions opts;
+  opts.buffer_blocks = g.buffer;
+  opts.capacity_blocks = g.capacity;
+  opts.partition_base = 0;
+  opts.scratch_base = hierarchy;
+  opts.drbg_seed = g.buffer * 1000 + g.capacity;
+  auto store = ObliviousStore::Create(&mem, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // Mirror of expected contents, updated through Insert and Write.
+  std::vector<uint8_t> mirror(g.capacity, 0);
+  Bytes payload((*store)->payload_size());
+  Bytes out((*store)->payload_size());
+  Rng rng(opts.drbg_seed);
+  for (int op = 0; op < 500; ++op) {
+    const uint64_t id = rng.Uniform(g.capacity);
+    const int action = static_cast<int>(rng.Uniform(3));
+    if (action == 0 || !(*store)->Contains(id)) {
+      const uint8_t v = static_cast<uint8_t>(rng.Next());
+      std::fill(payload.begin(), payload.end(), v);
+      ASSERT_TRUE((*store)->Insert(id, payload.data()).ok());
+      mirror[id] = v;
+    } else if (action == 1) {
+      const uint8_t v = static_cast<uint8_t>(rng.Next());
+      std::fill(payload.begin(), payload.end(), v);
+      ASSERT_TRUE((*store)->Write(id, payload.data()).ok());
+      mirror[id] = v;
+    } else {
+      ASSERT_TRUE((*store)->Read(id, out.data()).ok());
+      ASSERT_EQ(out[0], mirror[id]) << "op " << op << " id " << id;
+      ASSERT_EQ(out.back(), mirror[id]);
+    }
+  }
+  // Final sweep: everything ever inserted is still correct.
+  for (uint64_t id = 0; id < g.capacity; ++id) {
+    if (!(*store)->Contains(id)) continue;
+    ASSERT_TRUE((*store)->Read(id, out.data()).ok());
+    ASSERT_EQ(out[0], mirror[id]) << "final id " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ObliviousGeometryTest,
+                         ::testing::Values(Geometry{1, 2}, Geometry{1, 16},
+                                           Geometry{4, 8}, Geometry{4, 64},
+                                           Geometry{16, 32},
+                                           Geometry{8, 256}));
+
+TEST(ObliviousStoreIndexIoTest, ChargedVariantCostsMore) {
+  storage::MemBlockDevice mem(128, 4096);
+
+  auto run = [&](bool charge) {
+    ObliviousStoreOptions opts = SmallOptions();
+    opts.charge_index_io = charge;
+    auto store = ObliviousStore::Create(&mem, opts);
+    EXPECT_TRUE(store.ok());
+    Bytes p((*store)->payload_size(), 1);
+    Bytes out((*store)->payload_size());
+    for (uint64_t id = 0; id < 16; ++id) {
+      EXPECT_TRUE((*store)->Insert(id, p.data()).ok());
+    }
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE((*store)->Read(rng.Uniform(16), out.data()).ok());
+    }
+    return (*store)->stats().TotalIo();
+  };
+
+  const uint64_t plain = run(false);
+  const uint64_t charged = run(true);
+  EXPECT_GT(charged, plain);
+}
+
+}  // namespace
+}  // namespace steghide::oblivious

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "oblivious/steg_partition_reader.h"
+#include "storage/mem_block_device.h"
+#include "storage/sim_device.h"
+#include "util/random.h"
+
+namespace steghide::oblivious {
+namespace {
+
+// Two devices: one carrying the StegFS partition, one carrying the
+// oblivious store (in a deployment they are partitions of one volume; two
+// devices keep the geometry simple and the accounting separable).
+class ReaderTest : public ::testing::Test {
+ protected:
+  ReaderTest()
+      : steg_mem_(1024, 4096),
+        obli_mem_(256, 4096),
+        core_(&steg_mem_, stegfs::StegFsOptions{41, true}) {
+    EXPECT_TRUE(core_.Format().ok());
+    ObliviousStoreOptions opts;
+    opts.buffer_blocks = 4;
+    opts.capacity_blocks = 64;  // k = 4
+    opts.partition_base = 0;
+    opts.scratch_base = 130;
+    auto store = ObliviousStore::Create(&obli_mem_, opts);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(store).value();
+    reader_ = std::make_unique<StegPartitionReader>(&core_, store_.get());
+  }
+
+  // Builds a hidden file with `blocks` data blocks of recognisable
+  // content directly through the core.
+  stegfs::HiddenFile MakeFile(uint64_t blocks, uint64_t tag) {
+    stegfs::HiddenFile file;
+    file.fak = stegfs::FileAccessKey::Random(core_.drbg(), core_.num_blocks());
+    file.agent_tag = tag;
+    for (uint64_t i = 0; i < blocks; ++i) {
+      Bytes payload(core_.payload_size(),
+                    static_cast<uint8_t>(tag * 16 + i));
+      const uint64_t physical = 100 + tag * 100 + i;
+      EXPECT_TRUE(core_.WriteDataBlockAt(file, physical, payload.data()).ok());
+      file.block_ptrs.push_back(physical);
+    }
+    file.file_size = blocks * core_.payload_size();
+    return file;
+  }
+
+  storage::MemBlockDevice steg_mem_;
+  storage::MemBlockDevice obli_mem_;
+  stegfs::StegFsCore core_;
+  std::unique_ptr<ObliviousStore> store_;
+  std::unique_ptr<StegPartitionReader> reader_;
+};
+
+TEST_F(ReaderTest, RecordIdPacksFileAndBlock) {
+  stegfs::HiddenFile f;
+  f.agent_tag = 7;
+  EXPECT_EQ(StegPartitionReader::MakeRecordId(f, 3), (7ull << 32) | 3);
+}
+
+TEST_F(ReaderTest, FirstReadFetchesThenCaches) {
+  auto file = MakeFile(4, 1);
+  Bytes out(core_.payload_size());
+  ASSERT_TRUE(reader_->ReadBlock(file, 2, out.data()).ok());
+  EXPECT_EQ(out, Bytes(core_.payload_size(), 16 + 2));
+  EXPECT_EQ(reader_->stats().real_fetches, 1u);
+  EXPECT_EQ(reader_->stats().cache_hits, 0u);
+
+  // Second read of the same block is served by the oblivious store.
+  ASSERT_TRUE(reader_->ReadBlock(file, 2, out.data()).ok());
+  EXPECT_EQ(out, Bytes(core_.payload_size(), 16 + 2));
+  EXPECT_EQ(reader_->stats().real_fetches, 1u);
+  EXPECT_EQ(reader_->stats().cache_hits, 1u);
+}
+
+TEST_F(ReaderTest, EachBlockFetchedAtMostOnceProperty) {
+  auto file = MakeFile(8, 1);
+  Bytes out(core_.payload_size());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t logical = rng.Uniform(8);
+    ASSERT_TRUE(reader_->ReadBlock(file, logical, out.data()).ok());
+    ASSERT_EQ(out, Bytes(core_.payload_size(),
+                         static_cast<uint8_t>(16 + logical)));
+  }
+  // §5.1.1: "read operations are conducted at most once for each data
+  // block".
+  EXPECT_LE(reader_->stats().real_fetches, 8u);
+  EXPECT_EQ(reader_->fetched_count(), reader_->stats().real_fetches);
+}
+
+TEST_F(ReaderTest, MultipleFilesShareTheCache) {
+  auto f1 = MakeFile(3, 1);
+  auto f2 = MakeFile(3, 2);
+  Bytes out(core_.payload_size());
+  for (uint64_t b = 0; b < 3; ++b) {
+    ASSERT_TRUE(reader_->ReadBlock(f1, b, out.data()).ok());
+    EXPECT_EQ(out, Bytes(core_.payload_size(), static_cast<uint8_t>(16 + b)));
+    ASSERT_TRUE(reader_->ReadBlock(f2, b, out.data()).ok());
+    EXPECT_EQ(out, Bytes(core_.payload_size(), static_cast<uint8_t>(32 + b)));
+  }
+  EXPECT_EQ(reader_->stats().real_fetches, 6u);
+}
+
+TEST_F(ReaderTest, DecoyReadsAppearAsFetchedSetGrows) {
+  // With many blocks fetched, Figure 8(a) issues decoy re-reads before a
+  // real fetch with probability |S|/M. Fetch a large fraction of a small
+  // partition and count decoys.
+  storage::MemBlockDevice steg_small(64, 4096);
+  stegfs::StegFsCore core_small(&steg_small, stegfs::StegFsOptions{43, true});
+  ASSERT_TRUE(core_small.Format().ok());
+  StegPartitionReader reader(&core_small, store_.get());
+
+  stegfs::HiddenFile file;
+  file.fak =
+      stegfs::FileAccessKey::Random(core_small.drbg(), core_small.num_blocks());
+  file.agent_tag = 5;
+  for (uint64_t i = 0; i < 32; ++i) {
+    Bytes payload(core_small.payload_size(), static_cast<uint8_t>(i));
+    ASSERT_TRUE(core_small.WriteDataBlockAt(file, i, payload.data()).ok());
+    file.block_ptrs.push_back(i);
+  }
+  file.file_size = 32 * core_small.payload_size();
+
+  Bytes out(core_small.payload_size());
+  for (uint64_t b = 0; b < 32; ++b) {
+    ASSERT_TRUE(reader.ReadBlock(file, b, out.data()).ok());
+  }
+  // Expected decoys = sum over fetches of S/(M-S) ≈ 11 for S=0..31, M=64.
+  EXPECT_GT(reader.stats().decoy_reads, 2u);
+  EXPECT_LT(reader.stats().decoy_reads, 60u);
+}
+
+TEST_F(ReaderTest, DummyOpsExerciseBothPartitions) {
+  auto file = MakeFile(4, 1);
+  Bytes out(core_.payload_size());
+  ASSERT_TRUE(reader_->ReadBlock(file, 0, out.data()).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(reader_->IdleDummyOp().ok());
+  }
+  EXPECT_EQ(reader_->stats().dummy_reads, 10u);
+  EXPECT_EQ(store_->stats().dummy_reads, 10u);
+}
+
+TEST_F(ReaderTest, OutOfRangeRejected) {
+  auto file = MakeFile(2, 1);
+  Bytes out(core_.payload_size());
+  EXPECT_EQ(reader_->ReadBlock(file, 2, out.data()).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace steghide::oblivious

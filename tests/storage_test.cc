@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "storage/disk_model.h"
+#include "storage/file_block_device.h"
+#include "storage/mem_block_device.h"
+#include "storage/sim_device.h"
+#include "storage/snapshot.h"
+#include "storage/trace_device.h"
+#include "util/random.h"
+
+namespace steghide::storage {
+namespace {
+
+// ---- MemBlockDevice ---------------------------------------------------
+
+TEST(MemBlockDeviceTest, RoundTrip) {
+  MemBlockDevice dev(8, 512);
+  Bytes data(512, 0xab);
+  ASSERT_TRUE(dev.WriteBlock(3, data.data()).ok());
+  Bytes out(512);
+  ASSERT_TRUE(dev.ReadBlock(3, out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemBlockDeviceTest, ZeroInitialised) {
+  MemBlockDevice dev(2, 64);
+  Bytes out(64, 0xff);
+  ASSERT_TRUE(dev.ReadBlock(1, out.data()).ok());
+  EXPECT_EQ(out, Bytes(64, 0));
+}
+
+TEST(MemBlockDeviceTest, BoundsChecked) {
+  MemBlockDevice dev(4, 64);
+  Bytes buf(64);
+  EXPECT_EQ(dev.ReadBlock(4, buf.data()).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dev.WriteBlock(100, buf.data()).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MemBlockDeviceTest, BytesOverloadValidatesSize) {
+  MemBlockDevice dev(4, 64);
+  Bytes wrong(63);
+  EXPECT_EQ(dev.WriteBlock(0, wrong).code(), StatusCode::kInvalidArgument);
+  Bytes out;
+  ASSERT_TRUE(dev.ReadBlock(0, out).ok());
+  EXPECT_EQ(out.size(), 64u);
+}
+
+// ---- FileBlockDevice ----------------------------------------------------
+
+class FileBlockDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/steghide_vol_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".img";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(FileBlockDeviceTest, CreateWriteReopenRead) {
+  {
+    auto dev = FileBlockDevice::Create(path_, 16, 512);
+    ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+    Bytes data(512, 0x5a);
+    ASSERT_TRUE(dev->WriteBlock(7, data.data()).ok());
+    ASSERT_TRUE(dev->Flush().ok());
+  }
+  auto dev = FileBlockDevice::Open(path_, 512);
+  ASSERT_TRUE(dev.ok());
+  EXPECT_EQ(dev->num_blocks(), 16u);
+  Bytes out(512);
+  ASSERT_TRUE(dev->ReadBlock(7, out.data()).ok());
+  EXPECT_EQ(out, Bytes(512, 0x5a));
+}
+
+TEST_F(FileBlockDeviceTest, OpenMissingFails) {
+  auto dev = FileBlockDevice::Open(path_ + ".nope", 512);
+  EXPECT_FALSE(dev.ok());
+}
+
+TEST_F(FileBlockDeviceTest, BoundsChecked) {
+  auto dev = FileBlockDevice::Create(path_, 4, 512);
+  ASSERT_TRUE(dev.ok());
+  Bytes buf(512);
+  EXPECT_FALSE(dev->ReadBlock(4, buf.data()).ok());
+}
+
+// ---- DiskModel ------------------------------------------------------------
+
+DiskModelParams TestParams() { return DiskModelParams{}; }
+
+TEST(DiskModelTest, SequentialIsMuchCheaperThanRandom) {
+  DiskModel model(TestParams(), 1 << 18, 4096);
+  const double first = model.Access(1000);        // random (no position)
+  const double second = model.Access(1001);       // sequential
+  const double third = model.Access(200000);      // long seek
+  EXPECT_GT(first, 20 * second);
+  EXPECT_GT(third, 20 * second);
+}
+
+TEST(DiskModelTest, ClockAccumulates) {
+  DiskModel model(TestParams(), 1024, 4096);
+  EXPECT_DOUBLE_EQ(model.clock_ms(), 0.0);
+  const double c1 = model.Access(10);
+  const double c2 = model.Access(500);
+  EXPECT_DOUBLE_EQ(model.clock_ms(), c1 + c2);
+  model.AdvanceClock(5.0);
+  EXPECT_DOUBLE_EQ(model.clock_ms(), c1 + c2 + 5.0);
+}
+
+TEST(DiskModelTest, SeekCostGrowsWithDistance) {
+  DiskModel model(TestParams(), 1 << 20, 4096);
+  (void)model.Access(0);
+  const double near = model.PeekAccessCost(100);
+  const double far = model.PeekAccessCost(1 << 19);
+  EXPECT_LT(near, far);
+}
+
+TEST(DiskModelTest, AverageSeekCalibration) {
+  // A seek across a third of the disk should cost about avg_seek +
+  // rotational + transfer + overhead.
+  DiskModelParams p;
+  DiskModel model(p, 3 << 20, 4096);
+  (void)model.Access(0);
+  const double expected = p.controller_overhead_ms + p.avg_seek_ms +
+                          0.5 * 60e3 / p.rpm +
+                          4096.0 / (p.transfer_mb_per_s * 1e6) * 1e3;
+  EXPECT_NEAR(model.PeekAccessCost(1 << 20), expected, 0.05);
+}
+
+TEST(DiskModelTest, SequentialRunCounting) {
+  DiskModel model(TestParams(), 4096, 4096);
+  (void)model.Access(5);
+  (void)model.Access(6);
+  (void)model.Access(7);
+  (void)model.Access(100);
+  EXPECT_EQ(model.sequential_accesses(), 2u);
+  EXPECT_EQ(model.random_accesses(), 2u);
+}
+
+TEST(DiskModelTest, InvalidateHeadPosition) {
+  DiskModel model(TestParams(), 4096, 4096);
+  (void)model.Access(5);
+  model.InvalidateHeadPosition();
+  (void)model.Access(6);  // would have been sequential
+  EXPECT_EQ(model.sequential_accesses(), 0u);
+}
+
+TEST(DiskModelTest, FullStrokeCap) {
+  DiskModelParams p;
+  DiskModel model(p, 1 << 24, 4096);
+  (void)model.Access(0);
+  const double worst = model.PeekAccessCost((1 << 24) - 1);
+  EXPECT_LE(worst, p.controller_overhead_ms + p.full_stroke_ms +
+                       0.5 * 60e3 / p.rpm + 1.0);
+}
+
+// ---- SimBlockDevice ---------------------------------------------------------
+
+TEST(SimBlockDeviceTest, ForwardsAndCharges) {
+  MemBlockDevice mem(128, 4096);
+  SimBlockDevice sim(&mem, DiskModelParams{});
+  Bytes data(4096, 0x11);
+  ASSERT_TRUE(sim.WriteBlock(5, data.data()).ok());
+  Bytes out(4096);
+  ASSERT_TRUE(sim.ReadBlock(5, out.data()).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_GT(sim.clock_ms(), 0.0);
+  EXPECT_EQ(sim.stats().reads, 1u);
+  EXPECT_EQ(sim.stats().writes, 1u);
+}
+
+TEST(SimBlockDeviceTest, SequentialStatsTracked) {
+  MemBlockDevice mem(128, 4096);
+  SimBlockDevice sim(&mem, DiskModelParams{});
+  Bytes buf(4096);
+  for (uint64_t b = 0; b < 10; ++b) ASSERT_TRUE(sim.ReadBlock(b, buf.data()).ok());
+  EXPECT_EQ(sim.stats().sequential, 9u);
+  EXPECT_EQ(sim.stats().random, 1u);
+}
+
+TEST(SimBlockDeviceTest, SequentialScanFasterThanRandomScan) {
+  MemBlockDevice mem(4096, 4096);
+  Bytes buf(4096);
+
+  SimBlockDevice seq(&mem, DiskModelParams{});
+  for (uint64_t b = 0; b < 1000; ++b) ASSERT_TRUE(seq.ReadBlock(b, buf.data()).ok());
+
+  SimBlockDevice rnd(&mem, DiskModelParams{});
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(rnd.ReadBlock(rng.Uniform(4096), buf.data()).ok());
+  }
+  EXPECT_GT(rnd.clock_ms(), 10 * seq.clock_ms());
+}
+
+TEST(SimBlockDeviceTest, ErrorsAreNotCharged) {
+  MemBlockDevice mem(4, 4096);
+  SimBlockDevice sim(&mem, DiskModelParams{});
+  Bytes buf(4096);
+  EXPECT_FALSE(sim.ReadBlock(99, buf.data()).ok());
+  EXPECT_DOUBLE_EQ(sim.clock_ms(), 0.0);
+  EXPECT_EQ(sim.stats().reads, 0u);
+}
+
+// ---- TraceBlockDevice ---------------------------------------------------------
+
+TEST(TraceBlockDeviceTest, RecordsOperationsInOrder) {
+  MemBlockDevice mem(16, 512);
+  TraceBlockDevice traced(&mem);
+  Bytes buf(512);
+  ASSERT_TRUE(traced.WriteBlock(3, buf.data()).ok());
+  ASSERT_TRUE(traced.ReadBlock(7, buf.data()).ok());
+  ASSERT_EQ(traced.trace().size(), 2u);
+  EXPECT_EQ(traced.trace()[0],
+            (TraceEvent{TraceEvent::Kind::kWrite, 3}));
+  EXPECT_EQ(traced.trace()[1], (TraceEvent{TraceEvent::Kind::kRead, 7}));
+}
+
+TEST(TraceBlockDeviceTest, DisableAndClear) {
+  MemBlockDevice mem(16, 512);
+  TraceBlockDevice traced(&mem);
+  Bytes buf(512);
+  traced.set_enabled(false);
+  ASSERT_TRUE(traced.ReadBlock(0, buf.data()).ok());
+  EXPECT_TRUE(traced.trace().empty());
+  traced.set_enabled(true);
+  ASSERT_TRUE(traced.ReadBlock(0, buf.data()).ok());
+  EXPECT_EQ(traced.trace().size(), 1u);
+  traced.ClearTrace();
+  EXPECT_TRUE(traced.trace().empty());
+}
+
+TEST(TraceBlockDeviceTest, FailedOpsNotRecorded) {
+  MemBlockDevice mem(4, 512);
+  TraceBlockDevice traced(&mem);
+  Bytes buf(512);
+  EXPECT_FALSE(traced.ReadBlock(50, buf.data()).ok());
+  EXPECT_TRUE(traced.trace().empty());
+}
+
+// ---- Snapshot ---------------------------------------------------------------
+
+TEST(SnapshotTest, DetectsChangedBlock) {
+  MemBlockDevice mem(32, 512);
+  auto before = Snapshot::Capture(mem);
+  ASSERT_TRUE(before.ok());
+
+  Bytes data(512, 0x77);
+  ASSERT_TRUE(mem.WriteBlock(9, data.data()).ok());
+  auto after = Snapshot::Capture(mem);
+  ASSERT_TRUE(after.ok());
+
+  int changed = 0;
+  for (uint64_t b = 0; b < 32; ++b) {
+    if (before->fingerprint(b) != after->fingerprint(b)) {
+      ++changed;
+      EXPECT_EQ(b, 9u);
+    }
+  }
+  EXPECT_EQ(changed, 1);
+}
+
+TEST(SnapshotTest, FingerprintSensitivity) {
+  Bytes a(4096, 0);
+  Bytes b = a;
+  b[4095] ^= 1;  // single trailing bit flip
+  EXPECT_NE(Snapshot::FingerprintBlock(a.data(), a.size()),
+            Snapshot::FingerprintBlock(b.data(), b.size()));
+}
+
+TEST(SnapshotTest, FingerprintCollisionsRareProperty) {
+  // 10k random 64-byte blocks: no collisions expected at 64-bit output.
+  Rng rng(8);
+  std::set<uint64_t> fps;
+  Bytes block(64);
+  for (int i = 0; i < 10000; ++i) {
+    rng.Fill(block.data(), block.size());
+    fps.insert(Snapshot::FingerprintBlock(block.data(), block.size()));
+  }
+  EXPECT_EQ(fps.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace steghide::storage

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "agent/nonvolatile_agent.h"
+#include "storage/mem_block_device.h"
+
+namespace steghide::agent {
+namespace {
+
+using stegfs::StegFsOptions;
+
+class NonVolatileAgentTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kBlocks = 2048;
+
+  NonVolatileAgentTest()
+      : dev_(kBlocks, 4096),
+        core_(&dev_, StegFsOptions{7, true}),
+        agent_(&core_, NonVolatileAgent::Options{}) {
+    EXPECT_TRUE(core_.Format().ok());
+  }
+
+  Bytes Pattern(size_t n, uint8_t seed) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(seed + i * 7);
+    }
+    return out;
+  }
+
+  storage::MemBlockDevice dev_;
+  stegfs::StegFsCore core_;
+  NonVolatileAgent agent_;
+};
+
+TEST_F(NonVolatileAgentTest, CreateWriteReadRoundTrip) {
+  auto id = agent_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  const Bytes data = Pattern(10000, 3);
+  ASSERT_TRUE(agent_.Write(*id, 0, data).ok());
+  const auto back = agent_.Read(*id, 0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  EXPECT_EQ(*agent_.FileSize(*id), data.size());
+}
+
+TEST_F(NonVolatileAgentTest, SubRangeReadsAndWrites) {
+  auto id = agent_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(agent_.Write(*id, 0, Bytes(9000, 0xaa)).ok());
+  // Overwrite a slice spanning a block boundary (payload = 4080).
+  ASSERT_TRUE(agent_.Write(*id, 4000, Bytes(200, 0xbb)).ok());
+  const auto back = agent_.Read(*id, 3990, 220);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ((*back)[i], 0xaa);
+  for (size_t i = 10; i < 210; ++i) EXPECT_EQ((*back)[i], 0xbb);
+  for (size_t i = 210; i < 220; ++i) EXPECT_EQ((*back)[i], 0xaa);
+}
+
+TEST_F(NonVolatileAgentTest, ReadPastEndTruncates) {
+  auto id = agent_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(agent_.Write(*id, 0, Bytes(100, 1)).ok());
+  const auto back = agent_.Read(*id, 50, 1000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 50u);
+  EXPECT_TRUE(agent_.Read(*id, 500, 10)->empty());
+}
+
+TEST_F(NonVolatileAgentTest, WritesRelocateBlocks) {
+  auto id = agent_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  const size_t payload = core_.payload_size();
+  ASSERT_TRUE(agent_.Write(*id, 0, Bytes(payload * 8, 0x11)).ok());
+  ASSERT_TRUE(agent_.Flush(*id).ok());
+  const auto fak = agent_.GetFak(*id);
+  ASSERT_TRUE(fak.ok());
+  const auto before = core_.LoadFile(*fak);
+  ASSERT_TRUE(before.ok());
+
+  // Update every block several times; with D/N ≈ 1 almost every update
+  // relocates, so the block map must change.
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t b = 0; b < 8; ++b) {
+      ASSERT_TRUE(
+          agent_.Write(*id, b * payload, Bytes(payload, 0x22)).ok());
+    }
+  }
+  ASSERT_TRUE(agent_.Flush(*id).ok());
+  const auto after = core_.LoadFile(*fak);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before->block_ptrs, after->block_ptrs);
+
+  // Content survives the relocations.
+  const auto back = agent_.Read(*id, 0, payload * 8);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, Bytes(payload * 8, 0x22));
+}
+
+TEST_F(NonVolatileAgentTest, PersistsAcrossAgentRestart) {
+  Bytes fak_ser;
+  Bytes bitmap_ser;
+  const Bytes data = Pattern(50000, 9);
+  Bytes agent_key;
+  {
+    auto id = agent_.CreateFile();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(agent_.Write(*id, 0, data).ok());
+    ASSERT_TRUE(agent_.Flush(*id).ok());
+    const auto fak = agent_.GetFak(*id);
+    ASSERT_TRUE(fak.ok());
+    const std::string serialized = fak->Serialize();
+    fak_ser = Bytes(serialized.begin(), serialized.end());
+    agent_key = fak->header_key;  // construction 1: the agent key
+    bitmap_ser = agent_.SerializeBitmap();
+  }
+  // A new agent instance with the same persistent secrets resumes the
+  // volume.
+  NonVolatileAgent resumed(&core_, NonVolatileAgent::Options{agent_key});
+  ASSERT_TRUE(resumed.RestoreBitmap(bitmap_ser).ok());
+  const auto fak = stegfs::FileAccessKey::Deserialize(
+      std::string(fak_ser.begin(), fak_ser.end()));
+  ASSERT_TRUE(fak.ok());
+  auto id = resumed.OpenFile(*fak);
+  ASSERT_TRUE(id.ok());
+  const auto back = resumed.Read(*id, 0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(NonVolatileAgentTest, TruncateReleasesBlocks) {
+  auto id = agent_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  const size_t payload = core_.payload_size();
+  ASSERT_TRUE(agent_.Write(*id, 0, Bytes(payload * 10, 1)).ok());
+  const uint64_t used_before = agent_.bitmap().data_count();
+  ASSERT_TRUE(agent_.Truncate(*id, payload * 2).ok());
+  EXPECT_EQ(agent_.bitmap().data_count(), used_before - 8);
+  EXPECT_EQ(*agent_.FileSize(*id), payload * 2);
+  const auto back = agent_.Read(*id, 0, payload * 10);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), payload * 2);
+}
+
+TEST_F(NonVolatileAgentTest, DeleteFileScrubsHeader) {
+  auto id = agent_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(agent_.Write(*id, 0, Bytes(5000, 1)).ok());
+  const auto fak = agent_.GetFak(*id);
+  ASSERT_TRUE(fak.ok());
+  const uint64_t used_before = agent_.bitmap().data_count();
+  ASSERT_TRUE(agent_.DeleteFile(*id).ok());
+  EXPECT_LT(agent_.bitmap().data_count(), used_before);
+  // The FAK no longer opens anything.
+  EXPECT_FALSE(agent_.OpenFile(*fak).ok());
+  // The handle is gone.
+  EXPECT_FALSE(agent_.Read(*id, 0, 1).ok());
+}
+
+TEST_F(NonVolatileAgentTest, IdleDummyUpdatesTouchDisk) {
+  // Dummy updates must modify blocks (fresh IVs) without hurting data.
+  auto id = agent_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  const Bytes data = Pattern(20000, 5);
+  ASSERT_TRUE(agent_.Write(*id, 0, data).ok());
+
+  ASSERT_TRUE(agent_.IdleDummyUpdates(200).ok());
+  EXPECT_EQ(agent_.update_stats().dummy_updates, 200u);
+
+  const auto back = agent_.Read(*id, 0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(NonVolatileAgentTest, UnknownHandleErrors) {
+  EXPECT_FALSE(agent_.Read(999, 0, 1).ok());
+  EXPECT_FALSE(agent_.Write(999, 0, Bytes{1}).ok());
+  EXPECT_FALSE(agent_.Flush(999).ok());
+  EXPECT_FALSE(agent_.GetFak(999).ok());
+}
+
+TEST_F(NonVolatileAgentTest, LargeFileUsesIndirectBlocks) {
+  auto id = agent_.CreateFile();
+  ASSERT_TRUE(id.ok());
+  const size_t payload = core_.payload_size();
+  const uint64_t blocks = stegfs::kNumDirectPtrs + 10;
+  ASSERT_TRUE(agent_.Write(*id, 0, Bytes(blocks * payload, 0x3c)).ok());
+  ASSERT_TRUE(agent_.Flush(*id).ok());
+
+  const auto fak = agent_.GetFak(*id);
+  const auto loaded = core_.LoadFile(*fak);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->indirect_locs.size(), 1u);
+  EXPECT_EQ(loaded->num_data_blocks(), blocks);
+
+  const auto back = agent_.Read(*id, (blocks - 1) * payload, payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, Bytes(payload, 0x3c));
+}
+
+// ---- §4.1.5: E[iterations] = N / D -------------------------------------
+
+class OverheadFormulaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverheadFormulaTest, MeanIterationsMatchesAnalyticProperty) {
+  const double utilization = GetParam();
+  constexpr uint64_t kBlocks = 4096;
+  storage::MemBlockDevice dev(kBlocks, 4096);
+  stegfs::StegFsCore core(&dev, StegFsOptions{11, true});
+  ASSERT_TRUE(core.Format().ok());
+  NonVolatileAgent agent(&core, NonVolatileAgent::Options{});
+
+  const size_t payload = core.payload_size();
+  const uint64_t target_blocks =
+      static_cast<uint64_t>(utilization * kBlocks);
+  auto id = agent.CreateFile();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(agent.Write(*id, 0, Bytes(target_blocks * payload, 1)).ok());
+
+  const double n_over_d =
+      static_cast<double>(kBlocks) /
+      static_cast<double>(agent.bitmap().dummy_count());
+
+  agent.ResetUpdateStats();
+  Rng rng(13);
+  const Bytes fresh(payload, 0x55);
+  for (int i = 0; i < 600; ++i) {
+    const uint64_t b = rng.Uniform(target_blocks);
+    ASSERT_TRUE(agent.Write(*id, b * payload, fresh).ok());
+  }
+  const double measured = agent.update_stats().MeanIterations();
+  // 600 geometric samples: allow 20 % relative slack.
+  EXPECT_NEAR(measured, n_over_d, 0.2 * n_over_d)
+      << "utilization " << utilization;
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, OverheadFormulaTest,
+                         ::testing::Values(0.1, 0.25, 0.4, 0.5));
+
+}  // namespace
+}  // namespace steghide::agent

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "baseline/plain_fs.h"
+#include "storage/mem_block_device.h"
+#include "storage/sim_device.h"
+#include "workload/adapters.h"
+#include "workload/concurrency.h"
+#include "workload/file_population.h"
+#include "workload/update_stream.h"
+#include "workload/zipf.h"
+
+namespace steghide::workload {
+namespace {
+
+// ---- Zipf ---------------------------------------------------------------
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 2000, 250);
+}
+
+TEST(ZipfTest, SkewFavoursLowRanks) {
+  ZipfGenerator zipf(100, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Next(rng)]++;
+  EXPECT_GT(counts[0], counts[10] * 3);
+  EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(ZipfTest, BoundsRespected) {
+  ZipfGenerator zipf(5, 2.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Next(rng), 5u);
+}
+
+// ---- population / update streams over a PlainFs adapter --------------------
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest()
+      : dev_(8192, 4096), fs_(&dev_, baseline::PlainFs::CleanDisk()),
+        adapter_(&fs_, "CleanDisk"), rng_(11) {}
+
+  storage::MemBlockDevice dev_;
+  baseline::PlainFs fs_;
+  PlainFsAdapter adapter_;
+  Rng rng_;
+};
+
+TEST_F(WorkloadTest, CreatePopulationSizesInRange) {
+  PopulationSpec spec;
+  spec.file_count = 5;
+  spec.min_bytes = 1 << 20;
+  spec.max_bytes = 2 << 20;
+  auto pop = CreatePopulation(adapter_, rng_, spec);
+  ASSERT_TRUE(pop.ok());
+  ASSERT_EQ(pop->ids.size(), 5u);
+  for (uint64_t s : pop->sizes) {
+    EXPECT_GT(s, spec.min_bytes);
+    EXPECT_LE(s, spec.max_bytes);
+  }
+  EXPECT_EQ(pop->total_bytes(),
+            pop->sizes[0] + pop->sizes[1] + pop->sizes[2] + pop->sizes[3] +
+                pop->sizes[4]);
+}
+
+TEST_F(WorkloadTest, CreatePopulationBytesHitsTarget) {
+  auto pop = CreatePopulationBytes(adapter_, rng_, 10 << 20, 4 << 20);
+  ASSERT_TRUE(pop.ok());
+  EXPECT_EQ(pop->total_bytes(), 10u << 20);
+  EXPECT_EQ(pop->ids.size(), 3u);  // 4 + 4 + 2 MB
+}
+
+TEST_F(WorkloadTest, UniformUpdateStreamInBounds) {
+  PopulationSpec spec;
+  spec.file_count = 3;
+  spec.min_bytes = 100000;
+  spec.max_bytes = 200000;
+  auto pop = CreatePopulation(adapter_, rng_, spec);
+  ASSERT_TRUE(pop.ok());
+  const auto ops =
+      MakeUniformUpdateStream(*pop, adapter_.payload_size(), rng_, 500, 3);
+  ASSERT_EQ(ops.size(), 500u);
+  for (const auto& op : ops) {
+    const auto it = std::find(pop->ids.begin(), pop->ids.end(), op.file);
+    ASSERT_NE(it, pop->ids.end());
+    const size_t idx = static_cast<size_t>(it - pop->ids.begin());
+    const uint64_t blocks =
+        (pop->sizes[idx] + adapter_.payload_size() - 1) /
+        adapter_.payload_size();
+    EXPECT_LE(op.first_block + op.range_blocks, blocks);
+  }
+}
+
+TEST_F(WorkloadTest, ApplyUpdateStreamSucceeds) {
+  PopulationSpec spec;
+  spec.file_count = 2;
+  spec.min_bytes = 50000;
+  spec.max_bytes = 80000;
+  auto pop = CreatePopulation(adapter_, rng_, spec);
+  ASSERT_TRUE(pop.ok());
+  const auto ops =
+      MakeUniformUpdateStream(*pop, adapter_.payload_size(), rng_, 50, 2);
+  EXPECT_TRUE(ApplyUpdateStream(adapter_, ops, rng_).ok());
+}
+
+TEST_F(WorkloadTest, ZipfStreamSkewsFiles) {
+  PopulationSpec spec;
+  spec.file_count = 10;
+  spec.min_bytes = 50000;
+  spec.max_bytes = 60000;
+  auto pop = CreatePopulation(adapter_, rng_, spec);
+  ASSERT_TRUE(pop.ok());
+  const auto ops = MakeZipfUpdateStream(*pop, adapter_.payload_size(), rng_,
+                                        2000, 1, 1.2);
+  size_t first_file_hits = 0;
+  for (const auto& op : ops) {
+    if (op.file == pop->ids[0]) ++first_file_hits;
+  }
+  EXPECT_GT(first_file_hits, 400u);  // rank 1 dominates under theta=1.2
+}
+
+// ---- concurrency driver ------------------------------------------------------
+
+TEST(ConcurrencyTest, InterleavingDestroysSequentialRuns) {
+  storage::MemBlockDevice backing(8192, 4096);
+  storage::SimBlockDevice sim(&backing, storage::DiskModelParams{});
+  baseline::PlainFs fs(&sim, baseline::PlainFs::CleanDisk());
+  PlainFsAdapter adapter(&fs, "CleanDisk");
+
+  auto f1 = adapter.CreateFile(200 * 4096);
+  auto f2 = adapter.CreateFile(200 * 4096);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+
+  // Single stream first.
+  {
+    std::vector<std::unique_ptr<IoTask>> tasks;
+    tasks.push_back(
+        std::make_unique<FileReadTask>(&adapter, *f1, 200 * 4096));
+    auto t = RunConcurrently(tasks, [&] { return sim.clock_ms(); });
+    ASSERT_TRUE(t.ok());
+  }
+  const uint64_t solo_random = sim.stats().random;
+
+  // Two interleaved streams: round-robin alternation forces a seek on
+  // almost every access.
+  {
+    std::vector<std::unique_ptr<IoTask>> tasks;
+    tasks.push_back(
+        std::make_unique<FileReadTask>(&adapter, *f1, 200 * 4096));
+    tasks.push_back(
+        std::make_unique<FileReadTask>(&adapter, *f2, 200 * 4096));
+    auto t = RunConcurrently(tasks, [&] { return sim.clock_ms(); });
+    ASSERT_TRUE(t.ok());
+    ASSERT_EQ(t->size(), 2u);
+    EXPECT_GT((*t)[0], 0.0);
+  }
+  EXPECT_GT(sim.stats().random, solo_random + 300);
+}
+
+TEST(ConcurrencyTest, FinishTimesAreMonotoneInWork) {
+  storage::MemBlockDevice backing(8192, 4096);
+  storage::SimBlockDevice sim(&backing, storage::DiskModelParams{});
+  baseline::PlainFs fs(&sim, baseline::PlainFs::FragDisk());
+  PlainFsAdapter adapter(&fs, "FragDisk");
+  auto small = adapter.CreateFile(10 * 4096);
+  auto large = adapter.CreateFile(400 * 4096);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+
+  std::vector<std::unique_ptr<IoTask>> tasks;
+  tasks.push_back(std::make_unique<FileReadTask>(&adapter, *small, 10 * 4096));
+  tasks.push_back(std::make_unique<FileReadTask>(&adapter, *large, 400 * 4096));
+  auto t = RunConcurrently(tasks, [&] { return sim.clock_ms(); });
+  ASSERT_TRUE(t.ok());
+  EXPECT_LT((*t)[0], (*t)[1]);  // the small file finishes first
+}
+
+TEST(ConcurrencyTest, UpdateRangeTaskAppliesAllBlocks) {
+  storage::MemBlockDevice dev(1024, 4096);
+  baseline::PlainFs fs(&dev, baseline::PlainFs::CleanDisk());
+  PlainFsAdapter adapter(&fs, "CleanDisk");
+  auto f = adapter.CreateFile(10 * 4096);
+  ASSERT_TRUE(f.ok());
+
+  UpdateOp op{*f, 2, 5};
+  UpdateRangeTask task(&adapter, op, 99);
+  int steps = 0;
+  for (;;) {
+    auto done = task.Step();
+    ASSERT_TRUE(done.ok());
+    ++steps;
+    if (*done) break;
+  }
+  EXPECT_EQ(steps, 5);
+}
+
+}  // namespace
+}  // namespace steghide::workload
