@@ -7,6 +7,7 @@
 #include "analysis/ks_test.h"
 #include "analysis/snapshot_diff.h"
 #include "storage/mem_block_device.h"
+#include "testing/rng.h"
 #include "util/random.h"
 
 namespace steghide::analysis {
@@ -30,7 +31,7 @@ TEST(ChiSquareTest, SurvivalKnownValues) {
 }
 
 TEST(ChiSquareTest, UniformCountsPass) {
-  Rng rng(1);
+  Rng rng = testing::MakeTestRng();
   std::vector<uint64_t> counts(32, 0);
   for (int i = 0; i < 32000; ++i) counts[rng.Uniform(32)]++;
   const auto r = ChiSquareUniformTest(counts);
@@ -56,7 +57,7 @@ TEST(ChiSquareTest, GoodnessOfFitAgainstNonUniformExpectation) {
 }
 
 TEST(ChiSquareTest, TwoSampleSameDistributionPasses) {
-  Rng rng(2);
+  Rng rng = testing::MakeTestRng();
   std::vector<uint64_t> a(16, 0), b(16, 0);
   for (int i = 0; i < 8000; ++i) a[rng.Uniform(16)]++;
   for (int i = 0; i < 12000; ++i) b[rng.Uniform(16)]++;  // unequal sizes
@@ -65,7 +66,7 @@ TEST(ChiSquareTest, TwoSampleSameDistributionPasses) {
 }
 
 TEST(ChiSquareTest, TwoSampleDifferentDistributionsRejected) {
-  Rng rng(3);
+  Rng rng = testing::MakeTestRng();
   std::vector<uint64_t> a(16, 0), b(16, 0);
   for (int i = 0; i < 8000; ++i) a[rng.Uniform(16)]++;
   for (int i = 0; i < 8000; ++i) b[rng.Uniform(8)]++;  // half the range
@@ -89,7 +90,7 @@ TEST(KsTest, KolmogorovSurvivalKnownValues) {
 }
 
 TEST(KsTest, SameDistributionPasses) {
-  Rng rng(4);
+  Rng rng = testing::MakeTestRng();
   std::vector<double> a, b;
   for (int i = 0; i < 2000; ++i) a.push_back(rng.NextDouble());
   for (int i = 0; i < 2000; ++i) b.push_back(rng.NextDouble());
@@ -97,7 +98,7 @@ TEST(KsTest, SameDistributionPasses) {
 }
 
 TEST(KsTest, ShiftedDistributionRejected) {
-  Rng rng(5);
+  Rng rng = testing::MakeTestRng();
   std::vector<double> a, b;
   for (int i = 0; i < 2000; ++i) a.push_back(rng.NextDouble());
   for (int i = 0; i < 2000; ++i) b.push_back(0.1 + 0.9 * rng.NextDouble());
@@ -105,7 +106,7 @@ TEST(KsTest, ShiftedDistributionRejected) {
 }
 
 TEST(KsTest, UniformTest) {
-  Rng rng(6);
+  Rng rng = testing::MakeTestRng();
   std::vector<double> uniform, squared;
   for (int i = 0; i < 3000; ++i) {
     const double u = rng.NextDouble();
@@ -175,7 +176,7 @@ TEST(BinCountsTest, HandlesUnevenSizes) {
 // ---- distinguisher -----------------------------------------------------------------
 
 TEST(DistinguisherTest, UniformVsUniformIndistinguishable) {
-  Rng rng(7);
+  Rng rng = testing::MakeTestRng();
   std::vector<uint64_t> suspect(1024, 0), reference(1024, 0);
   for (int i = 0; i < 20000; ++i) suspect[rng.Uniform(1024)]++;
   for (int i = 0; i < 20000; ++i) reference[rng.Uniform(1024)]++;
@@ -185,7 +186,7 @@ TEST(DistinguisherTest, UniformVsUniformIndistinguishable) {
 }
 
 TEST(DistinguisherTest, HotSpotDetected) {
-  Rng rng(8);
+  Rng rng = testing::MakeTestRng();
   std::vector<uint64_t> suspect(1024, 0), reference(1024, 0);
   for (int i = 0; i < 20000; ++i) reference[rng.Uniform(1024)]++;
   // Suspect: a table being updated in place — a hot 16-block region.
@@ -198,7 +199,7 @@ TEST(DistinguisherTest, HotSpotDetected) {
 
 TEST(DistinguisherTest, TraceComparison) {
   using storage::TraceEvent;
-  Rng rng(9);
+  Rng rng = testing::MakeTestRng();
   storage::IoTrace dummy_only, with_data;
   for (int i = 0; i < 5000; ++i) {
     dummy_only.push_back({TraceEvent::Kind::kWrite, rng.Uniform(256)});

@@ -8,6 +8,8 @@
 #include "storage/mem_block_device.h"
 #include "storage/snapshot.h"
 #include "storage/trace_device.h"
+#include "testing/device_factory.h"
+#include "testing/rng.h"
 #include "util/random.h"
 
 namespace steghide {
@@ -127,8 +129,8 @@ class TrafficAnalysisEndToEnd : public ::testing::Test {
   // observed on the wire. With `hot` true, 70 % of the reads hit one
   // record; otherwise all reads are dummy reads.
   storage::IoTrace RunObliviousCampaign(uint64_t seed, bool hot) {
-    storage::MemBlockDevice mem(256, 4096);
-    storage::TraceBlockDevice traced(&mem);
+    testing::TracedMemDevice dev(256, 4096);
+    storage::TraceBlockDevice& traced = dev.traced();
 
     oblivious::ObliviousStoreOptions opts;
     opts.buffer_blocks = 4;
@@ -145,7 +147,7 @@ class TrafficAnalysisEndToEnd : public ::testing::Test {
     }
     traced.ClearTrace();  // the attacker analyses steady-state traffic
 
-    Rng rng(seed);
+    Rng rng = testing::MakeTestRng(seed);
     Bytes out((*store)->payload_size());
     for (int i = 0; i < 500; ++i) {
       if (hot && rng.Bernoulli(0.7)) {
@@ -172,10 +174,10 @@ TEST_F(TrafficAnalysisEndToEnd, ObliviousStoreHidesHotReads) {
 TEST_F(TrafficAnalysisEndToEnd, DirectReadsAreBrokenByTheSameAttack) {
   // The same hot workload read directly from fixed locations (StegFS
   // without the oblivious cache).
-  storage::MemBlockDevice mem(256, 4096);
-  storage::TraceBlockDevice traced(&mem);
+  testing::TracedMemDevice dev(256, 4096);
+  storage::TraceBlockDevice& traced = dev.traced();
   Bytes buf(4096);
-  Rng rng(33);
+  Rng rng = testing::MakeTestRng();
   storage::IoTrace reference;
   {
     // Dummy-only reference: uniform reads.
@@ -236,7 +238,7 @@ TEST(FullSystemTest, AgentWritesThenObliviousReads) {
   file->agent_tag = 1;
 
   Bytes out(payload);
-  Rng rng(5);
+  Rng rng = testing::MakeTestRng();
   for (int i = 0; i < 300; ++i) {
     const uint64_t logical = rng.Uniform(16);
     ASSERT_TRUE(reader.ReadBlock(*file, logical, out.data()).ok());
@@ -271,7 +273,7 @@ TEST(FullSystemTest, MixedWorkloadIntegrityUnderChurn) {
   ASSERT_TRUE(agent.Write(*f1, 0, Bytes(payload * 50, 0)).ok());
   ASSERT_TRUE(agent.Write(*f2, 0, Bytes(payload * 50, 0)).ok());
 
-  Rng rng(7);
+  Rng rng = testing::MakeTestRng();
   for (int op = 0; op < 400; ++op) {
     const bool first = rng.Bernoulli(0.5);
     const uint64_t block = rng.Uniform(50);

@@ -2,6 +2,7 @@
 
 #include "agent/oblivious_agent.h"
 #include "storage/mem_block_device.h"
+#include "testing/rng.h"
 #include "util/random.h"
 
 namespace steghide::agent {
@@ -124,7 +125,7 @@ TEST_F(ObliviousAgentTest, SoakMixedOpsWithMirror) {
   std::vector<Bytes> mirror(kBlocks, Bytes(payload, 0));
   ASSERT_TRUE(agent_->Write(*id, 0, Bytes(kBlocks * payload, 0)).ok());
 
-  Rng rng(17);
+  Rng rng = testing::MakeTestRng();
   for (int op = 0; op < 300; ++op) {
     const uint64_t b = rng.Uniform(kBlocks);
     if (rng.Bernoulli(0.4)) {

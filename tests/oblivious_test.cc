@@ -8,6 +8,7 @@
 #include "oblivious/oblivious_store.h"
 #include "storage/mem_block_device.h"
 #include "storage/sim_device.h"
+#include "testing/rng.h"
 #include "util/random.h"
 
 namespace steghide::oblivious {
@@ -93,7 +94,7 @@ TEST_F(MergeSorterTest, MultiRunExternalSort) {
   constexpr uint64_t kRun = 8;
   // Source blocks at positions 0..39; scratch at 64; destination at 128.
   std::map<uint64_t, Bytes> payloads;
-  Rng rng(5);
+  Rng rng = testing::MakeTestRng();
   for (uint64_t i = 0; i < kItems; ++i) {
     Bytes p(codec_.payload_size());
     rng.Fill(p.data(), p.size());
@@ -199,7 +200,7 @@ TEST_F(ObliviousStoreTest, SurvivesCascadedDumpsProperty) {
     ASSERT_TRUE(store_->Insert(id, Payload(static_cast<uint8_t>(id)).data()).ok());
   }
   Bytes out(store_->payload_size());
-  Rng rng(9);
+  Rng rng = testing::MakeTestRng();
   for (int round = 0; round < 200; ++round) {
     const uint64_t id = rng.Uniform(32);
     ASSERT_TRUE(store_->Read(id, out.data()).ok()) << "round " << round;
@@ -297,7 +298,7 @@ TEST_F(ObliviousStoreTest, OverheadFactorIsOrderTenK) {
   }
   store_->ResetStats();
   Bytes out(store_->payload_size());
-  Rng rng(17);
+  Rng rng = testing::MakeTestRng();
   for (int i = 0; i < 400; ++i) {
     ASSERT_TRUE(store_->Read(rng.Uniform(32), out.data()).ok());
   }
@@ -316,7 +317,7 @@ TEST_F(ObliviousStoreTest, ProbePositionsLookUniformProperty) {
     ASSERT_TRUE(store_->Insert(id, Payload(0).data()).ok());
   }
   Bytes out(store_->payload_size());
-  Rng rng(23);
+  Rng rng = testing::MakeTestRng();
   // Zipf-skewed REQUESTS: a heavily skewed workload...
   for (int i = 0; i < 300; ++i) {
     const uint64_t id = rng.Bernoulli(0.8) ? 3 : rng.Uniform(32);
@@ -403,7 +404,7 @@ TEST(ObliviousStoreIndexIoTest, ChargedVariantCostsMore) {
     for (uint64_t id = 0; id < 16; ++id) {
       EXPECT_TRUE((*store)->Insert(id, p.data()).ok());
     }
-    Rng rng(3);
+    Rng rng = testing::MakeTestRng();
     for (int i = 0; i < 100; ++i) {
       EXPECT_TRUE((*store)->Read(rng.Uniform(16), out.data()).ok());
     }

@@ -3,6 +3,7 @@
 #include "oblivious/steg_partition_reader.h"
 #include "storage/mem_block_device.h"
 #include "storage/sim_device.h"
+#include "testing/rng.h"
 #include "util/random.h"
 
 namespace steghide::oblivious {
@@ -77,7 +78,7 @@ TEST_F(ReaderTest, FirstReadFetchesThenCaches) {
 TEST_F(ReaderTest, EachBlockFetchedAtMostOnceProperty) {
   auto file = MakeFile(8, 1);
   Bytes out(core_.payload_size());
-  Rng rng(3);
+  Rng rng = testing::MakeTestRng();
   for (int i = 0; i < 200; ++i) {
     const uint64_t logical = rng.Uniform(8);
     ASSERT_TRUE(reader_->ReadBlock(file, logical, out.data()).ok());

@@ -1,0 +1,139 @@
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "analysis/snapshot_diff.h"
+#include "testing/device_factory.h"
+#include "testing/golden.h"
+#include "testing/rng.h"
+
+namespace steghide::storage {
+namespace {
+
+using steghide::testing::FillGolden;
+using steghide::testing::GoldenBlock;
+using steghide::testing::MakeMemDevice;
+using steghide::testing::MakeTestRng;
+
+TEST(SnapshotTest, CaptureCoversWholeDevice) {
+  auto dev = MakeMemDevice(24, 512);
+  auto snap = Snapshot::Capture(*dev);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->num_blocks(), 24u);
+}
+
+TEST(SnapshotTest, FingerprintIsContentDeterministic) {
+  const Bytes a = GoldenBlock(1, 0, 512);
+  const Bytes b = GoldenBlock(1, 1, 512);
+  EXPECT_EQ(Snapshot::FingerprintBlock(a.data(), a.size()),
+            Snapshot::FingerprintBlock(a.data(), a.size()));
+  EXPECT_NE(Snapshot::FingerprintBlock(a.data(), a.size()),
+            Snapshot::FingerprintBlock(b.data(), b.size()));
+}
+
+TEST(SnapshotTest, FingerprintSensitiveToSingleTrailingBitFlip) {
+  Bytes a(4096, 0);
+  Bytes b = a;
+  b[4095] ^= 1;
+  EXPECT_NE(Snapshot::FingerprintBlock(a.data(), a.size()),
+            Snapshot::FingerprintBlock(b.data(), b.size()));
+}
+
+TEST(SnapshotTest, FingerprintCollisionsRareProperty) {
+  // 10k random 64-byte blocks: no collisions expected at 64-bit output.
+  Rng rng = MakeTestRng();
+  std::set<uint64_t> fps;
+  Bytes block(64);
+  for (int i = 0; i < 10000; ++i) {
+    rng.Fill(block.data(), block.size());
+    fps.insert(Snapshot::FingerprintBlock(block.data(), block.size()));
+  }
+  EXPECT_EQ(fps.size(), 10000u);
+}
+
+TEST(SnapshotTest, IdenticalContentGivesIdenticalSnapshots) {
+  auto dev1 = MakeMemDevice(16, 512);
+  auto dev2 = MakeMemDevice(16, 512);
+  ASSERT_TRUE(FillGolden(*dev1, /*seed=*/42).ok());
+  ASSERT_TRUE(FillGolden(*dev2, /*seed=*/42).ok());
+  auto s1 = Snapshot::Capture(*dev1);
+  auto s2 = Snapshot::Capture(*dev2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  for (uint64_t b = 0; b < s1->num_blocks(); ++b) {
+    EXPECT_EQ(s1->fingerprint(b), s2->fingerprint(b)) << "block " << b;
+  }
+}
+
+TEST(SnapshotTest, DiffRoundTripRecoversExactlyTheTouchedBlocks) {
+  auto dev = MakeMemDevice(64, 512);
+  ASSERT_TRUE(FillGolden(*dev, /*seed=*/7).ok());
+  auto before = Snapshot::Capture(*dev);
+  ASSERT_TRUE(before.ok());
+
+  // Mutate a known, scattered set of blocks.
+  const std::set<uint64_t> touched = {0, 5, 6, 31, 63};
+  for (uint64_t b : touched) {
+    ASSERT_TRUE(dev->WriteBlock(b, GoldenBlock(/*seed=*/99, b, 512)).ok());
+  }
+  auto after = Snapshot::Capture(*dev);
+  ASSERT_TRUE(after.ok());
+
+  auto diff = analysis::DiffSnapshots(*before, *after);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(std::set<uint64_t>(diff->begin(), diff->end()), touched);
+  EXPECT_TRUE(std::is_sorted(diff->begin(), diff->end()));
+}
+
+TEST(SnapshotTest, RewritingIdenticalContentIsInvisible) {
+  auto dev = MakeMemDevice(16, 512);
+  ASSERT_TRUE(FillGolden(*dev, /*seed=*/3).ok());
+  auto before = Snapshot::Capture(*dev);
+  ASSERT_TRUE(before.ok());
+  // An in-place rewrite of the same bytes must not register as a change:
+  // the attacker fingerprints content, not I/O.
+  ASSERT_TRUE(dev->WriteBlock(4, GoldenBlock(/*seed=*/3, 4, 512)).ok());
+  auto after = Snapshot::Capture(*dev);
+  ASSERT_TRUE(after.ok());
+  auto diff = analysis::DiffSnapshots(*before, *after);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->empty());
+}
+
+TEST(SnapshotTest, DiffRejectsMismatchedGeometry) {
+  auto small = MakeMemDevice(8, 512);
+  auto large = MakeMemDevice(9, 512);
+  auto s1 = Snapshot::Capture(*small);
+  auto s2 = Snapshot::Capture(*large);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_FALSE(analysis::DiffSnapshots(*s1, *s2).ok());
+}
+
+TEST(SnapshotTest, RandomisedDiffRoundTrip) {
+  auto dev = MakeMemDevice(128, 512);
+  ASSERT_TRUE(FillGolden(*dev, /*seed=*/11).ok());
+  auto before = Snapshot::Capture(*dev);
+  ASSERT_TRUE(before.ok());
+
+  Rng rng = MakeTestRng();
+  std::set<uint64_t> touched;
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t b = rng.Uniform(dev->num_blocks());
+    Bytes content = GoldenBlock(/*seed=*/1000 + i, b, 512);
+    ASSERT_TRUE(dev->WriteBlock(b, content).ok());
+    touched.insert(b);
+  }
+  auto after = Snapshot::Capture(*dev);
+  ASSERT_TRUE(after.ok());
+  auto diff = analysis::DiffSnapshots(*before, *after);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(std::set<uint64_t>(diff->begin(), diff->end()), touched);
+}
+
+}  // namespace
+}  // namespace steghide::storage

@@ -8,8 +8,8 @@
 #include "storage/file_block_device.h"
 #include "storage/mem_block_device.h"
 #include "storage/sim_device.h"
-#include "storage/snapshot.h"
-#include "storage/trace_device.h"
+#include "testing/rng.h"
+#include "testing/temp_dir.h"
 #include "util/random.h"
 
 namespace steghide::storage {
@@ -51,13 +51,9 @@ TEST(MemBlockDeviceTest, BytesOverloadValidatesSize) {
 
 // ---- FileBlockDevice ----------------------------------------------------
 
-class FileBlockDeviceTest : public ::testing::Test {
+class FileBlockDeviceTest : public steghide::testing::TempDirTest {
  protected:
-  void SetUp() override {
-    path_ = ::testing::TempDir() + "/steghide_vol_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".img";
-  }
-  void TearDown() override { std::remove(path_.c_str()); }
+  void SetUp() override { path_ = TempFile("vol.img"); }
   std::string path_;
 };
 
@@ -191,7 +187,7 @@ TEST(SimBlockDeviceTest, SequentialScanFasterThanRandomScan) {
   for (uint64_t b = 0; b < 1000; ++b) ASSERT_TRUE(seq.ReadBlock(b, buf.data()).ok());
 
   SimBlockDevice rnd(&mem, DiskModelParams{});
-  Rng rng(3);
+  Rng rng = steghide::testing::MakeTestRng();
   for (int i = 0; i < 1000; ++i) {
     ASSERT_TRUE(rnd.ReadBlock(rng.Uniform(4096), buf.data()).ok());
   }
@@ -207,83 +203,8 @@ TEST(SimBlockDeviceTest, ErrorsAreNotCharged) {
   EXPECT_EQ(sim.stats().reads, 0u);
 }
 
-// ---- TraceBlockDevice ---------------------------------------------------------
-
-TEST(TraceBlockDeviceTest, RecordsOperationsInOrder) {
-  MemBlockDevice mem(16, 512);
-  TraceBlockDevice traced(&mem);
-  Bytes buf(512);
-  ASSERT_TRUE(traced.WriteBlock(3, buf.data()).ok());
-  ASSERT_TRUE(traced.ReadBlock(7, buf.data()).ok());
-  ASSERT_EQ(traced.trace().size(), 2u);
-  EXPECT_EQ(traced.trace()[0],
-            (TraceEvent{TraceEvent::Kind::kWrite, 3}));
-  EXPECT_EQ(traced.trace()[1], (TraceEvent{TraceEvent::Kind::kRead, 7}));
-}
-
-TEST(TraceBlockDeviceTest, DisableAndClear) {
-  MemBlockDevice mem(16, 512);
-  TraceBlockDevice traced(&mem);
-  Bytes buf(512);
-  traced.set_enabled(false);
-  ASSERT_TRUE(traced.ReadBlock(0, buf.data()).ok());
-  EXPECT_TRUE(traced.trace().empty());
-  traced.set_enabled(true);
-  ASSERT_TRUE(traced.ReadBlock(0, buf.data()).ok());
-  EXPECT_EQ(traced.trace().size(), 1u);
-  traced.ClearTrace();
-  EXPECT_TRUE(traced.trace().empty());
-}
-
-TEST(TraceBlockDeviceTest, FailedOpsNotRecorded) {
-  MemBlockDevice mem(4, 512);
-  TraceBlockDevice traced(&mem);
-  Bytes buf(512);
-  EXPECT_FALSE(traced.ReadBlock(50, buf.data()).ok());
-  EXPECT_TRUE(traced.trace().empty());
-}
-
-// ---- Snapshot ---------------------------------------------------------------
-
-TEST(SnapshotTest, DetectsChangedBlock) {
-  MemBlockDevice mem(32, 512);
-  auto before = Snapshot::Capture(mem);
-  ASSERT_TRUE(before.ok());
-
-  Bytes data(512, 0x77);
-  ASSERT_TRUE(mem.WriteBlock(9, data.data()).ok());
-  auto after = Snapshot::Capture(mem);
-  ASSERT_TRUE(after.ok());
-
-  int changed = 0;
-  for (uint64_t b = 0; b < 32; ++b) {
-    if (before->fingerprint(b) != after->fingerprint(b)) {
-      ++changed;
-      EXPECT_EQ(b, 9u);
-    }
-  }
-  EXPECT_EQ(changed, 1);
-}
-
-TEST(SnapshotTest, FingerprintSensitivity) {
-  Bytes a(4096, 0);
-  Bytes b = a;
-  b[4095] ^= 1;  // single trailing bit flip
-  EXPECT_NE(Snapshot::FingerprintBlock(a.data(), a.size()),
-            Snapshot::FingerprintBlock(b.data(), b.size()));
-}
-
-TEST(SnapshotTest, FingerprintCollisionsRareProperty) {
-  // 10k random 64-byte blocks: no collisions expected at 64-bit output.
-  Rng rng(8);
-  std::set<uint64_t> fps;
-  Bytes block(64);
-  for (int i = 0; i < 10000; ++i) {
-    rng.Fill(block.data(), block.size());
-    fps.insert(Snapshot::FingerprintBlock(block.data(), block.size()));
-  }
-  EXPECT_EQ(fps.size(), 10000u);
-}
+// TraceBlockDevice and Snapshot have dedicated suites now:
+// trace_device_test.cc and snapshot_test.cc.
 
 }  // namespace
 }  // namespace steghide::storage

@@ -1,0 +1,10 @@
+#include "testing/device_factory.h"
+
+namespace steghide::testing {
+
+std::unique_ptr<storage::MemBlockDevice> MakeMemDevice(uint64_t num_blocks,
+                                                       size_t block_size) {
+  return std::make_unique<storage::MemBlockDevice>(num_blocks, block_size);
+}
+
+}  // namespace steghide::testing

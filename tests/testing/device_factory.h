@@ -1,0 +1,38 @@
+#ifndef STEGHIDE_TESTS_TESTING_DEVICE_FACTORY_H_
+#define STEGHIDE_TESTS_TESTING_DEVICE_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/block_device.h"
+#include "storage/mem_block_device.h"
+#include "storage/trace_device.h"
+
+namespace steghide::testing {
+
+/// In-memory device with the block geometry most suites use. 64 blocks
+/// of 4 KB is enough for every unit scenario and keeps allocation cheap.
+std::unique_ptr<storage::MemBlockDevice> MakeMemDevice(
+    uint64_t num_blocks = 64,
+    size_t block_size = storage::kDefaultBlockSize);
+
+/// A mem device wrapped in a TraceBlockDevice, owning both halves, for
+/// tests that assert on the observed I/O stream.
+class TracedMemDevice {
+ public:
+  explicit TracedMemDevice(uint64_t num_blocks = 64,
+                           size_t block_size = storage::kDefaultBlockSize)
+      : mem_(num_blocks, block_size), trace_(&mem_) {}
+
+  storage::MemBlockDevice& mem() { return mem_; }
+  storage::TraceBlockDevice& traced() { return trace_; }
+  const storage::IoTrace& trace() const { return trace_.trace(); }
+
+ private:
+  storage::MemBlockDevice mem_;
+  storage::TraceBlockDevice trace_;
+};
+
+}  // namespace steghide::testing
+
+#endif  // STEGHIDE_TESTS_TESTING_DEVICE_FACTORY_H_

@@ -1,0 +1,68 @@
+#include "testing/golden.h"
+
+namespace steghide::testing {
+namespace {
+
+// splitmix64: cheap, well-mixed, and stateless per (seed, block, word).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Bytes GoldenBlock(uint64_t seed, uint64_t block_id, size_t block_size) {
+  Bytes block(block_size);
+  uint64_t state = Mix(seed ^ Mix(block_id));
+  for (size_t i = 0; i < block_size; ++i) {
+    if (i % 8 == 0) state = Mix(state);
+    block[i] = static_cast<uint8_t>(state >> ((i % 8) * 8));
+  }
+  return block;
+}
+
+Status FillGolden(storage::BlockDevice& dev, uint64_t seed) {
+  for (uint64_t b = 0; b < dev.num_blocks(); ++b) {
+    STEGHIDE_RETURN_IF_ERROR(
+        dev.WriteBlock(b, GoldenBlock(seed, b, dev.block_size())));
+  }
+  return Status::OK();
+}
+
+::testing::AssertionResult BlockEquals(storage::BlockDevice& dev,
+                                       uint64_t block_id,
+                                       const Bytes& expected) {
+  Bytes actual;
+  Status s = dev.ReadBlock(block_id, actual);
+  if (!s.ok()) {
+    return ::testing::AssertionFailure()
+           << "ReadBlock(" << block_id << ") failed: " << s.ToString();
+  }
+  if (actual.size() != expected.size()) {
+    return ::testing::AssertionFailure()
+           << "block " << block_id << ": size " << actual.size()
+           << " != expected " << expected.size();
+  }
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] != expected[i]) {
+      return ::testing::AssertionFailure()
+             << "block " << block_id << " differs first at byte " << i << ": 0x"
+             << std::hex << int{actual[i]} << " != expected 0x"
+             << int{expected[i]};
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult DeviceMatchesGolden(storage::BlockDevice& dev,
+                                               uint64_t seed) {
+  for (uint64_t b = 0; b < dev.num_blocks(); ++b) {
+    auto result = BlockEquals(dev, b, GoldenBlock(seed, b, dev.block_size()));
+    if (!result) return result;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace steghide::testing

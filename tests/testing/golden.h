@@ -1,0 +1,35 @@
+#ifndef STEGHIDE_TESTS_TESTING_GOLDEN_H_
+#define STEGHIDE_TESTS_TESTING_GOLDEN_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "storage/block_device.h"
+#include "util/bytes.h"
+
+namespace steghide::testing {
+
+/// Deterministic block content for (seed, block_id) — the "golden"
+/// pattern suites write before round-tripping through a device, codec,
+/// or snapshot. Independent of any Rng stream so two call sites always
+/// agree.
+Bytes GoldenBlock(uint64_t seed, uint64_t block_id, size_t block_size);
+
+/// Writes GoldenBlock(seed, i) to every block of `dev`.
+Status FillGolden(storage::BlockDevice& dev, uint64_t seed);
+
+/// EXPECT-friendly comparator: does block `block_id` of `dev` hold
+/// exactly `expected`? Failure messages name the first differing byte.
+::testing::AssertionResult BlockEquals(storage::BlockDevice& dev,
+                                       uint64_t block_id,
+                                       const Bytes& expected);
+
+/// Comparator for a full golden volume: every block matches
+/// GoldenBlock(seed, i). Stops at the first mismatching block.
+::testing::AssertionResult DeviceMatchesGolden(storage::BlockDevice& dev,
+                                               uint64_t seed);
+
+}  // namespace steghide::testing
+
+#endif  // STEGHIDE_TESTS_TESTING_GOLDEN_H_

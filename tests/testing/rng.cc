@@ -1,0 +1,33 @@
+#include "testing/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace steghide::testing {
+namespace {
+
+uint64_t Fnv1a(const std::string& s, uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t TestSeed(uint64_t salt) {
+  uint64_t h = 0xcbf29ce484222325ull ^ (salt * 0x9e3779b97f4a7c15ull);
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    h = Fnv1a(std::string(info->test_suite_name()) + "." + info->name(), h);
+  }
+  // Rng rejects an all-zero state internally, but keep the seed nonzero
+  // so logs never show a suspicious 0.
+  return h == 0 ? 0x9e3779b97f4a7c15ull : h;
+}
+
+Rng MakeTestRng(uint64_t salt) { return Rng(TestSeed(salt)); }
+
+}  // namespace steghide::testing

@@ -1,0 +1,35 @@
+#include "testing/temp_dir.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+
+namespace steghide::testing {
+namespace {
+
+std::atomic<uint64_t> g_dir_counter{0};
+
+}  // namespace
+
+ScopedTempDir::ScopedTempDir() {
+  const uint64_t id = g_dir_counter.fetch_add(1);
+  std::filesystem::path base(::testing::TempDir());
+  // Pid + counter keeps parallel ctest invocations from colliding.
+  std::filesystem::path dir =
+      base / ("steghide_test_" + std::to_string(::getpid()) + "_" +
+              std::to_string(id));
+  std::filesystem::create_directories(dir);
+  path_ = dir.string();
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  std::error_code ec;  // best-effort; never throw from a destructor
+  std::filesystem::remove_all(path_, ec);
+}
+
+std::string ScopedTempDir::FilePath(const std::string& name) const {
+  return (std::filesystem::path(path_) / name).string();
+}
+
+}  // namespace steghide::testing

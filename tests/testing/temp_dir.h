@@ -1,0 +1,45 @@
+#ifndef STEGHIDE_TESTS_TESTING_TEMP_DIR_H_
+#define STEGHIDE_TESTS_TESTING_TEMP_DIR_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace steghide::testing {
+
+/// A unique directory under the test runner's temp root, recursively
+/// deleted on destruction. Keeps FileBlockDevice suites from leaking
+/// volume images between runs.
+class ScopedTempDir {
+ public:
+  ScopedTempDir();
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Absolute path for a file named `name` inside the directory.
+  std::string FilePath(const std::string& name) const;
+
+ private:
+  std::string path_;
+};
+
+/// Fixture base for suites that need scratch files: each test gets a
+/// fresh directory, removed in TearDown even when the test fails.
+class TempDirTest : public ::testing::Test {
+ protected:
+  const std::string& temp_path() const { return dir_.path(); }
+  std::string TempFile(const std::string& name) const {
+    return dir_.FilePath(name);
+  }
+
+ private:
+  ScopedTempDir dir_;
+};
+
+}  // namespace steghide::testing
+
+#endif  // STEGHIDE_TESTS_TESTING_TEMP_DIR_H_

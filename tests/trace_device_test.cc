@@ -1,0 +1,97 @@
+#include "storage/trace_device.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/mem_block_device.h"
+#include "testing/device_factory.h"
+#include "testing/golden.h"
+#include "testing/rng.h"
+
+namespace steghide::storage {
+namespace {
+
+using steghide::testing::GoldenBlock;
+using steghide::testing::MakeTestRng;
+using steghide::testing::TracedMemDevice;
+
+TEST(TraceDeviceTest, RecordsOperationsInIssueOrder) {
+  TracedMemDevice dev(16, 512);
+  Bytes block(512, 0x11);
+  ASSERT_TRUE(dev.traced().WriteBlock(3, block).ok());
+  Bytes out;
+  ASSERT_TRUE(dev.traced().ReadBlock(3, out).ok());
+  ASSERT_TRUE(dev.traced().WriteBlock(9, block).ok());
+  ASSERT_TRUE(dev.traced().ReadBlock(0, out).ok());
+
+  const IoTrace expected = {{TraceEvent::Kind::kWrite, 3},
+                            {TraceEvent::Kind::kRead, 3},
+                            {TraceEvent::Kind::kWrite, 9},
+                            {TraceEvent::Kind::kRead, 0}};
+  EXPECT_EQ(dev.trace(), expected);
+}
+
+TEST(TraceDeviceTest, InterleavedMixPreservesTotalOrder) {
+  TracedMemDevice dev(64, 512);
+  Rng rng = MakeTestRng();
+  IoTrace expected;
+  Bytes buf(512);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t block = rng.Uniform(dev.traced().num_blocks());
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(dev.traced().WriteBlock(block, buf).ok());
+      expected.push_back({TraceEvent::Kind::kWrite, block});
+    } else {
+      ASSERT_TRUE(dev.traced().ReadBlock(block, buf).ok());
+      expected.push_back({TraceEvent::Kind::kRead, block});
+    }
+  }
+  EXPECT_EQ(dev.trace(), expected);
+}
+
+TEST(TraceDeviceTest, FailedOperationsAreNotRecorded) {
+  TracedMemDevice dev(4, 512);
+  Bytes buf(512);
+  EXPECT_FALSE(dev.traced().ReadBlock(99, buf).ok());
+  EXPECT_FALSE(dev.traced().WriteBlock(4, buf).ok());
+  EXPECT_TRUE(dev.trace().empty());
+}
+
+TEST(TraceDeviceTest, DisableSuppressesRecordingButNotIo) {
+  TracedMemDevice dev(8, 512);
+  const Bytes golden = GoldenBlock(/*seed=*/7, /*block_id=*/2, 512);
+
+  dev.traced().set_enabled(false);
+  ASSERT_TRUE(dev.traced().WriteBlock(2, golden).ok());
+  EXPECT_TRUE(dev.trace().empty());
+  // The write still reached the backing device.
+  EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 2, golden));
+
+  dev.traced().set_enabled(true);
+  Bytes out;
+  ASSERT_TRUE(dev.traced().ReadBlock(2, out).ok());
+  const IoTrace expected = {{TraceEvent::Kind::kRead, 2}};
+  EXPECT_EQ(dev.trace(), expected);
+}
+
+TEST(TraceDeviceTest, ClearTraceDropsHistory) {
+  TracedMemDevice dev(8, 512);
+  Bytes buf(512);
+  ASSERT_TRUE(dev.traced().WriteBlock(1, buf).ok());
+  ASSERT_TRUE(dev.traced().ReadBlock(1, buf).ok());
+  ASSERT_EQ(dev.trace().size(), 2u);
+  dev.traced().ClearTrace();
+  EXPECT_TRUE(dev.trace().empty());
+  ASSERT_TRUE(dev.traced().ReadBlock(0, buf).ok());
+  EXPECT_EQ(dev.trace().size(), 1u);
+}
+
+TEST(TraceDeviceTest, DelegatesGeometryAndFlush) {
+  MemBlockDevice mem(32, 1024);
+  TraceBlockDevice traced(&mem);
+  EXPECT_EQ(traced.num_blocks(), 32u);
+  EXPECT_EQ(traced.block_size(), 1024u);
+  EXPECT_TRUE(traced.Flush().ok());
+}
+
+}  // namespace
+}  // namespace steghide::storage

@@ -4,6 +4,7 @@
 
 #include "agent/nonvolatile_agent.h"
 #include "storage/mem_block_device.h"
+#include "testing/rng.h"
 
 namespace steghide::agent {
 namespace {
@@ -223,7 +224,7 @@ TEST_P(OverheadFormulaTest, MeanIterationsMatchesAnalyticProperty) {
       static_cast<double>(agent.bitmap().dummy_count());
 
   agent.ResetUpdateStats();
-  Rng rng(13);
+  Rng rng = testing::MakeTestRng();
   const Bytes fresh(payload, 0x55);
   for (int i = 0; i < 600; ++i) {
     const uint64_t b = rng.Uniform(target_blocks);

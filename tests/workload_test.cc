@@ -3,6 +3,7 @@
 #include "baseline/plain_fs.h"
 #include "storage/mem_block_device.h"
 #include "storage/sim_device.h"
+#include "testing/rng.h"
 #include "workload/adapters.h"
 #include "workload/concurrency.h"
 #include "workload/file_population.h"
@@ -16,7 +17,7 @@ namespace {
 
 TEST(ZipfTest, ThetaZeroIsUniform) {
   ZipfGenerator zipf(10, 0.0);
-  Rng rng(1);
+  Rng rng = testing::MakeTestRng();
   std::vector<int> counts(10, 0);
   for (int i = 0; i < 20000; ++i) counts[zipf.Next(rng)]++;
   for (int c : counts) EXPECT_NEAR(c, 2000, 250);
@@ -24,7 +25,7 @@ TEST(ZipfTest, ThetaZeroIsUniform) {
 
 TEST(ZipfTest, SkewFavoursLowRanks) {
   ZipfGenerator zipf(100, 1.0);
-  Rng rng(2);
+  Rng rng = testing::MakeTestRng();
   std::vector<int> counts(100, 0);
   for (int i = 0; i < 50000; ++i) counts[zipf.Next(rng)]++;
   EXPECT_GT(counts[0], counts[10] * 3);
@@ -33,7 +34,7 @@ TEST(ZipfTest, SkewFavoursLowRanks) {
 
 TEST(ZipfTest, BoundsRespected) {
   ZipfGenerator zipf(5, 2.0);
-  Rng rng(3);
+  Rng rng = testing::MakeTestRng();
   for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Next(rng), 5u);
 }
 
@@ -43,7 +44,7 @@ class WorkloadTest : public ::testing::Test {
  protected:
   WorkloadTest()
       : dev_(8192, 4096), fs_(&dev_, baseline::PlainFs::CleanDisk()),
-        adapter_(&fs_, "CleanDisk"), rng_(11) {}
+        adapter_(&fs_, "CleanDisk"), rng_(testing::TestSeed()) {}
 
   storage::MemBlockDevice dev_;
   baseline::PlainFs fs_;
