@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
+
 #include "bench/common.h"
 #include "workload/file_population.h"
 #include "workload/update_stream.h"
@@ -61,8 +63,5 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return RunBenchmarks(argc, argv);
 }

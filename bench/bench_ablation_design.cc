@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
+
 #include "bench/common.h"
 #include "oblivious/oblivious_store.h"
 #include "workload/file_population.h"
@@ -167,8 +169,5 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return RunBenchmarks(argc, argv);
 }

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
+
 #include "bench/common.h"
 #include "workload/concurrency.h"
 #include "workload/file_population.h"
@@ -95,8 +97,5 @@ int main(int argc, char** argv) {
           ->Unit(benchmark::kMillisecond);
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return RunBenchmarks(argc, argv);
 }

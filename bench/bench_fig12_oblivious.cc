@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
+
 #include "oblivious/oblivious_store.h"
 #include "storage/mem_block_device.h"
 #include "storage/sim_device.h"
@@ -102,8 +104,5 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return RunBenchmarks(argc, argv);
 }

@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
+
 #include "agent/volatile_agent.h"
 #include "analysis/distinguisher.h"
 #include "analysis/snapshot_diff.h"
@@ -196,8 +198,5 @@ int main(int argc, char** argv) {
                                BM_TrafficDirect)
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return RunBenchmarks(argc, argv);
 }

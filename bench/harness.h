@@ -1,0 +1,124 @@
+#ifndef STEGHIDE_BENCH_HARNESS_H_
+#define STEGHIDE_BENCH_HARNESS_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace steghide::bench {
+
+/// Shared entry point for every bench binary. Handles the one flag the
+/// Google Benchmark flag parser does not know about:
+///
+///   --json=<path>   write the per-benchmark counters (the virtual-
+///                   disk-ms numbers behind each figure point) as JSON,
+///                   in addition to the normal console output. This is
+///                   what CI archives for regression tracking.
+///
+/// Mains register their benchmarks, then `return RunBenchmarks(argc,
+/// argv);`.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Record {
+    std::string name;
+    int64_t iterations = 0;
+    double real_time = 0.0;
+    std::string time_unit;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      Record rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = run.iterations;
+      rec.real_time = run.GetAdjustedRealTime();
+      rec.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      for (const auto& [key, counter] : run.counters) {
+        rec.counters.emplace_back(key, static_cast<double>(counter));
+      }
+      records_.push_back(std::move(rec));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// Writes `{"benchmarks": [...]}`. Returns false on I/O failure.
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& rec = records_[i];
+      out << "    {\n      \"name\": \"" << Escape(rec.name) << "\",\n"
+          << "      \"iterations\": " << rec.iterations << ",\n"
+          << "      \"real_time\": " << Number(rec.real_time) << ",\n"
+          << "      \"time_unit\": \"" << rec.time_unit << "\",\n"
+          << "      \"counters\": {";
+      for (size_t c = 0; c < rec.counters.size(); ++c) {
+        out << (c == 0 ? "\n" : ",\n") << "        \""
+            << Escape(rec.counters[c].first)
+            << "\": " << Number(rec.counters[c].second);
+      }
+      out << (rec.counters.empty() ? "}" : "\n      }") << "\n    }"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string escaped;
+    for (char c : s) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return escaped;
+  }
+
+  /// JSON has no inf/nan literals; clamp them to null-safe 0.
+  static std::string Number(double v) {
+    if (!std::isfinite(v)) return "0";
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return os.str();
+  }
+
+  std::vector<Record> records_;
+};
+
+inline int RunBenchmarks(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char kJsonFlag[] = "--json=";
+    if (std::strncmp(argv[i], kJsonFlag, sizeof(kJsonFlag) - 1) == 0) {
+      json_path = argv[i] + sizeof(kJsonFlag) - 1;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty() && !reporter.WriteJson(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace steghide::bench
+
+#endif  // STEGHIDE_BENCH_HARNESS_H_

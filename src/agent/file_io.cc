@@ -9,21 +9,27 @@ using stegfs::HiddenFile;
 
 Result<Bytes> ReadBytes(stegfs::StegFsCore& core, const HiddenFile& file,
                         uint64_t offset, size_t n) {
-  if (offset >= file.file_size) return Bytes{};
+  if (n == 0 || offset >= file.file_size) return Bytes{};
   const uint64_t end = std::min<uint64_t>(offset + n, file.file_size);
   const size_t payload = core.payload_size();
 
+  // One vectored fetch for the whole logical span, so the storage stack
+  // (cache, scheduler, simulated disk) sees the request as a batch.
+  const uint64_t first = offset / payload;
+  const uint64_t last = (end - 1) / payload;  // inclusive; end > 0 from n > 0
+  const uint64_t count = last - first + 1;
+  Bytes payloads(count * payload);
+  STEGHIDE_RETURN_IF_ERROR(
+      core.ReadFileBlocks(file, first, count, payloads.data()));
+
   Bytes out;
   out.reserve(end - offset);
-  Bytes buf(payload);
-  for (uint64_t logical = offset / payload; logical * payload < end;
-       ++logical) {
-    STEGHIDE_RETURN_IF_ERROR(core.ReadFileBlock(file, logical, buf.data()));
+  for (uint64_t logical = first; logical <= last; ++logical) {
+    const uint8_t* buf = payloads.data() + (logical - first) * payload;
     const uint64_t block_begin = logical * payload;
     const uint64_t lo = std::max<uint64_t>(offset, block_begin);
     const uint64_t hi = std::min<uint64_t>(end, block_begin + payload);
-    out.insert(out.end(), buf.data() + (lo - block_begin),
-               buf.data() + (hi - block_begin));
+    out.insert(out.end(), buf + (lo - block_begin), buf + (hi - block_begin));
   }
   return out;
 }

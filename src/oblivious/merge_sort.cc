@@ -47,17 +47,23 @@ Status ExternalMergeSorter::SpillRun() {
   run.base = scratch_base_ + scratch_used_;
   run.tags.reserve(pending_.size());
   run.labels.reserve(pending_.size());
-  Bytes block(codec_->block_size());
-  for (const Item& item : pending_) {
+  // Seal the whole run, then write it with one vectored request — a
+  // sequential sweep of the scratch region.
+  Bytes images(pending_.size() * codec_->block_size());
+  std::vector<uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    const Item& item = pending_[i];
     STEGHIDE_RETURN_IF_ERROR(
-        codec_->Seal(*cipher_, *drbg_, item.payload.data(), block.data()));
-    STEGHIDE_RETURN_IF_ERROR(
-        device_->WriteBlock(scratch_base_ + scratch_used_, block.data()));
-    ++stats_.writes;
+        codec_->Seal(*cipher_, *drbg_, item.payload.data(),
+                     images.data() + i * codec_->block_size()));
+    ids.push_back(scratch_base_ + scratch_used_);
     ++scratch_used_;
     run.tags.push_back(item.tag);
     run.labels.push_back(item.label);
   }
+  STEGHIDE_RETURN_IF_ERROR(device_->WriteBlocks(ids, images.data()));
+  stats_.writes += ids.size();
   runs_.push_back(std::move(run));
   pending_.clear();
   return Status::OK();
@@ -116,14 +122,19 @@ Result<std::vector<uint64_t>> ExternalMergeSorter::Finish(uint64_t dst_base) {
     const uint64_t end =
         std::min<uint64_t>(c.next + chunk, c.run->tags.size());
     c.chunk_payloads.clear();
-    Bytes block(codec_->block_size());
+    std::vector<uint64_t> ids;
+    ids.reserve(end - c.chunk_begin);
     for (uint64_t i = c.chunk_begin; i < end; ++i) {
-      STEGHIDE_RETURN_IF_ERROR(
-          device_->ReadBlock(c.run->base + i, block.data()));
-      ++stats_.reads;
+      ids.push_back(c.run->base + i);
+    }
+    Bytes blocks;
+    STEGHIDE_RETURN_IF_ERROR(device_->ReadBlocks(ids, blocks));
+    stats_.reads += ids.size();
+    for (size_t i = 0; i < ids.size(); ++i) {
       Bytes payload(codec_->payload_size());
-      STEGHIDE_RETURN_IF_ERROR(
-          codec_->Open(*cipher_, block.data(), payload.data()));
+      STEGHIDE_RETURN_IF_ERROR(codec_->Open(
+          *cipher_, blocks.data() + i * codec_->block_size(),
+          payload.data()));
       c.chunk_payloads.push_back(std::move(payload));
     }
     return Status::OK();
@@ -132,17 +143,21 @@ Result<std::vector<uint64_t>> ExternalMergeSorter::Finish(uint64_t dst_base) {
   std::vector<uint64_t> order;
   std::vector<Bytes> out_chunk;
   uint64_t out_pos = 0;
-  Bytes block(codec_->block_size());
 
   auto flush_output = [&]() -> Status {
-    for (const Bytes& payload : out_chunk) {
+    if (out_chunk.empty()) return Status::OK();
+    Bytes images(out_chunk.size() * codec_->block_size());
+    std::vector<uint64_t> ids;
+    ids.reserve(out_chunk.size());
+    for (size_t i = 0; i < out_chunk.size(); ++i) {
       STEGHIDE_RETURN_IF_ERROR(
-          codec_->Seal(*cipher_, *drbg_, payload.data(), block.data()));
-      STEGHIDE_RETURN_IF_ERROR(
-          device_->WriteBlock(dst_base + out_pos, block.data()));
-      ++stats_.writes;
+          codec_->Seal(*cipher_, *drbg_, out_chunk[i].data(),
+                       images.data() + i * codec_->block_size()));
+      ids.push_back(dst_base + out_pos);
       ++out_pos;
     }
+    STEGHIDE_RETURN_IF_ERROR(device_->WriteBlocks(ids, images.data()));
+    stats_.writes += ids.size();
     out_chunk.clear();
     return Status::OK();
   };

@@ -73,17 +73,6 @@ std::vector<uint64_t> ObliviousStore::LevelOccupancy() const {
   return occ;
 }
 
-Status ObliviousStore::ChargeIndexProbe(const Level& level) {
-  if (!options_.charge_index_io || level.empty()) return Status::OK();
-  // The spilled index sits "in the front of the corresponding level"; one
-  // probe reads one of its blocks. We model the cost by reading the
-  // level's first block (the content is irrelevant to the cost model).
-  Bytes block(codec_.block_size());
-  STEGHIDE_RETURN_IF_ERROR(device_->ReadBlock(level.base, block.data()));
-  ++stats_.index_io;
-  return Status::OK();
-}
-
 Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
   if (!options_.charge_index_io) return Status::OK();
   // 16 bytes per entry (hashed key + slot), written sequentially.
@@ -100,36 +89,50 @@ Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
 }
 
 Status ObliviousStore::ScanLevels(RecordId id, uint8_t* out_payload) {
+  // Plan the whole touch pattern first — one slot per non-empty level
+  // (plus the charge_index_io probe, which models reading the spilled
+  // index block "in the front of the corresponding level") — then issue
+  // it as a single vectored read. The id sequence is exactly the
+  // per-level issue order, so a trace device sees the same stream as the
+  // one-call-one-block path, while a cache or scheduler underneath can
+  // batch the probes.
+  std::vector<uint64_t> probe_ids;
+  probe_ids.reserve(2 * levels_.size());
+  size_t found_probe = 0;
   bool found = false;
-  Bytes block(codec_.block_size());
-  Bytes payload(codec_.payload_size());
   for (Level& level : levels_) {
     if (level.empty()) continue;
-    STEGHIDE_RETURN_IF_ERROR(ChargeIndexProbe(level));
+    if (options_.charge_index_io) {
+      probe_ids.push_back(level.base);
+      ++stats_.index_io;
+    }
     uint64_t slot;
     const auto hit = level.index.Get(id);
     if (!found && hit.has_value()) {
       slot = *hit;
       found = true;
-      STEGHIDE_RETURN_IF_ERROR(
-          device_->ReadBlock(level.base + slot, block.data()));
-      ++stats_.level_probe_reads;
-      STEGHIDE_RETURN_IF_ERROR(
-          codec_.Open(cipher_, block.data(), payload.data()));
-      if (out_payload != nullptr) {
-        std::memcpy(out_payload, payload.data(), payload.size());
-      }
+      found_probe = probe_ids.size();
     } else {
       // Decoy: uniformly random occupied slot. Stale slots are eligible —
       // to the observer every slot is the same.
       slot = drbg_.Uniform(level.occupied());
-      STEGHIDE_RETURN_IF_ERROR(
-          device_->ReadBlock(level.base + slot, block.data()));
-      ++stats_.level_probe_reads;
     }
+    probe_ids.push_back(level.base + slot);
+    ++stats_.level_probe_reads;
   }
   if (!found) {
     return Status::Internal("record in present set but not found in levels");
+  }
+
+  Bytes blocks(probe_ids.size() * codec_.block_size());
+  STEGHIDE_RETURN_IF_ERROR(device_->ReadBlocks(probe_ids, blocks.data()));
+
+  Bytes payload(codec_.payload_size());
+  STEGHIDE_RETURN_IF_ERROR(codec_.Open(
+      cipher_, blocks.data() + found_probe * codec_.block_size(),
+      payload.data()));
+  if (out_payload != nullptr) {
+    std::memcpy(out_payload, payload.data(), payload.size());
   }
   return Status::OK();
 }

@@ -155,9 +155,9 @@ class ObliviousStore {
                      const std::vector<std::pair<RecordId, const Bytes*>>&
                          in_memory);
 
-  /// charge_index_io: one index-block read for a probe of `level`.
-  Status ChargeIndexProbe(const Level& level);
   /// charge_index_io: sequential index rewrite after re-ordering `level`.
+  /// (The per-probe index read is planned inline by ScanLevels, so it
+  /// joins the level probes in one vectored request.)
   Status ChargeIndexRebuild(const Level& level);
 
   storage::BlockDevice* device_;

@@ -1,5 +1,7 @@
 #include "oblivious/steg_partition_reader.h"
 
+#include <algorithm>
+
 namespace steghide::oblivious {
 
 StegPartitionReader::StegPartitionReader(stegfs::StegFsCore* core,
@@ -18,15 +20,28 @@ Status StegPartitionReader::ReadBlock(const stegfs::HiddenFile& file,
   }
 
   // Figure 8(a): randomise the fetch by interleaving decoy re-reads of
-  // already-fetched blocks.
+  // already-fetched blocks. The DRBG draws happen in loop order (the
+  // distribution argument depends on it); the decoy I/O itself is issued
+  // as one vectored read in the same sequence, so the observable stream
+  // is unchanged while a cache/scheduler sees the whole batch.
   const uint64_t m = core_->num_blocks();
-  Bytes raw;
+  std::vector<uint64_t> decoys;
   for (;;) {
     const uint64_t x = core_->drbg().Uniform(m);
     if (x >= fetched_.size()) break;
-    const uint64_t decoy = fetched_[core_->drbg().Uniform(fetched_.size())];
-    STEGHIDE_RETURN_IF_ERROR(core_->ReadRaw(decoy, raw));
+    decoys.push_back(fetched_[core_->drbg().Uniform(fetched_.size())]);
     ++stats_.decoy_reads;
+  }
+  if (!decoys.empty()) {
+    // Chunked so a late-stage fetch (expected decoy count approaches the
+    // partition size as S → M) never materialises a volume-sized buffer.
+    constexpr size_t kDecoyChunk = 256;
+    Bytes raw;
+    for (size_t i = 0; i < decoys.size(); i += kDecoyChunk) {
+      const size_t n = std::min(kDecoyChunk, decoys.size() - i);
+      STEGHIDE_RETURN_IF_ERROR(core_->ReadRawBatch(
+          std::span<const uint64_t>(decoys).subspan(i, n), raw));
+    }
   }
 
   STEGHIDE_RETURN_IF_ERROR(core_->ReadFileBlock(file, logical, out_payload));

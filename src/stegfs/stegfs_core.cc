@@ -55,12 +55,17 @@ Result<HiddenFile> StegFsCore::LoadFile(const FileAccessKey& fak) {
   STEGHIDE_RETURN_IF_ERROR(
       ParseHeader(payload.data(), codec_.block_size(), &file));
 
-  // Pull in indirect blocks to complete the pointer map.
-  for (uint64_t i = 0; i < file.indirect_locs.size(); ++i) {
-    STEGHIDE_RETURN_IF_ERROR(ReadRaw(file.indirect_locs[i], block));
-    STEGHIDE_RETURN_IF_ERROR(
-        codec_.Open(*header_cipher, block.data(), payload.data()));
-    ParseIndirect(payload.data(), i, codec_.block_size(), &file);
+  // Pull in indirect blocks to complete the pointer map — one vectored
+  // read for the whole tree.
+  if (!file.indirect_locs.empty()) {
+    Bytes tree;
+    STEGHIDE_RETURN_IF_ERROR(ReadRawBatch(file.indirect_locs, tree));
+    for (uint64_t i = 0; i < file.indirect_locs.size(); ++i) {
+      STEGHIDE_RETURN_IF_ERROR(codec_.Open(
+          *header_cipher, tree.data() + i * codec_.block_size(),
+          payload.data()));
+      ParseIndirect(payload.data(), i, codec_.block_size(), &file);
+    }
   }
   return file;
 }
@@ -79,20 +84,26 @@ Status StegFsCore::StoreFile(HiddenFile& file) {
   STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* header_cipher,
                             CipherFor(file.fak.header_key));
 
+  // Seal header + tree into one image and write it with a single
+  // vectored request (header first, as before).
   Bytes payload(codec_.payload_size());
-  Bytes block(codec_.block_size());
+  std::vector<uint64_t> ids;
+  ids.reserve(1 + file.indirect_locs.size());
+  Bytes images((1 + file.indirect_locs.size()) * codec_.block_size());
 
   SerializeHeader(file, codec_.block_size(), payload.data());
   STEGHIDE_RETURN_IF_ERROR(
-      codec_.Seal(*header_cipher, drbg_, payload.data(), block.data()));
-  STEGHIDE_RETURN_IF_ERROR(WriteRaw(file.fak.header_location, block));
+      codec_.Seal(*header_cipher, drbg_, payload.data(), images.data()));
+  ids.push_back(file.fak.header_location);
 
   for (uint64_t i = 0; i < file.indirect_locs.size(); ++i) {
     SerializeIndirect(file, i, codec_.block_size(), payload.data());
-    STEGHIDE_RETURN_IF_ERROR(
-        codec_.Seal(*header_cipher, drbg_, payload.data(), block.data()));
-    STEGHIDE_RETURN_IF_ERROR(WriteRaw(file.indirect_locs[i], block));
+    STEGHIDE_RETURN_IF_ERROR(codec_.Seal(
+        *header_cipher, drbg_, payload.data(),
+        images.data() + (i + 1) * codec_.block_size()));
+    ids.push_back(file.indirect_locs[i]);
   }
+  STEGHIDE_RETURN_IF_ERROR(device_->WriteBlocks(ids, images.data()));
   file.dirty = false;
   return Status::OK();
 }
@@ -115,6 +126,36 @@ Status StegFsCore::ReadFileBlock(const HiddenFile& file, uint64_t logical,
   return codec_.Open(*cipher, block.data(), out_payload);
 }
 
+Status StegFsCore::ReadFileBlocks(const HiddenFile& file, uint64_t logical,
+                                  uint64_t count, uint8_t* out_payloads) {
+  if (count == 0) return Status::OK();
+  // Overflow-safe form of `logical + count > num_data_blocks`.
+  if (logical >= file.num_data_blocks() ||
+      count > file.num_data_blocks() - logical) {
+    return Status::OutOfRange("logical block beyond end of file");
+  }
+  Bytes blocks;
+  STEGHIDE_RETURN_IF_ERROR(ReadRawBatch(
+      std::span<const uint64_t>(file.block_ptrs).subspan(logical, count),
+      blocks));
+
+  const crypto::CbcCipher* cipher = nullptr;
+  if (!file.is_dummy) {
+    STEGHIDE_ASSIGN_OR_RETURN(cipher, CipherFor(file.fak.content_key));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* block = blocks.data() + i * codec_.block_size();
+    uint8_t* out = out_payloads + i * codec_.payload_size();
+    if (file.is_dummy) {
+      // Dummy content is unkeyed randomness; hand back the raw data field.
+      std::memcpy(out, block + kIvSize, codec_.payload_size());
+    } else {
+      STEGHIDE_RETURN_IF_ERROR(codec_.Open(*cipher, block, out));
+    }
+  }
+  return Status::OK();
+}
+
 Status StegFsCore::WriteDataBlockAt(const HiddenFile& file, uint64_t physical,
                                     const uint8_t* payload) {
   Bytes block(codec_.block_size());
@@ -131,6 +172,11 @@ Status StegFsCore::WriteDataBlockAt(const HiddenFile& file, uint64_t physical,
 
 Status StegFsCore::ReadRaw(uint64_t physical, Bytes& out) {
   return device_->ReadBlock(physical, out);
+}
+
+Status StegFsCore::ReadRawBatch(std::span<const uint64_t> physical,
+                                Bytes& out) {
+  return device_->ReadBlocks(physical, out);
 }
 
 Status StegFsCore::WriteRaw(uint64_t physical, const Bytes& block) {

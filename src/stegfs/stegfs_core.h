@@ -76,6 +76,13 @@ class StegFsCore {
   Status ReadFileBlock(const HiddenFile& file, uint64_t logical,
                        uint8_t* out_payload);
 
+  /// Vectored variant: reads `count` consecutive logical blocks starting
+  /// at `logical`, depositing payloads at out_payloads + i *
+  /// payload_size(). Issues one ReadBlocks against the device so caching
+  /// and scheduling decorators see the whole request.
+  Status ReadFileBlocks(const HiddenFile& file, uint64_t logical,
+                        uint64_t count, uint8_t* out_payloads);
+
   /// Seals `payload` under the file's content key and writes it at
   /// physical block `physical`. Does not touch file.block_ptrs; the
   /// caller (the update engine) owns relocation bookkeeping.
@@ -84,6 +91,9 @@ class StegFsCore {
 
   /// Reads a raw block image (IV + ciphertext) without decryption.
   Status ReadRaw(uint64_t physical, Bytes& out);
+  /// Vectored raw read: block `physical[i]` lands at out.data() + i *
+  /// block_size. Resizes `out`.
+  Status ReadRawBatch(std::span<const uint64_t> physical, Bytes& out);
   /// Writes a raw block image.
   Status WriteRaw(uint64_t physical, const Bytes& block);
 

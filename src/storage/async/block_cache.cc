@@ -1,0 +1,240 @@
+#include "storage/async/block_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace steghide::storage {
+
+namespace {
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+BlockCache::BlockCache(BlockDevice* backing, const BlockCacheOptions& options)
+    : backing_(backing), write_back_(options.write_back) {
+  const size_t shards = RoundUpPow2(std::max<size_t>(1, options.shards));
+  shard_mask_ = shards - 1;
+  const uint64_t capacity = std::max<uint64_t>(1, options.capacity_blocks);
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_ = std::vector<Shard>(shards);
+}
+
+BlockCache::Shard& BlockCache::ShardFor(uint64_t block_id) {
+  // Fibonacci mixing spreads adjacent block ids across shards, so a
+  // sequential scan does not hammer one LRU list.
+  return shards_[(block_id * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_];
+}
+
+const BlockCache::Shard& BlockCache::ShardFor(uint64_t block_id) const {
+  return shards_[(block_id * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_];
+}
+
+Status BlockCache::InsertLocked(Shard& shard, uint64_t block_id,
+                                const uint8_t* data, bool dirty) {
+  const size_t bs = block_size();
+  const auto it = shard.map.find(block_id);
+  if (it != shard.map.end()) {
+    Entry& entry = *it->second;
+    std::memcpy(entry.data.data(), data, bs);
+    entry.dirty = dirty || entry.dirty;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return Status::OK();
+  }
+  shard.lru.push_front(Entry{block_id, Bytes(data, data + bs), dirty});
+  shard.map[block_id] = shard.lru.begin();
+  while (shard.lru.size() > per_shard_capacity_) {
+    Entry& victim = shard.lru.back();
+    if (victim.dirty) {
+      STEGHIDE_RETURN_IF_ERROR(
+          backing_->WriteBlock(victim.block_id, victim.data.data()));
+      ++shard.stats.writebacks;
+    }
+    shard.map.erase(victim.block_id);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+  return Status::OK();
+}
+
+Status BlockCache::ReadBlock(uint64_t block_id, uint8_t* out) {
+  Shard& shard = ShardFor(block_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(block_id);
+  if (it != shard.map.end()) {
+    std::memcpy(out, it->second->data.data(), block_size());
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.stats.hits;
+    return Status::OK();
+  }
+  ++shard.stats.misses;
+  STEGHIDE_RETURN_IF_ERROR(backing_->ReadBlock(block_id, out));
+  return InsertLocked(shard, block_id, out, /*dirty=*/false);
+}
+
+Status BlockCache::WriteBlock(uint64_t block_id, const uint8_t* data) {
+  // Take the shard lock before touching the backing device, so the
+  // backing write and the cache update are one atomic step per shard
+  // (same-block writers cannot leave the cache stale).
+  Shard& shard = ShardFor(block_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!write_back_) {
+    STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlock(block_id, data));
+  } else {
+    // The backing device is not consulted until eviction/Flush, so the
+    // range check it would have done happens here.
+    STEGHIDE_RETURN_IF_ERROR(CheckRange(block_id));
+  }
+  return InsertLocked(shard, block_id, data, /*dirty=*/write_back_);
+}
+
+Status BlockCache::ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) {
+  const size_t bs = block_size();
+  std::vector<uint64_t> miss_ids;
+  std::vector<std::pair<size_t, size_t>> miss_fill;  // (out index, miss index)
+  std::unordered_map<uint64_t, size_t> miss_index;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Shard& shard = ShardFor(ids[i]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(ids[i]);
+    if (it != shard.map.end()) {
+      std::memcpy(out + i * bs, it->second->data.data(), bs);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.stats.hits;
+      continue;
+    }
+    ++shard.stats.misses;
+    const auto [mit, inserted] = miss_index.try_emplace(ids[i], miss_ids.size());
+    if (inserted) miss_ids.push_back(ids[i]);
+    miss_fill.emplace_back(i, mit->second);
+  }
+  if (miss_ids.empty()) return Status::OK();
+
+  // One vectored fetch for the distinct misses, in first-miss order — the
+  // physical sequence a trace below the cache records.
+  Bytes fetched(miss_ids.size() * bs);
+  STEGHIDE_RETURN_IF_ERROR(backing_->ReadBlocks(miss_ids, fetched.data()));
+  for (const auto& [out_i, miss_i] : miss_fill) {
+    std::memcpy(out + out_i * bs, fetched.data() + miss_i * bs, bs);
+  }
+  for (size_t m = 0; m < miss_ids.size(); ++m) {
+    Shard& shard = ShardFor(miss_ids[m]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // A concurrent writer may have populated the block while the shard
+    // locks were dropped for the backing fetch; its image is newer than
+    // the one just read — never clobber an existing entry here.
+    if (shard.map.find(miss_ids[m]) != shard.map.end()) continue;
+    STEGHIDE_RETURN_IF_ERROR(InsertLocked(shard, miss_ids[m],
+                                          fetched.data() + m * bs,
+                                          /*dirty=*/false));
+  }
+  return Status::OK();
+}
+
+Status BlockCache::WriteBlocks(std::span<const uint64_t> ids,
+                               const uint8_t* data) {
+  const size_t bs = block_size();
+  if (!write_back_) {
+    STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlocks(ids, data));
+  } else {
+    for (uint64_t id : ids) STEGHIDE_RETURN_IF_ERROR(CheckRange(id));
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Shard& shard = ShardFor(ids[i]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    STEGHIDE_RETURN_IF_ERROR(
+        InsertLocked(shard, ids[i], data + i * bs, /*dirty=*/write_back_));
+  }
+  return Status::OK();
+}
+
+Status BlockCache::Flush() {
+  // Hold every shard lock for the whole pass (other paths take at most
+  // one, so the lock order cannot deadlock), collect the dirty set in
+  // ascending block order, and push it as one vectored write — the
+  // decorators below see the flush as a single disk sweep.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& shard : shards_) locks.emplace_back(shard.mu);
+
+  std::vector<uint64_t> dirty_ids;
+  for (Shard& shard : shards_) {
+    for (const Entry& entry : shard.lru) {
+      if (entry.dirty) dirty_ids.push_back(entry.block_id);
+    }
+  }
+  std::sort(dirty_ids.begin(), dirty_ids.end());
+
+  if (!dirty_ids.empty()) {
+    const size_t bs = block_size();
+    Bytes images(dirty_ids.size() * bs);
+    for (size_t i = 0; i < dirty_ids.size(); ++i) {
+      const Shard& shard = ShardFor(dirty_ids[i]);
+      std::memcpy(images.data() + i * bs,
+                  shard.map.at(dirty_ids[i])->data.data(), bs);
+    }
+    STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlocks(dirty_ids, images.data()));
+    for (uint64_t id : dirty_ids) {
+      Shard& shard = ShardFor(id);
+      shard.map.at(id)->dirty = false;
+      ++shard.stats.writebacks;
+    }
+  }
+  return backing_->Flush();
+}
+
+Status BlockCache::Invalidate() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& entry : shard.lru) {
+      if (entry.dirty) {
+        return Status::FailedPrecondition(
+            "cache holds dirty blocks; Flush() before Invalidate()");
+      }
+    }
+  }
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+  }
+  return Status::OK();
+}
+
+bool BlockCache::Contains(uint64_t block_id) const {
+  const Shard& shard = ShardFor(block_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.find(block_id) != shard.map.end();
+}
+
+uint64_t BlockCache::cached_blocks() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+BlockCacheStats BlockCache::stats() const {
+  BlockCacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+    total.writebacks += shard.stats.writebacks;
+  }
+  return total;
+}
+
+void BlockCache::ResetStats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats = BlockCacheStats();
+  }
+}
+
+}  // namespace steghide::storage

@@ -1,0 +1,123 @@
+#ifndef STEGHIDE_STORAGE_ASYNC_BLOCK_CACHE_H_
+#define STEGHIDE_STORAGE_ASYNC_BLOCK_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace steghide::storage {
+
+struct BlockCacheOptions {
+  /// Total cached blocks across all shards.
+  uint64_t capacity_blocks = 1024;
+  /// Number of LRU shards; rounded up to a power of two, at least 1.
+  size_t shards = 4;
+  /// false: write-through — every write reaches the backing device
+  /// immediately and the cache keeps a clean copy. true: write-back —
+  /// writes dirty the cache and reach the backing device on eviction or
+  /// Flush() only.
+  bool write_back = false;
+};
+
+struct BlockCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Dirty blocks pushed to the backing device (write-back mode).
+  uint64_t writebacks = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Sharded LRU block cache decorator. Sits anywhere in the storage
+/// decorator stack; the attacker model decides where:
+///
+///   agent → BlockCache → TraceBlockDevice → SimBlockDevice → Mem/File
+///
+/// records (and charges) only the post-cache *physical* I/O — the request
+/// stream an attacker monitoring the storage actually sees. Composing the
+/// other way (Trace above Cache) records the logical request stream
+/// instead, which is useful for asserting workload behaviour in tests but
+/// is not the paper's attacker surface.
+///
+/// Concurrency: shard state is lock-protected, but misses, write-through
+/// writes, and write-backs all reach the backing device — which is NOT
+/// required to be thread-safe (block_device.h) — so the cache as a whole
+/// must currently be driven from one thread at a time whenever those
+/// paths can run. The per-shard locks are groundwork for the planned
+/// multi-threaded agents (ROADMAP), which will add a synchronized
+/// backing tier; they are not a thread-safety guarantee today.
+class BlockCache : public BlockDevice {
+ public:
+  /// Does not take ownership of `backing`.
+  BlockCache(BlockDevice* backing, const BlockCacheOptions& options);
+
+  using BlockDevice::ReadBlock;
+  using BlockDevice::WriteBlock;
+  using BlockDevice::ReadBlocks;
+
+  Status ReadBlock(uint64_t block_id, uint8_t* out) override;
+  Status WriteBlock(uint64_t block_id, const uint8_t* data) override;
+  Status ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) override;
+  Status WriteBlocks(std::span<const uint64_t> ids,
+                     const uint8_t* data) override;
+  uint64_t num_blocks() const override { return backing_->num_blocks(); }
+  size_t block_size() const override { return backing_->block_size(); }
+
+  /// Writes back every dirty block (ascending block order), then flushes
+  /// the backing device. Write-back users must call this before reading
+  /// the backing device directly or dropping the cache.
+  Status Flush() override;
+
+  /// Drops every entry. Refuses (FailedPrecondition) while dirty blocks
+  /// exist, so cached writes cannot be lost silently — Flush() first.
+  Status Invalidate();
+
+  /// True if `block_id` is currently cached (test/introspection hook;
+  /// does not touch LRU order).
+  bool Contains(uint64_t block_id) const;
+
+  uint64_t cached_blocks() const;
+  /// Aggregated across shards (each shard counts under its own lock).
+  BlockCacheStats stats() const;
+  void ResetStats();
+  BlockDevice* backing() { return backing_; }
+
+ private:
+  struct Entry {
+    uint64_t block_id = 0;
+    Bytes data;
+    bool dirty = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    BlockCacheStats stats;  // guarded by mu
+  };
+
+  Shard& ShardFor(uint64_t block_id);
+  const Shard& ShardFor(uint64_t block_id) const;
+
+  /// Inserts or refreshes an entry, evicting the shard's LRU tail when
+  /// over budget. Caller holds the shard lock.
+  Status InsertLocked(Shard& shard, uint64_t block_id, const uint8_t* data,
+                      bool dirty);
+
+  BlockDevice* backing_;
+  bool write_back_;
+  uint64_t per_shard_capacity_;
+  size_t shard_mask_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_ASYNC_BLOCK_CACHE_H_

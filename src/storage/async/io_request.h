@@ -1,0 +1,88 @@
+#ifndef STEGHIDE_STORAGE_ASYNC_IO_REQUEST_H_
+#define STEGHIDE_STORAGE_ASYNC_IO_REQUEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+
+namespace steghide::storage {
+
+/// One block-granular I/O operation in flight. Buffers are borrowed from
+/// the submitter and must stay valid until the owning batch completes.
+struct IoRequest {
+  enum class Op : uint8_t { kRead, kWrite };
+
+  Op op = Op::kRead;
+  uint64_t block_id = 0;
+  /// Destination for kRead (block_size bytes). Null for kWrite.
+  uint8_t* out = nullptr;
+  /// Source for kWrite (block_size bytes). Null for kRead.
+  const uint8_t* data = nullptr;
+
+  static IoRequest Read(uint64_t block_id, uint8_t* out) {
+    return IoRequest{Op::kRead, block_id, out, nullptr};
+  }
+  static IoRequest Write(uint64_t block_id, const uint8_t* data) {
+    return IoRequest{Op::kWrite, block_id, nullptr, data};
+  }
+};
+
+/// An ordered group of requests submitted together. Order within a batch
+/// carries the submitter's data dependencies (a read after a write of the
+/// same block sees the written data); the scheduler is free to reorder
+/// the *physical* issue sequence as long as it preserves them.
+struct IoBatch {
+  std::vector<IoRequest> requests;
+
+  void Read(uint64_t block_id, uint8_t* out) {
+    requests.push_back(IoRequest::Read(block_id, out));
+  }
+  void Write(uint64_t block_id, const uint8_t* data) {
+    requests.push_back(IoRequest::Write(block_id, data));
+  }
+  bool empty() const { return requests.empty(); }
+  size_t size() const { return requests.size(); }
+};
+
+/// Completion handle for a submitted batch. Shared-state future: the
+/// scheduler marks it done (with the batch's overall status) when the
+/// batch has been issued to the backing device.
+class IoFuture {
+ public:
+  IoFuture() : state_(std::make_shared<State>()) {}
+
+  bool done() const { return state_->done; }
+  /// Status of the whole batch; only meaningful once done().
+  const Status& status() const { return state_->status; }
+
+ private:
+  friend class IoScheduler;
+  struct State {
+    bool done = false;
+    Status status;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Submission interface of the async storage stack. Submit() enqueues a
+/// batch and returns immediately with a future; Drain() issues everything
+/// pending and completes the futures. Single-threaded deferred execution:
+/// there is no background thread — the caller chooses when the queue
+/// drains, which keeps the virtual-disk-clock experiments deterministic.
+class AsyncBlockDevice {
+ public:
+  virtual ~AsyncBlockDevice() = default;
+
+  /// Enqueues `batch`; the returned future completes at the next Drain().
+  virtual IoFuture Submit(IoBatch batch) = 0;
+
+  /// Issues every pending request against the backing device and
+  /// completes the outstanding futures. Returns the first error.
+  virtual Status Drain() = 0;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_ASYNC_IO_REQUEST_H_

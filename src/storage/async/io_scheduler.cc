@@ -1,0 +1,93 @@
+#include "storage/async/io_scheduler.h"
+
+#include <cstring>
+
+namespace steghide::storage {
+
+IoFuture IoScheduler::Submit(IoBatch batch) {
+  IoFuture future;
+  for (const IoRequest& req : batch.requests) {
+    if (req.op == IoRequest::Op::kRead) {
+      ++stats_.submitted_reads;
+    } else {
+      ++stats_.submitted_writes;
+    }
+  }
+  queue_.push_back(Pending{std::move(batch), future.state_});
+  return future;
+}
+
+Status IoScheduler::Drain() {
+  if (queue_.empty()) return Status::OK();
+  ++stats_.drains;
+
+  // Plan: walk the merged submission order once, folding requests into
+  // per-block read fan-out lists and last-image writes. std::map keys are
+  // iterated in ascending block order, which *is* the elevator schedule.
+  std::map<uint64_t, std::vector<uint8_t*>> reads;
+  std::map<uint64_t, const uint8_t*> writes;
+
+  for (Pending& pending : queue_) {
+    for (const IoRequest& req : pending.batch.requests) {
+      if (req.op == IoRequest::Op::kRead) {
+        const auto w = writes.find(req.block_id);
+        if (w != writes.end()) {
+          // Read-after-write forwarding: the pending write is the newest
+          // image of this block; no physical read needed.
+          std::memcpy(req.out, w->second, backing_->block_size());
+          ++stats_.forwarded_reads;
+          continue;
+        }
+        auto [it, inserted] = reads.try_emplace(req.block_id);
+        if (!inserted) ++stats_.coalesced_reads;
+        it->second.push_back(req.out);
+      } else {
+        auto [it, inserted] = writes.try_emplace(req.block_id, req.data);
+        if (!inserted) {
+          // Later write supersedes: any read submitted between the two
+          // was forwarded above, so the earlier image is unobservable.
+          it->second = req.data;
+          ++stats_.superseded_writes;
+        }
+      }
+    }
+  }
+
+  // Issue phase: reads first (they must see pre-drain content — every
+  // pending write postdates every pending read of the same block, or the
+  // read would have been forwarded), then writes, each in ascending
+  // block order.
+  Status status;
+  for (auto& [block_id, dests] : reads) {
+    status = backing_->ReadBlock(block_id, dests.front());
+    if (!status.ok()) break;
+    ++stats_.physical_reads;
+    for (size_t i = 1; i < dests.size(); ++i) {
+      std::memcpy(dests[i], dests.front(), backing_->block_size());
+    }
+  }
+  if (status.ok()) {
+    for (const auto& [block_id, data] : writes) {
+      status = backing_->WriteBlock(block_id, data);
+      if (!status.ok()) break;
+      ++stats_.physical_writes;
+    }
+  }
+
+  // A drain is all-or-nothing from the futures' point of view: on error
+  // every batch in the window reports the failure.
+  for (Pending& pending : queue_) {
+    pending.state->done = true;
+    pending.state->status = status;
+  }
+  queue_.clear();
+  return status;
+}
+
+Status IoScheduler::Run(IoBatch batch) {
+  IoFuture future = Submit(std::move(batch));
+  STEGHIDE_RETURN_IF_ERROR(Drain());
+  return future.status();
+}
+
+}  // namespace steghide::storage

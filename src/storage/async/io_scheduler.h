@@ -1,0 +1,78 @@
+#ifndef STEGHIDE_STORAGE_ASYNC_IO_SCHEDULER_H_
+#define STEGHIDE_STORAGE_ASYNC_IO_SCHEDULER_H_
+
+#include <map>
+#include <vector>
+
+#include "storage/async/io_request.h"
+#include "storage/block_device.h"
+
+namespace steghide::storage {
+
+/// Counters describing what a drain pass did to the request stream.
+struct IoSchedulerStats {
+  uint64_t submitted_reads = 0;
+  uint64_t submitted_writes = 0;
+  /// Requests actually issued to the backing device.
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  /// Duplicate reads of a block served by one physical read.
+  uint64_t coalesced_reads = 0;
+  /// Reads answered from a pending write's buffer (no physical I/O).
+  uint64_t forwarded_reads = 0;
+  /// Writes made obsolete by a later write to the same block.
+  uint64_t superseded_writes = 0;
+  uint64_t drains = 0;
+};
+
+/// Deterministic request scheduler over any BlockDevice. Batches queue
+/// via Submit(); Drain() merges everything pending into one conflict-free
+/// plan and issues it:
+///
+///  * duplicate reads of a block collapse into one physical read whose
+///    result fans out to every destination buffer;
+///  * a read that follows a write of the same block is served from the
+///    pending write's data (read-after-write forwarding, no I/O);
+///  * repeated writes to a block keep only the last image (earlier ones
+///    were never observable — any read between them was forwarded);
+///  * physical reads are issued before physical writes, each group in
+///    ascending block order. On a rotational backing device
+///    (SimBlockDevice) the elevator ordering converts scattered batches
+///    into near-sequential sweeps, which is directly visible in
+///    virtual-disk-ms.
+///
+/// The issue order is the attacker-visible sequence when a
+/// TraceBlockDevice sits *below* the scheduler; callers on the oblivious
+/// path must therefore only batch requests whose mutual order is already
+/// covered by the indistinguishability argument (e.g. the per-level
+/// probes of one oblivious read).
+class IoScheduler : public AsyncBlockDevice {
+ public:
+  /// Does not take ownership of `backing`.
+  explicit IoScheduler(BlockDevice* backing) : backing_(backing) {}
+
+  IoFuture Submit(IoBatch batch) override;
+  Status Drain() override;
+
+  /// Synchronous convenience: Submit + Drain, returning the batch status.
+  Status Run(IoBatch batch);
+
+  bool idle() const { return queue_.empty(); }
+  const IoSchedulerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoSchedulerStats(); }
+  BlockDevice* backing() { return backing_; }
+
+ private:
+  struct Pending {
+    IoBatch batch;
+    std::shared_ptr<IoFuture::State> state;
+  };
+
+  BlockDevice* backing_;
+  std::vector<Pending> queue_;
+  IoSchedulerStats stats_;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_ASYNC_IO_SCHEDULER_H_

@@ -1,0 +1,48 @@
+#include "storage/block_device.h"
+
+namespace steghide::storage {
+
+Status BlockDevice::ReadBlock(uint64_t block_id, Bytes& out) {
+  out.resize(block_size());
+  return ReadBlock(block_id, out.data());
+}
+
+Status BlockDevice::WriteBlock(uint64_t block_id, const Bytes& data) {
+  if (data.size() != block_size()) {
+    return Status::InvalidArgument("write buffer size != block size");
+  }
+  return WriteBlock(block_id, data.data());
+}
+
+Status BlockDevice::ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) {
+  const size_t bs = block_size();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    STEGHIDE_RETURN_IF_ERROR(ReadBlock(ids[i], out + i * bs));
+  }
+  return Status::OK();
+}
+
+Status BlockDevice::WriteBlocks(std::span<const uint64_t> ids,
+                                const uint8_t* data) {
+  const size_t bs = block_size();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    STEGHIDE_RETURN_IF_ERROR(WriteBlock(ids[i], data + i * bs));
+  }
+  return Status::OK();
+}
+
+Status BlockDevice::ReadBlocks(std::span<const uint64_t> ids, Bytes& out) {
+  out.resize(ids.size() * block_size());
+  return ReadBlocks(ids, out.data());
+}
+
+Status BlockDevice::CheckRange(uint64_t block_id) const {
+  if (block_id >= num_blocks()) {
+    return Status::OutOfRange("block id " + std::to_string(block_id) +
+                              " >= device size " +
+                              std::to_string(num_blocks()));
+  }
+  return Status::OK();
+}
+
+}  // namespace steghide::storage

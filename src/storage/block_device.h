@@ -2,6 +2,7 @@
 #define STEGHIDE_STORAGE_BLOCK_DEVICE_H_
 
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.h"
 #include "util/status.h"
@@ -36,6 +37,18 @@ class BlockDevice {
   /// Writes block_size() bytes of `data` to block `block_id`.
   virtual Status WriteBlock(uint64_t block_id, const uint8_t* data) = 0;
 
+  /// Vectored read: block `ids[i]` lands at `out + i * block_size()`.
+  /// `out` must hold ids.size() * block_size() bytes. The default issues
+  /// the single-block calls in submission order, so decorators that do
+  /// not override it (tracing, timing) keep their per-block semantics
+  /// bit-for-bit; caching/scheduling decorators override it to batch.
+  virtual Status ReadBlocks(std::span<const uint64_t> ids, uint8_t* out);
+
+  /// Vectored write: block `ids[i]` is written from
+  /// `data + i * block_size()`. Same ordering contract as ReadBlocks.
+  virtual Status WriteBlocks(std::span<const uint64_t> ids,
+                             const uint8_t* data);
+
   virtual uint64_t num_blocks() const = 0;
   virtual size_t block_size() const = 0;
 
@@ -45,6 +58,8 @@ class BlockDevice {
   /// Convenience wrappers with bounds-checked Bytes buffers.
   Status ReadBlock(uint64_t block_id, Bytes& out);
   Status WriteBlock(uint64_t block_id, const Bytes& data);
+  /// Vectored convenience: resizes `out` to ids.size() * block_size().
+  Status ReadBlocks(std::span<const uint64_t> ids, Bytes& out);
 
  protected:
   /// Shared bounds check for implementations.

@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 namespace steghide::storage {
 
@@ -18,6 +19,14 @@ Status ErrnoStatus(const std::string& what) {
 Result<FileBlockDevice> FileBlockDevice::Create(const std::string& path,
                                                 uint64_t num_blocks,
                                                 size_t block_size) {
+  if (block_size == 0) {
+    return Status::InvalidArgument("block size must be non-zero");
+  }
+  // off_t is signed; reject volumes whose byte size cannot be addressed.
+  if (num_blocks > static_cast<uint64_t>(
+                       std::numeric_limits<off_t>::max()) / block_size) {
+    return Status::InvalidArgument("volume size overflows file offsets");
+  }
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
   if (fd < 0) return ErrnoStatus("open " + path);
   const off_t size = static_cast<off_t>(num_blocks * block_size);
@@ -30,6 +39,9 @@ Result<FileBlockDevice> FileBlockDevice::Create(const std::string& path,
 
 Result<FileBlockDevice> FileBlockDevice::Open(const std::string& path,
                                               size_t block_size) {
+  if (block_size == 0) {
+    return Status::InvalidArgument("block size must be non-zero");
+  }
   const int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) return ErrnoStatus("open " + path);
   struct stat st;
@@ -102,6 +114,9 @@ Status FileBlockDevice::WriteBlock(uint64_t block_id, const uint8_t* data) {
 }
 
 Status FileBlockDevice::Flush() {
+  // A moved-from device owns no descriptor; flushing it is a no-op
+  // rather than an EBADF from fsync(-1).
+  if (fd_ < 0) return Status::OK();
   if (::fsync(fd_) != 0) return ErrnoStatus("fsync");
   return Status::OK();
 }

@@ -4,27 +4,6 @@
 
 namespace steghide::storage {
 
-Status BlockDevice::ReadBlock(uint64_t block_id, Bytes& out) {
-  out.resize(block_size());
-  return ReadBlock(block_id, out.data());
-}
-
-Status BlockDevice::WriteBlock(uint64_t block_id, const Bytes& data) {
-  if (data.size() != block_size()) {
-    return Status::InvalidArgument("write buffer size != block size");
-  }
-  return WriteBlock(block_id, data.data());
-}
-
-Status BlockDevice::CheckRange(uint64_t block_id) const {
-  if (block_id >= num_blocks()) {
-    return Status::OutOfRange("block id " + std::to_string(block_id) +
-                              " >= device size " +
-                              std::to_string(num_blocks()));
-  }
-  return Status::OK();
-}
-
 MemBlockDevice::MemBlockDevice(uint64_t num_blocks, size_t block_size)
     : num_blocks_(num_blocks),
       block_size_(block_size),

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/async/block_cache.h"
+#include "storage/async/io_scheduler.h"
+#include "storage/mem_block_device.h"
+#include "storage/sim_device.h"
+#include "storage/trace_device.h"
+#include "testing/device_factory.h"
+#include "testing/golden.h"
+#include "testing/rng.h"
+
+namespace steghide::storage {
+namespace {
+
+using steghide::testing::FillGolden;
+using steghide::testing::GoldenBlock;
+using steghide::testing::MakeTestRng;
+using steghide::testing::TracedMemDevice;
+
+// ---- Vectored BlockDevice fallback ------------------------------------
+
+TEST(VectoredIoTest, DefaultReadBlocksPreservesSubmissionOrder) {
+  TracedMemDevice dev(16, 512);
+  ASSERT_TRUE(FillGolden(dev.mem(), /*seed=*/3).ok());
+  const std::vector<uint64_t> ids = {9, 2, 9, 0};
+  Bytes out;
+  ASSERT_TRUE(dev.traced().ReadBlocks(ids, out).ok());
+  ASSERT_EQ(out.size(), ids.size() * 512);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const Bytes expected = GoldenBlock(3, ids[i], 512);
+    EXPECT_EQ(Bytes(out.begin() + i * 512, out.begin() + (i + 1) * 512),
+              expected)
+        << "block " << ids[i];
+  }
+  const IoTrace expected = {{TraceEvent::Kind::kRead, 9},
+                            {TraceEvent::Kind::kRead, 2},
+                            {TraceEvent::Kind::kRead, 9},
+                            {TraceEvent::Kind::kRead, 0}};
+  EXPECT_EQ(dev.trace(), expected);
+}
+
+TEST(VectoredIoTest, DefaultWriteBlocksPreservesSubmissionOrder) {
+  TracedMemDevice dev(8, 512);
+  const std::vector<uint64_t> ids = {5, 1, 6};
+  Bytes data;
+  for (uint64_t id : ids) {
+    const Bytes block = GoldenBlock(7, id, 512);
+    data.insert(data.end(), block.begin(), block.end());
+  }
+  ASSERT_TRUE(dev.traced().WriteBlocks(ids, data.data()).ok());
+  const IoTrace expected = {{TraceEvent::Kind::kWrite, 5},
+                            {TraceEvent::Kind::kWrite, 1},
+                            {TraceEvent::Kind::kWrite, 6}};
+  EXPECT_EQ(dev.trace(), expected);
+  for (uint64_t id : ids) {
+    EXPECT_TRUE(
+        steghide::testing::BlockEquals(dev.mem(), id, GoldenBlock(7, id, 512)));
+  }
+}
+
+TEST(VectoredIoTest, OutOfRangeIdFailsWholeBatch) {
+  MemBlockDevice mem(4, 512);
+  const std::vector<uint64_t> ids = {1, 99};
+  Bytes out;
+  EXPECT_EQ(mem.ReadBlocks(ids, out).code(), StatusCode::kOutOfRange);
+}
+
+// ---- IoScheduler ------------------------------------------------------
+
+TEST(IoSchedulerTest, FutureCompletesOnDrain) {
+  MemBlockDevice mem(8, 512);
+  IoScheduler scheduler(&mem);
+  Bytes out(512);
+  IoBatch batch;
+  batch.Read(3, out.data());
+  IoFuture future = scheduler.Submit(std::move(batch));
+  EXPECT_FALSE(future.done());
+  EXPECT_FALSE(scheduler.idle());
+  ASSERT_TRUE(scheduler.Drain().ok());
+  EXPECT_TRUE(future.done());
+  EXPECT_TRUE(future.status().ok());
+  EXPECT_TRUE(scheduler.idle());
+}
+
+TEST(IoSchedulerTest, DuplicateReadsCoalesceToOnePhysicalRead) {
+  TracedMemDevice dev(16, 512);
+  ASSERT_TRUE(FillGolden(dev.mem(), 11).ok());
+  IoScheduler scheduler(&dev.traced());
+  Bytes a(512), b(512), c(512);
+  IoBatch batch;
+  batch.Read(4, a.data());
+  batch.Read(4, b.data());
+  batch.Read(4, c.data());
+  ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+  EXPECT_EQ(dev.trace().size(), 1u);
+  EXPECT_EQ(scheduler.stats().physical_reads, 1u);
+  EXPECT_EQ(scheduler.stats().coalesced_reads, 2u);
+  const Bytes expected = GoldenBlock(11, 4, 512);
+  EXPECT_EQ(a, expected);
+  EXPECT_EQ(b, expected);
+  EXPECT_EQ(c, expected);
+}
+
+TEST(IoSchedulerTest, ElevatorIssuesReadsInAscendingOrder) {
+  TracedMemDevice dev(64, 512);
+  IoScheduler scheduler(&dev.traced());
+  Bytes bufs(4 * 512);
+  IoBatch batch;
+  for (uint64_t id : {40, 7, 23, 2}) {
+    batch.Read(id, bufs.data());  // content irrelevant here
+  }
+  ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+  const IoTrace expected = {{TraceEvent::Kind::kRead, 2},
+                            {TraceEvent::Kind::kRead, 7},
+                            {TraceEvent::Kind::kRead, 23},
+                            {TraceEvent::Kind::kRead, 40}};
+  EXPECT_EQ(dev.trace(), expected);
+}
+
+TEST(IoSchedulerTest, ReadAfterWriteForwardsPendingData) {
+  TracedMemDevice dev(8, 512);
+  IoScheduler scheduler(&dev.traced());
+  const Bytes image = GoldenBlock(13, 5, 512);
+  Bytes out(512);
+  IoBatch batch;
+  batch.Write(5, image.data());
+  batch.Read(5, out.data());
+  ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+  EXPECT_EQ(out, image);
+  EXPECT_EQ(scheduler.stats().forwarded_reads, 1u);
+  // Only the write reached the device.
+  const IoTrace expected = {{TraceEvent::Kind::kWrite, 5}};
+  EXPECT_EQ(dev.trace(), expected);
+}
+
+TEST(IoSchedulerTest, LaterWriteSupersedesEarlier) {
+  TracedMemDevice dev(8, 512);
+  IoScheduler scheduler(&dev.traced());
+  const Bytes first = GoldenBlock(1, 2, 512);
+  const Bytes second = GoldenBlock(2, 2, 512);
+  Bytes between(512);
+  IoBatch batch;
+  batch.Write(2, first.data());
+  batch.Read(2, between.data());  // sees the first image, forwarded
+  batch.Write(2, second.data());
+  ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+  EXPECT_EQ(between, first);
+  EXPECT_EQ(scheduler.stats().superseded_writes, 1u);
+  EXPECT_EQ(dev.trace().size(), 1u);  // one physical write
+  EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 2, second));
+}
+
+TEST(IoSchedulerTest, ReadsIssueBeforeWritesAcrossBatches) {
+  TracedMemDevice dev(8, 512);
+  ASSERT_TRUE(FillGolden(dev.mem(), 21).ok());
+  IoScheduler scheduler(&dev.traced());
+  Bytes out(512);
+  const Bytes image = GoldenBlock(22, 3, 512);
+  IoBatch b1;
+  b1.Read(3, out.data());
+  scheduler.Submit(std::move(b1));
+  IoBatch b2;
+  b2.Write(3, image.data());
+  scheduler.Submit(std::move(b2));
+  ASSERT_TRUE(scheduler.Drain().ok());
+  // The read predates the write, so it must see the pre-drain content.
+  EXPECT_EQ(out, GoldenBlock(21, 3, 512));
+  EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 3, image));
+}
+
+TEST(IoSchedulerTest, ErrorFailsAllFuturesInWindow) {
+  MemBlockDevice mem(4, 512);
+  IoScheduler scheduler(&mem);
+  Bytes out(512);
+  IoBatch ok_batch;
+  ok_batch.Read(1, out.data());
+  IoBatch bad_batch;
+  bad_batch.Read(99, out.data());
+  IoFuture f1 = scheduler.Submit(std::move(ok_batch));
+  IoFuture f2 = scheduler.Submit(std::move(bad_batch));
+  EXPECT_FALSE(scheduler.Drain().ok());
+  EXPECT_TRUE(f1.done());
+  EXPECT_TRUE(f2.done());
+  EXPECT_EQ(f1.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(f2.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IoSchedulerTest, ElevatorReducesVirtualTimeOnSimDisk) {
+  MemBlockDevice mem(1 << 14, 4096);
+  Rng rng = MakeTestRng();
+  std::vector<uint64_t> ids(128);
+  for (uint64_t& id : ids) id = rng.Uniform(mem.num_blocks());
+  Bytes out(ids.size() * 4096);
+
+  SimBlockDevice direct(&mem, DiskModelParams{});
+  ASSERT_TRUE(direct.ReadBlocks(ids, out.data()).ok());
+
+  SimBlockDevice scheduled(&mem, DiskModelParams{});
+  IoScheduler scheduler(&scheduled);
+  IoBatch batch;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    batch.Read(ids[i], out.data() + i * 4096);
+  }
+  ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+  EXPECT_LT(scheduled.clock_ms(), direct.clock_ms());
+}
+
+// ---- BlockCache -------------------------------------------------------
+
+TEST(BlockCacheTest, RepeatedReadHitsWithoutPhysicalIo) {
+  TracedMemDevice dev(32, 512);
+  ASSERT_TRUE(FillGolden(dev.mem(), 5).ok());
+  BlockCache cache(&dev.traced(), BlockCacheOptions{16, 1, false});
+  Bytes out(512);
+  ASSERT_TRUE(cache.ReadBlock(7, out.data()).ok());
+  ASSERT_TRUE(cache.ReadBlock(7, out.data()).ok());
+  ASSERT_TRUE(cache.ReadBlock(7, out.data()).ok());
+  EXPECT_EQ(out, GoldenBlock(5, 7, 512));
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(dev.trace().size(), 1u);  // one physical read
+}
+
+TEST(BlockCacheTest, LruEvictsColdestBlock) {
+  MemBlockDevice mem(32, 512);
+  ASSERT_TRUE(FillGolden(mem, 9).ok());
+  BlockCache cache(&mem, BlockCacheOptions{2, 1, false});
+  Bytes out(512);
+  ASSERT_TRUE(cache.ReadBlock(1, out.data()).ok());
+  ASSERT_TRUE(cache.ReadBlock(2, out.data()).ok());
+  ASSERT_TRUE(cache.ReadBlock(1, out.data()).ok());  // 1 now hotter than 2
+  ASSERT_TRUE(cache.ReadBlock(3, out.data()).ok());  // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(BlockCacheTest, WriteThroughReachesBackingImmediately) {
+  TracedMemDevice dev(16, 512);
+  BlockCache cache(&dev.traced(), BlockCacheOptions{8, 1, false});
+  const Bytes image = GoldenBlock(2, 4, 512);
+  ASSERT_TRUE(cache.WriteBlock(4, image.data()).ok());
+  const IoTrace expected = {{TraceEvent::Kind::kWrite, 4}};
+  EXPECT_EQ(dev.trace(), expected);
+  EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 4, image));
+  // The written block is immediately readable from cache.
+  Bytes out(512);
+  ASSERT_TRUE(cache.ReadBlock(4, out.data()).ok());
+  EXPECT_EQ(out, image);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BlockCacheTest, WriteBackDefersUntilFlush) {
+  TracedMemDevice dev(16, 512);
+  BlockCache cache(&dev.traced(), BlockCacheOptions{8, 1, true});
+  const Bytes image = GoldenBlock(3, 6, 512);
+  ASSERT_TRUE(cache.WriteBlock(6, image.data()).ok());
+  EXPECT_TRUE(dev.trace().empty());  // nothing physical yet
+  Bytes out(512);
+  ASSERT_TRUE(cache.ReadBlock(6, out.data()).ok());
+  EXPECT_EQ(out, image);
+  ASSERT_TRUE(cache.Flush().ok());
+  const IoTrace expected = {{TraceEvent::Kind::kWrite, 6}};
+  EXPECT_EQ(dev.trace(), expected);
+  EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 6, image));
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(BlockCacheTest, WriteBackEvictionWritesDirtyVictim) {
+  MemBlockDevice mem(16, 512);
+  BlockCache cache(&mem, BlockCacheOptions{1, 1, true});
+  const Bytes first = GoldenBlock(4, 0, 512);
+  const Bytes second = GoldenBlock(4, 1, 512);
+  ASSERT_TRUE(cache.WriteBlock(0, first.data()).ok());
+  ASSERT_TRUE(cache.WriteBlock(1, second.data()).ok());  // evicts dirty 0
+  EXPECT_TRUE(steghide::testing::BlockEquals(mem, 0, first));
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(BlockCacheTest, WriteBackBoundsChecksBeforeCaching) {
+  MemBlockDevice mem(4, 512);
+  BlockCache cache(&mem, BlockCacheOptions{8, 1, true});
+  const Bytes image(512, 0xee);
+  EXPECT_EQ(cache.WriteBlock(99, image.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(cache.Contains(99));
+}
+
+TEST(BlockCacheTest, InvalidateRefusesWhileDirty) {
+  MemBlockDevice mem(8, 512);
+  BlockCache cache(&mem, BlockCacheOptions{8, 1, true});
+  const Bytes image(512, 0x21);
+  ASSERT_TRUE(cache.WriteBlock(2, image.data()).ok());
+  EXPECT_EQ(cache.Invalidate().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(cache.Flush().ok());
+  ASSERT_TRUE(cache.Invalidate().ok());
+  EXPECT_EQ(cache.cached_blocks(), 0u);
+}
+
+TEST(BlockCacheTest, VectoredReadFetchesOnlyDistinctMisses) {
+  TracedMemDevice dev(32, 512);
+  ASSERT_TRUE(FillGolden(dev.mem(), 6).ok());
+  BlockCache cache(&dev.traced(), BlockCacheOptions{16, 2, false});
+  Bytes out(512);
+  ASSERT_TRUE(cache.ReadBlock(10, out.data()).ok());  // warm one block
+  dev.traced().ClearTrace();
+
+  const std::vector<uint64_t> ids = {10, 11, 11, 12, 10};
+  Bytes batch_out;
+  ASSERT_TRUE(cache.ReadBlocks(ids, batch_out).ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(Bytes(batch_out.begin() + i * 512,
+                    batch_out.begin() + (i + 1) * 512),
+              GoldenBlock(6, ids[i], 512))
+        << "position " << i;
+  }
+  // 10 was cached; 11 (twice) and 12 miss but fetch once each.
+  const IoTrace expected = {{TraceEvent::Kind::kRead, 11},
+                            {TraceEvent::Kind::kRead, 12}};
+  EXPECT_EQ(dev.trace(), expected);
+}
+
+TEST(BlockCacheTest, ShardedCacheKeepsTotalCapacity) {
+  MemBlockDevice mem(256, 512);
+  ASSERT_TRUE(FillGolden(mem, 8).ok());
+  BlockCache cache(&mem, BlockCacheOptions{32, 4, false});
+  Bytes out(512);
+  for (uint64_t b = 0; b < 200; ++b) {
+    ASSERT_TRUE(cache.ReadBlock(b, out.data()).ok());
+  }
+  // Per-shard budget is capacity/shards; the total can never exceed it.
+  EXPECT_LE(cache.cached_blocks(), 32u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// ---- Trace composition (attacker-visible semantics) -------------------
+
+// The paper's traffic attacker sees post-cache physical I/O: with the
+// trace *below* the cache, repeated logical reads leave one event.
+TEST(TraceCompositionTest, TraceUnderCacheRecordsPhysicalIoOnly) {
+  TracedMemDevice dev(16, 512);
+  ASSERT_TRUE(FillGolden(dev.mem(), 12).ok());
+  BlockCache cache(&dev.traced(), BlockCacheOptions{8, 1, false});
+  Bytes out(512);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cache.ReadBlock(3, out.data()).ok());
+  }
+  const IoTrace expected = {{TraceEvent::Kind::kRead, 3}};
+  EXPECT_EQ(dev.trace(), expected);
+}
+
+// With the trace *above* the cache, the same workload records every
+// logical request — the composition tests pin both directions so the
+// distinction cannot silently flip.
+TEST(TraceCompositionTest, TraceOverCacheRecordsLogicalRequests) {
+  MemBlockDevice mem(16, 512);
+  ASSERT_TRUE(FillGolden(mem, 12).ok());
+  BlockCache cache(&mem, BlockCacheOptions{8, 1, false});
+  TraceBlockDevice traced(&cache);
+  Bytes out(512);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(traced.ReadBlock(3, out.data()).ok());
+  }
+  EXPECT_EQ(traced.trace().size(), 5u);
+  EXPECT_EQ(cache.stats().hits, 4u);
+}
+
+// Full decorator stack: cache over trace over sim. The sim's counters
+// and the trace must agree — both describe the physical stream.
+TEST(TraceCompositionTest, CacheTraceSimStackAgreesOnPhysicalCount) {
+  MemBlockDevice mem(64, 4096);
+  SimBlockDevice sim(&mem, DiskModelParams{});
+  TraceBlockDevice traced(&sim);
+  BlockCache cache(&traced, BlockCacheOptions{16, 2, false});
+  Rng rng = MakeTestRng();
+  Bytes out(4096);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache.ReadBlock(rng.Uniform(32), out.data()).ok());
+  }
+  EXPECT_EQ(traced.trace().size(), sim.stats().total_ops());
+  EXPECT_EQ(traced.trace().size(), cache.stats().misses);
+  EXPECT_LT(sim.stats().total_ops(), 100u);  // the cache absorbed repeats
+}
+
+}  // namespace
+}  // namespace steghide::storage
