@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <unordered_map>
 
 namespace steghide::agent {
 
+using oblivious::RecordId;
 using oblivious::StegPartitionReader;
 using stegfs::HiddenFile;
 
@@ -25,21 +28,55 @@ Result<std::unique_ptr<ObliviousAgent>> ObliviousAgent::Create(
 }
 
 Result<Bytes> ObliviousAgent::Read(FileId id, uint64_t offset, size_t n) {
+  const ByteRange range{offset, n};
+  STEGHIDE_ASSIGN_OR_RETURN(
+      auto out, ReadBatch(id, std::span<const ByteRange>(&range, 1)));
+  return std::move(out.front());
+}
+
+Result<std::vector<Bytes>> ObliviousAgent::ReadBatch(
+    FileId id, std::span<const ByteRange> ranges) {
   STEGHIDE_ASSIGN_OR_RETURN(const HiddenFile* file, agent_.InspectFile(id));
-  if (offset >= file->file_size) return Bytes{};
-  const uint64_t end = std::min<uint64_t>(offset + n, file->file_size);
   const size_t payload = core_->payload_size();
 
-  Bytes out;
-  out.reserve(end - offset);
-  Bytes buf(payload);
-  for (uint64_t logical = offset / payload; logical * payload < end;
-       ++logical) {
-    STEGHIDE_RETURN_IF_ERROR(reader_->ReadBlock(*file, logical, buf.data()));
-    const uint64_t begin = logical * payload;
-    const uint64_t lo = std::max<uint64_t>(offset, begin);
-    const uint64_t hi = std::min<uint64_t>(end, begin + payload);
-    out.insert(out.end(), buf.data() + (lo - begin), buf.data() + (hi - begin));
+  // Union of logical blocks covered by the clamped ranges, ascending —
+  // one miss-fill/oblivious-group pass serves all of them.
+  std::vector<uint64_t> logicals;
+  for (const ByteRange& range : ranges) {
+    if (range.offset >= file->file_size || range.length == 0) continue;
+    const uint64_t end =
+        std::min<uint64_t>(range.offset + range.length, file->file_size);
+    for (uint64_t logical = range.offset / payload; logical * payload < end;
+         ++logical) {
+      logicals.push_back(logical);
+    }
+  }
+  std::sort(logicals.begin(), logicals.end());
+  logicals.erase(std::unique(logicals.begin(), logicals.end()),
+                 logicals.end());
+
+  Bytes blocks(logicals.size() * payload);
+  STEGHIDE_RETURN_IF_ERROR(
+      reader_->ReadBlockBatch(*file, logicals, blocks.data()));
+
+  std::vector<Bytes> out(ranges.size());
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    const ByteRange& range = ranges[r];
+    if (range.offset >= file->file_size || range.length == 0) continue;
+    const uint64_t end =
+        std::min<uint64_t>(range.offset + range.length, file->file_size);
+    out[r].reserve(end - range.offset);
+    for (uint64_t logical = range.offset / payload; logical * payload < end;
+         ++logical) {
+      const uint64_t begin = logical * payload;
+      const uint64_t lo = std::max<uint64_t>(range.offset, begin);
+      const uint64_t hi = std::min<uint64_t>(end, begin + payload);
+      const size_t idx = static_cast<size_t>(
+          std::lower_bound(logicals.begin(), logicals.end(), logical) -
+          logicals.begin());
+      const uint8_t* src = blocks.data() + idx * payload;
+      out[r].insert(out[r].end(), src + (lo - begin), src + (hi - begin));
+    }
   }
   return out;
 }
@@ -47,49 +84,122 @@ Result<Bytes> ObliviousAgent::Read(FileId id, uint64_t offset, size_t n) {
 Status ObliviousAgent::Write(FileId id, uint64_t offset, const uint8_t* data,
                              size_t n) {
   if (n == 0) return Status::OK();
+  WriteOp op;
+  op.offset = offset;
+  op.data.assign(data, data + n);
+  return WriteBatch(id, std::span<const WriteOp>(&op, 1));
+}
+
+Status ObliviousAgent::WriteBatch(FileId id, std::span<const WriteOp> ops) {
   STEGHIDE_ASSIGN_OR_RETURN(const HiddenFile* file, agent_.InspectFile(id));
   const size_t payload = core_->payload_size();
-  const uint64_t end = offset + n;
 
-  Bytes block(payload);
-  for (uint64_t logical = offset / payload; logical * payload < end;
-       ++logical) {
-    const uint64_t begin = logical * payload;
-    const uint64_t lo = std::max<uint64_t>(offset, begin);
-    const uint64_t hi = std::min<uint64_t>(end, begin + payload);
-
-    const bool partial = (lo != begin || hi != begin + payload);
-    const bool existing = logical < file->num_data_blocks();
-    if (partial && existing) {
-      // Read-modify-write through the hidden read path, so the fetch is
-      // as pattern-free as any other read.
+  // Stage 1 — batched read-modify-write prefetch: every block whose first
+  // touch in this batch is a partial overwrite of initially existing
+  // content comes in through the hidden read path, so the fetches are as
+  // pattern-free as any other read. Blocks first touched by a full
+  // overwrite (or created by this batch) are staged without I/O.
+  std::map<uint64_t, Bytes> images;  // logical -> staged payload image
+  {
+    const uint64_t initial_blocks = file->num_data_blocks();
+    std::vector<uint64_t> prefetch;
+    std::unordered_map<uint64_t, bool> first_touch_partial;
+    for (const WriteOp& op : ops) {
+      if (op.data.empty()) continue;
+      const uint64_t end = op.offset + op.data.size();
+      for (uint64_t logical = op.offset / payload; logical * payload < end;
+           ++logical) {
+        const uint64_t begin = logical * payload;
+        const uint64_t lo = std::max<uint64_t>(op.offset, begin);
+        const uint64_t hi = std::min<uint64_t>(end, begin + payload);
+        const bool partial = (lo != begin || hi != begin + payload);
+        first_touch_partial.try_emplace(logical, partial);
+      }
+    }
+    for (const auto& [logical, partial] : first_touch_partial) {
+      if (partial && logical < initial_blocks) prefetch.push_back(logical);
+    }
+    std::sort(prefetch.begin(), prefetch.end());
+    if (!prefetch.empty()) {
+      Bytes fetched(prefetch.size() * payload);
       STEGHIDE_RETURN_IF_ERROR(
-          reader_->ReadBlock(*file, logical, block.data()));
-    } else {
-      std::fill(block.begin(), block.end(), 0);
+          reader_->ReadBlockBatch(*file, prefetch, fetched.data()));
+      for (size_t i = 0; i < prefetch.size(); ++i) {
+        images[prefetch[i]].assign(fetched.data() + i * payload,
+                                   fetched.data() + (i + 1) * payload);
+      }
     }
-    std::memcpy(block.data() + (lo - begin), data + (lo - offset), hi - lo);
-
-    // Persist on the StegFS partition via the Figure-6 relocating update
-    // (this also extends the file for appends). Write the whole cached
-    // block, but never extend the file past max(old end, new end) —
-    // clamping avoids rounding a trailing partial block up to a full one.
-    const uint64_t keep =
-        existing ? std::min<uint64_t>(payload, file->file_size - begin) : 0;
-    const uint64_t write_len = std::max<uint64_t>(hi - begin, keep);
-    STEGHIDE_RETURN_IF_ERROR(
-        agent_.Write(id, begin, block.data(), write_len));
-    // ...and refresh the cached copy with a hidden update, so subsequent
-    // oblivious reads see the new content.
-    if (existing || store_->Contains(StegPartitionReader::MakeRecordId(
-                        *file, logical))) {
-      STEGHIDE_RETURN_IF_ERROR(store_->Write(
-          StegPartitionReader::MakeRecordId(*file, logical), block.data()));
-    }
-    // The file image may have been reallocated by growth; re-inspect.
-    STEGHIDE_ASSIGN_OR_RETURN(file, agent_.InspectFile(id));
   }
-  return Status::OK();
+
+  // Stage 2 — apply ops in order. Persistence on the StegFS partition
+  // stays per block: each Figure-6 relocating update reshapes the
+  // selection domain the next one draws from, so their sequence is the
+  // observable pattern and cannot be merged. The oblivious-cache
+  // refreshes, by contrast, batch into one group below.
+  std::vector<RecordId> refresh_order;
+  std::unordered_map<RecordId, Bytes> refresh;
+  Status persist_status;
+  for (const WriteOp& op : ops) {
+    if (!persist_status.ok()) break;
+    if (op.data.empty()) continue;
+    const uint64_t end = op.offset + op.data.size();
+    for (uint64_t logical = op.offset / payload; logical * payload < end;
+         ++logical) {
+      const uint64_t begin = logical * payload;
+      const uint64_t lo = std::max<uint64_t>(op.offset, begin);
+      const uint64_t hi = std::min<uint64_t>(end, begin + payload);
+
+      auto [it, inserted] = images.try_emplace(logical);
+      if (inserted) it->second.assign(payload, 0);
+      Bytes& block = it->second;
+      std::memcpy(block.data() + (lo - begin), op.data.data() + (lo - op.offset),
+                  hi - lo);
+
+      // Persist via the relocating update (this also extends the file for
+      // appends). Write the whole staged block, but never extend the file
+      // past max(old end, new end) — clamping avoids rounding a trailing
+      // partial block up to a full one.
+      const bool existing = logical < file->num_data_blocks();
+      const uint64_t keep =
+          existing ? std::min<uint64_t>(payload, file->file_size - begin) : 0;
+      const uint64_t write_len = std::max<uint64_t>(hi - begin, keep);
+      persist_status = agent_.Write(id, begin, block.data(), write_len);
+      if (!persist_status.ok()) break;
+
+      // Record the cache refresh first (agent_tag is stable across
+      // relocation, so the record id does not depend on the re-inspect).
+      const RecordId rec = StegPartitionReader::MakeRecordId(*file, logical);
+      if (existing || store_->Contains(rec)) {
+        auto [rit, rinserted] = refresh.try_emplace(rec);
+        if (rinserted) refresh_order.push_back(rec);
+        rit->second = block;  // later duplicates win
+      }
+
+      // The file image may have been reallocated by growth; re-inspect.
+      // Failures break (not return) so Stage 3 still refreshes the
+      // blocks persisted so far.
+      auto reinspect = agent_.InspectFile(id);
+      if (!reinspect.ok()) {
+        persist_status = reinspect.status();
+        break;
+      }
+      file = *reinspect;
+    }
+  }
+
+  // Stage 3 — one hidden-update group refreshes the cached copies, so
+  // subsequent oblivious reads see the new content. This runs even when
+  // a mid-batch persist failed: every block persisted *before* the
+  // failure must not keep serving stale cached content.
+  if (!refresh_order.empty()) {
+    Bytes flat(refresh_order.size() * payload);
+    for (size_t i = 0; i < refresh_order.size(); ++i) {
+      const Bytes& image = refresh[refresh_order[i]];
+      std::copy(image.begin(), image.end(), flat.data() + i * payload);
+    }
+    STEGHIDE_RETURN_IF_ERROR(store_->MultiWrite(refresh_order, flat.data()));
+  }
+  return persist_status;
 }
 
 Status ObliviousAgent::IdleDummyOp() {

@@ -2,6 +2,8 @@
 #define STEGHIDE_AGENT_OBLIVIOUS_AGENT_H_
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "agent/volatile_agent.h"
 #include "oblivious/oblivious_store.h"
@@ -57,16 +59,42 @@ class ObliviousAgent {
 
   // ---- Hidden-access I/O -------------------------------------------------
 
+  /// One byte range of a batched hidden access.
+  struct ByteRange {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+  /// One write of a batched hidden update.
+  struct WriteOp {
+    uint64_t offset = 0;
+    Bytes data;
+  };
+
   /// Oblivious read: buffer/levels of the cache, with first-time fetches
-  /// randomised per Figure 8(a).
+  /// randomised per Figure 8(a). Equivalent to a one-range ReadBatch.
   Result<Bytes> Read(FileId id, uint64_t offset, size_t n);
 
+  /// Batched oblivious read: serves every range through one miss-fill
+  /// pass and one cached MultiRead group per covered block set, so k
+  /// ranges cost one level-scan pass per store-buffer-size chunk instead
+  /// of one per block.
+  Result<std::vector<Bytes>> ReadBatch(FileId id,
+                                       std::span<const ByteRange> ranges);
+
   /// Hidden write: cache write (read-shaped on the wire) + Figure-6
-  /// relocating update on the StegFS partition.
+  /// relocating update on the StegFS partition. Equivalent to a one-op
+  /// WriteBatch.
   Status Write(FileId id, uint64_t offset, const uint8_t* data, size_t n);
   Status Write(FileId id, uint64_t offset, const Bytes& data) {
     return Write(id, offset, data.data(), data.size());
   }
+
+  /// Batched hidden write: read-modify-write fetches are batched through
+  /// the oblivious read path, the StegFS-partition persistence runs per
+  /// block (Figure-6 relocating updates are inherently sequential), and
+  /// the cache refreshes land in one MultiWrite group. Ops apply in
+  /// order; overlapping writes resolve last-wins.
+  Status WriteBatch(FileId id, std::span<const WriteOp> ops);
 
   /// One idle-time dummy op on every traffic surface: a dummy update on
   /// the StegFS partition (§4.1.3), a dummy partition read and a dummy

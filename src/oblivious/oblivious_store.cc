@@ -1,7 +1,9 @@
 #include "oblivious/oblivious_store.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <unordered_set>
 
 #include "crypto/key.h"
 #include "oblivious/merge_sort.h"
@@ -17,7 +19,12 @@ ObliviousStore::ObliviousStore(storage::BlockDevice* device,
     : device_(device),
       options_(options),
       codec_(device->block_size()),
-      drbg_(options.drbg_seed) {}
+      drbg_(options.drbg_seed),
+      scheduler_(device) {
+  // Probe counts are part of the attacker-visible pattern; the scheduler
+  // must issue them verbatim (no coalescing of colliding decoys).
+  scheduler_.set_preserve_pattern(true);
+}
 
 Result<std::unique_ptr<ObliviousStore>> ObliviousStore::Create(
     storage::BlockDevice* device, const ObliviousStoreOptions& options) {
@@ -62,10 +69,6 @@ uint64_t ObliviousStore::hierarchy_blocks() const {
   return 2 * options_.capacity_blocks - 2 * options_.buffer_blocks;
 }
 
-bool ObliviousStore::Contains(RecordId id) const {
-  return present_.find(id) != present_.end();
-}
-
 std::vector<uint64_t> ObliviousStore::LevelOccupancy() const {
   std::vector<uint64_t> occ;
   occ.reserve(levels_.size());
@@ -88,99 +91,286 @@ Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
   return Status::OK();
 }
 
-Status ObliviousStore::ScanLevels(RecordId id, uint8_t* out_payload) {
-  // Plan the whole touch pattern first — one slot per non-empty level
-  // (plus the charge_index_io probe, which models reading the spilled
-  // index block "in the front of the corresponding level") — then issue
-  // it as a single vectored read. The id sequence is exactly the
-  // per-level issue order, so a trace device sees the same stream as the
-  // one-call-one-block path, while a cache or scheduler underneath can
-  // batch the probes.
-  std::vector<uint64_t> probe_ids;
-  probe_ids.reserve(2 * levels_.size());
-  size_t found_probe = 0;
-  bool found = false;
+Result<ObliviousStore::ScanPlan> ObliviousStore::PlanScan(
+    std::span<const RecordId> ids, std::span<const uint8_t> scan,
+    std::span<const uint8_t> dup) {
+  ++stats_.scan_passes;
+  const size_t k = ids.size();
+  size_t scan_k = 0;
+  for (size_t i = 0; i < k; ++i) scan_k += scan[i] != 0;
+
+  ScanPlan plan;
+  plan.passes.reserve(levels_.size());
+  std::vector<uint8_t> found(k, 0);
   for (Level& level : levels_) {
     if (level.empty()) continue;
+    ScanPlan::LevelPass pass;
+    pass.probes.reserve(scan_k + 1);
     if (options_.charge_index_io) {
-      probe_ids.push_back(level.base);
+      // The spilled index "in the front of the corresponding level" is
+      // read once per pass and answers every lookup of the group — this
+      // amortization is what lowers the overhead *factor* with k.
+      pass.probes.push_back({level.base, ScanPlan::kDecoy});
       ++stats_.index_io;
+      stats_.probes_saved += scan_k - 1;
     }
-    uint64_t slot;
-    const auto hit = level.index.Get(id);
-    if (!found && hit.has_value()) {
-      slot = *hit;
-      found = true;
-      found_probe = probe_ids.size();
-    } else {
-      // Decoy: uniformly random occupied slot. Stale slots are eligible —
-      // to the observer every slot is the same.
-      slot = drbg_.Uniform(level.occupied());
+    for (size_t i = 0; i < k; ++i) {
+      if (!scan[i]) continue;
+      const auto hit = level.index.Get(ids[i]);
+      if (!dup[i] && !found[i] && hit.has_value()) {
+        found[i] = 1;
+        pass.probes.push_back({level.base + *hit, i});
+      } else {
+        // Decoy: uniformly random occupied slot. Stale slots are
+        // eligible — to the observer every slot is the same.
+        pass.probes.push_back(
+            {level.base + drbg_.Uniform(level.occupied()), ScanPlan::kDecoy});
+      }
+      ++stats_.level_probe_reads;
     }
-    probe_ids.push_back(level.base + slot);
-    ++stats_.level_probe_reads;
+    // Elevator order within the pass: the probe multiset is a fresh set
+    // of uniform draws plus real slots of a concealed permutation, so
+    // its sorted image is data-independent. stable_sort keeps the index
+    // probe ahead of a colliding slot-0 probe, preserving the k = 1
+    // issue sequence bit-for-bit.
+    std::stable_sort(
+        pass.probes.begin(), pass.probes.end(),
+        [](const ScanPlan::Probe& a, const ScanPlan::Probe& b) {
+          return a.block < b.block;
+        });
+    plan.passes.push_back(std::move(pass));
   }
-  if (!found) {
-    return Status::Internal("record in present set but not found in levels");
+  for (size_t i = 0; i < k; ++i) {
+    if (scan[i] && !dup[i] && !found[i]) {
+      return Status::Internal("record in present set but not found in levels");
+    }
   }
+  return plan;
+}
 
-  Bytes blocks(probe_ids.size() * codec_.block_size());
-  STEGHIDE_RETURN_IF_ERROR(device_->ReadBlocks(probe_ids, blocks.data()));
+Status ObliviousStore::ExecuteScan(const ScanPlan& plan,
+                                   uint8_t* out_payloads) {
+  // One IoBatch per level pass, one drain for the whole sweep. The
+  // pattern-preserving scheduler issues each pass as a vectored read, so
+  // a cache or timing model underneath sees whole per-level batches
+  // while the per-block sequence stays exactly the planned one.
+  const size_t bs = codec_.block_size();
+  std::vector<Bytes> pass_bufs(plan.passes.size());
+  for (size_t p = 0; p < plan.passes.size(); ++p) {
+    const auto& probes = plan.passes[p].probes;
+    pass_bufs[p].resize(probes.size() * bs);
+    storage::IoBatch batch;
+    batch.requests.reserve(probes.size());
+    for (size_t i = 0; i < probes.size(); ++i) {
+      batch.Read(probes[i].block, pass_bufs[p].data() + i * bs);
+    }
+    scheduler_.Submit(std::move(batch));
+  }
+  STEGHIDE_RETURN_IF_ERROR(scheduler_.Drain());
 
+  // Per-request decrypt + extract (decoys stay sealed).
   Bytes payload(codec_.payload_size());
-  STEGHIDE_RETURN_IF_ERROR(codec_.Open(
-      cipher_, blocks.data() + found_probe * codec_.block_size(),
-      payload.data()));
-  if (out_payload != nullptr) {
-    std::memcpy(out_payload, payload.data(), payload.size());
+  for (size_t p = 0; p < plan.passes.size(); ++p) {
+    const auto& probes = plan.passes[p].probes;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (probes[i].owner == ScanPlan::kDecoy) continue;
+      STEGHIDE_RETURN_IF_ERROR(
+          codec_.Open(cipher_, pass_bufs[p].data() + i * bs, payload.data()));
+      if (out_payloads != nullptr) {
+        std::memcpy(out_payloads + probes[i].owner * codec_.payload_size(),
+                    payload.data(), payload.size());
+      }
+    }
   }
   return Status::OK();
 }
 
-Status ObliviousStore::Read(RecordId id, uint8_t* out_payload) {
-  if (!Contains(id)) return Status::NotFound("record not cached");
-  ++stats_.user_reads;
+Status ObliviousStore::ReadGroup(std::span<const RecordId> ids,
+                                 uint8_t* out_payloads) {
+  const size_t k = ids.size();
+  const size_t ps = codec_.payload_size();
+  stats_.user_reads += k;
+  if (k > 1) stats_.batched_requests += k;
   const double t0 = Clock();
 
-  const auto buf_it = buffer_.find(id);
-  if (buf_it != buffer_.end()) {
-    // Buffer hit: served from agent memory, no observable I/O.
-    ++stats_.buffer_hits;
-    std::memcpy(out_payload, buf_it->second.data(), buf_it->second.size());
-    stats_.retrieve_ms += Clock() - t0;
-    return Status::OK();
+  std::vector<uint8_t> scan(k, 0), dup(k, 0);
+  std::unordered_map<RecordId, size_t> first_scan;
+  bool any_scan = false;
+  for (size_t i = 0; i < k; ++i) {
+    const auto buf_it = buffer_.find(ids[i]);
+    if (buf_it != buffer_.end()) {
+      // Buffer hit: served from agent memory, no observable I/O.
+      ++stats_.buffer_hits;
+      std::memcpy(out_payloads + i * ps, buf_it->second.data(),
+                  buf_it->second.size());
+      continue;
+    }
+    scan[i] = 1;
+    any_scan = true;
+    const auto [it, inserted] = first_scan.try_emplace(ids[i], i);
+    if (!inserted) dup[i] = 1;  // duplicated real slot: all-decoy probes
   }
 
-  STEGHIDE_RETURN_IF_ERROR(ScanLevels(id, out_payload));
+  if (any_scan) {
+    STEGHIDE_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(ids, scan, dup));
+    STEGHIDE_RETURN_IF_ERROR(ExecuteScan(plan, out_payloads));
+    for (size_t i = 0; i < k; ++i) {
+      if (dup[i]) {
+        std::memcpy(out_payloads + i * ps,
+                    out_payloads + first_scan[ids[i]] * ps, ps);
+      }
+    }
+  }
   stats_.retrieve_ms += Clock() - t0;
 
-  // The record joins the buffer so the slot just exposed is never read
-  // again before a re-order.
-  return BufferInsert(id, out_payload);
+  // Scanned records re-join the buffer so the slots just exposed are
+  // never read again before a re-order; the flush runs once per group.
+  for (size_t i = 0; i < k; ++i) {
+    if (scan[i] && !dup[i]) BufferStage(ids[i], out_payloads + i * ps);
+  }
+  return MaybeFlush();
+}
+
+Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
+                                  const uint8_t* payloads) {
+  const size_t k = ids.size();
+  const size_t ps = codec_.payload_size();
+  if (k > 1) stats_.batched_requests += k;
+
+  // Capacity pre-check so the group applies atomically.
+  uint64_t fresh = 0;
+  {
+    std::unordered_set<RecordId> seen;
+    for (size_t i = 0; i < k; ++i) {
+      if (!Contains(ids[i]) && seen.insert(ids[i]).second) ++fresh;
+    }
+    if (record_count() + fresh > options_.capacity_blocks) {
+      return Status::NoSpace("oblivious store at capacity");
+    }
+  }
+
+  const double t0 = Clock();
+  std::vector<uint8_t> scan(k, 0);
+  std::vector<uint8_t> none;
+  // Ids that will be in the buffer by the time a later group member is
+  // processed (insert or scan earlier in the group): later occurrences
+  // take the buffer-hit shape, exactly as the sequential path would.
+  std::unordered_set<RecordId> staged;
+  // First-time ids register only after the fallible scan below, so a
+  // failed group never strands a present id that is stored nowhere.
+  std::vector<RecordId> fresh_ids;
+  bool any_scan = false;
+  for (size_t i = 0; i < k; ++i) {
+    const RecordId id = ids[i];
+    if (!Contains(id) && staged.count(id) == 0) {
+      // First-time insertion: buffer-only, no level touches (the caller's
+      // fetch from the StegFS partition was the observable I/O).
+      fresh_ids.push_back(id);
+      staged.insert(id);
+      continue;
+    }
+    ++stats_.user_writes;
+    if (buffer_.find(id) != buffer_.end() || staged.count(id) != 0) continue;
+    // Same touch pattern as a read — an observer cannot tell a hidden
+    // update from a retrieval. The fetched content is superseded.
+    scan[i] = 1;
+    any_scan = true;
+    staged.insert(id);
+  }
+
+  if (any_scan) {
+    none.assign(k, 0);
+    STEGHIDE_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(ids, scan, none));
+    STEGHIDE_RETURN_IF_ERROR(ExecuteScan(plan, nullptr));
+  }
+  stats_.retrieve_ms += Clock() - t0;
+
+  for (const RecordId id : fresh_ids) {
+    // Infallible: the capacity pre-check above covered every fresh id.
+    STEGHIDE_RETURN_IF_ERROR(RegisterPresent(id));
+  }
+  for (size_t i = 0; i < k; ++i) BufferStage(ids[i], payloads + i * ps);
+  return MaybeFlush();
+}
+
+Status ObliviousStore::Read(RecordId id, uint8_t* out_payload) {
+  return MultiRead(std::span<const RecordId>(&id, 1), out_payload);
+}
+
+Status ObliviousStore::MultiRead(std::span<const RecordId> ids,
+                                 uint8_t* out_payloads) {
+  for (const RecordId id : ids) {
+    if (!Contains(id)) return Status::NotFound("record not cached");
+  }
+  const size_t max_k = options_.buffer_blocks;
+  for (size_t off = 0; off < ids.size(); off += max_k) {
+    const size_t n = std::min(max_k, ids.size() - off);
+    STEGHIDE_RETURN_IF_ERROR(ReadGroup(
+        ids.subspan(off, n), out_payloads + off * codec_.payload_size()));
+  }
+  return Status::OK();
 }
 
 Status ObliviousStore::Write(RecordId id, const uint8_t* payload) {
-  if (!Contains(id)) return Insert(id, payload);
-  ++stats_.user_writes;
-  const double t0 = Clock();
-  if (buffer_.find(id) == buffer_.end()) {
-    // Same touch pattern as a read — an observer cannot tell a hidden
-    // update from a retrieval. The fetched content is superseded.
-    STEGHIDE_RETURN_IF_ERROR(ScanLevels(id, nullptr));
+  return MultiWrite(std::span<const RecordId>(&id, 1), payload);
+}
+
+Status ObliviousStore::MultiWrite(std::span<const RecordId> ids,
+                                  const uint8_t* payloads) {
+  const size_t max_k = options_.buffer_blocks;
+  for (size_t off = 0; off < ids.size(); off += max_k) {
+    const size_t n = std::min(max_k, ids.size() - off);
+    STEGHIDE_RETURN_IF_ERROR(WriteGroup(
+        ids.subspan(off, n), payloads + off * codec_.payload_size()));
   }
-  stats_.retrieve_ms += Clock() - t0;
-  return BufferInsert(id, payload);
+  return Status::OK();
 }
 
 Status ObliviousStore::Insert(RecordId id, const uint8_t* payload) {
-  if (!Contains(id)) {
-    if (record_count() >= options_.capacity_blocks) {
+  STEGHIDE_RETURN_IF_ERROR(RegisterPresent(id));
+  BufferStage(id, payload);
+  return MaybeFlush();
+}
+
+Status ObliviousStore::MultiInsert(std::span<const RecordId> ids,
+                                   const uint8_t* payloads) {
+  const size_t max_k = options_.buffer_blocks;
+  const size_t ps = codec_.payload_size();
+  for (size_t off = 0; off < ids.size(); off += max_k) {
+    const size_t n = std::min(max_k, ids.size() - off);
+    uint64_t fresh = 0;
+    std::unordered_set<RecordId> seen;
+    for (size_t i = 0; i < n; ++i) {
+      const RecordId id = ids[off + i];
+      if (!Contains(id) && seen.insert(id).second) ++fresh;
+    }
+    if (record_count() + fresh > options_.capacity_blocks) {
       return Status::NoSpace("oblivious store at capacity");
     }
-    present_.insert(id);
-    present_list_.push_back(id);
+    for (size_t i = 0; i < n; ++i) {
+      STEGHIDE_RETURN_IF_ERROR(RegisterPresent(ids[off + i]));
+      BufferStage(ids[off + i], payloads + (off + i) * ps);
+    }
+    STEGHIDE_RETURN_IF_ERROR(MaybeFlush());
   }
-  return BufferInsert(id, payload);
+  return Status::OK();
+}
+
+Status ObliviousStore::Remove(RecordId id) {
+  const auto it = present_index_.find(id);
+  if (it == present_index_.end()) return Status::NotFound("record not cached");
+  buffer_.erase(id);
+  // Any authoritative level copy turns stale: still probed as a decoy
+  // target, dropped at the next re-order.
+  for (Level& level : levels_) level.index.Erase(id);
+  // Swap-and-pop keeps dummy-read sampling uniform and O(1).
+  const size_t pos = it->second;
+  const RecordId last = present_list_.back();
+  present_list_[pos] = last;
+  present_index_[last] = pos;
+  present_list_.pop_back();
+  present_index_.erase(id);
+  return Status::OK();
 }
 
 Status ObliviousStore::DummyRead() {
@@ -193,11 +383,24 @@ Status ObliviousStore::DummyRead() {
   return Read(id, payload.data());
 }
 
-Status ObliviousStore::BufferInsert(RecordId id, const uint8_t* payload) {
+Status ObliviousStore::RegisterPresent(RecordId id) {
+  if (Contains(id)) return Status::OK();
+  if (record_count() >= options_.capacity_blocks) {
+    return Status::NoSpace("oblivious store at capacity");
+  }
+  present_index_.emplace(id, present_list_.size());
+  present_list_.push_back(id);
+  return Status::OK();
+}
+
+void ObliviousStore::BufferStage(RecordId id, const uint8_t* payload) {
   Bytes& slot = buffer_[id];
   slot.assign(payload, payload + codec_.payload_size());
-  if (buffer_.size() >= options_.buffer_blocks) return FlushBuffer();
-  return Status::OK();
+}
+
+Status ObliviousStore::MaybeFlush() {
+  if (buffer_.size() < options_.buffer_blocks) return Status::OK();
+  return FlushBuffer();
 }
 
 Status ObliviousStore::FlushBuffer() {
@@ -207,6 +410,8 @@ Status ObliviousStore::FlushBuffer() {
   Level& level1 = levels_.front();
   // With a single level (k = 1) the level is also the last one; dedup at
   // re-order guarantees fit because distinct records never exceed N.
+  // Deferred group flushes can stage up to 2B - 1 records, which still
+  // fits level 1 (capacity 2B) once a dump empties it.
   if (levels_.size() > 1 &&
       level1.live_count() + buffer_.size() > level1.capacity) {
     STEGHIDE_RETURN_IF_ERROR(Dump(0));

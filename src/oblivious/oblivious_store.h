@@ -3,14 +3,15 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "crypto/cbc.h"
 #include "crypto/drbg.h"
 #include "oblivious/level.h"
 #include "stegfs/block_codec.h"
+#include "storage/async/io_scheduler.h"
 #include "storage/block_device.h"
 #include "util/result.h"
 
@@ -34,8 +35,10 @@ struct ObliviousStoreOptions {
   uint64_t drbg_seed = 7;
   /// Ablation: model the §5.1.2 variant whose per-level hash indices are
   /// too big for agent memory and live, encrypted, "in the front of the
-  /// corresponding level". When set, every level probe pays one extra
-  /// index-block read and every re-order pays sequential index writes.
+  /// corresponding level". When set, every level scan pass pays one extra
+  /// index-block read — shared by every request in the pass, which is
+  /// where batching changes the overhead *factor* — and every re-order
+  /// pays sequential index writes.
   bool charge_index_io = false;
 };
 
@@ -50,6 +53,16 @@ struct ObliviousStats {
   uint64_t reorder_writes = 0;
   uint64_t reorders = 0;
   uint64_t buffer_flushes = 0;
+  /// Requests that arrived through MultiRead/MultiWrite groups of size
+  /// greater than one.
+  uint64_t batched_requests = 0;
+  /// Planner/executor sweeps over the hierarchy. A group of k requests
+  /// costs one pass; the legacy one-at-a-time path costs k.
+  uint64_t scan_passes = 0;
+  /// Index probes amortized away by grouping: under charge_index_io a
+  /// pass reads each level's spilled index once instead of once per
+  /// request, saving (group size - 1) reads per non-empty level.
+  uint64_t probes_saved = 0;
   double retrieve_ms = 0.0;  // virtual time in scans
   double sort_ms = 0.0;      // virtual time in flush/dump/re-order
 
@@ -79,6 +92,16 @@ struct ObliviousStats {
 /// fresh concealed permutation via external merge sort. Any record is
 /// therefore read at most once per level between re-orders, which is the
 /// oblivious-RAM argument for indistinguishability (§5.1.2).
+///
+/// Retrieval is organised as a planner/executor pipeline over request
+/// *groups*: MultiRead/MultiWrite plan one probe set covering up to B
+/// requests per level scan — one slot per level per request, duplicated
+/// real slots replaced by decoys — and submit each level pass as a single
+/// IoBatch through a pattern-preserving IoScheduler, drained once per
+/// pass group. Single-request Read/Write are the k = 1 case of the same
+/// path. The §5.1.2 buffer argument covers the grouping: every slot is
+/// still read at most once between re-orders, and the per-request trace
+/// stays one touch per non-empty level.
 class ObliviousStore {
  public:
   /// `device` is borrowed and must outlive the store. Validates the
@@ -93,26 +116,56 @@ class ObliviousStore {
   uint64_t hierarchy_blocks() const;
 
   /// True if `id` is cached (buffer or any level). Memory-only check.
-  bool Contains(RecordId id) const;
+  bool Contains(RecordId id) const {
+    return present_index_.find(id) != present_index_.end();
+  }
 
   /// Number of distinct records cached.
-  uint64_t record_count() const { return present_.size(); }
+  uint64_t record_count() const { return present_index_.size(); }
 
   /// Reads record `id` into `out_payload` (payload_size bytes). The
   /// record must be present (callers check Contains() and fetch misses
-  /// from the StegFS partition — see StegPartitionReader).
+  /// from the StegFS partition — see StegPartitionReader). Equivalent to
+  /// MultiRead of a single-id group.
   Status Read(RecordId id, uint8_t* out_payload);
+
+  /// Batched oblivious read: serves `ids` in groups of up to
+  /// buffer_blocks requests per level-scan pass, amortizing the pass
+  /// overhead. Record `ids[i]` lands at out_payloads + i * payload_size.
+  /// Every id must be present (checked before any I/O). Duplicate ids are
+  /// served from one decrypted copy but still touch one decoy slot per
+  /// level, so the attacker-visible trace remains exactly one touch per
+  /// level per request. Buffer flushes are deferred to group end.
+  Status MultiRead(std::span<const RecordId> ids, uint8_t* out_payloads);
 
   /// Hidden update: indistinguishable from Read on the wire (same level
   /// touches), with the new payload entering through the buffer. The
   /// caller also repeats the write on the StegFS partition for
-  /// persistence (§5.1.2).
+  /// persistence (§5.1.2). Equivalent to MultiWrite of a single-id group.
   Status Write(RecordId id, const uint8_t* payload);
+
+  /// Batched hidden update: payload `i` is read from
+  /// payloads + i * payload_size. Ids absent from the store take the
+  /// Insert path (buffer-only, no level touches); present ids get the
+  /// read-shaped scan unless already buffered. Later duplicates win.
+  Status MultiWrite(std::span<const RecordId> ids, const uint8_t* payloads);
 
   /// First-time insertion of a record fetched from the StegFS partition.
   /// Buffer-only; no level touches (the fetch itself was the observable
   /// I/O).
   Status Insert(RecordId id, const uint8_t* payload);
+
+  /// Batched first-time insertion (miss-fill): buffer-only like Insert,
+  /// with the flush deferred to group end so a k-record fill costs at
+  /// most one merge.
+  Status MultiInsert(std::span<const RecordId> ids, const uint8_t* payloads);
+
+  /// Evicts `id` from the cache: agent-side bookkeeping only, no device
+  /// I/O. Any level slot holding the record turns stale — it keeps
+  /// serving as decoy fodder until the next re-order drops it — and the
+  /// id leaves the dummy-read sampling population immediately
+  /// (swap-and-pop, O(1), sampling stays uniform).
+  Status Remove(RecordId id);
 
   /// Dummy read: retrieves a uniformly random cached record through the
   /// full Read path. No-op when the store is empty.
@@ -127,6 +180,13 @@ class ObliviousStore {
 
   size_t payload_size() const { return codec_.payload_size(); }
 
+  /// Records currently staged in the agent buffer.
+  uint64_t buffer_fill() const { return buffer_.size(); }
+
+  /// Largest request group served by one scan pass (= buffer_blocks);
+  /// longer spans are chunked internally.
+  uint64_t max_batch() const { return options_.buffer_blocks; }
+
   /// Level occupancies, for tests and introspection.
   std::vector<uint64_t> LevelOccupancy() const;
 
@@ -136,12 +196,54 @@ class ObliviousStore {
 
   double Clock() const { return clock_fn_ ? clock_fn_() : 0.0; }
 
-  /// Performs the per-level touch pattern for `id`; if `out_payload` is
-  /// non-null the found record is copied there.
-  Status ScanLevels(RecordId id, uint8_t* out_payload);
+  /// One planned level-scan sweep serving a request group. Each pass is
+  /// the probe set of one non-empty level: an optional leading index
+  /// probe (charge_index_io) plus one slot probe per request, elevator-
+  /// sorted within the pass (sorting a set of uniform draws is data-
+  /// independent). `owner` maps a probe back to the request whose real
+  /// slot it is, or kDecoy.
+  struct ScanPlan {
+    static constexpr size_t kDecoy = ~size_t{0};
+    struct Probe {
+      uint64_t block = 0;
+      size_t owner = kDecoy;
+    };
+    struct LevelPass {
+      std::vector<Probe> probes;
+    };
+    std::vector<LevelPass> passes;
+  };
 
-  /// Puts a payload in the buffer, flushing when it reaches B records.
-  Status BufferInsert(RecordId id, const uint8_t* payload);
+  /// Plans the touch pattern for a request group. `scan[i]` is true for
+  /// requests that probe the levels; `dup[i]` marks requests whose real
+  /// slot belongs to an earlier group member (they draw decoys in every
+  /// level). DRBG draws happen in level-major, request-minor order.
+  Result<ScanPlan> PlanScan(std::span<const RecordId> ids,
+                            std::span<const uint8_t> scan,
+                            std::span<const uint8_t> dup);
+
+  /// Executes the plan: one IoBatch per level pass through the pattern-
+  /// preserving scheduler, one drain, then per-request decrypt+extract
+  /// into out_payloads (group-indexed; nullptr skips extraction).
+  Status ExecuteScan(const ScanPlan& plan, uint8_t* out_payloads);
+
+  /// Serves one group of at most buffer_blocks read requests.
+  Status ReadGroup(std::span<const RecordId> ids, uint8_t* out_payloads);
+
+  /// Serves one group of at most buffer_blocks write/insert requests.
+  Status WriteGroup(std::span<const RecordId> ids, const uint8_t* payloads);
+
+  /// Registers `id` as present (no-op when already cached). Fails with
+  /// NoSpace at capacity.
+  Status RegisterPresent(RecordId id);
+
+  /// Stages a payload in the buffer without flushing.
+  void BufferStage(RecordId id, const uint8_t* payload);
+
+  /// Flushes the buffer once it holds at least B records. Group
+  /// operations call this once per group, so the buffer may transiently
+  /// hold up to 2B - 1 records — still within level 1's capacity.
+  Status MaybeFlush();
 
   Status FlushBuffer();
 
@@ -156,8 +258,8 @@ class ObliviousStore {
                          in_memory);
 
   /// charge_index_io: sequential index rewrite after re-ordering `level`.
-  /// (The per-probe index read is planned inline by ScanLevels, so it
-  /// joins the level probes in one vectored request.)
+  /// (The per-pass index read is planned inline by PlanScan, so it joins
+  /// the level probes in one batched request.)
   Status ChargeIndexRebuild(const Level& level);
 
   storage::BlockDevice* device_;
@@ -165,10 +267,12 @@ class ObliviousStore {
   stegfs::BlockCodec codec_;
   crypto::HashDrbg drbg_;
   crypto::CbcCipher cipher_;
+  storage::IoScheduler scheduler_;
   std::vector<Level> levels_;  // levels_[0] is level 1 (size 2B)
 
   std::unordered_map<RecordId, Bytes> buffer_;
-  std::unordered_set<RecordId> present_;
+  /// id -> position in present_list_; doubles as the presence set.
+  std::unordered_map<RecordId, size_t> present_index_;
   std::vector<RecordId> present_list_;  // for uniform dummy-read sampling
 
   std::function<double()> clock_fn_;

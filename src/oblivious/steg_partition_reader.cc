@@ -1,6 +1,7 @@
 #include "oblivious/steg_partition_reader.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace steghide::oblivious {
 
@@ -10,44 +11,114 @@ StegPartitionReader::StegPartitionReader(stegfs::StegFsCore* core,
 
 Status StegPartitionReader::ReadBlock(const stegfs::HiddenFile& file,
                                       uint64_t logical, uint8_t* out_payload) {
-  if (logical >= file.num_data_blocks()) {
-    return Status::OutOfRange("read beyond end of file");
-  }
-  const RecordId id = MakeRecordId(file, logical);
-  if (store_->Contains(id)) {
-    ++stats_.cache_hits;
-    return store_->Read(id, out_payload);
-  }
+  return ReadBlockBatch(file, std::span<const uint64_t>(&logical, 1),
+                        out_payload);
+}
 
-  // Figure 8(a): randomise the fetch by interleaving decoy re-reads of
-  // already-fetched blocks. The DRBG draws happen in loop order (the
-  // distribution argument depends on it); the decoy I/O itself is issued
-  // as one vectored read in the same sequence, so the observable stream
-  // is unchanged while a cache/scheduler sees the whole batch.
-  const uint64_t m = core_->num_blocks();
-  std::vector<uint64_t> decoys;
-  for (;;) {
-    const uint64_t x = core_->drbg().Uniform(m);
-    if (x >= fetched_.size()) break;
-    decoys.push_back(fetched_[core_->drbg().Uniform(fetched_.size())]);
-    ++stats_.decoy_reads;
-  }
-  if (!decoys.empty()) {
-    // Chunked so a late-stage fetch (expected decoy count approaches the
-    // partition size as S → M) never materialises a volume-sized buffer.
-    constexpr size_t kDecoyChunk = 256;
-    Bytes raw;
-    for (size_t i = 0; i < decoys.size(); i += kDecoyChunk) {
-      const size_t n = std::min(kDecoyChunk, decoys.size() - i);
-      STEGHIDE_RETURN_IF_ERROR(core_->ReadRawBatch(
-          std::span<const uint64_t>(decoys).subspan(i, n), raw));
+Status StegPartitionReader::ReadBlockBatch(const stegfs::HiddenFile& file,
+                                           std::span<const uint64_t> logicals,
+                                           uint8_t* out_payloads) {
+  const size_t ps = core_->payload_size();
+  for (const uint64_t logical : logicals) {
+    if (logical >= file.num_data_blocks()) {
+      return Status::OutOfRange("read beyond end of file");
     }
   }
 
-  STEGHIDE_RETURN_IF_ERROR(core_->ReadFileBlock(file, logical, out_payload));
-  ++stats_.real_fetches;
-  fetched_.push_back(file.block_ptrs[logical]);
-  return store_->Insert(id, out_payload);
+  // Classify: cached blocks go to one oblivious group, distinct misses
+  // to one fill pass. A logical repeated among the misses is fetched
+  // once (§5.1.1's at-most-once rule) and copied to its duplicates.
+  std::vector<uint64_t> miss_logicals;
+  std::unordered_map<RecordId, size_t> miss_pos;
+  std::vector<size_t> cached_at;
+  std::vector<RecordId> cached_ids;
+  for (size_t i = 0; i < logicals.size(); ++i) {
+    const RecordId id = MakeRecordId(file, logicals[i]);
+    if (store_->Contains(id)) {
+      ++stats_.cache_hits;
+      cached_at.push_back(i);
+      cached_ids.push_back(id);
+    } else if (miss_pos.find(id) == miss_pos.end()) {
+      miss_pos.emplace(id, miss_logicals.size());
+      miss_logicals.push_back(logicals[i]);
+    }
+  }
+
+  if (!miss_logicals.empty()) {
+    // Figure 8(a): randomise each fetch by interleaving decoy re-reads of
+    // already-fetched blocks. The DRBG draws happen miss by miss with the
+    // fetched set growing in between — exactly the sequential draw
+    // sequence, on which the uniformity argument depends — while the
+    // decoy I/O itself is issued as vectored reads afterwards, so the
+    // observable stream keeps its distribution and a cache/scheduler
+    // sees whole batches.
+    const uint64_t m = core_->num_blocks();
+    std::vector<uint64_t> decoys;
+    // This batch's fetches join the set S only after every I/O below
+    // succeeds, so a failed batch cannot corrupt the fetched set; the
+    // draws still see S grow between misses via the virtual
+    // concatenation fetched_ ∥ new_fetches.
+    std::vector<uint64_t> new_fetches;
+    for (const uint64_t logical : miss_logicals) {
+      for (;;) {
+        const uint64_t fetched_count = fetched_.size() + new_fetches.size();
+        const uint64_t x = core_->drbg().Uniform(m);
+        if (x >= fetched_count) break;
+        const uint64_t pick = core_->drbg().Uniform(fetched_count);
+        decoys.push_back(pick < fetched_.size()
+                             ? fetched_[pick]
+                             : new_fetches[pick - fetched_.size()]);
+        ++stats_.decoy_reads;
+      }
+      new_fetches.push_back(file.block_ptrs[logical]);
+    }
+    if (!decoys.empty()) {
+      // Chunked so a late-stage fetch (expected decoy count approaches
+      // the partition size as S → M) never materialises a volume-sized
+      // buffer.
+      constexpr size_t kDecoyChunk = 256;
+      Bytes raw;
+      for (size_t i = 0; i < decoys.size(); i += kDecoyChunk) {
+        const size_t n = std::min(kDecoyChunk, decoys.size() - i);
+        STEGHIDE_RETURN_IF_ERROR(core_->ReadRawBatch(
+            std::span<const uint64_t>(decoys).subspan(i, n), raw));
+      }
+    }
+
+    // One vectored fetch for every distinct miss, then one batched fill
+    // of the store (deferred flush: a k-record fill costs one merge).
+    Bytes fetched_payloads(miss_logicals.size() * ps);
+    STEGHIDE_RETURN_IF_ERROR(core_->ReadFileBlockSet(
+        file, miss_logicals, fetched_payloads.data()));
+    std::vector<RecordId> miss_ids;
+    miss_ids.reserve(miss_logicals.size());
+    for (const uint64_t logical : miss_logicals) {
+      miss_ids.push_back(MakeRecordId(file, logical));
+    }
+    STEGHIDE_RETURN_IF_ERROR(
+        store_->MultiInsert(miss_ids, fetched_payloads.data()));
+    fetched_.insert(fetched_.end(), new_fetches.begin(), new_fetches.end());
+    stats_.real_fetches += new_fetches.size();
+
+    // Scatter fetched payloads to every position they serve.
+    for (size_t i = 0; i < logicals.size(); ++i) {
+      const auto it = miss_pos.find(MakeRecordId(file, logicals[i]));
+      if (it == miss_pos.end()) continue;
+      std::copy_n(fetched_payloads.data() + it->second * ps, ps,
+                  out_payloads + i * ps);
+    }
+  }
+
+  if (!cached_ids.empty()) {
+    Bytes cached_payloads(cached_ids.size() * ps);
+    STEGHIDE_RETURN_IF_ERROR(
+        store_->MultiRead(cached_ids, cached_payloads.data()));
+    for (size_t c = 0; c < cached_at.size(); ++c) {
+      std::copy_n(cached_payloads.data() + c * ps, ps,
+                  out_payloads + cached_at[c] * ps);
+    }
+  }
+  return Status::OK();
 }
 
 Status StegPartitionReader::DummyStegRead() {

@@ -1,6 +1,7 @@
 #ifndef STEGHIDE_OBLIVIOUS_STEG_PARTITION_READER_H_
 #define STEGHIDE_OBLIVIOUS_STEG_PARTITION_READER_H_
 
+#include <span>
 #include <vector>
 
 #include "oblivious/oblivious_store.h"
@@ -41,8 +42,21 @@ class StegPartitionReader {
   }
 
   /// Reads logical block `logical` of `file` into `out_payload`.
+  /// Equivalent to a single-block ReadBlockBatch.
   Status ReadBlock(const stegfs::HiddenFile& file, uint64_t logical,
                    uint8_t* out_payload);
+
+  /// Batched read: logical block `logicals[i]` lands at
+  /// out_payloads + i * payload_size. Blocks absent from the oblivious
+  /// store are miss-filled in one pass — the Figure 8(a) decoy draws run
+  /// per miss in order (the fetched set grows between misses exactly as
+  /// sequential fetches would, preserving the uniformity argument), the
+  /// fetches go down as one vectored partition read, and the fills enter
+  /// the store with a single deferred flush. Cached blocks are then
+  /// served through one MultiRead group per buffer-size chunk.
+  Status ReadBlockBatch(const stegfs::HiddenFile& file,
+                        std::span<const uint64_t> logicals,
+                        uint8_t* out_payloads);
 
   /// Idle-time dummy read on the StegFS partition: one uniformly random
   /// block (Figure 8(a), else-branch).

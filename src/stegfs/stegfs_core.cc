@@ -126,24 +126,26 @@ Status StegFsCore::ReadFileBlock(const HiddenFile& file, uint64_t logical,
   return codec_.Open(*cipher, block.data(), out_payload);
 }
 
-Status StegFsCore::ReadFileBlocks(const HiddenFile& file, uint64_t logical,
-                                  uint64_t count, uint8_t* out_payloads) {
-  if (count == 0) return Status::OK();
-  // Overflow-safe form of `logical + count > num_data_blocks`.
-  if (logical >= file.num_data_blocks() ||
-      count > file.num_data_blocks() - logical) {
-    return Status::OutOfRange("logical block beyond end of file");
+Status StegFsCore::ReadFileBlockSet(const HiddenFile& file,
+                                    std::span<const uint64_t> logicals,
+                                    uint8_t* out_payloads) {
+  if (logicals.empty()) return Status::OK();
+  std::vector<uint64_t> physical;
+  physical.reserve(logicals.size());
+  for (const uint64_t logical : logicals) {
+    if (logical >= file.num_data_blocks()) {
+      return Status::OutOfRange("logical block beyond end of file");
+    }
+    physical.push_back(file.block_ptrs[logical]);
   }
   Bytes blocks;
-  STEGHIDE_RETURN_IF_ERROR(ReadRawBatch(
-      std::span<const uint64_t>(file.block_ptrs).subspan(logical, count),
-      blocks));
+  STEGHIDE_RETURN_IF_ERROR(ReadRawBatch(physical, blocks));
 
   const crypto::CbcCipher* cipher = nullptr;
   if (!file.is_dummy) {
     STEGHIDE_ASSIGN_OR_RETURN(cipher, CipherFor(file.fak.content_key));
   }
-  for (uint64_t i = 0; i < count; ++i) {
+  for (size_t i = 0; i < logicals.size(); ++i) {
     const uint8_t* block = blocks.data() + i * codec_.block_size();
     uint8_t* out = out_payloads + i * codec_.payload_size();
     if (file.is_dummy) {
@@ -154,6 +156,19 @@ Status StegFsCore::ReadFileBlocks(const HiddenFile& file, uint64_t logical,
     }
   }
   return Status::OK();
+}
+
+Status StegFsCore::ReadFileBlocks(const HiddenFile& file, uint64_t logical,
+                                  uint64_t count, uint8_t* out_payloads) {
+  if (count == 0) return Status::OK();
+  // Overflow-safe form of `logical + count > num_data_blocks`.
+  if (logical >= file.num_data_blocks() ||
+      count > file.num_data_blocks() - logical) {
+    return Status::OutOfRange("logical block beyond end of file");
+  }
+  std::vector<uint64_t> logicals(count);
+  for (uint64_t i = 0; i < count; ++i) logicals[i] = logical + i;
+  return ReadFileBlockSet(file, logicals, out_payloads);
 }
 
 Status StegFsCore::WriteDataBlockAt(const HiddenFile& file, uint64_t physical,

@@ -83,6 +83,14 @@ class StegFsCore {
   Status ReadFileBlocks(const HiddenFile& file, uint64_t logical,
                         uint64_t count, uint8_t* out_payloads);
 
+  /// Scattered vectored variant: reads the (not necessarily consecutive)
+  /// logical blocks `logicals[i]`, depositing payloads at
+  /// out_payloads + i * payload_size(). One ReadBlocks against the
+  /// device — the miss-fill path of batched oblivious retrieval.
+  Status ReadFileBlockSet(const HiddenFile& file,
+                          std::span<const uint64_t> logicals,
+                          uint8_t* out_payloads);
+
   /// Seals `payload` under the file's content key and writes it at
   /// physical block `physical`. Does not touch file.block_ptrs; the
   /// caller (the update engine) owns relocation bookkeeping.

@@ -17,9 +17,61 @@ IoFuture IoScheduler::Submit(IoBatch batch) {
   return future;
 }
 
+Status IoScheduler::IssueVerbatim(const IoBatch& batch) {
+  // Walk the batch once, folding maximal same-op runs whose buffers are
+  // laid out contiguously (the common shape: a caller reading a probe set
+  // into one Bytes buffer) into a single vectored call. Everything else
+  // is issued block by block, still in submission order.
+  const size_t bs = backing_->block_size();
+  const auto& reqs = batch.requests;
+  size_t i = 0;
+  while (i < reqs.size()) {
+    size_t j = i + 1;
+    if (reqs[i].op == IoRequest::Op::kRead) {
+      // Adjacent-pair comparison only: forming `prev + bs` is at most a
+      // one-past-the-end pointer even for unrelated buffers.
+      while (j < reqs.size() && reqs[j].op == IoRequest::Op::kRead &&
+             reqs[j].out == reqs[j - 1].out + bs) {
+        ++j;
+      }
+      std::vector<uint64_t> ids;
+      ids.reserve(j - i);
+      for (size_t r = i; r < j; ++r) ids.push_back(reqs[r].block_id);
+      STEGHIDE_RETURN_IF_ERROR(backing_->ReadBlocks(ids, reqs[i].out));
+      stats_.physical_reads += j - i;
+    } else {
+      while (j < reqs.size() && reqs[j].op == IoRequest::Op::kWrite &&
+             reqs[j].data == reqs[j - 1].data + bs) {
+        ++j;
+      }
+      std::vector<uint64_t> ids;
+      ids.reserve(j - i);
+      for (size_t r = i; r < j; ++r) ids.push_back(reqs[r].block_id);
+      STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlocks(ids, reqs[i].data));
+      stats_.physical_writes += j - i;
+    }
+    i = j;
+  }
+  return Status::OK();
+}
+
 Status IoScheduler::Drain() {
   if (queue_.empty()) return Status::OK();
   ++stats_.drains;
+
+  if (preserve_pattern_) {
+    Status status;
+    for (const Pending& pending : queue_) {
+      status = IssueVerbatim(pending.batch);
+      if (!status.ok()) break;
+    }
+    for (Pending& pending : queue_) {
+      pending.state->done = true;
+      pending.state->status = status;
+    }
+    queue_.clear();
+    return status;
+  }
 
   // Plan: walk the merged submission order once, folding requests into
   // per-block read fan-out lists and last-image writes. std::map keys are

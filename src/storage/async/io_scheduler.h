@@ -57,6 +57,17 @@ class IoScheduler : public AsyncBlockDevice {
   /// Synchronous convenience: Submit + Drain, returning the batch status.
   Status Run(IoBatch batch);
 
+  /// Pattern-preserving mode: Drain() issues every submitted request
+  /// verbatim — submission order and duplicates included — instead of
+  /// coalescing / forwarding / elevator-sorting. The oblivious level
+  /// probes need this: their *count* is part of the attacker-visible
+  /// pattern, so a coalesced duplicate (two decoys landing on one slot)
+  /// would be an observably missing read. Contiguous request runs still
+  /// go down as one vectored ReadBlocks/WriteBlocks, so caching
+  /// decorators below continue to see whole batches.
+  void set_preserve_pattern(bool on) { preserve_pattern_ = on; }
+  bool preserve_pattern() const { return preserve_pattern_; }
+
   bool idle() const { return queue_.empty(); }
   const IoSchedulerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoSchedulerStats(); }
@@ -68,9 +79,13 @@ class IoScheduler : public AsyncBlockDevice {
     std::shared_ptr<IoFuture::State> state;
   };
 
+  /// Issues one batch verbatim (pattern-preserving drain).
+  Status IssueVerbatim(const IoBatch& batch);
+
   BlockDevice* backing_;
   std::vector<Pending> queue_;
   IoSchedulerStats stats_;
+  bool preserve_pattern_ = false;
 };
 
 }  // namespace steghide::storage

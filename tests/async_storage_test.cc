@@ -119,6 +119,73 @@ TEST(IoSchedulerTest, ElevatorIssuesReadsInAscendingOrder) {
   EXPECT_EQ(dev.trace(), expected);
 }
 
+TEST(IoSchedulerTest, PreservePatternIssuesVerbatim) {
+  // Oblivious probe streams must reach the device with order and
+  // duplicates intact: a coalesced duplicate decoy would be an
+  // observably missing read.
+  TracedMemDevice dev(64, 512);
+  ASSERT_TRUE(FillGolden(dev.mem(), 17).ok());
+  IoScheduler scheduler(&dev.traced());
+  scheduler.set_preserve_pattern(true);
+  Bytes bufs(4 * 512);
+  IoBatch batch;
+  for (size_t i = 0; uint64_t id : {40, 7, 7, 2}) {
+    batch.Read(id, bufs.data() + (i++) * 512);
+  }
+  ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+  const IoTrace expected = {{TraceEvent::Kind::kRead, 40},
+                            {TraceEvent::Kind::kRead, 7},
+                            {TraceEvent::Kind::kRead, 7},
+                            {TraceEvent::Kind::kRead, 2}};
+  EXPECT_EQ(dev.trace(), expected);
+  EXPECT_EQ(scheduler.stats().physical_reads, 4u);
+  EXPECT_EQ(scheduler.stats().coalesced_reads, 0u);
+  for (size_t i = 0; uint64_t id : {40, 7, 7, 2}) {
+    EXPECT_EQ(Bytes(bufs.begin() + i * 512, bufs.begin() + (i + 1) * 512),
+              GoldenBlock(17, id, 512))
+        << "request " << i;
+    ++i;
+  }
+}
+
+TEST(IoSchedulerTest, PreservePatternKeepsBatchSubmissionOrder) {
+  TracedMemDevice dev(64, 512);
+  IoScheduler scheduler(&dev.traced());
+  scheduler.set_preserve_pattern(true);
+  Bytes b1(2 * 512), b2(2 * 512);
+  IoBatch first, second;
+  first.Read(30, b1.data());
+  first.Read(31, b1.data() + 512);
+  second.Read(5, b2.data());
+  second.Read(6, b2.data() + 512);
+  scheduler.Submit(std::move(first));
+  scheduler.Submit(std::move(second));
+  ASSERT_TRUE(scheduler.Drain().ok());
+  const IoTrace expected = {{TraceEvent::Kind::kRead, 30},
+                            {TraceEvent::Kind::kRead, 31},
+                            {TraceEvent::Kind::kRead, 5},
+                            {TraceEvent::Kind::kRead, 6}};
+  EXPECT_EQ(dev.trace(), expected);
+  EXPECT_EQ(scheduler.stats().drains, 1u);
+}
+
+TEST(IoSchedulerTest, PreservePatternWritesStayInOrder) {
+  TracedMemDevice dev(16, 512);
+  IoScheduler scheduler(&dev.traced());
+  scheduler.set_preserve_pattern(true);
+  const Bytes a = GoldenBlock(19, 9, 512);
+  const Bytes b = GoldenBlock(19, 3, 512);
+  IoBatch batch;
+  batch.Write(9, a.data());
+  batch.Write(3, b.data());
+  ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+  const IoTrace expected = {{TraceEvent::Kind::kWrite, 9},
+                            {TraceEvent::Kind::kWrite, 3}};
+  EXPECT_EQ(dev.trace(), expected);
+  EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 9, a));
+  EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 3, b));
+}
+
 TEST(IoSchedulerTest, ReadAfterWriteForwardsPendingData) {
   TracedMemDevice dev(8, 512);
   IoScheduler scheduler(&dev.traced());

@@ -1,0 +1,302 @@
+// Trace-equivalence suite for batched oblivious retrieval: pins, via
+// TraceBlockDevice directly under the store, that MultiRead/MultiWrite
+// groups leave the attacker-visible pattern unchanged — the same
+// one-touch-per-level-per-request multiset as sequential requests, with
+// batch-of-1 byte-identical to the single-request path — and that the
+// charge_index_io amortization follows the documented deterministic
+// shape (one index read per level per pass).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "oblivious/oblivious_store.h"
+#include "storage/mem_block_device.h"
+#include "storage/trace_device.h"
+#include "testing/device_factory.h"
+
+namespace steghide::oblivious {
+namespace {
+
+using steghide::testing::TracedMemDevice;
+using storage::IoTrace;
+using storage::TraceEvent;
+
+ObliviousStoreOptions BatchOptions(bool charge_index_io) {
+  ObliviousStoreOptions opts;
+  opts.buffer_blocks = 8;
+  opts.capacity_blocks = 64;  // levels 16, 32, 64; hierarchy = 112 blocks
+  opts.partition_base = 0;
+  opts.scratch_base = 112;
+  opts.drbg_seed = 123;
+  opts.charge_index_io = charge_index_io;
+  return opts;
+}
+
+/// [begin, end) device ranges of the levels, derived from the geometry.
+std::vector<std::pair<uint64_t, uint64_t>> LevelRanges(
+    const ObliviousStoreOptions& opts) {
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  uint64_t base = opts.partition_base;
+  for (uint64_t cap = 2 * opts.buffer_blocks; cap <= opts.capacity_blocks;
+       cap *= 2) {
+    ranges.emplace_back(base, base + cap);
+    base += cap;
+  }
+  return ranges;
+}
+
+/// Touches per level in a trace that must consist of reads only.
+std::vector<uint64_t> LevelTouchCounts(const IoTrace& trace,
+                                       const ObliviousStoreOptions& opts) {
+  const auto ranges = LevelRanges(opts);
+  std::vector<uint64_t> counts(ranges.size(), 0);
+  for (const TraceEvent& ev : trace) {
+    EXPECT_EQ(ev.kind, TraceEvent::Kind::kRead);
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      if (ev.block_id >= ranges[i].first && ev.block_id < ranges[i].second) {
+        ++counts[i];
+        break;
+      }
+    }
+  }
+  return counts;
+}
+
+/// One store over its own traced device. Two instances built with the
+/// same options are bit-for-bit identical until their request streams
+/// diverge (same DRBG seed, same insert history).
+class StoreUnderTrace {
+ public:
+  explicit StoreUnderTrace(const ObliviousStoreOptions& opts)
+      : dev_(256, 4096) {
+    auto store = ObliviousStore::Create(&dev_.traced(), opts);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(store).value();
+    // Fill to capacity; 64 inserts flush the 8-record buffer exactly 8
+    // times, so the measured window starts with an empty buffer.
+    Bytes payload(store_->payload_size());
+    for (uint64_t id = 0; id < 64; ++id) {
+      std::fill(payload.begin(), payload.end(), static_cast<uint8_t>(id));
+      EXPECT_TRUE(store_->Insert(id, payload.data()).ok());
+    }
+    EXPECT_EQ(store_->buffer_fill(), 0u);
+    store_->ResetStats();
+    dev_.traced().ClearTrace();
+  }
+
+  ObliviousStore& store() { return *store_; }
+  const IoTrace& trace() const { return dev_.trace(); }
+  void ClearTrace() { dev_.traced().ClearTrace(); }
+
+ private:
+  TracedMemDevice dev_;
+  std::unique_ptr<ObliviousStore> store_;
+};
+
+Bytes ExpectedPayload(const ObliviousStore& store, uint64_t id) {
+  return Bytes(store.payload_size(), static_cast<uint8_t>(id));
+}
+
+// ---- batch-of-1 ----------------------------------------------------------
+
+class BatchOfOneTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BatchOfOneTest, ByteIdenticalToSingleRequestPath) {
+  const ObliviousStoreOptions opts = BatchOptions(GetParam());
+  StoreUnderTrace single(opts), batched(opts);
+
+  Bytes a(single.store().payload_size()), b(a.size());
+  for (const uint64_t id : {5ull, 23ull, 61ull}) {
+    ASSERT_TRUE(single.store().Read(id, a.data()).ok());
+    const RecordId rid = id;
+    ASSERT_TRUE(
+        batched.store().MultiRead(std::span<const RecordId>(&rid, 1), b.data())
+            .ok());
+    EXPECT_EQ(a, b);
+  }
+  // The traces — per-block issue sequence included — must be identical.
+  EXPECT_EQ(single.trace(), batched.trace());
+  EXPECT_EQ(single.store().stats().level_probe_reads,
+            batched.store().stats().level_probe_reads);
+  EXPECT_EQ(single.store().stats().index_io, batched.store().stats().index_io);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChargeIndexIo, BatchOfOneTest, ::testing::Bool());
+
+// ---- multiset equivalence ------------------------------------------------
+
+TEST(ObliviousBatchTraceTest, MultiReadTouchMultisetMatchesSequentialReads) {
+  const ObliviousStoreOptions opts = BatchOptions(false);
+  StoreUnderTrace seq(opts), batch(opts);
+
+  const std::vector<RecordId> ids = {1, 9, 17, 33, 41, 57};
+  Bytes out(seq.store().payload_size());
+  for (const RecordId id : ids) {
+    ASSERT_TRUE(seq.store().Read(id, out.data()).ok());
+    EXPECT_EQ(out, ExpectedPayload(seq.store(), id));
+  }
+  Bytes outs(ids.size() * batch.store().payload_size());
+  ASSERT_TRUE(batch.store().MultiRead(ids, outs.data()).ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(Bytes(outs.begin() + i * out.size(),
+                    outs.begin() + (i + 1) * out.size()),
+              ExpectedPayload(batch.store(), ids[i]))
+        << "request " << i;
+  }
+
+  // Same number of touches in every level — the attacker sees k requests
+  // cost one uniform touch per non-empty level either way.
+  EXPECT_EQ(LevelTouchCounts(seq.trace(), opts),
+            LevelTouchCounts(batch.trace(), opts));
+  EXPECT_EQ(seq.trace().size(), batch.trace().size());
+  EXPECT_EQ(seq.store().stats().level_probe_reads,
+            batch.store().stats().level_probe_reads);
+}
+
+TEST(ObliviousBatchTraceTest, MultiWriteTouchMultisetMatchesSequentialWrites) {
+  const ObliviousStoreOptions opts = BatchOptions(false);
+  StoreUnderTrace seq(opts), batch(opts);
+
+  const std::vector<RecordId> ids = {3, 12, 28, 45, 60};
+  Bytes payloads(ids.size() * seq.store().payload_size());
+  std::fill(payloads.begin(), payloads.end(), 0xab);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(
+        seq.store().Write(ids[i], payloads.data() + i * seq.store().payload_size())
+            .ok());
+  }
+  ASSERT_TRUE(batch.store().MultiWrite(ids, payloads.data()).ok());
+
+  EXPECT_EQ(LevelTouchCounts(seq.trace(), opts),
+            LevelTouchCounts(batch.trace(), opts));
+  EXPECT_EQ(seq.trace().size(), batch.trace().size());
+
+  // Both stores serve the new content back.
+  Bytes out(batch.store().payload_size());
+  for (const RecordId id : ids) {
+    ASSERT_TRUE(batch.store().Read(id, out.data()).ok());
+    EXPECT_EQ(out, Bytes(out.size(), 0xab));
+  }
+}
+
+TEST(ObliviousBatchTraceTest, DuplicateIdsStillTouchEveryLevelPerRequest) {
+  const ObliviousStoreOptions opts = BatchOptions(false);
+  StoreUnderTrace probe(opts), batch(opts);
+
+  // Reference: one miss costs one touch per non-empty level.
+  Bytes out(probe.store().payload_size());
+  ASSERT_TRUE(probe.store().Read(7, out.data()).ok());
+  const uint64_t per_request = probe.trace().size();
+
+  // A duplicated id is served from one decrypted copy, but its other
+  // occurrences draw decoys in every level: the group still reads
+  // exactly one slot per level per request, hiding the duplication.
+  const std::vector<RecordId> ids = {7, 7, 7};
+  Bytes outs(ids.size() * batch.store().payload_size());
+  ASSERT_TRUE(batch.store().MultiRead(ids, outs.data()).ok());
+  EXPECT_EQ(batch.trace().size(), ids.size() * per_request);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(Bytes(outs.begin() + i * out.size(),
+                    outs.begin() + (i + 1) * out.size()),
+              ExpectedPayload(batch.store(), 7));
+  }
+  EXPECT_EQ(batch.store().stats().user_reads, 3u);
+}
+
+// ---- charge_index_io amortization ---------------------------------------
+
+TEST(ObliviousBatchTraceTest, IndexProbesAmortizeAcrossGroupUnderChargeIndexIo) {
+  const ObliviousStoreOptions opts = BatchOptions(true);
+  StoreUnderTrace seq(opts), batch(opts);
+
+  const std::vector<RecordId> ids = {2, 18, 26, 39, 50, 63};
+  const uint64_t k = ids.size();
+  Bytes out(seq.store().payload_size());
+  for (const RecordId id : ids) {
+    ASSERT_TRUE(seq.store().Read(id, out.data()).ok());
+  }
+  Bytes outs(k * batch.store().payload_size());
+  ASSERT_TRUE(batch.store().MultiRead(ids, outs.data()).ok());
+
+  // Sequential: every request pays slot + index per non-empty level (2k
+  // touches). Batched: the spilled index at the front of the level is
+  // read once per pass and answers the whole group (k + 1 touches) — a
+  // deterministic, data-independent shape, which is what lowers the
+  // overhead factor. The slot-touch multiset itself is unchanged.
+  const auto seq_counts = LevelTouchCounts(seq.trace(), opts);
+  const auto batch_counts = LevelTouchCounts(batch.trace(), opts);
+  ASSERT_EQ(seq_counts.size(), batch_counts.size());
+  uint64_t non_empty = 0;
+  for (size_t level = 0; level < seq_counts.size(); ++level) {
+    if (seq_counts[level] == 0) {
+      EXPECT_EQ(batch_counts[level], 0u) << "level " << level;
+      continue;
+    }
+    ++non_empty;
+    EXPECT_EQ(seq_counts[level], 2 * k) << "level " << level;
+    EXPECT_EQ(batch_counts[level], k + 1) << "level " << level;
+  }
+  ASSERT_GT(non_empty, 0u);
+  EXPECT_EQ(batch.store().stats().index_io, non_empty);
+  EXPECT_EQ(batch.store().stats().probes_saved, non_empty * (k - 1));
+  EXPECT_EQ(seq.store().stats().probes_saved, 0u);
+  // Identical slot probes per level either way.
+  EXPECT_EQ(seq.store().stats().level_probe_reads,
+            batch.store().stats().level_probe_reads);
+}
+
+// ---- counters and failure modes -----------------------------------------
+
+TEST(ObliviousBatchTraceTest, GroupCostsOneScanPass) {
+  const ObliviousStoreOptions opts = BatchOptions(false);
+  StoreUnderTrace s(opts);
+
+  const std::vector<RecordId> ids = {4, 11, 19, 36, 44, 59};
+  Bytes outs(ids.size() * s.store().payload_size());
+  s.store().ResetStats();
+  ASSERT_TRUE(s.store().MultiRead(ids, outs.data()).ok());
+  EXPECT_EQ(s.store().stats().scan_passes, 1u);
+  EXPECT_EQ(s.store().stats().batched_requests, ids.size());
+
+  s.store().ResetStats();
+  Bytes out(s.store().payload_size());
+  for (const RecordId id : {6ull, 13ull, 21ull}) {
+    ASSERT_TRUE(s.store().Read(id, out.data()).ok());
+  }
+  // Buffer hits aside, each single read that reaches the levels is its
+  // own pass, and none of them count as batched.
+  EXPECT_EQ(s.store().stats().scan_passes +
+                s.store().stats().buffer_hits,
+            3u);
+  EXPECT_EQ(s.store().stats().batched_requests, 0u);
+}
+
+TEST(ObliviousBatchTraceTest, OversizedGroupChunksAtBufferSize) {
+  const ObliviousStoreOptions opts = BatchOptions(false);
+  StoreUnderTrace s(opts);
+
+  std::vector<RecordId> ids(20);  // > B = 8: chunks of 8, 8, 4
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  Bytes outs(ids.size() * s.store().payload_size());
+  s.store().ResetStats();
+  ASSERT_TRUE(s.store().MultiRead(ids, outs.data()).ok());
+  EXPECT_EQ(s.store().stats().scan_passes, 3u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(outs[i * s.store().payload_size()], static_cast<uint8_t>(ids[i]))
+        << "request " << i;
+  }
+}
+
+TEST(ObliviousBatchTraceTest, MissingIdFailsBeforeAnyIo) {
+  const ObliviousStoreOptions opts = BatchOptions(false);
+  StoreUnderTrace s(opts);
+  const std::vector<RecordId> ids = {1, 2, 999};
+  Bytes outs(ids.size() * s.store().payload_size());
+  EXPECT_EQ(s.store().MultiRead(ids, outs.data()).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(s.trace().empty());
+}
+
+}  // namespace
+}  // namespace steghide::oblivious

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -328,6 +329,175 @@ TEST_F(ObliviousStoreTest, ProbePositionsLookUniformProperty) {
   // the buffer and levels get re-shuffled.
   EXPECT_GT(store_->stats().level_probe_reads, 0u);
   EXPECT_GT(store_->stats().reorders, 5u);
+}
+
+TEST_F(ObliviousStoreTest, MultiReadRoundTrip) {
+  for (uint64_t id = 0; id < 24; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(static_cast<uint8_t>(id)).data()).ok());
+  }
+  const std::vector<RecordId> ids = {20, 3, 11, 3, 17};
+  Bytes outs(ids.size() * store_->payload_size());
+  ASSERT_TRUE(store_->MultiRead(ids, outs.data()).ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(Bytes(outs.begin() + i * store_->payload_size(),
+                    outs.begin() + (i + 1) * store_->payload_size()),
+              Payload(static_cast<uint8_t>(ids[i])))
+        << "request " << i;
+  }
+}
+
+TEST_F(ObliviousStoreTest, MultiWriteMixesInsertsAndUpdates) {
+  ASSERT_TRUE(store_->Insert(1, Payload(1).data()).ok());
+  // Push id 1 into the levels so its update takes the scan path.
+  for (uint64_t id = 100; id < 108; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(0).data()).ok());
+  }
+  // Group: update a level-resident record, insert two fresh ones, and
+  // end with a duplicate that must win.
+  const std::vector<RecordId> ids = {1, 200, 201, 200};
+  Bytes payloads(ids.size() * store_->payload_size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const Bytes p = Payload(static_cast<uint8_t>(40 + i));
+    std::copy(p.begin(), p.end(),
+              payloads.data() + i * store_->payload_size());
+  }
+  ASSERT_TRUE(store_->MultiWrite(ids, payloads.data()).ok());
+
+  Bytes out(store_->payload_size());
+  ASSERT_TRUE(store_->Read(1, out.data()).ok());
+  EXPECT_EQ(out, Payload(40));
+  ASSERT_TRUE(store_->Read(201, out.data()).ok());
+  EXPECT_EQ(out, Payload(42));
+  ASSERT_TRUE(store_->Read(200, out.data()).ok());
+  EXPECT_EQ(out, Payload(43));  // the later duplicate superseded index 1
+
+  // ...and the updates survive merge churn.
+  for (uint64_t id = 300; id < 316; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(9).data()).ok());
+  }
+  ASSERT_TRUE(store_->Read(1, out.data()).ok());
+  EXPECT_EQ(out, Payload(40));
+}
+
+TEST_F(ObliviousStoreTest, MultiInsertDefersFlushToGroupEnd) {
+  std::vector<RecordId> ids(6);
+  Bytes payloads(ids.size() * store_->payload_size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = 50 + i;
+    const Bytes p = Payload(static_cast<uint8_t>(i));
+    std::copy(p.begin(), p.end(), payloads.data() + i * store_->payload_size());
+  }
+  ASSERT_TRUE(store_->MultiInsert(ids, payloads.data()).ok());
+  // 6 records arrive in chunks of B = 4: one deferred flush after the
+  // first chunk, the remainder stays staged in the buffer.
+  EXPECT_EQ(store_->stats().buffer_flushes, 1u);
+  EXPECT_EQ(store_->buffer_fill(), 2u);
+  Bytes out(store_->payload_size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(store_->Read(ids[i], out.data()).ok());
+    EXPECT_EQ(out, Payload(static_cast<uint8_t>(i)));
+  }
+}
+
+TEST_F(ObliviousStoreTest, MultiWriteGroupIsAtomicAtCapacity) {
+  for (uint64_t id = 0; id < 30; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(0).data()).ok());
+  }
+  // 30 resident + 3 fresh would exceed N = 32: nothing may be applied.
+  const std::vector<RecordId> ids = {500, 501, 502};
+  Bytes payloads(ids.size() * store_->payload_size(), 1);
+  EXPECT_EQ(store_->MultiWrite(ids, payloads.data()).code(),
+            StatusCode::kNoSpace);
+  EXPECT_EQ(store_->record_count(), 30u);
+  EXPECT_FALSE(store_->Contains(500));
+}
+
+TEST_F(ObliviousStoreTest, RemoveEvictsRecord) {
+  for (uint64_t id = 0; id < 16; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(static_cast<uint8_t>(id)).data()).ok());
+  }
+  ASSERT_TRUE(store_->Remove(5).ok());
+  EXPECT_FALSE(store_->Contains(5));
+  EXPECT_EQ(store_->record_count(), 15u);
+  Bytes out(store_->payload_size());
+  EXPECT_EQ(store_->Read(5, out.data()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_->Remove(5).code(), StatusCode::kNotFound);
+
+  // Eviction frees capacity and re-insertion works.
+  ASSERT_TRUE(store_->Insert(5, Payload(99).data()).ok());
+  ASSERT_TRUE(store_->Read(5, out.data()).ok());
+  EXPECT_EQ(out, Payload(99));
+
+  // The survivors stay intact through the re-orders that drop the stale
+  // slots.
+  for (uint64_t id = 200; id < 212; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(7).data()).ok());
+  }
+  for (uint64_t id = 0; id < 16; ++id) {
+    if (id == 5) continue;
+    ASSERT_TRUE(store_->Read(id, out.data()).ok());
+    EXPECT_EQ(out, Payload(static_cast<uint8_t>(id))) << "id " << id;
+  }
+}
+
+TEST_F(ObliviousStoreTest, DummySamplingStaysUniformAfterRemovals) {
+  for (uint64_t id = 0; id < 16; ++id) {
+    ASSERT_TRUE(store_->Insert(id, Payload(0).data()).ok());
+  }
+  // Swap-and-pop must leave no stale ids in the sampling list: a stale
+  // id would make DummyRead fail with NotFound.
+  for (uint64_t id = 0; id < 16; id += 2) {
+    ASSERT_TRUE(store_->Remove(id).ok());
+  }
+  EXPECT_EQ(store_->record_count(), 8u);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store_->DummyRead().ok()) << "dummy read " << i;
+  }
+  EXPECT_EQ(store_->stats().dummy_reads, 200u);
+  EXPECT_EQ(store_->stats().user_reads, 0u);
+}
+
+TEST_F(ObliviousStoreTest, BatchSoakMatchesMirrorProperty) {
+  // Mixed batched ops with a mirror, across flush and merge churn.
+  std::vector<uint8_t> mirror(32, 0);
+  std::vector<uint8_t> present(32, 0);
+  Rng rng = testing::MakeTestRng();
+  Bytes payloads(8 * store_->payload_size());
+  Bytes outs(8 * store_->payload_size());
+  for (int round = 0; round < 60; ++round) {
+    const size_t k = 1 + rng.Uniform(8);
+    std::vector<RecordId> ids(k);
+    if (rng.Bernoulli(0.5)) {
+      for (size_t i = 0; i < k; ++i) {
+        ids[i] = rng.Uniform(32);
+        const uint8_t v = static_cast<uint8_t>(rng.Next());
+        std::fill(payloads.begin() + i * store_->payload_size(),
+                  payloads.begin() + (i + 1) * store_->payload_size(), v);
+        // Later duplicates win, exactly like sequential writes.
+        mirror[ids[i]] = v;
+        present[ids[i]] = 1;
+      }
+      ASSERT_TRUE(store_->MultiWrite(ids, payloads.data()).ok())
+          << "round " << round;
+    } else {
+      if (std::none_of(present.begin(), present.end(),
+                       [](uint8_t p) { return p != 0; })) {
+        continue;
+      }
+      for (size_t i = 0; i < k; ++i) {
+        // Only read ids that exist.
+        uint64_t id = rng.Uniform(32);
+        while (!present[id]) id = (id + 1) % 32;
+        ids[i] = id;
+      }
+      ASSERT_TRUE(store_->MultiRead(ids, outs.data()).ok())
+          << "round " << round;
+      for (size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(outs[i * store_->payload_size()], mirror[ids[i]])
+            << "round " << round << " request " << i;
+      }
+    }
+  }
 }
 
 // Geometry sweep: the store must keep every record intact under heavy

@@ -144,6 +144,70 @@ TEST_F(ReaderTest, DummyOpsExerciseBothPartitions) {
   EXPECT_EQ(store_->stats().dummy_reads, 10u);
 }
 
+TEST_F(ReaderTest, BatchReadMixesHitsAndMisses) {
+  auto file = MakeFile(8, 1);
+  Bytes out(core_.payload_size());
+  // Prime blocks 1 and 5.
+  ASSERT_TRUE(reader_->ReadBlock(file, 1, out.data()).ok());
+  ASSERT_TRUE(reader_->ReadBlock(file, 5, out.data()).ok());
+  ASSERT_EQ(reader_->stats().real_fetches, 2u);
+
+  const std::vector<uint64_t> logicals = {0, 1, 3, 5, 7};
+  Bytes outs(logicals.size() * core_.payload_size());
+  ASSERT_TRUE(reader_->ReadBlockBatch(file, logicals, outs.data()).ok());
+  for (size_t i = 0; i < logicals.size(); ++i) {
+    EXPECT_EQ(Bytes(outs.begin() + i * core_.payload_size(),
+                    outs.begin() + (i + 1) * core_.payload_size()),
+              Bytes(core_.payload_size(),
+                    static_cast<uint8_t>(16 + logicals[i])))
+        << "block " << logicals[i];
+  }
+  // 1 and 5 were cache hits; 0, 3 and 7 were miss-filled once each.
+  EXPECT_EQ(reader_->stats().real_fetches, 5u);
+  EXPECT_EQ(reader_->stats().cache_hits, 2u);
+}
+
+TEST_F(ReaderTest, BatchReadFetchesDuplicateMissOnce) {
+  auto file = MakeFile(4, 1);
+  const std::vector<uint64_t> logicals = {2, 2, 2};
+  Bytes outs(logicals.size() * core_.payload_size());
+  ASSERT_TRUE(reader_->ReadBlockBatch(file, logicals, outs.data()).ok());
+  // §5.1.1: at most one fetch per block, even within one batch.
+  EXPECT_EQ(reader_->stats().real_fetches, 1u);
+  for (size_t i = 0; i < logicals.size(); ++i) {
+    EXPECT_EQ(outs[i * core_.payload_size()], 16 + 2);
+  }
+}
+
+TEST_F(ReaderTest, BatchReadMatchesSequentialContentProperty) {
+  auto file = MakeFile(8, 1);
+  Rng rng = testing::MakeTestRng();
+  Bytes out(core_.payload_size());
+  for (int round = 0; round < 40; ++round) {
+    const size_t k = 1 + rng.Uniform(6);
+    std::vector<uint64_t> logicals(k);
+    for (size_t i = 0; i < k; ++i) logicals[i] = rng.Uniform(8);
+    Bytes outs(k * core_.payload_size());
+    ASSERT_TRUE(reader_->ReadBlockBatch(file, logicals, outs.data()).ok())
+        << "round " << round;
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(outs[i * core_.payload_size()],
+                static_cast<uint8_t>(16 + logicals[i]))
+          << "round " << round << " block " << logicals[i];
+    }
+  }
+  EXPECT_LE(reader_->stats().real_fetches, 8u);
+}
+
+TEST_F(ReaderTest, BatchReadRejectsOutOfRangeUpfront) {
+  auto file = MakeFile(4, 1);
+  const std::vector<uint64_t> logicals = {0, 9};
+  Bytes outs(logicals.size() * core_.payload_size());
+  EXPECT_EQ(reader_->ReadBlockBatch(file, logicals, outs.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(reader_->stats().real_fetches, 0u);
+}
+
 TEST_F(ReaderTest, OutOfRangeRejected) {
   auto file = MakeFile(2, 1);
   Bytes out(core_.payload_size());

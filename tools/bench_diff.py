@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Diff bench counter JSON against a baseline run.
+
+Every bench binary writes per-benchmark counters with --json=<path>; the
+scheduled bench.yml job archives them. This tool compares the current
+directory of JSON files against the previous scheduled run's artifact
+and flags regressions in the lower-is-better metrics:
+
+  * any counter *_ms     — the virtual-disk-ms behind each figure point
+  * overhead_factor      — Table 4's mean device I/Os per request
+
+Only virtual-clock counters are compared — the benchmark's own
+real_time is host wall-clock and noisy across CI runners. The workloads
+are seeded and measured on the virtual disk clock, so these numbers are
+deterministic for identical code: any delta is a real behavior change,
+which keeps a tight threshold meaningful.
+
+Exit status 1 when any metric is worse than --max-regression (relative).
+Emits GitHub workflow annotations (::error / ::notice) so regressions
+surface on the PR without digging through logs.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+
+def load_metrics(path):
+    """benchmark name -> {metric -> value} for one JSON counter file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    out = {}
+    for record in doc.get("benchmarks", []):
+        metrics = {}
+        for key, value in record.get("counters", {}).items():
+            if key == "overhead_factor" or key.endswith("_ms"):
+                if isinstance(value, (int, float)) and math.isfinite(value):
+                    metrics[key] = float(value)
+        out[record.get("name", "?")] = metrics
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory of baseline *.json counter files")
+    parser.add_argument("--current", required=True,
+                        help="directory of current *.json counter files")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="relative worsening that fails the diff")
+    parser.add_argument("--min-abs", type=float, default=1e-6,
+                        help="baseline values below this are not compared")
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baseline)
+    current_dir = pathlib.Path(args.current)
+    regressions, improvements, skipped = [], [], []
+
+    for current_file in sorted(current_dir.glob("*.json")):
+        baseline_file = baseline_dir / current_file.name
+        if not baseline_file.exists():
+            skipped.append(f"{current_file.name}: no baseline file")
+            continue
+        base = load_metrics(baseline_file)
+        cur = load_metrics(current_file)
+        for name, metrics in sorted(cur.items()):
+            if name not in base:
+                skipped.append(f"{current_file.name} :: {name}: new benchmark")
+                continue
+            for metric, value in sorted(metrics.items()):
+                ref = base[name].get(metric)
+                if ref is None or ref < args.min_abs:
+                    continue
+                rel = (value - ref) / ref
+                line = (f"{current_file.name} :: {name} :: {metric}: "
+                        f"{ref:.6g} -> {value:.6g} ({rel:+.1%})")
+                if rel > args.max_regression:
+                    regressions.append(line)
+                elif rel < -args.max_regression:
+                    improvements.append(line)
+
+    for line in skipped:
+        print(f"skip      {line}")
+    for line in improvements:
+        print(f"improved  {line}")
+        print(f"::notice::bench improved: {line}")
+    for line in regressions:
+        print(f"REGRESSED {line}")
+        print(f"::error::bench regression >"
+              f"{args.max_regression:.0%}: {line}")
+
+    if regressions:
+        print(f"{len(regressions)} metric(s) regressed beyond "
+              f"{args.max_regression:.0%}")
+        return 1
+    print("no bench regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
