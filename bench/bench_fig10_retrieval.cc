@@ -9,8 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/harness.h"
 
+#include "agent/dispatch/request_dispatcher.h"
 #include "bench/common.h"
 #include "workload/concurrency.h"
 #include "workload/file_population.h"
@@ -70,6 +73,108 @@ void RunConcurrencySweep(benchmark::State& state, SystemKind kind,
   }
 }
 
+// Dispatcher sweep (the multi-user serving path): `users` real threads
+// each read their own pre-warmed 16-block file through RequestDispatcher
+// sessions, so concurrent requests group-commit into cross-file
+// level-scan groups of up to B = 32. The per-request baseline serves the
+// identical request multiset one request at a time (round-robin over
+// users, the RunConcurrently interleave). All times are virtual disk ms;
+// requests/sec is requests per virtual second.
+void RunDispatchSweep(benchmark::State& state, uint64_t users) {
+  constexpr uint64_t kFileBlocks = 16;
+  // Store B = dispatcher max_batch: groups can hold every user's
+  // outstanding request up to 128 (the agent-buffer envelope of the
+  // Figure 12 sweep), so batch fill scales with the population.
+  const uint64_t kBuffer = std::min<uint64_t>(128, std::max<uint64_t>(32, users));
+  for (auto _ : state) {
+    const uint64_t requests = users * kFileBlocks;
+
+    // Per-request serving baseline on a twin system.
+    auto serial =
+        MakeObliviousSystem(users, kFileBlocks, 9000 + users, kBuffer, true);
+    const size_t payload = serial.core->payload_size();
+    const auto serial_before = serial.agent->store().stats();
+    const double serial_t0 = serial.clock_ms();
+    for (uint64_t block = 0; block < kFileBlocks; ++block) {
+      for (uint64_t u = 0; u < users; ++u) {
+        if (!serial.agent->Read(serial.files[u], block * payload, payload)
+                 .ok()) {
+          std::abort();
+        }
+      }
+    }
+    const double serial_ms = serial.clock_ms() - serial_t0;
+    const uint64_t serial_scans =
+        serial.agent->store().stats().scan_passes - serial_before.scan_passes;
+
+    // Dispatched serving: one thread per user, group commit up to B.
+    auto sys =
+        MakeObliviousSystem(users, kFileBlocks, 9000 + users, kBuffer, true);
+    agent::DispatcherOptions options;
+    options.max_batch = kBuffer;
+    // Wide wall-clock window: group composition then depends on the
+    // deterministic fill target (min(open sessions, B)), not on CI
+    // scheduling jitter; under load the target is reached long before
+    // the window, so the wall cost is nil.
+    options.commit_window = std::chrono::milliseconds(50);
+    options.clock_fn = [&sys] { return sys.clock_ms(); };
+    const auto before = sys.agent->store().stats();
+    const double t0 = sys.clock_ms();
+    agent::RequestDispatcher dispatcher(sys.agent.get(), options);
+    {
+      std::vector<std::unique_ptr<agent::RequestDispatcher::Session>> sessions;
+      for (uint64_t u = 0; u < users; ++u) {
+        sessions.push_back(dispatcher.OpenSession());
+      }
+      std::vector<std::function<Status()>> tasks;
+      for (uint64_t u = 0; u < users; ++u) {
+        tasks.push_back([&, u]() -> Status {
+          for (uint64_t block = 0; block < kFileBlocks; ++block) {
+            STEGHIDE_RETURN_IF_ERROR(
+                sessions[u]->Read(sys.files[u], block * payload, payload)
+                    .status());
+          }
+          return Status::OK();
+        });
+      }
+      for (const Status& status : workload::RunOnThreads(std::move(tasks))) {
+        if (!status.ok()) std::abort();
+      }
+    }
+    dispatcher.Stop();
+    const double dispatch_ms = sys.clock_ms() - t0;
+    const uint64_t scans =
+        sys.agent->store().stats().scan_passes - before.scan_passes;
+    const agent::DispatcherStats dstats = dispatcher.stats();
+
+    state.counters["users"] = static_cast<double>(users);
+    state.counters["requests"] = static_cast<double>(requests);
+    state.counters["virtual_ms"] = dispatch_ms;
+    state.counters["serial_virtual_ms"] = serial_ms;
+    state.counters["requests_per_vsec"] =
+        static_cast<double>(requests) / (dispatch_ms / 1e3);
+    state.counters["serial_requests_per_vsec"] =
+        static_cast<double>(requests) / (serial_ms / 1e3);
+    state.counters["speedup_vs_serial"] = serial_ms / dispatch_ms;
+    state.counters["mean_batch_fill"] = dstats.MeanFill();
+    state.counters["max_batch_fill"] = static_cast<double>(dstats.max_fill);
+    state.counters["scan_passes"] = static_cast<double>(scans);
+    state.counters["serial_scan_passes"] = static_cast<double>(serial_scans);
+    state.counters["p50_latency_ms"] = dstats.p50_latency_ms;
+    state.counters["p99_latency_ms"] = dstats.p99_latency_ms;
+    // Retrieval vs re-order split (Figure 12(b) axis): the re-order work
+    // is identical on both paths, so it bounds the speedup batching can
+    // deliver.
+    const auto dst = sys.agent->store().stats();
+    const auto sst = serial.agent->store().stats();
+    state.counters["retrieve_ms"] = dst.retrieve_ms - before.retrieve_ms;
+    state.counters["sort_ms"] = dst.sort_ms - before.sort_ms;
+    state.counters["serial_retrieve_ms"] =
+        sst.retrieve_ms - serial_before.retrieve_ms;
+    state.counters["serial_sort_ms"] = sst.sort_ms - serial_before.sort_ms;
+  }
+}
+
 }  // namespace
 }  // namespace steghide::bench
 
@@ -96,6 +201,15 @@ int main(int argc, char** argv) {
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
     }
+  }
+  // Multi-threaded dispatcher sweep: user counts past the paper's 32,
+  // dispatched vs per-request serving on the oblivious system.
+  for (uint64_t users : {8, 32, 128, 256}) {
+    benchmark::RegisterBenchmark(
+        ("Fig10bDispatch/users:" + std::to_string(users)).c_str(),
+        [users](benchmark::State& s) { RunDispatchSweep(s, users); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
   }
   return RunBenchmarks(argc, argv);
 }

@@ -1,10 +1,13 @@
 #ifndef STEGHIDE_BENCH_COMMON_H_
 #define STEGHIDE_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "agent/nonvolatile_agent.h"
+#include "agent/oblivious_agent.h"
 #include "agent/volatile_agent.h"
 #include "baseline/plain_fs.h"
 #include "baseline/stegfs2003.h"
@@ -124,6 +127,103 @@ inline SystemUnderTest MakeSystem(SystemKind kind, uint64_t volume_blocks,
     }
     default:
       std::abort();
+  }
+  return sys;
+}
+
+/// The full Section-5 system (StegFS partition + oblivious cache) on two
+/// simulated spindles, for the multi-user dispatcher sweeps. Virtual
+/// time is reported as the *sum* of both disks' clocks: every I/O is
+/// issued by one thread, so the sum equals the busy time of the
+/// single-device layout the paper also permits (both partitions on one
+/// disk).
+struct ObliviousSystemUnderTest {
+  std::unique_ptr<storage::MemBlockDevice> steg_mem;
+  std::unique_ptr<storage::MemBlockDevice> cache_mem;
+  std::unique_ptr<storage::SimBlockDevice> steg_sim;
+  std::unique_ptr<storage::SimBlockDevice> cache_sim;
+  std::unique_ptr<stegfs::StegFsCore> core;
+  std::unique_ptr<agent::ObliviousAgent> agent;
+  std::vector<agent::ObliviousAgent::FileId> files;  // one per user
+
+  double clock_ms() const {
+    return steg_sim->clock_ms() + cache_sim->clock_ms();
+  }
+};
+
+/// Builds a formatted oblivious system serving `users` files of
+/// `file_blocks` payload blocks each (content: block index), with the
+/// oblivious cache sized to hold every block and the store buffer set to
+/// `buffer_blocks` (= the dispatcher's max group size). When `prewarm`,
+/// every file is read once so the measured phase serves pure level-scan
+/// traffic (no first-touch miss-fills).
+inline ObliviousSystemUnderTest MakeObliviousSystem(
+    uint64_t users, uint64_t file_blocks, uint64_t seed,
+    uint64_t buffer_blocks, bool prewarm) {
+  ObliviousSystemUnderTest sys;
+
+  uint64_t capacity = 2 * buffer_blocks;
+  while (capacity < users * file_blocks) capacity *= 2;
+  const uint64_t hierarchy = 2 * capacity - 2 * buffer_blocks;
+
+  const uint64_t steg_blocks = users * file_blocks * 2 + 8192;
+  sys.steg_mem = std::make_unique<storage::MemBlockDevice>(steg_blocks, 4096);
+  sys.steg_sim = std::make_unique<storage::SimBlockDevice>(
+      sys.steg_mem.get(), storage::DiskModelParams{});
+  sys.cache_mem = std::make_unique<storage::MemBlockDevice>(
+      hierarchy + capacity + 16, 4096);
+  sys.cache_sim = std::make_unique<storage::SimBlockDevice>(
+      sys.cache_mem.get(), storage::DiskModelParams{});
+
+  sys.core = std::make_unique<stegfs::StegFsCore>(
+      sys.steg_sim.get(), stegfs::StegFsOptions{seed, true});
+  if (!sys.core->Format().ok()) std::abort();
+
+  oblivious::ObliviousStoreOptions opts;
+  opts.buffer_blocks = buffer_blocks;
+  opts.capacity_blocks = capacity;
+  opts.partition_base = 0;
+  opts.scratch_base = hierarchy;
+  opts.drbg_seed = seed ^ 0x6f626c69;
+  opts.charge_index_io = true;  // §5.1.2 spilled-index serving variant
+  auto agent =
+      agent::ObliviousAgent::Create(sys.core.get(), sys.cache_sim.get(), opts);
+  if (!agent.ok()) std::abort();
+  sys.agent = std::move(agent).value();
+  {
+    storage::SimBlockDevice* steg = sys.steg_sim.get();
+    storage::SimBlockDevice* cache = sys.cache_sim.get();
+    sys.agent->store().set_clock_fn(
+        [steg, cache] { return steg->clock_ms() + cache->clock_ms(); });
+  }
+
+  // Dummy pool for the Figure-6 relocating updates (provisioned in
+  // max-file-size chunks, as a user population would).
+  constexpr uint64_t kChunk = 8192;
+  for (uint64_t left = users * file_blocks + 2048; left > 0;) {
+    const uint64_t take = std::min(left, kChunk);
+    if (!sys.agent->CreateDummyFile("bench", take).ok()) std::abort();
+    left -= take;
+  }
+
+  const size_t payload = sys.core->payload_size();
+  Bytes data(file_blocks * payload);
+  for (uint64_t u = 0; u < users; ++u) {
+    auto id = sys.agent->CreateHiddenFile("bench");
+    if (!id.ok()) std::abort();
+    for (uint64_t b = 0; b < file_blocks; ++b) {
+      std::fill(data.begin() + b * payload, data.begin() + (b + 1) * payload,
+                static_cast<uint8_t>(u + b));
+    }
+    if (!sys.agent->Write(*id, 0, data).ok()) std::abort();
+    sys.files.push_back(*id);
+  }
+  if (prewarm) {
+    for (uint64_t u = 0; u < users; ++u) {
+      if (!sys.agent->Read(sys.files[u], 0, file_blocks * payload).ok()) {
+        std::abort();
+      }
+    }
   }
   return sys;
 }

@@ -1,0 +1,274 @@
+#include "agent/dispatch/request_dispatcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace steghide::agent {
+
+RequestDispatcher::RequestDispatcher(ObliviousAgent* agent,
+                                     DispatcherOptions options)
+    : agent_(agent), options_(std::move(options)) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+RequestDispatcher::~RequestDispatcher() { Stop(); }
+
+std::unique_ptr<RequestDispatcher::Session> RequestDispatcher::OpenSession() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++open_sessions_;
+  }
+  return std::unique_ptr<Session>(new Session(this));
+}
+
+void RequestDispatcher::CloseSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --open_sessions_;
+  // A shrinking session population can lower the fill target below the
+  // current queue depth; wake the worker so it does not wait the window
+  // out for users that no longer exist.
+  cv_.notify_all();
+}
+
+RequestDispatcher::Session::~Session() { dispatcher_->CloseSession(); }
+
+Result<Bytes> RequestDispatcher::Session::Read(FileId file, uint64_t offset,
+                                               size_t n) {
+  return AsyncRead(file, offset, n).get();
+}
+
+Status RequestDispatcher::Session::Write(FileId file, uint64_t offset,
+                                         Bytes data) {
+  return AsyncWrite(file, offset, std::move(data)).get();
+}
+
+std::future<Result<Bytes>> RequestDispatcher::Session::AsyncRead(
+    FileId file, uint64_t offset, size_t n) {
+  return dispatcher_->SubmitRead(file, offset, n);
+}
+
+std::future<Status> RequestDispatcher::Session::AsyncWrite(FileId file,
+                                                           uint64_t offset,
+                                                           Bytes data) {
+  return dispatcher_->SubmitWrite(file, offset, std::move(data));
+}
+
+std::future<Result<Bytes>> RequestDispatcher::SubmitRead(FileId file,
+                                                         uint64_t offset,
+                                                         size_t n) {
+  Pending pending;
+  pending.kind = Pending::Kind::kRead;
+  pending.read = ObliviousAgent::ReadRequest{file, offset, n};
+  pending.arrive_clock = Clock();
+  std::future<Result<Bytes>> future = pending.read_promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      pending.read_promise.set_value(
+          Status::FailedPrecondition("dispatcher stopped"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+std::future<Status> RequestDispatcher::SubmitWrite(FileId file,
+                                                   uint64_t offset,
+                                                   Bytes data) {
+  Pending pending;
+  pending.kind = Pending::Kind::kWrite;
+  pending.write = ObliviousAgent::WriteRequest{file, offset, std::move(data)};
+  pending.arrive_clock = Clock();
+  std::future<Status> future = pending.write_promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      pending.write_promise.set_value(
+          Status::FailedPrecondition("dispatcher stopped"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void RequestDispatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // call_once so concurrent Stop()s (e.g. an explicit Stop racing the
+  // destructor) cannot double-join.
+  std::call_once(join_once_, [this] {
+    if (worker_.joinable()) worker_.join();
+  });
+}
+
+size_t RequestDispatcher::FillTargetLocked() const {
+  // Under session usage each user has at most one request in flight, so
+  // once every open session has submitted there is nothing to wait for.
+  // Without sessions (direct submits) the target is the full batch and
+  // the commit window bounds the tail.
+  const size_t sessions = open_sessions_ == 0 ? options_.max_batch
+                                              : open_sessions_;
+  return std::min(options_.max_batch, std::max<size_t>(1, sessions));
+}
+
+void RequestDispatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // Group commit: linger (bounded) for the group to fill. Submissions
+    // and session closes signal cv_, so the loop re-evaluates the fill
+    // target as the population changes; stopping flushes immediately.
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.commit_window;
+    while (!stopping_ && queue_.size() < FillTargetLocked()) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+
+    std::vector<Pending> group;
+    const size_t take = std::min(options_.max_batch, queue_.size());
+    group.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      group.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+
+    lock.unlock();
+    CommitGroup(group);
+    lock.lock();
+  }
+}
+
+void RequestDispatcher::CommitGroup(std::vector<Pending>& group) {
+  // Partition while preserving arrival order within each kind.
+  std::vector<size_t> read_at, write_at;
+  for (size_t i = 0; i < group.size(); ++i) {
+    (group[i].kind == Pending::Kind::kRead ? read_at : write_at).push_back(i);
+  }
+
+  // Writes first: a caller that completed a write before submitting a
+  // dependent read must observe its own data even when both land in the
+  // same cycle.
+  //
+  // Failure isolation for writes: each member's file handle is
+  // validated before the commit (a metadata lookup, no storage I/O), so
+  // one user's stale handle fails that user alone instead of poisoning
+  // the group. A failure *during* the committed group is different —
+  // earlier members may already be persisted, and re-running them would
+  // duplicate their relocating updates — so it propagates to the whole
+  // group as-is.
+  if (!write_at.empty()) {
+    std::vector<size_t> valid_at;
+    std::vector<ObliviousAgent::WriteRequest> requests;
+    valid_at.reserve(write_at.size());
+    requests.reserve(write_at.size());
+    for (const size_t i : write_at) {
+      const auto size = agent_->FileSize(group[i].write.file);
+      if (!size.ok()) {
+        group[i].write_promise.set_value(size.status());
+        continue;
+      }
+      valid_at.push_back(i);
+      requests.push_back(std::move(group[i].write));
+    }
+    if (!valid_at.empty()) {
+      const Status status = agent_->WriteGroup(requests);
+      for (const size_t i : valid_at) {
+        group[i].write_promise.set_value(status);
+      }
+    }
+  }
+
+  // Reads have no side effects on the StegFS partition, so a failed
+  // group (e.g. one stale handle) simply retries each member
+  // individually — per-request semantics on the error path, batched on
+  // the common one.
+  if (!read_at.empty()) {
+    std::vector<ObliviousAgent::ReadRequest> requests;
+    requests.reserve(read_at.size());
+    for (const size_t i : read_at) requests.push_back(group[i].read);
+    auto result = agent_->ReadGroup(requests);
+    if (result.ok()) {
+      std::vector<Bytes>& payloads = *result;
+      for (size_t r = 0; r < read_at.size(); ++r) {
+        group[read_at[r]].read_promise.set_value(std::move(payloads[r]));
+      }
+    } else {
+      for (size_t r = 0; r < read_at.size(); ++r) {
+        auto single = agent_->ReadGroup(
+            std::span<const ObliviousAgent::ReadRequest>(&requests[r], 1));
+        group[read_at[r]].read_promise.set_value(
+            single.ok() ? Result<Bytes>(std::move(single->front()))
+                        : Result<Bytes>(single.status()));
+      }
+    }
+  }
+
+  // Record the aggregation counters and per-request latency stamps.
+  const double complete = Clock();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  counters_.requests += group.size();
+  counters_.read_requests += read_at.size();
+  counters_.write_requests += write_at.size();
+  if (!read_at.empty()) {
+    ++counters_.groups;
+    ++counters_.read_groups;
+    counters_.max_fill = std::max<uint64_t>(counters_.max_fill,
+                                            read_at.size());
+    if (read_at.size() > 1) counters_.grouped_requests += read_at.size();
+  }
+  if (!write_at.empty()) {
+    ++counters_.groups;
+    ++counters_.write_groups;
+    counters_.max_fill = std::max<uint64_t>(counters_.max_fill,
+                                            write_at.size());
+    if (write_at.size() > 1) counters_.grouped_requests += write_at.size();
+  }
+  for (const Pending& pending : group) {
+    const double sample = complete - pending.arrive_clock;
+    ++latency_count_;
+    if (latency_samples_.size() < kLatencyReservoir) {
+      latency_samples_.push_back(sample);
+    } else {
+      // Algorithm R: keep each of the latency_count_ samples with equal
+      // probability. xorshift64 is plenty for sampling.
+      latency_rng_ ^= latency_rng_ << 13;
+      latency_rng_ ^= latency_rng_ >> 7;
+      latency_rng_ ^= latency_rng_ << 17;
+      const uint64_t j = latency_rng_ % latency_count_;
+      if (j < kLatencyReservoir) latency_samples_[j] = sample;
+    }
+  }
+}
+
+DispatcherStats RequestDispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  DispatcherStats out = counters_;
+  if (!latency_samples_.empty()) {
+    std::vector<double> sorted = latency_samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      const size_t idx = std::min(
+          sorted.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(sorted.size())));
+      return sorted[idx];
+    };
+    out.p50_latency_ms = at(0.50);
+    out.p99_latency_ms = at(0.99);
+  }
+  return out;
+}
+
+}  // namespace steghide::agent

@@ -1,0 +1,195 @@
+#ifndef STEGHIDE_AGENT_DISPATCH_REQUEST_DISPATCHER_H_
+#define STEGHIDE_AGENT_DISPATCH_REQUEST_DISPATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "agent/oblivious_agent.h"
+
+namespace steghide::agent {
+
+struct DispatcherOptions {
+  /// Group-commit fill target: a commit is issued as soon as this many
+  /// requests are pending (or every open session has one outstanding, or
+  /// the commit window expires). Matching the oblivious store's
+  /// buffer_blocks B makes one committed group cost one level-scan pass.
+  size_t max_batch = 16;
+  /// Upper bound on how long the dispatcher lingers after the first
+  /// pending request, waiting for the group to fill. Wall-clock: it
+  /// bounds *scheduling* latency of co-arriving threads, not the virtual
+  /// disk time the experiments measure.
+  std::chrono::microseconds commit_window{500};
+  /// Virtual-clock sampler (e.g. SimBlockDevice::clock_ms) used to stamp
+  /// request arrival/completion for the latency percentiles. May be
+  /// empty; latencies then read 0.
+  std::function<double()> clock_fn;
+};
+
+/// Counters describing the dispatcher's aggregation behaviour. The
+/// latency percentiles are in virtual milliseconds (queueing + service
+/// on the virtual disk clock).
+struct DispatcherStats {
+  uint64_t requests = 0;
+  uint64_t read_requests = 0;
+  uint64_t write_requests = 0;
+  /// Group commits issued; a cycle serving both reads and writes counts
+  /// one group per kind.
+  uint64_t groups = 0;
+  uint64_t read_groups = 0;
+  uint64_t write_groups = 0;
+  /// Largest single committed group.
+  uint64_t max_fill = 0;
+  /// Requests that shared their group with at least one other request.
+  uint64_t grouped_requests = 0;
+
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+
+  double MeanFill() const {
+    return groups == 0 ? 0.0
+                       : static_cast<double>(requests) /
+                             static_cast<double>(groups);
+  }
+};
+
+/// Multi-threaded request dispatcher — the layer that turns the batched
+/// oblivious entry points into a *servable* system. Real std::thread
+/// users submit reads/writes through session handles; the dispatcher's
+/// single I/O thread group-commits up to max_batch outstanding requests
+/// into one ObliviousAgent::ReadGroup / WriteGroup (one cross-file
+/// level-scan group per store-buffer chunk) and completes each caller
+/// through a future.
+///
+/// Concurrency architecture:
+///
+///   user threads ──Submit──▶ queue (mutex + condvar)
+///                              │ group commit (≤ B, bounded wait)
+///                              ▼
+///                    dispatcher I/O thread            ← the ONLY thread
+///                              │                        issuing storage
+///                              ▼                        I/O
+///            ObliviousAgent::ReadGroup / WriteGroup
+///
+/// Because all storage I/O funnels through the one dispatcher thread,
+/// every device below keeps seeing single-issuer call sequences
+/// (block_device.h), and the attacker-visible trace of a committed group
+/// of k equals k sequential requests (one touch per non-empty level per
+/// request) regardless of thread arrival order.
+///
+/// Within one commit cycle writes are issued before reads, so a caller
+/// that awaited its write before submitting a dependent read always
+/// observes its own data. Two *concurrent* requests to the same block
+/// race exactly as they would against a POSIX file.
+class RequestDispatcher {
+ public:
+  using FileId = ObliviousAgent::FileId;
+
+  /// `agent` is borrowed and must outlive the dispatcher. The I/O thread
+  /// starts immediately.
+  explicit RequestDispatcher(ObliviousAgent* agent,
+                             DispatcherOptions options = {});
+  ~RequestDispatcher();
+
+  RequestDispatcher(const RequestDispatcher&) = delete;
+  RequestDispatcher& operator=(const RequestDispatcher&) = delete;
+
+  /// Worker-facing session handle. Opening a session tells the group
+  /// commit how many users may have a request in flight: a commit fires
+  /// as soon as every open session has one pending (without waiting out
+  /// the window), which is what fills groups under load. Close (destroy)
+  /// the session when the user thread is done.
+  class Session {
+   public:
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Blocking oblivious read of [offset, offset+n) of `file`.
+    Result<Bytes> Read(FileId file, uint64_t offset, size_t n);
+    /// Blocking hidden write.
+    Status Write(FileId file, uint64_t offset, Bytes data);
+
+    std::future<Result<Bytes>> AsyncRead(FileId file, uint64_t offset,
+                                         size_t n);
+    std::future<Status> AsyncWrite(FileId file, uint64_t offset, Bytes data);
+
+   private:
+    friend class RequestDispatcher;
+    explicit Session(RequestDispatcher* dispatcher)
+        : dispatcher_(dispatcher) {}
+    RequestDispatcher* dispatcher_;
+  };
+
+  std::unique_ptr<Session> OpenSession();
+
+  /// Sessionless submission (the Session methods forward here).
+  std::future<Result<Bytes>> SubmitRead(FileId file, uint64_t offset,
+                                        size_t n);
+  std::future<Status> SubmitWrite(FileId file, uint64_t offset, Bytes data);
+
+  /// Drains every pending request, then joins the I/O thread. Further
+  /// submissions fail with FailedPrecondition. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+  /// Snapshot of the aggregation counters (percentiles computed from the
+  /// recorded per-request latency samples).
+  DispatcherStats stats() const;
+
+  ObliviousAgent& agent() { return *agent_; }
+
+ private:
+  struct Pending {
+    enum class Kind : uint8_t { kRead, kWrite } kind = Kind::kRead;
+    ObliviousAgent::ReadRequest read;
+    ObliviousAgent::WriteRequest write;
+    std::promise<Result<Bytes>> read_promise;
+    std::promise<Status> write_promise;
+    double arrive_clock = 0.0;
+  };
+
+  void WorkerLoop();
+  void CommitGroup(std::vector<Pending>& group);
+  double Clock() const {
+    return options_.clock_fn ? options_.clock_fn() : 0.0;
+  }
+  /// Pending count that triggers an immediate commit (callers hold mu_).
+  size_t FillTargetLocked() const;
+  void CloseSession();
+
+  ObliviousAgent* agent_;
+  DispatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  size_t open_sessions_ = 0;
+  bool stopping_ = false;
+  std::once_flag join_once_;
+
+  // Counters and latency samples, guarded by stats_mu_ (the worker
+  // records after commits; stats() reads from any thread). Latencies are
+  // kept as a bounded reservoir (Algorithm R), so a long-lived serving
+  // dispatcher neither grows without bound nor makes stats() scale with
+  // requests served.
+  static constexpr size_t kLatencyReservoir = 4096;
+  mutable std::mutex stats_mu_;
+  DispatcherStats counters_;
+  std::vector<double> latency_samples_;
+  uint64_t latency_count_ = 0;
+  uint64_t latency_rng_ = 0x9e3779b97f4a7c15ull;
+
+  std::thread worker_;
+};
+
+}  // namespace steghide::agent
+
+#endif  // STEGHIDE_AGENT_DISPATCH_REQUEST_DISPATCHER_H_

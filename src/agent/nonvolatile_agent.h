@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "agent/update_engine.h"
 #include "stegfs/bitmap.h"
@@ -25,6 +26,11 @@ namespace steghide::agent {
 /// The selection domain of the update algorithm is the entire volume, so
 /// data updates are uniform over all N blocks and the scheme is perfectly
 /// secure against update analysis (§4.1.4).
+///
+/// Thread safety: as for VolatileAgent, one internal recursive mutex
+/// serializes every public operation (file ops, update-engine callbacks,
+/// bitmap persistence), so real threads may share the agent; aggregation
+/// for throughput happens in the RequestDispatcher above.
 class NonVolatileAgent : public BlockRegistry {
  public:
   struct Options {
@@ -81,16 +87,34 @@ class NonVolatileAgent : public BlockRegistry {
 
   // ---- Introspection ---------------------------------------------------
 
-  double utilization() const { return bitmap_.utilization(); }
-  const stegfs::BlockBitmap& bitmap() const { return bitmap_; }
-  const UpdateStats& update_stats() const { return engine_.stats(); }
-  void ResetUpdateStats() { engine_.ResetStats(); }
+  double utilization() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return bitmap_.utilization();
+  }
+  /// Snapshot of the data/dummy bitmap (copied under the lock; the live
+  /// bitmap mutates under concurrent Write/Flush via engine callbacks).
+  stegfs::BlockBitmap bitmap() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return bitmap_;
+  }
+  /// Snapshot of the update-engine counters (copied under the lock).
+  UpdateStats update_stats() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return engine_.stats();
+  }
+  void ResetUpdateStats() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    engine_.ResetStats();
+  }
   stegfs::StegFsCore& core() { return *core_; }
 
   /// Persistence of the agent's non-volatile secret state (the bitmap).
   /// Callers encrypt the serialization under the agent key before writing
   /// it to an untrusted medium.
-  Bytes SerializeBitmap() const { return bitmap_.Serialize(); }
+  Bytes SerializeBitmap() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return bitmap_.Serialize();
+  }
   Status RestoreBitmap(const Bytes& data);
 
   // ---- BlockRegistry ---------------------------------------------------
@@ -98,6 +122,7 @@ class NonVolatileAgent : public BlockRegistry {
   uint64_t DomainSize() const override { return core_->num_blocks(); }
   uint64_t DomainBlock(uint64_t index) const override { return index; }
   bool IsDummy(uint64_t physical) const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return bitmap_.IsDummy(physical);
   }
   Status DummyUpdate(uint64_t physical) override;
@@ -110,6 +135,9 @@ class NonVolatileAgent : public BlockRegistry {
   Result<stegfs::HiddenFile*> Lookup(FileId id);
   Result<const stegfs::HiddenFile*> Lookup(FileId id) const;
 
+  /// Serializes public operations; recursive for the engine-callback
+  /// re-entry during Write/Flush.
+  mutable std::recursive_mutex mu_;
   stegfs::StegFsCore* core_;
   Bytes agent_key_;
   stegfs::BlockBitmap bitmap_;

@@ -28,52 +28,94 @@ Result<std::unique_ptr<ObliviousAgent>> ObliviousAgent::Create(
 }
 
 Result<Bytes> ObliviousAgent::Read(FileId id, uint64_t offset, size_t n) {
-  const ByteRange range{offset, n};
+  const ReadRequest request{id, offset, n};
+  std::lock_guard<std::mutex> lock(io_mu_);
   STEGHIDE_ASSIGN_OR_RETURN(
-      auto out, ReadBatch(id, std::span<const ByteRange>(&range, 1)));
+      auto out, ReadGroupImpl(std::span<const ReadRequest>(&request, 1)));
   return std::move(out.front());
 }
 
 Result<std::vector<Bytes>> ObliviousAgent::ReadBatch(
     FileId id, std::span<const ByteRange> ranges) {
-  STEGHIDE_ASSIGN_OR_RETURN(const HiddenFile* file, agent_.InspectFile(id));
+  std::vector<ReadRequest> requests(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    requests[i] = ReadRequest{id, ranges[i].offset, ranges[i].length};
+  }
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return ReadGroupImpl(requests);
+}
+
+Result<std::vector<Bytes>> ObliviousAgent::ReadGroup(
+    std::span<const ReadRequest> requests) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return ReadGroupImpl(requests);
+}
+
+Result<std::vector<Bytes>> ObliviousAgent::ReadGroupImpl(
+    std::span<const ReadRequest> requests) {
   const size_t payload = core_->payload_size();
 
-  // Union of logical blocks covered by the clamped ranges, ascending —
-  // one miss-fill/oblivious-group pass serves all of them.
-  std::vector<uint64_t> logicals;
-  for (const ByteRange& range : ranges) {
-    if (range.offset >= file->file_size || range.length == 0) continue;
-    const uint64_t end =
-        std::min<uint64_t>(range.offset + range.length, file->file_size);
-    for (uint64_t logical = range.offset / payload; logical * payload < end;
-         ++logical) {
-      logicals.push_back(logical);
+  // One InspectFile per distinct file; the pointers stay valid for the
+  // whole group (no session mutation happens on this path).
+  std::unordered_map<FileId, const HiddenFile*> files;
+  for (const ReadRequest& request : requests) {
+    auto [it, inserted] = files.try_emplace(request.file, nullptr);
+    if (inserted) {
+      STEGHIDE_ASSIGN_OR_RETURN(it->second, agent_.InspectFile(request.file));
     }
   }
-  std::sort(logicals.begin(), logicals.end());
-  logicals.erase(std::unique(logicals.begin(), logicals.end()),
-                 logicals.end());
 
-  Bytes blocks(logicals.size() * payload);
-  STEGHIDE_RETURN_IF_ERROR(
-      reader_->ReadBlockBatch(*file, logicals, blocks.data()));
-
-  std::vector<Bytes> out(ranges.size());
-  for (size_t r = 0; r < ranges.size(); ++r) {
-    const ByteRange& range = ranges[r];
-    if (range.offset >= file->file_size || range.length == 0) continue;
+  // Union of logical blocks covered by the clamped ranges across all
+  // files, ascending per file — one miss-fill/oblivious-group pass
+  // serves all of them.
+  std::vector<StegPartitionReader::BlockRef> refs;
+  std::unordered_map<RecordId, size_t> block_index;
+  for (const ReadRequest& request : requests) {
+    const HiddenFile* file = files.at(request.file);
+    if (request.offset >= file->file_size || request.length == 0) continue;
     const uint64_t end =
-        std::min<uint64_t>(range.offset + range.length, file->file_size);
-    out[r].reserve(end - range.offset);
-    for (uint64_t logical = range.offset / payload; logical * payload < end;
-         ++logical) {
+        std::min<uint64_t>(request.offset + request.length, file->file_size);
+    for (uint64_t logical = request.offset / payload;
+         logical * payload < end; ++logical) {
+      refs.push_back({file, logical});
+    }
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const StegPartitionReader::BlockRef& a,
+               const StegPartitionReader::BlockRef& b) {
+              return a.file->agent_tag != b.file->agent_tag
+                         ? a.file->agent_tag < b.file->agent_tag
+                         : a.logical < b.logical;
+            });
+  refs.erase(std::unique(refs.begin(), refs.end(),
+                         [](const StegPartitionReader::BlockRef& a,
+                            const StegPartitionReader::BlockRef& b) {
+                           return a.file == b.file && a.logical == b.logical;
+                         }),
+             refs.end());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    block_index.emplace(
+        StegPartitionReader::MakeRecordId(*refs[i].file, refs[i].logical), i);
+  }
+
+  Bytes blocks(refs.size() * payload);
+  STEGHIDE_RETURN_IF_ERROR(reader_->ReadRefBatch(refs, blocks.data()));
+
+  std::vector<Bytes> out(requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const ReadRequest& request = requests[r];
+    const HiddenFile* file = files.at(request.file);
+    if (request.offset >= file->file_size || request.length == 0) continue;
+    const uint64_t end =
+        std::min<uint64_t>(request.offset + request.length, file->file_size);
+    out[r].reserve(end - request.offset);
+    for (uint64_t logical = request.offset / payload;
+         logical * payload < end; ++logical) {
       const uint64_t begin = logical * payload;
-      const uint64_t lo = std::max<uint64_t>(range.offset, begin);
+      const uint64_t lo = std::max<uint64_t>(request.offset, begin);
       const uint64_t hi = std::min<uint64_t>(end, begin + payload);
-      const size_t idx = static_cast<size_t>(
-          std::lower_bound(logicals.begin(), logicals.end(), logical) -
-          logicals.begin());
+      const size_t idx =
+          block_index.at(StegPartitionReader::MakeRecordId(*file, logical));
       const uint8_t* src = blocks.data() + idx * payload;
       out[r].insert(out[r].end(), src + (lo - begin), src + (hi - begin));
     }
@@ -84,27 +126,60 @@ Result<std::vector<Bytes>> ObliviousAgent::ReadBatch(
 Status ObliviousAgent::Write(FileId id, uint64_t offset, const uint8_t* data,
                              size_t n) {
   if (n == 0) return Status::OK();
-  WriteOp op;
-  op.offset = offset;
-  op.data.assign(data, data + n);
-  return WriteBatch(id, std::span<const WriteOp>(&op, 1));
+  const WriteView view{id, offset, std::span<const uint8_t>(data, n)};
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return WriteGroupImpl(std::span<const WriteView>(&view, 1));
 }
 
 Status ObliviousAgent::WriteBatch(FileId id, std::span<const WriteOp> ops) {
-  STEGHIDE_ASSIGN_OR_RETURN(const HiddenFile* file, agent_.InspectFile(id));
+  std::vector<WriteView> views(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    views[i] = WriteView{id, ops[i].offset, ops[i].data};
+  }
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return WriteGroupImpl(views);
+}
+
+Status ObliviousAgent::WriteGroup(std::span<const WriteRequest> requests) {
+  std::vector<WriteView> views(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    views[i] = WriteView{requests[i].file, requests[i].offset,
+                         requests[i].data};
+  }
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return WriteGroupImpl(views);
+}
+
+Status ObliviousAgent::WriteGroupImpl(std::span<const WriteView> views) {
   const size_t payload = core_->payload_size();
 
+  // Per-file image pointer (re-inspected after relocating writes) and
+  // the data-block count at group entry, which decides what stage 1 may
+  // prefetch.
+  struct FileState {
+    const HiddenFile* file = nullptr;
+    uint64_t initial_blocks = 0;
+  };
+  std::unordered_map<FileId, FileState> files;
+  for (const WriteView& view : views) {
+    auto [it, inserted] = files.try_emplace(view.file);
+    if (inserted) {
+      STEGHIDE_ASSIGN_OR_RETURN(it->second.file,
+                                agent_.InspectFile(view.file));
+      it->second.initial_blocks = it->second.file->num_data_blocks();
+    }
+  }
+
   // Stage 1 — batched read-modify-write prefetch: every block whose first
-  // touch in this batch is a partial overwrite of initially existing
-  // content comes in through the hidden read path, so the fetches are as
-  // pattern-free as any other read. Blocks first touched by a full
-  // overwrite (or created by this batch) are staged without I/O.
-  std::map<uint64_t, Bytes> images;  // logical -> staged payload image
+  // touch in this group is a partial overwrite of initially existing
+  // content comes in through the hidden read path — one cross-file group,
+  // so the fetches are as pattern-free as any other read. Blocks first
+  // touched by a full overwrite (or created by this group) are staged
+  // without I/O.
+  std::map<std::pair<FileId, uint64_t>, Bytes> images;
   {
-    const uint64_t initial_blocks = file->num_data_blocks();
-    std::vector<uint64_t> prefetch;
-    std::unordered_map<uint64_t, bool> first_touch_partial;
-    for (const WriteOp& op : ops) {
+    std::map<std::pair<FileId, uint64_t>, bool> first_touch_partial;
+    for (const WriteView& op : views) {
       if (op.data.empty()) continue;
       const uint64_t end = op.offset + op.data.size();
       for (uint64_t logical = op.offset / payload; logical * payload < end;
@@ -113,20 +188,25 @@ Status ObliviousAgent::WriteBatch(FileId id, std::span<const WriteOp> ops) {
         const uint64_t lo = std::max<uint64_t>(op.offset, begin);
         const uint64_t hi = std::min<uint64_t>(end, begin + payload);
         const bool partial = (lo != begin || hi != begin + payload);
-        first_touch_partial.try_emplace(logical, partial);
+        first_touch_partial.try_emplace({op.file, logical}, partial);
       }
     }
-    for (const auto& [logical, partial] : first_touch_partial) {
-      if (partial && logical < initial_blocks) prefetch.push_back(logical);
+    std::vector<StegPartitionReader::BlockRef> prefetch;
+    std::vector<std::pair<FileId, uint64_t>> prefetch_keys;
+    for (const auto& [key, partial] : first_touch_partial) {
+      const FileState& state = files.at(key.first);
+      if (partial && key.second < state.initial_blocks) {
+        prefetch.push_back({state.file, key.second});
+        prefetch_keys.push_back(key);
+      }
     }
-    std::sort(prefetch.begin(), prefetch.end());
     if (!prefetch.empty()) {
       Bytes fetched(prefetch.size() * payload);
       STEGHIDE_RETURN_IF_ERROR(
-          reader_->ReadBlockBatch(*file, prefetch, fetched.data()));
+          reader_->ReadRefBatch(prefetch, fetched.data()));
       for (size_t i = 0; i < prefetch.size(); ++i) {
-        images[prefetch[i]].assign(fetched.data() + i * payload,
-                                   fetched.data() + (i + 1) * payload);
+        images[prefetch_keys[i]].assign(fetched.data() + i * payload,
+                                        fetched.data() + (i + 1) * payload);
       }
     }
   }
@@ -135,13 +215,14 @@ Status ObliviousAgent::WriteBatch(FileId id, std::span<const WriteOp> ops) {
   // stays per block: each Figure-6 relocating update reshapes the
   // selection domain the next one draws from, so their sequence is the
   // observable pattern and cannot be merged. The oblivious-cache
-  // refreshes, by contrast, batch into one group below.
+  // refreshes, by contrast, batch into one cross-file group below.
   std::vector<RecordId> refresh_order;
   std::unordered_map<RecordId, Bytes> refresh;
   Status persist_status;
-  for (const WriteOp& op : ops) {
+  for (const WriteView& op : views) {
     if (!persist_status.ok()) break;
     if (op.data.empty()) continue;
+    FileState& state = files.at(op.file);
     const uint64_t end = op.offset + op.data.size();
     for (uint64_t logical = op.offset / payload; logical * payload < end;
          ++logical) {
@@ -149,7 +230,7 @@ Status ObliviousAgent::WriteBatch(FileId id, std::span<const WriteOp> ops) {
       const uint64_t lo = std::max<uint64_t>(op.offset, begin);
       const uint64_t hi = std::min<uint64_t>(end, begin + payload);
 
-      auto [it, inserted] = images.try_emplace(logical);
+      auto [it, inserted] = images.try_emplace({op.file, logical});
       if (inserted) it->second.assign(payload, 0);
       Bytes& block = it->second;
       std::memcpy(block.data() + (lo - begin), op.data.data() + (lo - op.offset),
@@ -159,11 +240,12 @@ Status ObliviousAgent::WriteBatch(FileId id, std::span<const WriteOp> ops) {
       // appends). Write the whole staged block, but never extend the file
       // past max(old end, new end) — clamping avoids rounding a trailing
       // partial block up to a full one.
+      const HiddenFile* file = state.file;
       const bool existing = logical < file->num_data_blocks();
       const uint64_t keep =
           existing ? std::min<uint64_t>(payload, file->file_size - begin) : 0;
       const uint64_t write_len = std::max<uint64_t>(hi - begin, keep);
-      persist_status = agent_.Write(id, begin, block.data(), write_len);
+      persist_status = agent_.Write(op.file, begin, block.data(), write_len);
       if (!persist_status.ok()) break;
 
       // Record the cache refresh first (agent_tag is stable across
@@ -178,18 +260,18 @@ Status ObliviousAgent::WriteBatch(FileId id, std::span<const WriteOp> ops) {
       // The file image may have been reallocated by growth; re-inspect.
       // Failures break (not return) so Stage 3 still refreshes the
       // blocks persisted so far.
-      auto reinspect = agent_.InspectFile(id);
+      auto reinspect = agent_.InspectFile(op.file);
       if (!reinspect.ok()) {
         persist_status = reinspect.status();
         break;
       }
-      file = *reinspect;
+      state.file = *reinspect;
     }
   }
 
   // Stage 3 — one hidden-update group refreshes the cached copies, so
   // subsequent oblivious reads see the new content. This runs even when
-  // a mid-batch persist failed: every block persisted *before* the
+  // a mid-group persist failed: every block persisted *before* the
   // failure must not keep serving stale cached content.
   if (!refresh_order.empty()) {
     Bytes flat(refresh_order.size() * payload);
@@ -203,6 +285,7 @@ Status ObliviousAgent::WriteBatch(FileId id, std::span<const WriteOp> ops) {
 }
 
 Status ObliviousAgent::IdleDummyOp() {
+  std::lock_guard<std::mutex> lock(io_mu_);
   STEGHIDE_RETURN_IF_ERROR(agent_.IdleDummyUpdates(1));
   return reader_->IdleDummyOp();
 }

@@ -2,6 +2,7 @@
 #define STEGHIDE_AGENT_OBLIVIOUS_AGENT_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,15 @@ namespace steghide::agent {
 ///
 /// The two partitions may live on the same device (disjoint block ranges)
 /// or on separate devices; the constructor takes them independently.
+///
+/// Thread safety: hidden-access I/O (Read/Write, the batch and group
+/// entry points, IdleDummyOp) serializes on one internal I/O mutex at
+/// group granularity — the cross-file ReadGroup/WriteGroup seam is where
+/// the RequestDispatcher commits k concurrent user requests as one
+/// level-scan group. Session calls forward to the (internally locked)
+/// volatile agent and may run concurrently with I/O; logging out a user
+/// with in-flight I/O on their files is a caller error (the dispatcher
+/// drains first).
 class ObliviousAgent {
  public:
   using UserId = VolatileAgent::UserId;
@@ -69,6 +79,18 @@ class ObliviousAgent {
     uint64_t offset = 0;
     Bytes data;
   };
+  /// One read of a cross-file group (dispatcher aggregation unit).
+  struct ReadRequest {
+    FileId file = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+  /// One write of a cross-file group.
+  struct WriteRequest {
+    FileId file = 0;
+    uint64_t offset = 0;
+    Bytes data;
+  };
 
   /// Oblivious read: buffer/levels of the cache, with first-time fetches
   /// randomised per Figure 8(a). Equivalent to a one-range ReadBatch.
@@ -80,6 +102,14 @@ class ObliviousAgent {
   /// of one per block.
   Result<std::vector<Bytes>> ReadBatch(FileId id,
                                        std::span<const ByteRange> ranges);
+
+  /// Cross-file batched oblivious read: requests[i] may address any mix
+  /// of files; the union of covered blocks across *all* files is served
+  /// by one miss-fill pass and one MultiRead group per store-buffer-size
+  /// chunk. This is the group-commit entry point of the request
+  /// dispatcher: k concurrent users' reads cost one level-scan pass per
+  /// chunk instead of one pass each.
+  Result<std::vector<Bytes>> ReadGroup(std::span<const ReadRequest> requests);
 
   /// Hidden write: cache write (read-shaped on the wire) + Figure-6
   /// relocating update on the StegFS partition. Equivalent to a one-op
@@ -96,6 +126,12 @@ class ObliviousAgent {
   /// order; overlapping writes resolve last-wins.
   Status WriteBatch(FileId id, std::span<const WriteOp> ops);
 
+  /// Cross-file batched hidden write (dispatcher group commit): the RMW
+  /// prefetches of every request share one oblivious read group, the
+  /// per-block Figure-6 relocating updates run in request order, and all
+  /// cache refreshes land in one MultiWrite group.
+  Status WriteGroup(std::span<const WriteRequest> requests);
+
   /// One idle-time dummy op on every traffic surface: a dummy update on
   /// the StegFS partition (§4.1.3), a dummy partition read and a dummy
   /// oblivious read (§5.1.1).
@@ -111,10 +147,26 @@ class ObliviousAgent {
   ObliviousAgent(stegfs::StegFsCore* core,
                  std::unique_ptr<oblivious::ObliviousStore> store);
 
+  /// One write of a group, with the data borrowed from the caller so the
+  /// single-file WriteBatch path stays copy-free.
+  struct WriteView {
+    FileId file = 0;
+    uint64_t offset = 0;
+    std::span<const uint8_t> data;
+  };
+
+  // Unlocked implementations; callers hold io_mu_.
+  Result<std::vector<Bytes>> ReadGroupImpl(
+      std::span<const ReadRequest> requests);
+  Status WriteGroupImpl(std::span<const WriteView> views);
+
   stegfs::StegFsCore* core_;
   VolatileAgent agent_;
   std::unique_ptr<oblivious::ObliviousStore> store_;
   std::unique_ptr<oblivious::StegPartitionReader> reader_;
+  /// Serializes hidden-access I/O at group granularity (the reader and
+  /// its Figure-8(a) state are single-threaded by contract).
+  std::mutex io_mu_;
 };
 
 }  // namespace steghide::agent

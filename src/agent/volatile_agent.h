@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,18 @@ namespace steghide::agent {
 /// dummy file is marked dirty and flushed no later than its owner's
 /// logout, which keeps on-disk headers consistent. Crash-atomicity of
 /// flushes is out of scope, as in the paper.
+///
+/// Thread safety: one internal recursive mutex serializes every public
+/// operation — session disclosure/creation, file I/O (which runs the
+/// update engine and its BlockRegistry callbacks under the same lock
+/// hold), and introspection. Per-user session state therefore stays
+/// consistent under real std::thread users; throughput-level concurrency
+/// comes from the RequestDispatcher aggregating requests above this
+/// lock, not from intra-agent parallelism. Pointers handed out by
+/// InspectFile() remain valid across map growth (files are
+/// heap-anchored) but are invalidated by Logout/DeleteFile of the owning
+/// session; callers must not race a logout against in-flight I/O on the
+/// same session's files (the dispatcher drains before logout).
 class VolatileAgent : public BlockRegistry {
  public:
   using UserId = std::string;
@@ -105,17 +118,37 @@ class VolatileAgent : public BlockRegistry {
   /// StegPartitionReader), which needs the block map to fetch from the
   /// StegFS partition. The pointer is invalidated by Logout/DeleteFile.
   Result<const stegfs::HiddenFile*> InspectFile(FileId id) const;
-  uint64_t domain_size() const { return domain_.size(); }
+  uint64_t domain_size() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return domain_.size();
+  }
   /// Dummy (claimable) blocks currently in the domain.
-  uint64_t dummy_block_count() const { return dummy_count_; }
-  const UpdateStats& update_stats() const { return engine_.stats(); }
-  void ResetUpdateStats() { engine_.ResetStats(); }
+  uint64_t dummy_block_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return dummy_count_;
+  }
+  /// Snapshot of the update-engine counters (copied under the lock).
+  UpdateStats update_stats() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return engine_.stats();
+  }
+  void ResetUpdateStats() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    engine_.ResetStats();
+  }
   stegfs::StegFsCore& core() { return *core_; }
 
   // ---- BlockRegistry --------------------------------------------------------
+  // Invoked by the update engine from within Write/Flush/IdleDummyUpdates,
+  // i.e. while mu_ is already held (it is recursive, so the re-entrant
+  // locking below is cheap and keeps direct callers safe too).
 
-  uint64_t DomainSize() const override { return domain_.size(); }
+  uint64_t DomainSize() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return domain_.size();
+  }
   uint64_t DomainBlock(uint64_t index) const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return domain_[index];
   }
   bool IsDummy(uint64_t physical) const override;
@@ -161,6 +194,10 @@ class VolatileAgent : public BlockRegistry {
 
   Result<stegfs::HiddenFile*> FirstDummyFileOf(const UserId& user);
 
+  /// Serializes public operations and the engine callbacks they trigger.
+  /// Recursive: compound operations (Logout → Flush, engine →
+  /// BlockRegistry) re-enter the public surface.
+  mutable std::recursive_mutex mu_;
   stegfs::StegFsCore* core_;
   UpdateEngine engine_;
   std::map<FileId, std::unique_ptr<OpenFile>> files_;

@@ -20,6 +20,7 @@ HashDrbg::HashDrbg(uint64_t seed) : HashDrbg([&] {
     }()) {}
 
 void HashDrbg::Reseed(const Bytes& seed) {
+  std::lock_guard<std::mutex> lock(mu_);
   Sha256 h;
   h.Update("steghide-drbg-reseed");
   h.Update(v_.data(), v_.size());
@@ -39,7 +40,7 @@ void HashDrbg::Ratchet() {
   block_offset_ = 0;
 }
 
-void HashDrbg::Generate(uint8_t* out, size_t n) {
+void HashDrbg::GenerateLocked(uint8_t* out, size_t n) {
   while (n > 0) {
     if (block_offset_ >= Sha256::kDigestSize) Ratchet();
     const size_t take =
@@ -51,6 +52,17 @@ void HashDrbg::Generate(uint8_t* out, size_t n) {
   }
 }
 
+uint64_t HashDrbg::NextUint64Locked() {
+  uint8_t buf[8];
+  GenerateLocked(buf, sizeof(buf));
+  return LoadBigEndian64(buf);
+}
+
+void HashDrbg::Generate(uint8_t* out, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GenerateLocked(out, n);
+}
+
 Bytes HashDrbg::Generate(size_t n) {
   Bytes out(n);
   Generate(out.data(), n);
@@ -58,16 +70,19 @@ Bytes HashDrbg::Generate(size_t n) {
 }
 
 uint64_t HashDrbg::NextUint64() {
-  uint8_t buf[8];
-  Generate(buf, sizeof(buf));
-  return LoadBigEndian64(buf);
+  std::lock_guard<std::mutex> lock(mu_);
+  return NextUint64Locked();
 }
 
 uint64_t HashDrbg::Uniform(uint64_t bound) {
   assert(bound > 0);
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t threshold = -bound % bound;
   for (;;) {
-    const uint64_t r = NextUint64();
+    // The rejection loop draws under one lock hold, so a bounded draw is
+    // one atomic consumption of the stream, exactly as it is
+    // single-threaded.
+    const uint64_t r = NextUint64Locked();
     if (r >= threshold) return r % bound;
   }
 }

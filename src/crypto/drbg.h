@@ -2,6 +2,7 @@
 #define STEGHIDE_CRYPTO_DRBG_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "crypto/sha256.h"
 #include "util/bytes.h"
@@ -17,6 +18,14 @@ namespace steghide::crypto {
 /// Security-relevant randomness in the reproduction — IVs, target-block
 /// selection in the update engine, dummy-read choices, shuffle tags — is
 /// drawn from this generator. Workload-level randomness uses util::Rng.
+///
+/// Thread safety: every draw is internally serialized, so a generator
+/// shared between layers (StegFsCore's DRBG feeds the update engine, the
+/// session layer, and the oblivious read path) stays well-defined when
+/// agent sessions run on real threads. Each draw is atomic; the
+/// *interleaving* of draws across threads is scheduling-dependent, which
+/// is inherent to concurrent operation — deterministic tests pin the
+/// issue order instead.
 class HashDrbg {
  public:
   /// Seeds from arbitrary bytes. An empty seed is permitted (fixed state);
@@ -42,7 +51,10 @@ class HashDrbg {
 
  private:
   void Ratchet();
+  void GenerateLocked(uint8_t* out, size_t n);
+  uint64_t NextUint64Locked();
 
+  mutable std::mutex mu_;
   Sha256::Digest v_;          // secret state
   Sha256::Digest block_;      // current output block
   size_t block_offset_ = 0;   // consumed bytes of block_

@@ -70,6 +70,7 @@ uint64_t ObliviousStore::hierarchy_blocks() const {
 }
 
 std::vector<uint64_t> ObliviousStore::LevelOccupancy() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint64_t> occ;
   occ.reserve(levels_.size());
   for (const Level& level : levels_) occ.push_back(level.live_count());
@@ -91,20 +92,19 @@ Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
   return Status::OK();
 }
 
-Result<ObliviousStore::ScanPlan> ObliviousStore::PlanScan(
-    std::span<const RecordId> ids, std::span<const uint8_t> scan,
-    std::span<const uint8_t> dup) {
+Status ObliviousStore::PlanScan(std::span<const RecordId> ids,
+                                std::span<const uint8_t> scan,
+                                std::span<const uint8_t> dup) {
   ++stats_.scan_passes;
   const size_t k = ids.size();
   size_t scan_k = 0;
   for (size_t i = 0; i < k; ++i) scan_k += scan[i] != 0;
 
-  ScanPlan plan;
-  plan.passes.reserve(levels_.size());
+  plan_.Reset();
   std::vector<uint8_t> found(k, 0);
   for (Level& level : levels_) {
     if (level.empty()) continue;
-    ScanPlan::LevelPass pass;
+    ScanPlan::LevelPass& pass = plan_.AppendPass();
     pass.probes.reserve(scan_k + 1);
     if (options_.charge_index_io) {
       // The spilled index "in the front of the corresponding level" is
@@ -138,47 +138,45 @@ Result<ObliviousStore::ScanPlan> ObliviousStore::PlanScan(
         [](const ScanPlan::Probe& a, const ScanPlan::Probe& b) {
           return a.block < b.block;
         });
-    plan.passes.push_back(std::move(pass));
   }
   for (size_t i = 0; i < k; ++i) {
     if (scan[i] && !dup[i] && !found[i]) {
       return Status::Internal("record in present set but not found in levels");
     }
   }
-  return plan;
+  return Status::OK();
 }
 
-Status ObliviousStore::ExecuteScan(const ScanPlan& plan,
-                                   uint8_t* out_payloads) {
+Status ObliviousStore::ExecuteScan(uint8_t* out_payloads) {
   // One IoBatch per level pass, one drain for the whole sweep. The
   // pattern-preserving scheduler issues each pass as a vectored read, so
   // a cache or timing model underneath sees whole per-level batches
   // while the per-block sequence stays exactly the planned one.
   const size_t bs = codec_.block_size();
-  std::vector<Bytes> pass_bufs(plan.passes.size());
-  for (size_t p = 0; p < plan.passes.size(); ++p) {
-    const auto& probes = plan.passes[p].probes;
-    pass_bufs[p].resize(probes.size() * bs);
+  if (pass_bufs_.size() < plan_.count) pass_bufs_.resize(plan_.count);
+  for (size_t p = 0; p < plan_.count; ++p) {
+    const auto& probes = plan_.passes[p].probes;
+    pass_bufs_[p].resize(probes.size() * bs);
     storage::IoBatch batch;
     batch.requests.reserve(probes.size());
     for (size_t i = 0; i < probes.size(); ++i) {
-      batch.Read(probes[i].block, pass_bufs[p].data() + i * bs);
+      batch.Read(probes[i].block, pass_bufs_[p].data() + i * bs);
     }
     scheduler_.Submit(std::move(batch));
   }
   STEGHIDE_RETURN_IF_ERROR(scheduler_.Drain());
 
   // Per-request decrypt + extract (decoys stay sealed).
-  Bytes payload(codec_.payload_size());
-  for (size_t p = 0; p < plan.passes.size(); ++p) {
-    const auto& probes = plan.passes[p].probes;
+  payload_scratch_.resize(codec_.payload_size());
+  for (size_t p = 0; p < plan_.count; ++p) {
+    const auto& probes = plan_.passes[p].probes;
     for (size_t i = 0; i < probes.size(); ++i) {
       if (probes[i].owner == ScanPlan::kDecoy) continue;
-      STEGHIDE_RETURN_IF_ERROR(
-          codec_.Open(cipher_, pass_bufs[p].data() + i * bs, payload.data()));
+      STEGHIDE_RETURN_IF_ERROR(codec_.Open(cipher_, pass_bufs_[p].data() + i * bs,
+                                           payload_scratch_.data()));
       if (out_payloads != nullptr) {
         std::memcpy(out_payloads + probes[i].owner * codec_.payload_size(),
-                    payload.data(), payload.size());
+                    payload_scratch_.data(), payload_scratch_.size());
       }
     }
   }
@@ -193,7 +191,10 @@ Status ObliviousStore::ReadGroup(std::span<const RecordId> ids,
   if (k > 1) stats_.batched_requests += k;
   const double t0 = Clock();
 
-  std::vector<uint8_t> scan(k, 0), dup(k, 0);
+  scan_scratch_.assign(k, 0);
+  dup_scratch_.assign(k, 0);
+  std::vector<uint8_t>& scan = scan_scratch_;
+  std::vector<uint8_t>& dup = dup_scratch_;
   std::unordered_map<RecordId, size_t> first_scan;
   bool any_scan = false;
   for (size_t i = 0; i < k; ++i) {
@@ -212,8 +213,8 @@ Status ObliviousStore::ReadGroup(std::span<const RecordId> ids,
   }
 
   if (any_scan) {
-    STEGHIDE_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(ids, scan, dup));
-    STEGHIDE_RETURN_IF_ERROR(ExecuteScan(plan, out_payloads));
+    STEGHIDE_RETURN_IF_ERROR(PlanScan(ids, scan, dup));
+    STEGHIDE_RETURN_IF_ERROR(ExecuteScan(out_payloads));
     for (size_t i = 0; i < k; ++i) {
       if (dup[i]) {
         std::memcpy(out_payloads + i * ps,
@@ -242,16 +243,17 @@ Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
   {
     std::unordered_set<RecordId> seen;
     for (size_t i = 0; i < k; ++i) {
-      if (!Contains(ids[i]) && seen.insert(ids[i]).second) ++fresh;
+      if (!ContainsLocked(ids[i]) && seen.insert(ids[i]).second) ++fresh;
     }
-    if (record_count() + fresh > options_.capacity_blocks) {
+    if (present_index_.size() + fresh > options_.capacity_blocks) {
       return Status::NoSpace("oblivious store at capacity");
     }
   }
 
   const double t0 = Clock();
-  std::vector<uint8_t> scan(k, 0);
-  std::vector<uint8_t> none;
+  scan_scratch_.assign(k, 0);
+  std::vector<uint8_t>& scan = scan_scratch_;
+  std::vector<uint8_t>& none = dup_scratch_;
   // Ids that will be in the buffer by the time a later group member is
   // processed (insert or scan earlier in the group): later occurrences
   // take the buffer-hit shape, exactly as the sequential path would.
@@ -262,7 +264,7 @@ Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
   bool any_scan = false;
   for (size_t i = 0; i < k; ++i) {
     const RecordId id = ids[i];
-    if (!Contains(id) && staged.count(id) == 0) {
+    if (!ContainsLocked(id) && staged.count(id) == 0) {
       // First-time insertion: buffer-only, no level touches (the caller's
       // fetch from the StegFS partition was the observable I/O).
       fresh_ids.push_back(id);
@@ -280,8 +282,8 @@ Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
 
   if (any_scan) {
     none.assign(k, 0);
-    STEGHIDE_ASSIGN_OR_RETURN(ScanPlan plan, PlanScan(ids, scan, none));
-    STEGHIDE_RETURN_IF_ERROR(ExecuteScan(plan, nullptr));
+    STEGHIDE_RETURN_IF_ERROR(PlanScan(ids, scan, none));
+    STEGHIDE_RETURN_IF_ERROR(ExecuteScan(nullptr));
   }
   stats_.retrieve_ms += Clock() - t0;
 
@@ -294,13 +296,20 @@ Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
 }
 
 Status ObliviousStore::Read(RecordId id, uint8_t* out_payload) {
-  return MultiRead(std::span<const RecordId>(&id, 1), out_payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  return MultiReadLocked(std::span<const RecordId>(&id, 1), out_payload);
 }
 
 Status ObliviousStore::MultiRead(std::span<const RecordId> ids,
                                  uint8_t* out_payloads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MultiReadLocked(ids, out_payloads);
+}
+
+Status ObliviousStore::MultiReadLocked(std::span<const RecordId> ids,
+                                       uint8_t* out_payloads) {
   for (const RecordId id : ids) {
-    if (!Contains(id)) return Status::NotFound("record not cached");
+    if (!ContainsLocked(id)) return Status::NotFound("record not cached");
   }
   const size_t max_k = options_.buffer_blocks;
   for (size_t off = 0; off < ids.size(); off += max_k) {
@@ -312,11 +321,18 @@ Status ObliviousStore::MultiRead(std::span<const RecordId> ids,
 }
 
 Status ObliviousStore::Write(RecordId id, const uint8_t* payload) {
-  return MultiWrite(std::span<const RecordId>(&id, 1), payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  return MultiWriteLocked(std::span<const RecordId>(&id, 1), payload);
 }
 
 Status ObliviousStore::MultiWrite(std::span<const RecordId> ids,
                                   const uint8_t* payloads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MultiWriteLocked(ids, payloads);
+}
+
+Status ObliviousStore::MultiWriteLocked(std::span<const RecordId> ids,
+                                        const uint8_t* payloads) {
   const size_t max_k = options_.buffer_blocks;
   for (size_t off = 0; off < ids.size(); off += max_k) {
     const size_t n = std::min(max_k, ids.size() - off);
@@ -327,6 +343,7 @@ Status ObliviousStore::MultiWrite(std::span<const RecordId> ids,
 }
 
 Status ObliviousStore::Insert(RecordId id, const uint8_t* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGHIDE_RETURN_IF_ERROR(RegisterPresent(id));
   BufferStage(id, payload);
   return MaybeFlush();
@@ -334,6 +351,12 @@ Status ObliviousStore::Insert(RecordId id, const uint8_t* payload) {
 
 Status ObliviousStore::MultiInsert(std::span<const RecordId> ids,
                                    const uint8_t* payloads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MultiInsertLocked(ids, payloads);
+}
+
+Status ObliviousStore::MultiInsertLocked(std::span<const RecordId> ids,
+                                         const uint8_t* payloads) {
   const size_t max_k = options_.buffer_blocks;
   const size_t ps = codec_.payload_size();
   for (size_t off = 0; off < ids.size(); off += max_k) {
@@ -342,9 +365,9 @@ Status ObliviousStore::MultiInsert(std::span<const RecordId> ids,
     std::unordered_set<RecordId> seen;
     for (size_t i = 0; i < n; ++i) {
       const RecordId id = ids[off + i];
-      if (!Contains(id) && seen.insert(id).second) ++fresh;
+      if (!ContainsLocked(id) && seen.insert(id).second) ++fresh;
     }
-    if (record_count() + fresh > options_.capacity_blocks) {
+    if (present_index_.size() + fresh > options_.capacity_blocks) {
       return Status::NoSpace("oblivious store at capacity");
     }
     for (size_t i = 0; i < n; ++i) {
@@ -357,6 +380,7 @@ Status ObliviousStore::MultiInsert(std::span<const RecordId> ids,
 }
 
 Status ObliviousStore::Remove(RecordId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = present_index_.find(id);
   if (it == present_index_.end()) return Status::NotFound("record not cached");
   buffer_.erase(id);
@@ -374,18 +398,19 @@ Status ObliviousStore::Remove(RecordId id) {
 }
 
 Status ObliviousStore::DummyRead() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (present_list_.empty()) return Status::OK();
   const RecordId id = present_list_[drbg_.Uniform(present_list_.size())];
   Bytes payload(codec_.payload_size());
   // Count as dummy, not user read.
   ++stats_.dummy_reads;
-  --stats_.user_reads;  // Read() below increments user_reads
-  return Read(id, payload.data());
+  --stats_.user_reads;  // the read below increments user_reads
+  return MultiReadLocked(std::span<const RecordId>(&id, 1), payload.data());
 }
 
 Status ObliviousStore::RegisterPresent(RecordId id) {
-  if (Contains(id)) return Status::OK();
-  if (record_count() >= options_.capacity_blocks) {
+  if (ContainsLocked(id)) return Status::OK();
+  if (present_index_.size() >= options_.capacity_blocks) {
     return Status::NoSpace("oblivious store at capacity");
   }
   present_index_.emplace(id, present_list_.size());
@@ -447,8 +472,20 @@ Status ObliviousStore::Dump(size_t i) {
 Status ObliviousStore::ReorderInto(
     Level& target, Level* source,
     const std::vector<std::pair<RecordId, const Bytes*>>& in_memory) {
-  ExternalMergeSorter sorter(device_, &codec_, &cipher_, &drbg_,
-                             options_.scratch_base, options_.buffer_blocks);
+  // Re-order run size: at least the agent buffer B, floored at 256
+  // blocks (1 MB at 4 KB blocks — inside the agent-buffer envelope the
+  // paper's own Figure 12 sweep explores, and the same order of memory
+  // the merge's chunked look-ahead already uses). Small re-orders
+  // (levels 1-2 always, deeper levels on small hierarchies) then sort
+  // entirely in memory and write the destination in one ascending sweep,
+  // skipping the scratch round-trip; the shuffle is unchanged (same
+  // random-tag order), and the observable pattern stays data-
+  // independent: read every live slot ascending, write the target
+  // sequentially. Large levels still spill and merge externally.
+  constexpr uint64_t kReorderRunFloor = 256;
+  ExternalMergeSorter sorter(
+      device_, &codec_, &cipher_, &drbg_, options_.scratch_base,
+      std::max<uint64_t>(options_.buffer_blocks, kReorderRunFloor));
   std::unordered_set<RecordId> added;
 
   // Priority: in-memory (newest) > source level > target level.

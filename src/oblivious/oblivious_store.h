@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -102,6 +103,14 @@ struct ObliviousStats {
 /// path. The §5.1.2 buffer argument covers the grouping: every slot is
 /// still read at most once between re-orders, and the per-request trace
 /// stays one touch per non-empty level.
+///
+/// Thread safety: public operations serialize on one internal mutex at
+/// *scan-pass granularity* — a MultiRead/MultiWrite group (its level
+/// passes, buffer staging and deferred flush) is one critical section,
+/// never interleaved per block. Concurrent callers therefore observe the
+/// same trace shapes as a serial request stream; aggregation into large
+/// groups is the dispatcher's job, not the lock's. Accessors (stats(),
+/// Contains(), LevelOccupancy()) take the same lock and return copies.
 class ObliviousStore {
  public:
   /// `device` is borrowed and must outlive the store. Validates the
@@ -117,11 +126,15 @@ class ObliviousStore {
 
   /// True if `id` is cached (buffer or any level). Memory-only check.
   bool Contains(RecordId id) const {
-    return present_index_.find(id) != present_index_.end();
+    std::lock_guard<std::mutex> lock(mu_);
+    return ContainsLocked(id);
   }
 
   /// Number of distinct records cached.
-  uint64_t record_count() const { return present_index_.size(); }
+  uint64_t record_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return present_index_.size();
+  }
 
   /// Reads record `id` into `out_payload` (payload_size bytes). The
   /// record must be present (callers check Contains() and fetch misses
@@ -171,17 +184,30 @@ class ObliviousStore {
   /// full Read path. No-op when the store is empty.
   Status DummyRead();
 
-  const ObliviousStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ObliviousStats(); }
+  /// Snapshot of the counters (copied under the store lock).
+  ObliviousStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = ObliviousStats();
+  }
 
   /// Wires a virtual-clock sampler (e.g. SimBlockDevice::clock_ms) so the
   /// stats can split retrieve vs sort time, Figure 12(b).
-  void set_clock_fn(std::function<double()> fn) { clock_fn_ = std::move(fn); }
+  void set_clock_fn(std::function<double()> fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock_fn_ = std::move(fn);
+  }
 
   size_t payload_size() const { return codec_.payload_size(); }
 
   /// Records currently staged in the agent buffer.
-  uint64_t buffer_fill() const { return buffer_.size(); }
+  uint64_t buffer_fill() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffer_.size();
+  }
 
   /// Largest request group served by one scan pass (= buffer_blocks);
   /// longer spans are chunked internally.
@@ -202,6 +228,11 @@ class ObliviousStore {
   /// sorted within the pass (sorting a set of uniform draws is data-
   /// independent). `owner` maps a probe back to the request whose real
   /// slot it is, or kDecoy.
+  ///
+  /// The plan is a reusable scratch object: `count` passes are valid,
+  /// `passes` and their probe vectors keep their capacity between groups
+  /// so the hot scan path stops reallocating per level (visible in the
+  /// k-sweep wall time).
   struct ScanPlan {
     static constexpr size_t kDecoy = ~size_t{0};
     struct Probe {
@@ -212,20 +243,42 @@ class ObliviousStore {
       std::vector<Probe> probes;
     };
     std::vector<LevelPass> passes;
+    size_t count = 0;  // passes[0..count) are live for the current group
+
+    LevelPass& AppendPass() {
+      if (count == passes.size()) passes.emplace_back();
+      LevelPass& pass = passes[count++];
+      pass.probes.clear();
+      return pass;
+    }
+    void Reset() { count = 0; }
   };
 
-  /// Plans the touch pattern for a request group. `scan[i]` is true for
-  /// requests that probe the levels; `dup[i]` marks requests whose real
-  /// slot belongs to an earlier group member (they draw decoys in every
-  /// level). DRBG draws happen in level-major, request-minor order.
-  Result<ScanPlan> PlanScan(std::span<const RecordId> ids,
-                            std::span<const uint8_t> scan,
-                            std::span<const uint8_t> dup);
+  // Locked implementations of the public entry points; callers hold mu_.
+  Status MultiReadLocked(std::span<const RecordId> ids,
+                         uint8_t* out_payloads);
+  Status MultiWriteLocked(std::span<const RecordId> ids,
+                          const uint8_t* payloads);
+  Status MultiInsertLocked(std::span<const RecordId> ids,
+                           const uint8_t* payloads);
 
-  /// Executes the plan: one IoBatch per level pass through the pattern-
+  bool ContainsLocked(RecordId id) const {
+    return present_index_.find(id) != present_index_.end();
+  }
+
+  /// Plans the touch pattern for a request group into the reusable
+  /// `plan_`. `scan[i]` is true for requests that probe the levels;
+  /// `dup[i]` marks requests whose real slot belongs to an earlier group
+  /// member (they draw decoys in every level). DRBG draws happen in
+  /// level-major, request-minor order.
+  Status PlanScan(std::span<const RecordId> ids,
+                  std::span<const uint8_t> scan,
+                  std::span<const uint8_t> dup);
+
+  /// Executes `plan_`: one IoBatch per level pass through the pattern-
   /// preserving scheduler, one drain, then per-request decrypt+extract
   /// into out_payloads (group-indexed; nullptr skips extraction).
-  Status ExecuteScan(const ScanPlan& plan, uint8_t* out_payloads);
+  Status ExecuteScan(uint8_t* out_payloads);
 
   /// Serves one group of at most buffer_blocks read requests.
   Status ReadGroup(std::span<const RecordId> ids, uint8_t* out_payloads);
@@ -277,6 +330,21 @@ class ObliviousStore {
 
   std::function<double()> clock_fn_;
   ObliviousStats stats_;
+
+  /// Serializes public operations at scan-pass granularity. Plain (not
+  /// recursive): public entry points delegate to *Locked impls and the
+  /// private machinery never re-enters the public surface.
+  mutable std::mutex mu_;
+
+  // Per-group scratch reused across scan passes (guarded by mu_): the
+  // plan, its per-pass read buffers, the decrypt staging block, and the
+  // group classification vectors. Kept as members to cut allocation
+  // churn on the hot path.
+  ScanPlan plan_;
+  std::vector<Bytes> pass_bufs_;
+  Bytes payload_scratch_;
+  std::vector<uint8_t> scan_scratch_;
+  std::vector<uint8_t> dup_scratch_;
 };
 
 }  // namespace steghide::oblivious

@@ -21,6 +21,12 @@ namespace steghide::oblivious {
 /// with probability |S|/M (Figure 8(a)'s "if X < sizeof(S)" branch).
 /// Combined with the one-fetch-per-block rule, every observable read of
 /// the StegFS partition is uniformly distributed.
+///
+/// Thread safety: the reader keeps per-pass scratch state and the fetched
+/// set without internal locking; it must be driven by one thread at a
+/// time. ObliviousAgent serializes all access under its I/O lock, which
+/// is also what the RequestDispatcher's single issuing thread goes
+/// through.
 class StegPartitionReader {
  public:
   struct Stats {
@@ -58,6 +64,23 @@ class StegPartitionReader {
                         std::span<const uint64_t> logicals,
                         uint8_t* out_payloads);
 
+  /// One block of a cross-file batched read.
+  struct BlockRef {
+    const stegfs::HiddenFile* file = nullptr;
+    uint64_t logical = 0;
+  };
+
+  /// Cross-file batched read — the aggregation seam the request
+  /// dispatcher feeds: `refs[i]` (any mix of files) lands at
+  /// out_payloads + i * payload_size. Misses across *all* files share one
+  /// Figure-8(a) decoy pass (the draw sequence depends only on the size
+  /// of the fetched set, so grouping by file for the vectored fetches
+  /// leaves the observable distribution untouched), enter the store with
+  /// one MultiInsert, and every cached block across files is served by
+  /// one MultiRead group per buffer-size chunk — which is where k
+  /// concurrent users cost one level-scan pass instead of k.
+  Status ReadRefBatch(std::span<const BlockRef> refs, uint8_t* out_payloads);
+
   /// Idle-time dummy read on the StegFS partition: one uniformly random
   /// block (Figure 8(a), else-branch).
   Status DummyStegRead();
@@ -75,6 +98,21 @@ class StegPartitionReader {
   ObliviousStore* store_;
   std::vector<uint64_t> fetched_;  // physical blocks already copied (the set S)
   Stats stats_;
+
+  // Per-pass scratch reused across batches (single-threaded by contract)
+  // so the hot miss-fill/cached path stops reallocating per call.
+  std::vector<uint64_t> decoys_;
+  std::vector<uint64_t> new_fetches_;
+  std::vector<RecordId> miss_ids_;
+  std::vector<RecordId> cached_ids_;
+  std::vector<size_t> cached_at_;
+  std::vector<uint64_t> file_logicals_;
+  std::vector<size_t> file_positions_;
+  std::vector<uint8_t> miss_consumed_;
+  Bytes fetch_scratch_;
+  Bytes file_scratch_;
+  Bytes cached_scratch_;
+  Bytes decoy_scratch_;
 };
 
 }  // namespace steghide::oblivious

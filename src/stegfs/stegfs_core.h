@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "crypto/cbc.h"
 #include "crypto/drbg.h"
@@ -34,6 +35,16 @@ struct StegFsOptions {
 /// StegFsCore performs raw block I/O through the supplied BlockDevice —
 /// typically a SimBlockDevice so that every access is charged on the
 /// virtual disk clock.
+///
+/// Thread safety: public operations are serialized by one internal
+/// (recursive) mutex at whole-operation granularity — a header-tree load,
+/// a vectored data-block read, a raw write each run as one critical
+/// section, which also means the underlying device keeps seeing
+/// single-issuer call sequences. The DRBG has its own lock, so accessor
+/// draws through drbg() stay safe from any thread. Pointers/references
+/// returned by accessors (device(), codec()) must only be used by code
+/// that already holds a higher-level serialization (the dispatcher's
+/// single I/O thread or an agent lock).
 class StegFsCore {
  public:
   /// Does not take ownership of `device`.
@@ -115,6 +126,10 @@ class StegFsCore {
   Rng format_rng_;
   bool fast_format_;
   std::map<Bytes, std::unique_ptr<crypto::CbcCipher>> cipher_cache_;
+  /// Serializes public operations. Recursive because the compound
+  /// operations (LoadFile, StoreFile, ReadFileBlockSet, ...) are built
+  /// from the public raw-I/O and cipher-cache primitives.
+  mutable std::recursive_mutex mu_;
 };
 
 }  // namespace steghide::stegfs

@@ -23,17 +23,40 @@ BlockCache::BlockCache(BlockDevice* backing, const BlockCacheOptions& options)
 }
 
 BlockCache::Shard& BlockCache::ShardFor(uint64_t block_id) {
-  // Fibonacci mixing spreads adjacent block ids across shards, so a
-  // sequential scan does not hammer one LRU list.
-  return shards_[(block_id * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_];
+  // ShardIndexFor's Fibonacci mixing spreads adjacent block ids across
+  // shards, so a sequential scan does not hammer one LRU list.
+  return shards_[ShardIndexFor(block_id)];
 }
 
 const BlockCache::Shard& BlockCache::ShardFor(uint64_t block_id) const {
-  return shards_[(block_id * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_];
+  return shards_[ShardIndexFor(block_id)];
+}
+
+Status BlockCache::BackingRead(uint64_t block_id, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(backing_mu_);
+  return backing_->ReadBlock(block_id, out);
+}
+
+Status BlockCache::BackingReadBlocks(std::span<const uint64_t> ids,
+                                     uint8_t* out) {
+  std::lock_guard<std::mutex> lock(backing_mu_);
+  return backing_->ReadBlocks(ids, out);
+}
+
+Status BlockCache::BackingWrite(uint64_t block_id, const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(backing_mu_);
+  return backing_->WriteBlock(block_id, data);
+}
+
+Status BlockCache::BackingWriteBlocks(std::span<const uint64_t> ids,
+                                      const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(backing_mu_);
+  return backing_->WriteBlocks(ids, data);
 }
 
 Status BlockCache::InsertLocked(Shard& shard, uint64_t block_id,
                                 const uint8_t* data, bool dirty) {
+  ++shard.epoch;
   const size_t bs = block_size();
   const auto it = shard.map.find(block_id);
   if (it != shard.map.end()) {
@@ -49,7 +72,7 @@ Status BlockCache::InsertLocked(Shard& shard, uint64_t block_id,
     Entry& victim = shard.lru.back();
     if (victim.dirty) {
       STEGHIDE_RETURN_IF_ERROR(
-          backing_->WriteBlock(victim.block_id, victim.data.data()));
+          BackingWrite(victim.block_id, victim.data.data()));
       ++shard.stats.writebacks;
     }
     shard.map.erase(victim.block_id);
@@ -70,7 +93,7 @@ Status BlockCache::ReadBlock(uint64_t block_id, uint8_t* out) {
     return Status::OK();
   }
   ++shard.stats.misses;
-  STEGHIDE_RETURN_IF_ERROR(backing_->ReadBlock(block_id, out));
+  STEGHIDE_RETURN_IF_ERROR(BackingRead(block_id, out));
   return InsertLocked(shard, block_id, out, /*dirty=*/false);
 }
 
@@ -81,7 +104,7 @@ Status BlockCache::WriteBlock(uint64_t block_id, const uint8_t* data) {
   Shard& shard = ShardFor(block_id);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (!write_back_) {
-    STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlock(block_id, data));
+    STEGHIDE_RETURN_IF_ERROR(BackingWrite(block_id, data));
   } else {
     // The backing device is not consulted until eviction/Flush, so the
     // range check it would have done happens here.
@@ -93,10 +116,16 @@ Status BlockCache::WriteBlock(uint64_t block_id, const uint8_t* data) {
 Status BlockCache::ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) {
   const size_t bs = block_size();
   std::vector<uint64_t> miss_ids;
+  std::vector<size_t> miss_shard;  // shard index per distinct miss
   std::vector<std::pair<size_t, size_t>> miss_fill;  // (out index, miss index)
   std::unordered_map<uint64_t, size_t> miss_index;
+  // Shard index -> epoch we expect at install time; advanced by our own
+  // installs so only *foreign* mutations during the unlocked backing
+  // fetch invalidate the remaining misses of a shard.
+  std::unordered_map<size_t, uint64_t> expected_epoch;
   for (size_t i = 0; i < ids.size(); ++i) {
-    Shard& shard = ShardFor(ids[i]);
+    const size_t shard_index = ShardIndexFor(ids[i]);
+    Shard& shard = shards_[shard_index];
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(ids[i]);
     if (it != shard.map.end()) {
@@ -107,7 +136,11 @@ Status BlockCache::ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) {
     }
     ++shard.stats.misses;
     const auto [mit, inserted] = miss_index.try_emplace(ids[i], miss_ids.size());
-    if (inserted) miss_ids.push_back(ids[i]);
+    if (inserted) {
+      miss_ids.push_back(ids[i]);
+      miss_shard.push_back(shard_index);
+      expected_epoch[shard_index] = shard.epoch;
+    }
     miss_fill.emplace_back(i, mit->second);
   }
   if (miss_ids.empty()) return Status::OK();
@@ -115,20 +148,26 @@ Status BlockCache::ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) {
   // One vectored fetch for the distinct misses, in first-miss order — the
   // physical sequence a trace below the cache records.
   Bytes fetched(miss_ids.size() * bs);
-  STEGHIDE_RETURN_IF_ERROR(backing_->ReadBlocks(miss_ids, fetched.data()));
+  STEGHIDE_RETURN_IF_ERROR(BackingReadBlocks(miss_ids, fetched.data()));
   for (const auto& [out_i, miss_i] : miss_fill) {
     std::memcpy(out + out_i * bs, fetched.data() + miss_i * bs, bs);
   }
   for (size_t m = 0; m < miss_ids.size(); ++m) {
-    Shard& shard = ShardFor(miss_ids[m]);
+    Shard& shard = shards_[miss_shard[m]];
     std::lock_guard<std::mutex> lock(shard.mu);
-    // A concurrent writer may have populated the block while the shard
-    // locks were dropped for the backing fetch; its image is newer than
-    // the one just read — never clobber an existing entry here.
+    // The shard locks were dropped for the backing fetch. If anything
+    // *else* mutated this shard since classification — a concurrent
+    // write to the block (its image is newer), or a dirty eviction that
+    // pushed a newer image to the backing device and erased the entry —
+    // the fetched image may be stale: skip the install rather than cache
+    // it as clean. (A spurious skip just costs one future miss.)
+    uint64_t& expected = expected_epoch[miss_shard[m]];
+    if (shard.epoch != expected) continue;
     if (shard.map.find(miss_ids[m]) != shard.map.end()) continue;
     STEGHIDE_RETURN_IF_ERROR(InsertLocked(shard, miss_ids[m],
                                           fetched.data() + m * bs,
                                           /*dirty=*/false));
+    expected = shard.epoch;  // our own install is not foreign
   }
   return Status::OK();
 }
@@ -137,15 +176,28 @@ Status BlockCache::WriteBlocks(std::span<const uint64_t> ids,
                                const uint8_t* data) {
   const size_t bs = block_size();
   if (!write_back_) {
-    STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlocks(ids, data));
-  } else {
-    for (uint64_t id : ids) STEGHIDE_RETURN_IF_ERROR(CheckRange(id));
+    // Write-through must make the backing write and the cache update one
+    // atomic step (same rule as WriteBlock), or a concurrent same-block
+    // writer can leave the cache permanently stale against the backing
+    // device. Hold every shard lock for the whole vectored write, as
+    // Flush does — other paths take at most one shard lock, so the
+    // index-ordered acquisition cannot deadlock.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (Shard& shard : shards_) locks.emplace_back(shard.mu);
+    STEGHIDE_RETURN_IF_ERROR(BackingWriteBlocks(ids, data));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      STEGHIDE_RETURN_IF_ERROR(InsertLocked(ShardFor(ids[i]), ids[i],
+                                            data + i * bs, /*dirty=*/false));
+    }
+    return Status::OK();
   }
+  for (uint64_t id : ids) STEGHIDE_RETURN_IF_ERROR(CheckRange(id));
   for (size_t i = 0; i < ids.size(); ++i) {
     Shard& shard = ShardFor(ids[i]);
     std::lock_guard<std::mutex> lock(shard.mu);
     STEGHIDE_RETURN_IF_ERROR(
-        InsertLocked(shard, ids[i], data + i * bs, /*dirty=*/write_back_));
+        InsertLocked(shard, ids[i], data + i * bs, /*dirty=*/true));
   }
   return Status::OK();
 }
@@ -175,13 +227,14 @@ Status BlockCache::Flush() {
       std::memcpy(images.data() + i * bs,
                   shard.map.at(dirty_ids[i])->data.data(), bs);
     }
-    STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlocks(dirty_ids, images.data()));
+    STEGHIDE_RETURN_IF_ERROR(BackingWriteBlocks(dirty_ids, images.data()));
     for (uint64_t id : dirty_ids) {
       Shard& shard = ShardFor(id);
       shard.map.at(id)->dirty = false;
       ++shard.stats.writebacks;
     }
   }
+  std::lock_guard<std::mutex> backing_lock(backing_mu_);
   return backing_->Flush();
 }
 
@@ -197,6 +250,7 @@ Status BlockCache::Invalidate() {
   }
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.epoch;
     shard.lru.clear();
     shard.map.clear();
   }

@@ -47,13 +47,15 @@ struct BlockCacheStats {
 /// instead, which is useful for asserting workload behaviour in tests but
 /// is not the paper's attacker surface.
 ///
-/// Concurrency: shard state is lock-protected, but misses, write-through
-/// writes, and write-backs all reach the backing device — which is NOT
-/// required to be thread-safe (block_device.h) — so the cache as a whole
-/// must currently be driven from one thread at a time whenever those
-/// paths can run. The per-shard locks are groundwork for the planned
-/// multi-threaded agents (ROADMAP), which will add a synchronized
-/// backing tier; they are not a thread-safety guarantee today.
+/// Concurrency: the cache is fully thread-safe. Shard state (LRU lists,
+/// maps, stats) is guarded by per-shard locks, and every path that
+/// reaches the backing device — misses, write-through writes, eviction
+/// write-backs, Flush — funnels through one internal backing mutex, so a
+/// non-thread-safe backing device (block_device.h single-issuer
+/// contract) sees strictly serialized calls. Lock order is always
+/// shard → backing; Flush takes all shard locks in index order before
+/// the backing lock, and no path acquires a second shard lock while
+/// holding one, so the hierarchy is acyclic.
 class BlockCache : public BlockDevice {
  public:
   /// Does not take ownership of `backing`.
@@ -101,8 +103,17 @@ class BlockCache : public BlockDevice {
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
     BlockCacheStats stats;  // guarded by mu
+    /// Bumped on every entry mutation (insert, update, eviction,
+    /// invalidate). ReadBlocks snapshots it per miss and refuses to
+    /// install a fetched image if the shard changed while the backing
+    /// fetch ran unlocked — a concurrent write (or dirty eviction) may
+    /// have made that image stale.
+    uint64_t epoch = 0;  // guarded by mu
   };
 
+  size_t ShardIndexFor(uint64_t block_id) const {
+    return (block_id * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_;
+  }
   Shard& ShardFor(uint64_t block_id);
   const Shard& ShardFor(uint64_t block_id) const;
 
@@ -111,7 +122,17 @@ class BlockCache : public BlockDevice {
   Status InsertLocked(Shard& shard, uint64_t block_id, const uint8_t* data,
                       bool dirty);
 
+  /// Serialized wrappers around the backing device, so concurrent shard
+  /// operations never issue overlapping calls downstream.
+  Status BackingRead(uint64_t block_id, uint8_t* out);
+  Status BackingReadBlocks(std::span<const uint64_t> ids, uint8_t* out);
+  Status BackingWrite(uint64_t block_id, const uint8_t* data);
+  Status BackingWriteBlocks(std::span<const uint64_t> ids,
+                            const uint8_t* data);
+
   BlockDevice* backing_;
+  /// Guards all calls into backing_ (acquired after any shard lock).
+  std::mutex backing_mu_;
   bool write_back_;
   uint64_t per_shard_capacity_;
   size_t shard_mask_;

@@ -24,9 +24,31 @@ inline constexpr size_t kDefaultBlockSize = 4096;
 ///                       sequence an attacker monitoring the storage would
 ///                       observe.
 ///
-/// Block ids are zero-based. Implementations are not required to be
-/// thread-safe; the simulation layer serialises access, as a single
-/// spindle would.
+/// Block ids are zero-based.
+///
+/// ## Threading contract
+///
+/// Raw devices and per-stream decorators (Mem/File/Sim/Trace) are NOT
+/// thread-safe: calls into one device object must never overlap. The
+/// supported concurrency model is **single issuer** — exactly one thread
+/// drives a device at any moment. The issuing thread may change over a
+/// volume's lifetime (benchmarks format on the main thread, then hand
+/// the stack to a RequestDispatcher's I/O thread); only *overlap* is a
+/// contract violation. FileBlockDevice and MemBlockDevice enforce this
+/// in debug builds via SerialCallChecker (thread_check.h) and abort with
+/// a diagnostic on concurrent entry.
+///
+/// Layers that admit true multi-threaded callers synchronize above this
+/// contract instead:
+///
+///  * BlockCache is fully thread-safe (sharded LRU locks plus an internal
+///    backing mutex), so it can front a non-thread-safe device for
+///    concurrent readers;
+///  * StegFsCore / ObliviousStore serialize at operation / scan-pass
+///    granularity;
+///  * agent::RequestDispatcher funnels all user I/O through one issuing
+///    thread, which is how the multi-user serving path satisfies this
+///    contract without per-block locking.
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;

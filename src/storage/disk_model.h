@@ -1,6 +1,7 @@
 #ifndef STEGHIDE_STORAGE_DISK_MODEL_H_
 #define STEGHIDE_STORAGE_DISK_MODEL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -55,9 +56,15 @@ class DiskModel {
 
   /// Advances the virtual clock without moving the head (e.g. agent-side
   /// computation that the experiment wants to account for).
-  void AdvanceClock(double ms) { clock_ms_ += ms; }
+  void AdvanceClock(double ms) {
+    clock_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
 
-  double clock_ms() const { return clock_ms_; }
+  /// The virtual clock is atomic so observer threads (latency stamps in
+  /// the request dispatcher, progress sampling) can read it while the
+  /// single issuing thread advances it. All other model state keeps the
+  /// single-issuer contract of block_device.h.
+  double clock_ms() const { return clock_ms_.load(std::memory_order_relaxed); }
   uint64_t sequential_accesses() const { return sequential_accesses_; }
   uint64_t random_accesses() const { return random_accesses_; }
 
@@ -75,7 +82,7 @@ class DiskModel {
   double avg_rotational_ms_;
   double seek_coeff_;  // k in t2t + k*sqrt(d)
 
-  double clock_ms_ = 0.0;
+  std::atomic<double> clock_ms_{0.0};
   bool has_position_ = false;
   uint64_t head_block_ = 0;  // next block under the head
   uint64_t sequential_accesses_ = 0;

@@ -81,6 +81,7 @@ FileBlockDevice::~FileBlockDevice() {
 }
 
 Status FileBlockDevice::ReadBlock(uint64_t block_id, uint8_t* out) {
+  STEGHIDE_SERIAL_CALL_GUARD(serial_check_, "FileBlockDevice");
   STEGHIDE_RETURN_IF_ERROR(CheckRange(block_id));
   const off_t off = static_cast<off_t>(block_id * block_size_);
   size_t done = 0;
@@ -98,6 +99,7 @@ Status FileBlockDevice::ReadBlock(uint64_t block_id, uint8_t* out) {
 }
 
 Status FileBlockDevice::WriteBlock(uint64_t block_id, const uint8_t* data) {
+  STEGHIDE_SERIAL_CALL_GUARD(serial_check_, "FileBlockDevice");
   STEGHIDE_RETURN_IF_ERROR(CheckRange(block_id));
   const off_t off = static_cast<off_t>(block_id * block_size_);
   size_t done = 0;
@@ -113,7 +115,20 @@ Status FileBlockDevice::WriteBlock(uint64_t block_id, const uint8_t* data) {
   return Status::OK();
 }
 
+Status FileBlockDevice::ReadBlocks(std::span<const uint64_t> ids,
+                                   uint8_t* out) {
+  STEGHIDE_SERIAL_CALL_GUARD(serial_check_, "FileBlockDevice");
+  return BlockDevice::ReadBlocks(ids, out);
+}
+
+Status FileBlockDevice::WriteBlocks(std::span<const uint64_t> ids,
+                                    const uint8_t* data) {
+  STEGHIDE_SERIAL_CALL_GUARD(serial_check_, "FileBlockDevice");
+  return BlockDevice::WriteBlocks(ids, data);
+}
+
 Status FileBlockDevice::Flush() {
+  STEGHIDE_SERIAL_CALL_GUARD(serial_check_, "FileBlockDevice");
   // A moved-from device owns no descriptor; flushing it is a no-op
   // rather than an EBADF from fsync(-1).
   if (fd_ < 0) return Status::OK();

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "storage/block_device.h"
+#include "storage/thread_check.h"
 
 namespace steghide::storage {
 
@@ -11,15 +12,23 @@ namespace steghide::storage {
 /// formatting step overwrites every block with random ciphertext, as the
 /// paper requires (abandoned blocks are "initially filled with random
 /// data").
+///
+/// Follows the single-issuer threading contract of block_device.h; debug
+/// builds abort on overlapping calls from different threads.
 class MemBlockDevice : public BlockDevice {
  public:
   MemBlockDevice(uint64_t num_blocks, size_t block_size = kDefaultBlockSize);
 
   using BlockDevice::ReadBlock;
   using BlockDevice::WriteBlock;
+  using BlockDevice::ReadBlocks;
 
   Status ReadBlock(uint64_t block_id, uint8_t* out) override;
   Status WriteBlock(uint64_t block_id, const uint8_t* data) override;
+  /// Vectored overrides guard the whole call (see file_block_device.h).
+  Status ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) override;
+  Status WriteBlocks(std::span<const uint64_t> ids,
+                     const uint8_t* data) override;
   uint64_t num_blocks() const override { return num_blocks_; }
   size_t block_size() const override { return block_size_; }
 
@@ -30,6 +39,7 @@ class MemBlockDevice : public BlockDevice {
   uint64_t num_blocks_;
   size_t block_size_;
   std::vector<uint8_t> data_;
+  SerialCallChecker serial_check_;
 };
 
 }  // namespace steghide::storage

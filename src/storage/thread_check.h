@@ -1,0 +1,80 @@
+#ifndef STEGHIDE_STORAGE_THREAD_CHECK_H_
+#define STEGHIDE_STORAGE_THREAD_CHECK_H_
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace steghide::storage {
+
+/// Debug-mode enforcement of the single-issuer device contract
+/// (block_device.h): raw devices are not thread-safe, so calls into them
+/// must never *overlap* — though the issuing thread may legitimately
+/// change over a run (benchmarks populate a volume on the main thread,
+/// then hand the device to the dispatcher's I/O thread).
+///
+/// The checker therefore flags concurrent entry rather than pinning one
+/// thread id forever: each guarded scope marks the device busy on entry
+/// and aborts with a diagnostic when a second thread enters while the
+/// first is still inside. Overlap from the *same* thread (recursion) is
+/// tolerated, since it cannot race.
+///
+/// Release builds (NDEBUG) compile the checker away entirely.
+class SerialCallChecker {
+ public:
+#ifndef NDEBUG
+  class Guard {
+   public:
+    Guard(SerialCallChecker& checker, const char* what) : checker_(checker) {
+      // Ownership is established by the CAS itself (empty -> self), so a
+      // loser can never observe a stale owner id and mistake a genuine
+      // cross-thread overlap for recursion.
+      const std::thread::id self = std::this_thread::get_id();
+      std::thread::id expected{};
+      if (!checker_.owner_.compare_exchange_strong(
+              expected, self, std::memory_order_acquire) &&
+          expected != self) {
+        std::fprintf(stderr,
+                     "steghide: concurrent %s calls violate the "
+                     "single-issuer device contract (block_device.h); "
+                     "route I/O through one thread or a synchronized "
+                     "decorator\n",
+                     what);
+        std::abort();
+      }
+      // Only the owning thread reaches here; depth_ needs no atomicity.
+      ++checker_.depth_;
+    }
+    ~Guard() {
+      if (--checker_.depth_ == 0) {
+        checker_.owner_.store(std::thread::id{}, std::memory_order_release);
+      }
+    }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    SerialCallChecker& checker_;
+  };
+
+ private:
+  friend class Guard;
+  std::atomic<std::thread::id> owner_{};
+  int depth_ = 0;  // touched only while owner_ == this thread
+#else
+  class Guard {
+   public:
+    Guard(SerialCallChecker&, const char*) {}
+  };
+#endif
+};
+
+}  // namespace steghide::storage
+
+#define STEGHIDE_SERIAL_CALL_GUARD(checker, what) \
+  ::steghide::storage::SerialCallChecker::Guard \
+      steghide_serial_call_guard_(checker, what)
+
+#endif  // STEGHIDE_STORAGE_THREAD_CHECK_H_

@@ -1,6 +1,7 @@
 #include "workload/concurrency.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace steghide::workload {
 
@@ -50,6 +51,18 @@ Result<std::vector<double>> RunConcurrently(
     }
   }
   return finish_times;
+}
+
+std::vector<Status> RunOnThreads(std::vector<std::function<Status()>> users) {
+  std::vector<Status> statuses(users.size(), Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    threads.emplace_back(
+        [&statuses, &users, i] { statuses[i] = users[i](); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return statuses;
 }
 
 }  // namespace steghide::workload

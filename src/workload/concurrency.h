@@ -57,6 +57,13 @@ Result<std::vector<double>> RunConcurrently(
     std::vector<std::unique_ptr<IoTask>>& tasks,
     const std::function<double()>& clock);
 
+/// Real-thread counterpart of RunConcurrently: runs every user function
+/// on its own std::thread and joins them all, returning the per-user
+/// status in input order. The functions typically drive
+/// agent::RequestDispatcher sessions, whose group commit is what turns
+/// genuine thread concurrency into batched level-scan passes.
+std::vector<Status> RunOnThreads(std::vector<std::function<Status()>> users);
+
 }  // namespace steghide::workload
 
 #endif  // STEGHIDE_WORKLOAD_CONCURRENCY_H_

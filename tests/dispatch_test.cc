@@ -1,0 +1,369 @@
+// Suite for the multi-threaded request dispatcher: group commit over the
+// cross-file batch entry points, trace equivalence of a dispatched group
+// against sequential requests (the attacker cannot tell k concurrent
+// users from k serial ones), and data integrity under real-thread stress
+// with randomized arrival jitter. The stress tests are the ones the
+// sanitize/tsan presets are aimed at.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "agent/dispatch/request_dispatcher.h"
+#include "storage/mem_block_device.h"
+#include "storage/trace_device.h"
+#include "util/random.h"
+#include "workload/concurrency.h"
+
+namespace steghide::agent {
+namespace {
+
+using oblivious::ObliviousStoreOptions;
+using storage::IoTrace;
+using storage::TraceEvent;
+
+ObliviousStoreOptions StoreOptions() {
+  ObliviousStoreOptions opts;
+  opts.buffer_blocks = 8;
+  opts.capacity_blocks = 128;  // levels 16, 32, 64, 128
+  opts.partition_base = 0;
+  opts.scratch_base = 2 * 128 - 2 * 8;
+  opts.drbg_seed = 41;
+  return opts;
+}
+
+/// One fully wired ObliviousAgent system with a traced cache device.
+/// Two instances built with the same seed are bit-for-bit identical
+/// until their request streams diverge.
+struct System {
+  explicit System(uint64_t seed)
+      : steg_mem(4096, 4096),
+        cache_mem(512, 4096),
+        cache_traced(&cache_mem),
+        core(&steg_mem, stegfs::StegFsOptions{seed, true}) {
+    EXPECT_TRUE(core.Format().ok());
+    auto created = ObliviousAgent::Create(&core, &cache_traced, StoreOptions());
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    agent = std::move(created).value();
+    EXPECT_TRUE(agent->CreateDummyFile("u", 600).ok());
+  }
+
+  /// Creates `count` hidden files of `blocks` payload blocks each, with
+  /// per-file deterministic content, and pre-warms the oblivious cache by
+  /// reading every file once (so later reads are level scans, not
+  /// miss-fills).
+  std::vector<ObliviousAgent::FileId> Populate(size_t count, size_t blocks,
+                                               bool prewarm = true) {
+    std::vector<ObliviousAgent::FileId> ids;
+    const size_t payload = core.payload_size();
+    for (size_t f = 0; f < count; ++f) {
+      auto id = agent->CreateHiddenFile("u");
+      EXPECT_TRUE(id.ok());
+      Bytes data(blocks * payload);
+      for (size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<uint8_t>(f * 37 + i / payload);
+      }
+      EXPECT_TRUE(agent->Write(*id, 0, data).ok());
+      ids.push_back(*id);
+    }
+    if (prewarm) {
+      for (size_t f = 0; f < count; ++f) {
+        EXPECT_TRUE(agent->Read(ids[f], 0, blocks * payload).ok());
+      }
+    }
+    return ids;
+  }
+
+  Bytes ExpectedBlock(size_t file_index, size_t block) {
+    return Bytes(core.payload_size(),
+                 static_cast<uint8_t>(file_index * 37 + block));
+  }
+
+  storage::MemBlockDevice steg_mem;
+  storage::MemBlockDevice cache_mem;
+  storage::TraceBlockDevice cache_traced;
+  stegfs::StegFsCore core;
+  std::unique_ptr<ObliviousAgent> agent;
+};
+
+/// Touches per level of the oblivious hierarchy in a cache-device trace.
+std::vector<uint64_t> LevelTouchCounts(const IoTrace& trace) {
+  const ObliviousStoreOptions opts = StoreOptions();
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  uint64_t base = opts.partition_base;
+  for (uint64_t cap = 2 * opts.buffer_blocks; cap <= opts.capacity_blocks;
+       cap *= 2) {
+    ranges.emplace_back(base, base + cap);
+    base += cap;
+  }
+  std::vector<uint64_t> counts(ranges.size(), 0);
+  for (const TraceEvent& ev : trace) {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      if (ev.block_id >= ranges[i].first && ev.block_id < ranges[i].second) {
+        ++counts[i];
+        break;
+      }
+    }
+  }
+  return counts;
+}
+
+// ---- basic serving -------------------------------------------------------
+
+TEST(RequestDispatcherTest, SingleUserRoundTrip) {
+  System sys(101);
+  const size_t payload = sys.core.payload_size();
+  const auto ids = sys.Populate(1, 4);
+
+  RequestDispatcher dispatcher(sys.agent.get());
+  auto session = dispatcher.OpenSession();
+  auto back = session->Read(ids[0], 0, 4 * payload);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(Bytes(back->begin() + b * payload,
+                    back->begin() + (b + 1) * payload),
+              sys.ExpectedBlock(0, b));
+  }
+
+  ASSERT_TRUE(session->Write(ids[0], payload, Bytes(payload, 0x5a)).ok());
+  auto again = session->Read(ids[0], payload, payload);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, Bytes(payload, 0x5a));
+
+  session.reset();
+  dispatcher.Stop();
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.read_requests, 2u);
+  EXPECT_EQ(stats.write_requests, 1u);
+}
+
+TEST(RequestDispatcherTest, StopDrainsAndRejectsLateSubmissions) {
+  System sys(102);
+  const auto ids = sys.Populate(1, 2);
+  const size_t payload = sys.core.payload_size();
+
+  RequestDispatcher dispatcher(sys.agent.get());
+  auto pending = dispatcher.SubmitRead(ids[0], 0, payload);
+  dispatcher.Stop();
+  auto drained = pending.get();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(*drained, sys.ExpectedBlock(0, 0));
+
+  auto late = dispatcher.SubmitRead(ids[0], 0, payload).get();
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- group commit --------------------------------------------------------
+
+TEST(RequestDispatcherTest, GroupCommitAggregatesConcurrentUsers) {
+  System sys(103);
+  const size_t kUsers = 6;
+  const size_t payload = sys.core.payload_size();
+  const auto ids = sys.Populate(kUsers, 4);
+
+  const auto before = sys.agent->store().stats();
+
+  DispatcherOptions options;
+  options.max_batch = 8;
+  options.commit_window = std::chrono::milliseconds(500);
+  RequestDispatcher dispatcher(sys.agent.get(), options);
+
+  std::vector<std::unique_ptr<RequestDispatcher::Session>> sessions;
+  for (size_t u = 0; u < kUsers; ++u) sessions.push_back(dispatcher.OpenSession());
+
+  std::vector<std::function<Status()>> users;
+  for (size_t u = 0; u < kUsers; ++u) {
+    users.push_back([&, u]() -> Status {
+      for (uint64_t block = 0; block < 4; ++block) {
+        STEGHIDE_ASSIGN_OR_RETURN(
+            const Bytes data,
+            sessions[u]->Read(ids[u], block * payload, payload));
+        if (data != sys.ExpectedBlock(u, block)) {
+          return Status::Internal("content mismatch");
+        }
+      }
+      return Status::OK();
+    });
+  }
+  for (const Status& status : workload::RunOnThreads(std::move(users))) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  sessions.clear();
+  dispatcher.Stop();
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.requests, kUsers * 4);
+  // Aggregation happened: fewer groups than requests, and at least one
+  // group carried multiple users.
+  EXPECT_LT(stats.read_groups, stats.requests);
+  EXPECT_GT(stats.max_fill, 1u);
+  EXPECT_GT(stats.MeanFill(), 1.0);
+
+  // The store served the 24 level-scan requests in fewer passes than the
+  // per-request path (one pass each) would have.
+  const auto after = sys.agent->store().stats();
+  const uint64_t scans = after.scan_passes - before.scan_passes;
+  EXPECT_LT(scans, stats.requests);
+}
+
+// ---- trace equivalence ---------------------------------------------------
+
+/// Runs k one-block reads (one per file) through a dispatcher configured
+/// to commit them as one group, with per-thread arrival jitter drawn
+/// from `jitter_seed`. Returns the cache-device trace of the group.
+IoTrace DispatchedGroupTrace(System& sys,
+                             const std::vector<ObliviousAgent::FileId>& ids,
+                             uint64_t jitter_seed) {
+  const size_t payload = sys.core.payload_size();
+  sys.cache_traced.ClearTrace();
+
+  DispatcherOptions options;
+  options.max_batch = ids.size();
+  options.commit_window = std::chrono::milliseconds(2000);
+  RequestDispatcher dispatcher(sys.agent.get(), options);
+  std::vector<std::unique_ptr<RequestDispatcher::Session>> sessions;
+  for (size_t u = 0; u < ids.size(); ++u) {
+    sessions.push_back(dispatcher.OpenSession());
+  }
+
+  Rng jitter(jitter_seed);
+  std::vector<std::function<Status()>> users;
+  for (size_t u = 0; u < ids.size(); ++u) {
+    const uint64_t delay_us = jitter.Uniform(3000);
+    users.push_back([&, u, delay_us]() -> Status {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      STEGHIDE_ASSIGN_OR_RETURN(const Bytes data,
+                                sessions[u]->Read(ids[u], 0, payload));
+      return data == sys.ExpectedBlock(u, 0)
+                 ? Status::OK()
+                 : Status::Internal("content mismatch");
+    });
+  }
+  for (const Status& status : workload::RunOnThreads(std::move(users))) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  sessions.clear();
+  dispatcher.Stop();
+
+  // All k arrived within the window, so they committed as one group.
+  EXPECT_EQ(dispatcher.stats().read_groups, 1u);
+  EXPECT_EQ(dispatcher.stats().max_fill, ids.size());
+  return sys.cache_traced.trace();
+}
+
+TEST(DispatchTraceEquivalenceTest, DispatchedGroupMatchesSequentialRequests) {
+  // Twin systems: identical seeds, identical population and pre-warm
+  // (24 records, an exact multiple of B = 8, so both start the measured
+  // window with an empty agent buffer and identical level contents).
+  const size_t kUsers = 6;
+  System seq(777), dispatched(777);
+  const auto seq_ids = seq.Populate(kUsers, 4);
+  const auto dis_ids = dispatched.Populate(kUsers, 4);
+  ASSERT_EQ(seq.agent->store().buffer_fill(), 0u);
+  ASSERT_EQ(dispatched.agent->store().buffer_fill(), 0u);
+
+  // Sequential reference: one read per user, one scan pass each.
+  const size_t payload = seq.core.payload_size();
+  seq.cache_traced.ClearTrace();
+  for (size_t u = 0; u < kUsers; ++u) {
+    auto data = seq.agent->Read(seq_ids[u], 0, payload);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, seq.ExpectedBlock(u, 0));
+  }
+  const IoTrace seq_trace = seq.cache_traced.trace();
+
+  // Dispatched group: same k requests from real threads, one commit.
+  const IoTrace group_trace = DispatchedGroupTrace(dispatched, dis_ids, 5);
+
+  // The attacker-visible per-level touch multiset of the dispatched
+  // group equals k sequential requests: same touch count per level, same
+  // total event count, reads only.
+  EXPECT_EQ(LevelTouchCounts(seq_trace), LevelTouchCounts(group_trace));
+  EXPECT_EQ(seq_trace.size(), group_trace.size());
+  uint64_t total = 0;
+  for (const uint64_t count : LevelTouchCounts(group_trace)) total += count;
+  EXPECT_GT(total, 0u);
+  for (const TraceEvent& ev : group_trace) {
+    EXPECT_EQ(ev.kind, TraceEvent::Kind::kRead);
+  }
+}
+
+TEST(DispatchTraceEquivalenceTest, ArrivalOrderDoesNotChangeTheTouchCounts) {
+  // Same group under two different thread-arrival jitters: the per-level
+  // touch counts are identical regardless of arrival order.
+  const size_t kUsers = 6;
+  System a(778), b(778);
+  const auto a_ids = a.Populate(kUsers, 4);
+  const auto b_ids = b.Populate(kUsers, 4);
+
+  const IoTrace trace_a = DispatchedGroupTrace(a, a_ids, 11);
+  const IoTrace trace_b = DispatchedGroupTrace(b, b_ids, 97);
+  EXPECT_EQ(LevelTouchCounts(trace_a), LevelTouchCounts(trace_b));
+  EXPECT_EQ(trace_a.size(), trace_b.size());
+}
+
+// ---- stress --------------------------------------------------------------
+
+TEST(DispatchStressTest, ManyThreadsManyOpsKeepIntegrity) {
+  System sys(991);
+  const size_t kUsers = 8;
+  const size_t kOps = 12;
+  const size_t payload = sys.core.payload_size();
+  const auto ids = sys.Populate(kUsers, 3);
+
+  DispatcherOptions options;
+  options.max_batch = 8;
+  options.commit_window = std::chrono::milliseconds(2);
+  RequestDispatcher dispatcher(sys.agent.get(), options);
+
+  std::vector<std::unique_ptr<RequestDispatcher::Session>> sessions;
+  for (size_t u = 0; u < kUsers; ++u) sessions.push_back(dispatcher.OpenSession());
+
+  // Each user owns one file: writes a versioned pattern to a random
+  // block, immediately reads it back, and re-verifies a previously
+  // written block — all with randomized arrival jitter.
+  std::vector<std::function<Status()>> users;
+  for (size_t u = 0; u < kUsers; ++u) {
+    users.push_back([&, u]() -> Status {
+      Rng rng(5000 + u);
+      std::vector<Bytes> latest(3);
+      for (size_t b = 0; b < 3; ++b) {
+        latest[b] = sys.ExpectedBlock(u, b);
+      }
+      for (size_t op = 0; op < kOps; ++op) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(rng.Uniform(400)));
+        const uint64_t block = rng.Uniform(3);
+        if (rng.Bernoulli(0.4)) {
+          Bytes data(payload, static_cast<uint8_t>(u * 16 + op));
+          STEGHIDE_RETURN_IF_ERROR(
+              sessions[u]->Write(ids[u], block * payload, data));
+          latest[block] = std::move(data);
+        }
+        STEGHIDE_ASSIGN_OR_RETURN(
+            const Bytes back,
+            sessions[u]->Read(ids[u], block * payload, payload));
+        if (back != latest[block]) {
+          return Status::Internal("stale or corrupt read");
+        }
+      }
+      return Status::OK();
+    });
+  }
+  for (const Status& status : workload::RunOnThreads(std::move(users))) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  sessions.clear();
+  dispatcher.Stop();
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_GE(stats.requests, kUsers * kOps);
+  EXPECT_GT(stats.grouped_requests, 0u);
+  EXPECT_LE(stats.p50_latency_ms, stats.p99_latency_ms);
+}
+
+}  // namespace
+}  // namespace steghide::agent

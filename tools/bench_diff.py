@@ -9,11 +9,23 @@ and flags regressions in the lower-is-better metrics:
   * any counter *_ms     — the virtual-disk-ms behind each figure point
   * overhead_factor      — Table 4's mean device I/Os per request
 
+and in the higher-is-better throughput metrics of the dispatcher
+sweeps:
+
+  * any counter *_per_vsec — requests/updates per virtual second
+  * speedup_vs_serial      — dispatched vs per-request serving
+
 Only virtual-clock counters are compared — the benchmark's own
 real_time is host wall-clock and noisy across CI runners. The workloads
 are seeded and measured on the virtual disk clock, so these numbers are
 deterministic for identical code: any delta is a real behavior change,
-which keeps a tight threshold meaningful.
+which keeps a tight threshold meaningful. The dispatcher sweeps run
+real threads; their virtual-clock *totals* depend only weakly on
+arrival interleaving (group fill is deterministic under saturation), so
+the throughput metrics stay gated — but per-request latency percentiles
+(*_latency_ms) and mean_batch_fill shift with OS scheduling at the
+group boundaries, so they are recorded in the artifacts yet exempt from
+the pass/fail threshold.
 
 Exit status 1 when any metric is worse than --max-regression (relative).
 Emits GitHub workflow annotations (::error / ::notice) so regressions
@@ -27,6 +39,24 @@ import pathlib
 import sys
 
 
+#: Counters where a *drop* is the regression.
+HIGHER_IS_BETTER = ("speedup_vs_serial",)
+
+#: Scheduling-dependent counters: archived, never gated.
+EXEMPT = ("mean_batch_fill",)
+
+
+def is_higher_better(key):
+    return key.endswith("_per_vsec") or key in HIGHER_IS_BETTER
+
+
+def is_tracked(key):
+    if key in EXEMPT or key.endswith("_latency_ms"):
+        return False
+    return (key == "overhead_factor" or key.endswith("_ms") or
+            is_higher_better(key))
+
+
 def load_metrics(path):
     """benchmark name -> {metric -> value} for one JSON counter file."""
     with open(path) as fh:
@@ -35,7 +65,7 @@ def load_metrics(path):
     for record in doc.get("benchmarks", []):
         metrics = {}
         for key, value in record.get("counters", {}).items():
-            if key == "overhead_factor" or key.endswith("_ms"):
+            if is_tracked(key):
                 if isinstance(value, (int, float)) and math.isfinite(value):
                     metrics[key] = float(value)
         out[record.get("name", "?")] = metrics
@@ -73,9 +103,13 @@ def main():
                 ref = base[name].get(metric)
                 if ref is None or ref < args.min_abs:
                     continue
+                # Orient so that positive `rel` is always "worse".
                 rel = (value - ref) / ref
+                if is_higher_better(metric):
+                    rel = -rel
                 line = (f"{current_file.name} :: {name} :: {metric}: "
-                        f"{ref:.6g} -> {value:.6g} ({rel:+.1%})")
+                        f"{ref:.6g} -> {value:.6g} "
+                        f"({abs(rel):.1%} {'worse' if rel > 0 else 'better'})")
                 if rel > args.max_regression:
                     regressions.append(line)
                 elif rel < -args.max_regression:
