@@ -1,14 +1,18 @@
 #ifndef STEGHIDE_BENCH_COMMON_H_
 #define STEGHIDE_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "agent/dispatch/request_dispatcher.h"
 #include "agent/nonvolatile_agent.h"
 #include "agent/oblivious_agent.h"
 #include "agent/volatile_agent.h"
+#include "workload/concurrency.h"
 #include "baseline/plain_fs.h"
 #include "baseline/stegfs2003.h"
 #include "storage/mem_block_device.h"
@@ -156,10 +160,12 @@ struct ObliviousSystemUnderTest {
 /// oblivious cache sized to hold every block and the store buffer set to
 /// `buffer_blocks` (= the dispatcher's max group size). When `prewarm`,
 /// every file is read once so the measured phase serves pure level-scan
-/// traffic (no first-touch miss-fills).
+/// traffic (no first-touch miss-fills). With `deamortize`, the cache
+/// device grows a shadow mirror and re-orders run as incremental
+/// double-buffered chains (the dispatcher pumps them in idle gaps).
 inline ObliviousSystemUnderTest MakeObliviousSystem(
     uint64_t users, uint64_t file_blocks, uint64_t seed,
-    uint64_t buffer_blocks, bool prewarm) {
+    uint64_t buffer_blocks, bool prewarm, bool deamortize = false) {
   ObliviousSystemUnderTest sys;
 
   uint64_t capacity = 2 * buffer_blocks;
@@ -171,7 +177,7 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
   sys.steg_sim = std::make_unique<storage::SimBlockDevice>(
       sys.steg_mem.get(), storage::DiskModelParams{});
   sys.cache_mem = std::make_unique<storage::MemBlockDevice>(
-      hierarchy + capacity + 16, 4096);
+      hierarchy + capacity + (deamortize ? hierarchy : 0) + 16, 4096);
   sys.cache_sim = std::make_unique<storage::SimBlockDevice>(
       sys.cache_mem.get(), storage::DiskModelParams{});
 
@@ -183,7 +189,12 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
   opts.buffer_blocks = buffer_blocks;
   opts.capacity_blocks = capacity;
   opts.partition_base = 0;
-  opts.scratch_base = hierarchy;
+  // Layout: [hierarchy][shadow mirror][scratch] — keeping each level's
+  // shadow one hierarchy-length away (instead of behind scratch) trims
+  // the mixed-epoch seek spread of double-buffered serving.
+  opts.shadow_base = hierarchy;
+  opts.scratch_base = deamortize ? 2 * hierarchy : hierarchy;
+  opts.deamortize_reorders = deamortize;
   opts.drbg_seed = seed ^ 0x6f626c69;
   opts.charge_index_io = true;  // §5.1.2 spilled-index serving variant
   auto agent =
@@ -226,6 +237,85 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
     }
   }
   return sys;
+}
+
+/// One dispatched serving phase for the Fig10b/Fig11c sweeps: `users`
+/// threads each run `task(session, file, user)` through RequestDispatcher
+/// sessions (group commit up to `buffer`). With `deamortize`, re-orders
+/// run as incremental double-buffered chains pumped from the
+/// dispatcher's idle gaps; any tail chain is drained inside the measured
+/// window so the throughput comparison charges every block of re-order
+/// work to somebody. Stats are reset after system setup, so the
+/// harvested counters — including the running-max max_stall_ms —
+/// describe the measured serving phase only, not population/prewarm.
+struct DispatchRun {
+  /// Whether the store actually ran deamortized (Create() falls back to
+  /// the blocking schedule on shallow hierarchies).
+  bool deamortized = false;
+  double virtual_ms = 0;
+  double retrieve_ms = 0;
+  double sort_ms = 0;
+  double max_stall_ms = 0;
+  double reorder_steps = 0;
+  uint64_t scan_passes = 0;
+  std::vector<double> reorder_ms;
+  agent::DispatcherStats dstats;
+};
+
+inline DispatchRun RunDispatchedServing(
+    uint64_t users, uint64_t file_blocks, uint64_t seed, uint64_t buffer,
+    bool deamortize,
+    const std::function<Status(agent::RequestDispatcher::Session&,
+                               agent::ObliviousAgent::FileId, uint64_t)>&
+        task) {
+  auto sys =
+      MakeObliviousSystem(users, file_blocks, seed, buffer, true, deamortize);
+  agent::DispatcherOptions options;
+  options.max_batch = buffer;
+  // Wide wall-clock window: group composition then depends on the
+  // deterministic fill target (min(open sessions, B)), not on CI
+  // scheduling jitter; under load the target is reached long before the
+  // window, so the wall cost is nil.
+  options.commit_window = std::chrono::milliseconds(50);
+  options.clock_fn = [&sys] { return sys.clock_ms(); };
+  sys.agent->store().ResetStats();
+  const double t0 = sys.clock_ms();
+  agent::RequestDispatcher dispatcher(sys.agent.get(), options);
+  {
+    std::vector<std::unique_ptr<agent::RequestDispatcher::Session>> sessions;
+    for (uint64_t u = 0; u < users; ++u) {
+      sessions.push_back(dispatcher.OpenSession());
+    }
+    std::vector<std::function<Status()>> tasks;
+    for (uint64_t u = 0; u < users; ++u) {
+      tasks.push_back([&, u]() -> Status {
+        return task(*sessions[u], sys.files[u], u);
+      });
+    }
+    for (const Status& status : workload::RunOnThreads(std::move(tasks))) {
+      if (!status.ok()) std::abort();
+    }
+  }
+  dispatcher.Stop();
+  // Charge the tail: deamortized chains may still owe work after the
+  // last request; it belongs to this serving phase's bill.
+  bool more = true;
+  while (more) {
+    if (!sys.agent->store().StepReorder(1u << 20, &more).ok()) std::abort();
+  }
+
+  DispatchRun run;
+  run.deamortized = sys.agent->store().deamortized();
+  run.virtual_ms = sys.clock_ms() - t0;
+  const auto stats = sys.agent->store().stats();
+  run.retrieve_ms = stats.retrieve_ms;
+  run.sort_ms = stats.sort_ms;
+  run.max_stall_ms = stats.max_stall_ms;
+  run.reorder_steps = static_cast<double>(stats.reorder_steps);
+  run.scan_passes = stats.scan_passes;
+  run.reorder_ms = stats.reorder_ms;
+  run.dstats = dispatcher.stats();
+  return run;
 }
 
 }  // namespace steghide::bench

@@ -119,10 +119,43 @@ size_t RequestDispatcher::FillTargetLocked() const {
   return std::min(options_.max_batch, std::max<size_t>(1, sessions));
 }
 
+bool RequestDispatcher::PumpMaintenance() {
+  if (options_.maintenance_budget == 0) return false;
+  if (!agent_->store().reorder_pending()) return false;
+  auto more = agent_->PumpReorder(options_.maintenance_budget);
+  if (!more.ok()) {
+    // A failed slice must not read as "drained": record it and back off
+    // to the condvar. The chain stays pending, and the same error will
+    // surface to a caller through the serving path's own taxes/drains.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.maintenance_pump_errors;
+    return false;
+  }
+  {
+    // Counts slices that advanced work — including the one that drains
+    // the chain dry.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.maintenance_pumps;
+  }
+  return *more;
+}
+
 void RequestDispatcher::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    // Idle: while no requests are pending, spend the gap pumping any
+    // deamortized re-order backlog (one bounded slice per poll, so a
+    // fresh submission is picked up at chunk granularity); block on the
+    // condvar only once the backlog is drained.
+    while (!stopping_ && queue_.empty()) {
+      lock.unlock();
+      const bool more = PumpMaintenance();
+      lock.lock();
+      if (stopping_ || !queue_.empty()) break;
+      if (!more) {
+        cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      }
+    }
     if (queue_.empty()) {
       if (stopping_) return;
       continue;
@@ -131,10 +164,20 @@ void RequestDispatcher::WorkerLoop() {
     // Group commit: linger (bounded) for the group to fill. Submissions
     // and session closes signal cv_, so the loop re-evaluates the fill
     // target as the population changes; stopping flushes immediately.
+    // The linger is another idle gap: re-order slices run while the
+    // group fills, with the deadline still capping scheduling latency.
     const auto deadline =
         std::chrono::steady_clock::now() + options_.commit_window;
     while (!stopping_ && queue_.size() < FillTargetLocked()) {
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      lock.unlock();
+      const bool more = PumpMaintenance();
+      lock.lock();
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      if (stopping_ || queue_.size() >= FillTargetLocked()) break;
+      if (!more &&
+          cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
     }
 
     std::vector<Pending> group;
@@ -147,6 +190,9 @@ void RequestDispatcher::WorkerLoop() {
 
     lock.unlock();
     CommitGroup(group);
+    // Post-commit gap: callers are busy digesting their futures; slip
+    // one re-order slice in before looking for the next group.
+    PumpMaintenance();
     lock.lock();
   }
 }

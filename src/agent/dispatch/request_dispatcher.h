@@ -31,6 +31,13 @@ struct DispatcherOptions {
   /// request arrival/completion for the latency percentiles. May be
   /// empty; latencies then read 0.
   std::function<double()> clock_fn;
+  /// Maintenance pump budget (device blocks per slice): the I/O thread
+  /// drives the oblivious store's pending deamortized re-order work —
+  /// ObliviousAgent::PumpReorder — during commit-window idle gaps,
+  /// while the queue is empty, and right after each committed group, so
+  /// rebuild I/O rides the gaps instead of stalling a serving request.
+  /// 0 disables the pump (the store still self-paces via serving taxes).
+  uint64_t maintenance_budget = 64;
 };
 
 /// Counters describing the dispatcher's aggregation behaviour. The
@@ -49,6 +56,11 @@ struct DispatcherStats {
   uint64_t max_fill = 0;
   /// Requests that shared their group with at least one other request.
   uint64_t grouped_requests = 0;
+  /// Idle-gap maintenance slices that advanced re-order work.
+  uint64_t maintenance_pumps = 0;
+  /// Maintenance slices that failed with an I/O error (the chain stays
+  /// pending; the error also surfaces through the serving path).
+  uint64_t maintenance_pump_errors = 0;
 
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
@@ -158,6 +170,9 @@ class RequestDispatcher {
 
   void WorkerLoop();
   void CommitGroup(std::vector<Pending>& group);
+  /// One maintenance slice (caller must NOT hold mu_); returns whether
+  /// re-order work remains.
+  bool PumpMaintenance();
   double Clock() const {
     return options_.clock_fn ? options_.clock_fn() : 0.0;
   }

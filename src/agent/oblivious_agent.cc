@@ -290,4 +290,10 @@ Status ObliviousAgent::IdleDummyOp() {
   return reader_->IdleDummyOp();
 }
 
+Result<bool> ObliviousAgent::PumpReorder(uint64_t budget_blocks) {
+  bool more = false;
+  STEGHIDE_RETURN_IF_ERROR(store_->StepReorder(budget_blocks, &more));
+  return more;
+}
+
 }  // namespace steghide::agent

@@ -137,6 +137,15 @@ class ObliviousAgent {
   /// oblivious read (§5.1.1).
   Status IdleDummyOp();
 
+  /// Advances pending deamortized re-order work in the oblivious cache
+  /// by roughly `budget_blocks` device I/Os; returns whether work
+  /// remains. The idle-gap hook the request dispatcher's I/O thread
+  /// pumps between group commits. Serializes on the store's own lock
+  /// (not io_mu_), so a pump can never deadlock against a group commit
+  /// and rebuild increments interleave with serving only at scan-pass
+  /// granularity.
+  Result<bool> PumpReorder(uint64_t budget_blocks);
+
   // ---- Introspection -------------------------------------------------------
 
   VolatileAgent& volatile_agent() { return agent_; }

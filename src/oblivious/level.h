@@ -17,8 +17,20 @@ namespace steghide::oblivious {
 /// only the authoritative copy per record. Stale slots are still read by
 /// dummy probes — to an observer every slot is equally opaque — and are
 /// dropped at the next re-order.
+///
+/// Double buffering (deamortized re-orders): a level may own a second,
+/// equally sized *shadow* region at `alt_base`. An incremental re-order
+/// builds the next permutation there while scans keep probing the old
+/// one at `base`; InstallOrderAt() then flips the two atomically (under
+/// the store lock). The regions ping-pong across re-orders, and both are
+/// publicly dedicated to this level, so which one a rebuild targets is a
+/// deterministic function of the re-order count — data-independent.
+/// When double buffering is off, alt_base == base and installs are
+/// in-place, exactly the blocking layout.
 struct Level {
   uint64_t base = 0;
+  /// Inactive (shadow) region; == base when double buffering is off.
+  uint64_t alt_base = 0;
   uint64_t capacity = 0;
 
   /// slot -> record id, for every occupied slot (including stale ones).
@@ -30,6 +42,7 @@ struct Level {
   uint64_t occupied() const { return slot_ids.size(); }
   uint64_t live_count() const { return index.size(); }
   bool empty() const { return slot_ids.empty(); }
+  bool double_buffered() const { return alt_base != base; }
 
   /// True when the slot's record has been superseded within this level.
   bool IsStale(uint64_t slot) const {
@@ -46,6 +59,12 @@ struct Level {
   /// Installs a post-re-order layout: `order` lists the record ids slot by
   /// slot (all authoritative, no duplicates).
   void InstallOrder(std::vector<RecordId> order, uint64_t index_nonce);
+
+  /// Installs a layout that was built at `new_base` (the shadow region of
+  /// a double-buffered rebuild): flips the active base to it, demoting
+  /// the old region to shadow. With new_base == base this is InstallOrder.
+  void InstallOrderAt(uint64_t new_base, std::vector<RecordId> order,
+                      uint64_t index_nonce);
 
   /// Empties the level (after its content was dumped downward).
   void Clear(uint64_t index_nonce);

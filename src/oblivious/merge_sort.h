@@ -23,10 +23,19 @@ namespace steghide::oblivious {
 /// single chunked multi-way pass into the destination region and returns
 /// the caller-supplied labels in final order.
 ///
+/// The merge phase is resumable: BeginMerge() prepares it and
+/// MergeStep(budget) advances it by a bounded number of device I/Os, so a
+/// deamortized re-order can interleave merge chunks with serving.
+/// Finish() is the blocking wrapper (BeginMerge + MergeStep to completion
+/// + TakeOrder). After either, Reset() recycles the sorter — including
+/// its in-memory run and seal scratch allocations — for the next
+/// re-order.
+///
 /// I/O pattern matters more than the sort itself here: run formation and
 /// the merge read/write chunks sequentially, which is why the paper's
 /// sorting overhead, despite costing the most I/Os, takes under 30 % of
-/// the time (Figure 12(b)).
+/// the time (Figure 12(b)). Chunked resumption preserves that: each
+/// MergeStep issues whole run/output chunks, never per-block I/O.
 class ExternalMergeSorter {
  public:
   struct Stats {
@@ -53,9 +62,39 @@ class ExternalMergeSorter {
 
   /// Merges everything to device positions [dst_base, dst_base + n) in
   /// ascending tag order and returns the labels in that order. The sorter
-  /// is spent afterwards.
+  /// is spent afterwards (Reset() recycles it).
   Result<std::vector<uint64_t>> Finish(uint64_t dst_base);
 
+  // ---- Resumable merge phase ---------------------------------------------
+
+  /// Ends the add phase: spills the pending tail (or, when everything
+  /// fits in one run, sorts it in place for a scratch-free sweep) and
+  /// arms MergeStep() toward [dst_base, dst_base + n).
+  Status BeginMerge(uint64_t dst_base);
+
+  /// Advances the merge by roughly `budget_blocks` device block I/Os.
+  /// Chunk granularity: a step finishes the run-refill or output-flush it
+  /// starts, so it may overshoot by up to one chunk; `consumed` (optional)
+  /// reports the true count and at least one block of progress is made
+  /// per call. Sets *done when the merge is complete.
+  Status MergeStep(uint64_t budget_blocks, bool* done,
+                   uint64_t* consumed = nullptr);
+
+  /// Labels in final slot order; valid once MergeStep reported done.
+  /// Leaves the sorter spent (Reset() recycles it).
+  std::vector<uint64_t> TakeOrder();
+
+  /// Device-I/O estimate for the remaining merge work (for self-pacing
+  /// callers). Zero once done.
+  uint64_t merge_remaining_blocks() const;
+
+  /// Recycles the sorter for the next re-order: clears items, runs and
+  /// merge state and zeroes stats(), but keeps the run buffer and seal
+  /// scratch allocations — re-orders are hot enough that reconstructing
+  /// them per call shows up in the profile.
+  void Reset();
+
+  uint64_t item_count() const { return item_count_; }
   const Stats& stats() const { return stats_; }
 
  private:
@@ -69,8 +108,17 @@ class ExternalMergeSorter {
     std::vector<uint64_t> tags;
     std::vector<uint64_t> labels;
   };
+  /// Chunked look-ahead into one run during the merge.
+  struct Cursor {
+    size_t run = 0;           // index into runs_
+    uint64_t next = 0;        // next item index within the run
+    uint64_t chunk_begin = 0; // run index of chunk_payloads[0]
+    std::vector<Bytes> chunk_payloads;  // decrypted look-ahead
+  };
 
   Status SpillRun();
+  Status RefillCursor(Cursor& c);
+  Status FlushOutput();
 
   storage::BlockDevice* device_;
   const stegfs::BlockCodec* codec_;
@@ -81,7 +129,21 @@ class ExternalMergeSorter {
   uint64_t run_blocks_;
   std::vector<Item> pending_;
   std::vector<Run> runs_;
+  uint64_t item_count_ = 0;
   Stats stats_;
+
+  // Merge-phase state (valid while merging_).
+  bool merging_ = false;
+  bool merge_done_ = false;
+  bool mem_merge_ = false;    // single-run case: pending_ sorted in place
+  uint64_t dst_base_ = 0;
+  uint64_t out_pos_ = 0;      // destination blocks written so far
+  uint64_t chunk_ = 0;        // per-run / output chunk size in blocks
+  uint64_t mem_next_ = 0;     // next pending_ index (mem_merge_ case)
+  std::vector<Cursor> cursors_;
+  std::vector<Bytes> out_chunk_;
+  std::vector<uint64_t> order_;
+  Bytes seal_scratch_;        // sealed-images staging, reused across calls
 };
 
 }  // namespace steghide::oblivious

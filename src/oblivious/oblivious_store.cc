@@ -3,15 +3,26 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <unordered_set>
+#include <limits>
 
 #include "crypto/key.h"
-#include "oblivious/merge_sort.h"
 
 namespace steghide::oblivious {
 
 namespace {
 bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Re-order run size floor: at least the agent buffer B, floored at 256
+// blocks (1 MB at 4 KB blocks — inside the agent-buffer envelope the
+// paper's own Figure 12 sweep explores, and the same order of memory the
+// merge's chunked look-ahead already uses). Small re-orders (levels 1-2
+// always, deeper levels on small hierarchies) then sort entirely in
+// memory and write the destination in one ascending sweep, skipping the
+// scratch round-trip; the shuffle is unchanged (same random-tag order),
+// and the observable pattern stays data-independent: read every live
+// slot ascending, write the target sequentially. Large levels still
+// spill and merge externally.
+constexpr uint64_t kReorderRunFloor = 256;
 }  // namespace
 
 ObliviousStore::ObliviousStore(storage::BlockDevice* device,
@@ -24,6 +35,11 @@ ObliviousStore::ObliviousStore(storage::BlockDevice* device,
   // Probe counts are part of the attacker-visible pattern; the scheduler
   // must issue them verbatim (no coalescing of colliding decoys).
   scheduler_.set_preserve_pattern(true);
+  // One persistent sorter per store: its run buffer and seal scratch are
+  // recycled across re-orders instead of reconstructed per call.
+  sorter_ = std::make_unique<ExternalMergeSorter>(
+      device_, &codec_, &cipher_, &drbg_, options_.scratch_base,
+      std::max<uint64_t>(options_.buffer_blocks, kReorderRunFloor));
 }
 
 Result<std::unique_ptr<ObliviousStore>> ObliviousStore::Create(
@@ -45,11 +61,13 @@ Result<std::unique_ptr<ObliviousStore>> ObliviousStore::Create(
   for (uint64_t cap = 2 * b; cap <= n; cap *= 2) {
     Level level;
     level.base = base;
+    level.alt_base = base;  // shadow assigned below when double-buffered
     level.capacity = cap;
     base += cap;
     store->levels_.push_back(std::move(level));
   }
   const uint64_t hierarchy_end = base;
+  const uint64_t mirror = hierarchy_end - options.partition_base;
 
   // Geometry checks: hierarchy and scratch must fit the device and not
   // overlap each other.
@@ -62,6 +80,41 @@ Result<std::unique_ptr<ObliviousStore>> ObliviousStore::Create(
   if (overlap) {
     return Status::InvalidArgument("scratch overlaps level hierarchy");
   }
+
+  // Double buffering pays a constant seek overhead (rebuilds read one
+  // region and write its twin; scans probe mixed-epoch regions), worth
+  // it only when rebuild stalls are long — i.e. when the hierarchy is
+  // deep. Shallow stores (one or two levels) keep the blocking
+  // schedule: their largest rebuild is already a short stall, and the
+  // deamortized machinery would cost ~10% steady-state throughput for
+  // nothing.
+  if (store->levels_.size() < 3) {
+    store->options_.deamortize_reorders = false;
+  }
+  if (store->options_.deamortize_reorders) {
+    // Shadow mirror: a second hierarchy-shaped region the double-buffered
+    // rebuilds ping-pong with; per-level offsets match the primary.
+    if (options.shadow_base + mirror > device->num_blocks()) {
+      return Status::InvalidArgument("shadow mirror exceeds device");
+    }
+    const bool shadow_hier = options.shadow_base < hierarchy_end &&
+                             options.partition_base <
+                                 options.shadow_base + mirror;
+    const bool shadow_scratch =
+        options.shadow_base < options.scratch_base + n &&
+        options.scratch_base < options.shadow_base + mirror;
+    if (shadow_hier || shadow_scratch) {
+      return Status::InvalidArgument(
+          "shadow mirror overlaps hierarchy or scratch");
+    }
+    for (Level& level : store->levels_) {
+      level.alt_base =
+          options.shadow_base + (level.base - options.partition_base);
+    }
+  }
+
+  store->stats_.reorder_ms.assign(store->levels_.size(), 0.0);
+  store->projection_.assign(store->levels_.size(), LevelProjection{});
   return store;
 }
 
@@ -75,6 +128,14 @@ std::vector<uint64_t> ObliviousStore::LevelOccupancy() const {
   occ.reserve(levels_.size());
   for (const Level& level : levels_) occ.push_back(level.live_count());
   return occ;
+}
+
+std::vector<uint64_t> ObliviousStore::LevelBases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> bases;
+  bases.reserve(levels_.size());
+  for (const Level& level : levels_) bases.push_back(level.base);
+  return bases;
 }
 
 Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
@@ -94,7 +155,7 @@ Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
 
 Status ObliviousStore::PlanScan(std::span<const RecordId> ids,
                                 std::span<const uint8_t> scan,
-                                std::span<const uint8_t> dup) {
+                                std::span<const uint8_t> decoy_only) {
   ++stats_.scan_passes;
   const size_t k = ids.size();
   size_t scan_k = 0;
@@ -102,29 +163,44 @@ Status ObliviousStore::PlanScan(std::span<const RecordId> ids,
 
   plan_.Reset();
   std::vector<uint8_t> found(k, 0);
-  for (Level& level : levels_) {
-    if (level.empty()) continue;
+  const bool chain = ChainActiveLocked();
+  for (size_t li = 0; li < levels_.size(); ++li) {
+    Level& level = levels_[li];
+    // A level already emptied by an earlier chain install but still being
+    // refilled keeps its blocking probe shape: decoys over the projected
+    // occupancy of the region that will become active. The projection is
+    // fixed at the flush trigger, so the shape depends only on the
+    // schedule, never on the data.
+    const bool pending_fill = chain && level.empty() &&
+                              projection_[li].involved &&
+                              projection_[li].projected_occ > 0;
+    if (level.empty() && !pending_fill) continue;
+    const uint64_t probe_base =
+        pending_fill ? projection_[li].projected_base : level.base;
+    const uint64_t probe_occ =
+        pending_fill ? projection_[li].projected_occ : level.occupied();
     ScanPlan::LevelPass& pass = plan_.AppendPass();
     pass.probes.reserve(scan_k + 1);
     if (options_.charge_index_io) {
       // The spilled index "in the front of the corresponding level" is
       // read once per pass and answers every lookup of the group — this
       // amortization is what lowers the overhead *factor* with k.
-      pass.probes.push_back({level.base, ScanPlan::kDecoy});
+      pass.probes.push_back({probe_base, ScanPlan::kDecoy});
       ++stats_.index_io;
       stats_.probes_saved += scan_k - 1;
     }
     for (size_t i = 0; i < k; ++i) {
       if (!scan[i]) continue;
-      const auto hit = level.index.Get(ids[i]);
-      if (!dup[i] && !found[i] && hit.has_value()) {
+      std::optional<uint64_t> hit;
+      if (!pending_fill) hit = level.index.Get(ids[i]);
+      if (!decoy_only[i] && !found[i] && hit.has_value()) {
         found[i] = 1;
         pass.probes.push_back({level.base + *hit, i});
       } else {
         // Decoy: uniformly random occupied slot. Stale slots are
         // eligible — to the observer every slot is the same.
         pass.probes.push_back(
-            {level.base + drbg_.Uniform(level.occupied()), ScanPlan::kDecoy});
+            {probe_base + drbg_.Uniform(probe_occ), ScanPlan::kDecoy});
       }
       ++stats_.level_probe_reads;
     }
@@ -140,7 +216,7 @@ Status ObliviousStore::PlanScan(std::span<const RecordId> ids,
         });
   }
   for (size_t i = 0; i < k; ++i) {
-    if (scan[i] && !dup[i] && !found[i]) {
+    if (scan[i] && !decoy_only[i] && !found[i]) {
       return Status::Internal("record in present set but not found in levels");
     }
   }
@@ -193,8 +269,10 @@ Status ObliviousStore::ReadGroup(std::span<const RecordId> ids,
 
   scan_scratch_.assign(k, 0);
   dup_scratch_.assign(k, 0);
+  ghost_scratch_.assign(k, 0);
   std::vector<uint8_t>& scan = scan_scratch_;
   std::vector<uint8_t>& dup = dup_scratch_;
+  std::vector<uint8_t>& ghost = ghost_scratch_;
   std::unordered_map<RecordId, size_t> first_scan;
   bool any_scan = false;
   for (size_t i = 0; i < k; ++i) {
@@ -204,6 +282,20 @@ Status ObliviousStore::ReadGroup(std::span<const RecordId> ids,
       ++stats_.buffer_hits;
       std::memcpy(out_payloads + i * ps, buf_it->second.data(),
                   buf_it->second.size());
+      continue;
+    }
+    const auto flush_it = flushing_.find(ids[i]);
+    if (flush_it != flushing_.end()) {
+      // Ghost: the record sits in the pending flush snapshot a re-order
+      // chain is still installing. Served from agent memory, but traced
+      // like the blocking schedule — where it would occupy the freshly
+      // rebuilt level — with a full decoy sweep.
+      scan[i] = 1;
+      dup[i] = 1;
+      ghost[i] = 1;
+      any_scan = true;
+      std::memcpy(out_payloads + i * ps, flush_it->second.data(),
+                  flush_it->second.size());
       continue;
     }
     scan[i] = 1;
@@ -216,7 +308,7 @@ Status ObliviousStore::ReadGroup(std::span<const RecordId> ids,
     STEGHIDE_RETURN_IF_ERROR(PlanScan(ids, scan, dup));
     STEGHIDE_RETURN_IF_ERROR(ExecuteScan(out_payloads));
     for (size_t i = 0; i < k; ++i) {
-      if (dup[i]) {
+      if (dup[i] && !ghost[i]) {
         std::memcpy(out_payloads + i * ps,
                     out_payloads + first_scan[ids[i]] * ps, ps);
       }
@@ -225,11 +317,16 @@ Status ObliviousStore::ReadGroup(std::span<const RecordId> ids,
   stats_.retrieve_ms += Clock() - t0;
 
   // Scanned records re-join the buffer so the slots just exposed are
-  // never read again before a re-order; the flush runs once per group.
+  // never read again before a re-order; ghosts re-join too, exactly as
+  // their blocking twins would after their level-1 probe. The flush runs
+  // once per group.
   for (size_t i = 0; i < k; ++i) {
-    if (scan[i] && !dup[i]) BufferStage(ids[i], out_payloads + i * ps);
+    if (scan[i] && (!dup[i] || ghost[i])) {
+      BufferStage(ids[i], out_payloads + i * ps);
+    }
   }
-  return MaybeFlush();
+  STEGHIDE_RETURN_IF_ERROR(MaybeFlush());
+  return PaceChainLocked(k);
 }
 
 Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
@@ -252,8 +349,9 @@ Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
 
   const double t0 = Clock();
   scan_scratch_.assign(k, 0);
+  dup_scratch_.assign(k, 0);
   std::vector<uint8_t>& scan = scan_scratch_;
-  std::vector<uint8_t>& none = dup_scratch_;
+  std::vector<uint8_t>& decoy_only = dup_scratch_;
   // Ids that will be in the buffer by the time a later group member is
   // processed (insert or scan earlier in the group): later occurrences
   // take the buffer-hit shape, exactly as the sequential path would.
@@ -274,15 +372,17 @@ Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
     ++stats_.user_writes;
     if (buffer_.find(id) != buffer_.end() || staged.count(id) != 0) continue;
     // Same touch pattern as a read — an observer cannot tell a hidden
-    // update from a retrieval. The fetched content is superseded.
+    // update from a retrieval. The fetched content is superseded. A
+    // record parked in the pending flush snapshot gets the ghost shape:
+    // all-decoy probes, new payload through the buffer.
     scan[i] = 1;
     any_scan = true;
     staged.insert(id);
+    if (flushing_.find(id) != flushing_.end()) decoy_only[i] = 1;
   }
 
   if (any_scan) {
-    none.assign(k, 0);
-    STEGHIDE_RETURN_IF_ERROR(PlanScan(ids, scan, none));
+    STEGHIDE_RETURN_IF_ERROR(PlanScan(ids, scan, decoy_only));
     STEGHIDE_RETURN_IF_ERROR(ExecuteScan(nullptr));
   }
   stats_.retrieve_ms += Clock() - t0;
@@ -292,7 +392,8 @@ Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
     STEGHIDE_RETURN_IF_ERROR(RegisterPresent(id));
   }
   for (size_t i = 0; i < k; ++i) BufferStage(ids[i], payloads + i * ps);
-  return MaybeFlush();
+  STEGHIDE_RETURN_IF_ERROR(MaybeFlush());
+  return PaceChainLocked(k);
 }
 
 Status ObliviousStore::Read(RecordId id, uint8_t* out_payload) {
@@ -346,7 +447,8 @@ Status ObliviousStore::Insert(RecordId id, const uint8_t* payload) {
   std::lock_guard<std::mutex> lock(mu_);
   STEGHIDE_RETURN_IF_ERROR(RegisterPresent(id));
   BufferStage(id, payload);
-  return MaybeFlush();
+  STEGHIDE_RETURN_IF_ERROR(MaybeFlush());
+  return PaceChainLocked(1);
 }
 
 Status ObliviousStore::MultiInsert(std::span<const RecordId> ids,
@@ -375,6 +477,7 @@ Status ObliviousStore::MultiInsertLocked(std::span<const RecordId> ids,
       BufferStage(ids[off + i], payloads + (off + i) * ps);
     }
     STEGHIDE_RETURN_IF_ERROR(MaybeFlush());
+    STEGHIDE_RETURN_IF_ERROR(PaceChainLocked(n));
   }
   return Status::OK();
 }
@@ -384,6 +487,11 @@ Status ObliviousStore::Remove(RecordId id) {
   const auto it = present_index_.find(id);
   if (it == present_index_.end()) return Status::NotFound("record not cached");
   buffer_.erase(id);
+  flushing_.erase(id);
+  // A chain snapshot may still carry the record; the tombstone strips it
+  // from every index the chain installs, so an evicted record can never
+  // be resurrected by an in-flight rebuild.
+  if (ChainActiveLocked()) chain_tombstones_.insert(id);
   // Any authoritative level copy turns stale: still probed as a decoy
   // target, dropped at the next re-order.
   for (Level& level : levels_) level.index.Erase(id);
@@ -408,6 +516,18 @@ Status ObliviousStore::DummyRead() {
   return MultiReadLocked(std::span<const RecordId>(&id, 1), payload.data());
 }
 
+Status ObliviousStore::StepReorder(uint64_t budget_blocks, bool* more) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_blocks == 0) budget_blocks = options_.reorder_step_blocks;
+  Status status = Status::OK();
+  if (ChainActiveLocked()) {
+    status = StepChainLocked(std::max<uint64_t>(1, budget_blocks),
+                             /*stall=*/false);
+  }
+  if (more != nullptr) *more = ChainActiveLocked();
+  return status;
+}
+
 Status ObliviousStore::RegisterPresent(RecordId id) {
   if (ContainsLocked(id)) return Status::OK();
   if (present_index_.size() >= options_.capacity_blocks) {
@@ -429,27 +549,53 @@ Status ObliviousStore::MaybeFlush() {
 }
 
 Status ObliviousStore::FlushBuffer() {
-  const double t0 = Clock();
-  ++stats_.buffer_flushes;
+  if (!options_.deamortize_reorders) {
+    const double t0 = Clock();
+    ++stats_.buffer_flushes;
 
-  Level& level1 = levels_.front();
-  // With a single level (k = 1) the level is also the last one; dedup at
-  // re-order guarantees fit because distinct records never exceed N.
-  // Deferred group flushes can stage up to 2B - 1 records, which still
-  // fits level 1 (capacity 2B) once a dump empties it.
-  if (levels_.size() > 1 &&
-      level1.live_count() + buffer_.size() > level1.capacity) {
-    STEGHIDE_RETURN_IF_ERROR(Dump(0));
+    Level& level1 = levels_.front();
+    // With a single level (k = 1) the level is also the last one; dedup at
+    // re-order guarantees fit because distinct records never exceed N.
+    // Deferred group flushes can stage up to 2B - 1 records, which still
+    // fits level 1 (capacity 2B) once a dump empties it.
+    if (levels_.size() > 1 &&
+        level1.live_count() + buffer_.size() > level1.capacity) {
+      STEGHIDE_RETURN_IF_ERROR(Dump(0));
+    }
+
+    std::vector<std::pair<RecordId, const Bytes*>> in_memory;
+    in_memory.reserve(buffer_.size());
+    for (const auto& [id, payload] : buffer_) {
+      in_memory.emplace_back(id, &payload);
+    }
+
+    STEGHIDE_RETURN_IF_ERROR(ReorderInto(level1, nullptr, in_memory));
+    buffer_.clear();
+    // The whole flush/dump cascade ran inside this serving operation —
+    // the stall the deamortized path exists to break up.
+    const double dt = Clock() - t0;
+    stats_.sort_ms += dt;
+    stats_.stall_ms += dt;
+    stats_.max_stall_ms = std::max(stats_.max_stall_ms, dt);
+    return Status::OK();
   }
 
-  std::vector<std::pair<RecordId, const Bytes*>> in_memory;
-  in_memory.reserve(buffer_.size());
-  for (const auto& [id, payload] : buffer_) in_memory.emplace_back(id, &payload);
-
-  STEGHIDE_RETURN_IF_ERROR(ReorderInto(level1, nullptr, in_memory));
-  buffer_.clear();
-  stats_.sort_ms += Clock() - t0;
-  return Status::OK();
+  if (ChainActiveLocked()) {
+    if (!options_.strict_reorder_schedule &&
+        buffer_.size() < DeferLimitRecords()) {
+      // Coalesce: let the running chain finish while the buffer keeps
+      // absorbing stagings (bounded by defer_flush_limit). One rebuild
+      // then absorbs the whole set, and a set that outgrows the upper
+      // levels folds them — those records skip per-level rewrites.
+      ++stats_.deferred_flushes;
+      return Status::OK();
+    }
+    // Hard backstop (or strict schedule): finish the remaining chain
+    // work synchronously. With pacing and idle pumping this remainder is
+    // small — it is what max_stall_ms measures.
+    STEGHIDE_RETURN_IF_ERROR(DrainChainLocked());
+  }
+  return StartFlushChainLocked();
 }
 
 Status ObliviousStore::Dump(size_t i) {
@@ -472,54 +618,252 @@ Status ObliviousStore::Dump(size_t i) {
 Status ObliviousStore::ReorderInto(
     Level& target, Level* source,
     const std::vector<std::pair<RecordId, const Bytes*>>& in_memory) {
-  // Re-order run size: at least the agent buffer B, floored at 256
-  // blocks (1 MB at 4 KB blocks — inside the agent-buffer envelope the
-  // paper's own Figure 12 sweep explores, and the same order of memory
-  // the merge's chunked look-ahead already uses). Small re-orders
-  // (levels 1-2 always, deeper levels on small hierarchies) then sort
-  // entirely in memory and write the destination in one ascending sweep,
-  // skipping the scratch round-trip; the shuffle is unchanged (same
-  // random-tag order), and the observable pattern stays data-
-  // independent: read every live slot ascending, write the target
-  // sequentially. Large levels still spill and merge externally.
-  constexpr uint64_t kReorderRunFloor = 256;
-  ExternalMergeSorter sorter(
-      device_, &codec_, &cipher_, &drbg_, options_.scratch_base,
-      std::max<uint64_t>(options_.buffer_blocks, kReorderRunFloor));
-  std::unordered_set<RecordId> added;
+  const size_t level_idx = static_cast<size_t>(&target - levels_.data());
+  const double t0 = Clock();
+  sorter_->Reset();
+  reorder_added_.clear();
+  reorder_added_.reserve(target.capacity);
 
   // Priority: in-memory (newest) > source level > target level.
   for (const auto& [id, payload] : in_memory) {
     STEGHIDE_RETURN_IF_ERROR(
-        sorter.AddInMemory(*payload, drbg_.NextUint64(), id));
-    added.insert(id);
+        sorter_->AddInMemory(*payload, drbg_.NextUint64(), id));
+    reorder_added_.insert(id);
   }
   for (Level* src : {source, &target}) {
     if (src == nullptr) continue;
     for (uint64_t slot = 0; slot < src->occupied(); ++slot) {
       const RecordId id = src->slot_ids[slot];
       if (src->IsStale(slot)) continue;
-      if (added.find(id) != added.end()) continue;
-      added.insert(id);
+      if (reorder_added_.find(id) != reorder_added_.end()) continue;
+      reorder_added_.insert(id);
       STEGHIDE_RETURN_IF_ERROR(
-          sorter.Add(src->base + slot, drbg_.NextUint64(), id));
+          sorter_->Add(src->base + slot, drbg_.NextUint64(), id));
     }
   }
 
-  if (added.size() > target.capacity) {
+  if (reorder_added_.size() > target.capacity) {
     return Status::Internal("re-order overflow: level capacity exceeded");
   }
 
   STEGHIDE_ASSIGN_OR_RETURN(std::vector<uint64_t> order,
-                            sorter.Finish(target.base));
+                            sorter_->Finish(target.base));
   target.InstallOrder(std::move(order), drbg_.NextUint64());
   if (source != nullptr) source->Clear(drbg_.NextUint64());
 
   ++stats_.reorders;
-  stats_.reorder_reads += sorter.stats().reads;
-  stats_.reorder_writes += sorter.stats().writes;
+  ++reorder_epoch_;
+  stats_.reorder_reads += sorter_->stats().reads;
+  stats_.reorder_writes += sorter_->stats().writes;
   STEGHIDE_RETURN_IF_ERROR(ChargeIndexRebuild(target));
+  stats_.reorder_ms[level_idx] += Clock() - t0;
   return Status::OK();
+}
+
+// ---- Deamortized chain machinery -----------------------------------------
+
+Status ObliviousStore::StartFlushChainLocked() {
+  assert(!ChainActiveLocked() && flushing_.empty());
+  ++stats_.buffer_flushes;
+  flushing_ = std::move(buffer_);
+  buffer_.clear();
+  const uint64_t flush_size = flushing_.size();
+
+  // Choose the flush target: the first level whose capacity covers the
+  // flush set plus every level folded above it (conservative, pre-dedup
+  // — the last level always qualifies because distinct records never
+  // exceed N). In the strict schedule the flush set is at most 2B - 1,
+  // so t == 0 and the plan is exactly the blocking recursion; deferral
+  // can grow the set past 2B, which folds level 1 (and, in principle,
+  // deeper levels) into the flush job.
+  size_t t = 0;
+  uint64_t folded_live = 0;
+  while (t + 1 < levels_.size() &&
+         levels_[t].capacity < flush_size + folded_live) {
+    folded_live += levels_[t].live_count();
+    ++t;
+  }
+
+  // Mirror the blocking Dump recursion (deepest re-order first) with
+  // live counts frozen at this trigger.
+  std::vector<size_t> dump_sources;
+  bool include_target_live = true;
+  if (t + 1 < levels_.size() &&
+      levels_[t].live_count() + flush_size + folded_live >
+          levels_[t].capacity) {
+    include_target_live = false;
+    const std::function<void(size_t)> plan_dump = [&](size_t s) {
+      if (s + 2 < levels_.size() &&
+          levels_[s + 1].live_count() + levels_[s].live_count() >
+              levels_[s + 1].capacity) {
+        plan_dump(s + 1);
+      }
+      dump_sources.push_back(s);
+    };
+    plan_dump(t);
+  }
+
+  chain_ = std::make_unique<ReorderChain>();
+  projection_.assign(levels_.size(), LevelProjection{});
+
+  // Snapshot one job's inputs: ascending live-slot sweeps with the
+  // blocking dedup priority (memory > higher levels > target), tags
+  // drawn per item exactly as the blocking adds would.
+  const auto sweep_level = [&](size_t li, ReorderJob::Inputs& inputs) {
+    const Level& level = levels_[li];
+    for (uint64_t slot = 0; slot < level.occupied(); ++slot) {
+      const RecordId id = level.slot_ids[slot];
+      if (level.IsStale(slot)) continue;
+      if (!reorder_added_.insert(id).second) continue;
+      inputs.device.push_back(
+          {level.base + slot, id, drbg_.NextUint64()});
+    }
+  };
+  const auto make_job = [&](size_t target_idx, ReorderJob::Inputs inputs,
+                            std::vector<size_t> clears, bool is_flush)
+      -> Status {
+    const uint64_t count = inputs.device.size() + inputs.memory.size();
+    if (count > levels_[target_idx].capacity) {
+      return Status::Internal("re-order overflow: level capacity exceeded");
+    }
+    ChainStep step;
+    step.job = std::make_unique<ReorderJob>(
+        device_, &codec_, &cipher_, sorter_.get(), target_idx,
+        levels_[target_idx].alt_base, std::move(inputs));
+    step.clears = std::move(clears);
+    step.is_flush = is_flush;
+    projection_[target_idx] = LevelProjection{
+        true, count, levels_[target_idx].alt_base};
+    chain_->steps.push_back(std::move(step));
+    return Status::OK();
+  };
+
+  for (size_t j = 0; j < dump_sources.size(); ++j) {
+    const size_t s = dump_sources[j];
+    reorder_added_.clear();
+    reorder_added_.reserve(levels_[s + 1].capacity);
+    ReorderJob::Inputs inputs;
+    sweep_level(s, inputs);
+    if (j == 0) sweep_level(s + 1, inputs);  // deepest target keeps its live set
+    STEGHIDE_RETURN_IF_ERROR(
+        make_job(s + 1, std::move(inputs), {s}, /*is_flush=*/false));
+  }
+
+  reorder_added_.clear();
+  reorder_added_.reserve(levels_[t].capacity);
+  ReorderJob::Inputs flush_inputs;
+  flush_inputs.memory.reserve(flush_size);
+  for (const auto& [id, payload] : flushing_) {
+    flush_inputs.memory.push_back({id, payload, drbg_.NextUint64()});
+    reorder_added_.insert(id);
+  }
+  std::vector<size_t> flush_clears;
+  for (size_t li = 0; li < t; ++li) {
+    sweep_level(li, flush_inputs);
+    flush_clears.push_back(li);
+    if (!projection_[li].involved) {
+      // Folded level: emptied at the flush install and not refilled by
+      // this chain; projected empty so no pending-fill probes.
+      projection_[li] = LevelProjection{true, 0, levels_[li].alt_base};
+    }
+  }
+  if (include_target_live) sweep_level(t, flush_inputs);
+  STEGHIDE_RETURN_IF_ERROR(make_job(t, std::move(flush_inputs),
+                                    std::move(flush_clears),
+                                    /*is_flush=*/true));
+  return Status::OK();
+}
+
+Status ObliviousStore::InstallFrontJobLocked() {
+  // The install proper is all-memory and infallible: flip, tombstones,
+  // source clears, snapshot retirement, step pop. Only then runs the
+  // fallible index-rebuild charge — so an I/O error there leaves the
+  // chain in a consistent, resumable state instead of re-entering a
+  // half-installed flip on the retry.
+  ChainStep front = std::move(chain_->steps.front());
+  chain_->steps.pop_front();
+  chain_->front_reads_seen = 0;
+  chain_->front_writes_seen = 0;
+  ReorderJob& job = *front.job;
+  Level& target = levels_[job.target_level()];
+  target.InstallOrderAt(job.dst_base(), job.TakeOrder(), drbg_.NextUint64());
+  // Strip records evicted while the snapshot was in flight: their slots
+  // turn stale (decoy fodder until the next re-order), unreachable.
+  for (const RecordId id : chain_tombstones_) target.index.Erase(id);
+  for (const size_t li : front.clears) levels_[li].Clear(drbg_.NextUint64());
+  if (front.is_flush) flushing_.clear();
+  ++stats_.reorders;
+  ++reorder_epoch_;
+  if (chain_->steps.empty()) {
+    chain_.reset();
+    chain_tombstones_.clear();
+    projection_.assign(levels_.size(), LevelProjection{});
+  }
+  return ChargeIndexRebuild(target);
+}
+
+Status ObliviousStore::StepChainLocked(uint64_t budget_blocks, bool stall) {
+  if (!ChainActiveLocked()) return Status::OK();
+  ++stats_.reorder_steps;
+  const double t0 = Clock();
+  uint64_t used = 0;
+  while (ChainActiveLocked()) {
+    ChainStep& front = chain_->steps.front();
+    ReorderJob& job = *front.job;
+    if (job.done()) {
+      STEGHIDE_RETURN_IF_ERROR(InstallFrontJobLocked());
+      continue;
+    }
+    if (used >= budget_blocks) break;
+    const double jt0 = Clock();
+    uint64_t consumed = 0;
+    const Status status = job.Step(budget_blocks - used, &consumed);
+    // Account the job's I/O and per-level time as it happens, so stats
+    // snapshots mid-chain stay meaningful.
+    stats_.reorder_reads += job.reads() - chain_->front_reads_seen;
+    stats_.reorder_writes += job.writes() - chain_->front_writes_seen;
+    chain_->front_reads_seen = job.reads();
+    chain_->front_writes_seen = job.writes();
+    stats_.reorder_ms[job.target_level()] += Clock() - jt0;
+    STEGHIDE_RETURN_IF_ERROR(status);
+    used += consumed;
+  }
+  const double dt = Clock() - t0;
+  stats_.sort_ms += dt;
+  if (stall) {
+    stats_.stall_ms += dt;
+    stats_.max_stall_ms = std::max(stats_.max_stall_ms, dt);
+  }
+  return Status::OK();
+}
+
+Status ObliviousStore::DrainChainLocked() {
+  return StepChainLocked(std::numeric_limits<uint64_t>::max(),
+                         /*stall=*/true);
+}
+
+Status ObliviousStore::PaceChainLocked(uint64_t staged) {
+  if (!ChainActiveLocked()) return Status::OK();
+  // Self-pacing serving tax: spread the chain's remaining work evenly
+  // over the stagings left before the hard flush backstop would force a
+  // drain — proportionally to how many records this op just staged, so
+  // a B-request group pays B stagings' worth, not one op's. Idle pumping
+  // (StepReorder) shrinks the remainder, and with it this tax — toward
+  // zero when the dispatcher has real idle gaps.
+  uint64_t remaining = 0;
+  for (const ChainStep& step : chain_->steps) {
+    remaining += step.job->remaining_blocks();
+  }
+  const uint64_t backstop = options_.strict_reorder_schedule
+                                ? options_.buffer_blocks
+                                : DeferLimitRecords();
+  const uint64_t room =
+      backstop > buffer_.size() ? backstop - buffer_.size() : 1;
+  const uint64_t share =
+      (remaining * std::max<uint64_t>(1, staged) + room - 1) / room;
+  const uint64_t budget =
+      std::max<uint64_t>(options_.reorder_step_blocks, share);
+  return StepChainLocked(budget, /*stall=*/true);
 }
 
 }  // namespace steghide::oblivious

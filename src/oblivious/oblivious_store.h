@@ -1,16 +1,21 @@
 #ifndef STEGHIDE_OBLIVIOUS_OBLIVIOUS_STORE_H_
 #define STEGHIDE_OBLIVIOUS_OBLIVIOUS_STORE_H_
 
+#include <algorithm>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "crypto/cbc.h"
 #include "crypto/drbg.h"
 #include "oblivious/level.h"
+#include "oblivious/merge_sort.h"
+#include "oblivious/reorder_job.h"
 #include "stegfs/block_codec.h"
 #include "storage/async/io_scheduler.h"
 #include "storage/block_device.h"
@@ -41,6 +46,44 @@ struct ObliviousStoreOptions {
   /// where batching changes the overhead *factor* — and every re-order
   /// pays sequential index writes.
   bool charge_index_io = false;
+
+  // ---- Deamortized re-orders ----------------------------------------------
+
+  /// Run §5.1.2 re-orders incrementally against double-buffered levels:
+  /// a flush/dump cascade becomes a chain of resumable ReorderJobs that
+  /// build each level's next permutation in its shadow region while
+  /// scans keep probing the old one, with an atomic flip at completion.
+  /// Work is advanced by StepReorder() (the dispatcher's idle pump),
+  /// self-paced serving taxes, and a hard drain backstop, so serving
+  /// never stalls behind a whole rebuild.
+  bool deamortize_reorders = false;
+  /// First device block of the shadow mirror: a second hierarchy-shaped
+  /// region (2N - 2B blocks, per-level offsets matching the primary) the
+  /// double-buffered rebuilds ping-pong with. Required when
+  /// deamortize_reorders; must not overlap hierarchy or scratch.
+  uint64_t shadow_base = 0;
+  /// Floor for the per-call Step budget (device block I/Os). The serving
+  /// tax self-paces above this floor: remaining chain work is spread
+  /// evenly over the stagings left before the hard flush backstop.
+  uint64_t reorder_step_blocks = 64;
+  /// Keep flush trigger points identical to the blocking schedule: when
+  /// a flush fires while a chain is still running, drain it synchronously
+  /// instead of deferring. Costs the coalescing win; used by the
+  /// trace-equivalence tests, which pin per-level touch counts against
+  /// the blocking schedule request by request.
+  bool strict_reorder_schedule = false;
+  /// Flush-coalescing cap, in records (0 = auto: N/4, floored at B and
+  /// capped at 2048 — see DeferLimitRecords()): while a chain is
+  /// running, flush triggers defer until the agent buffer holds this
+  /// many records, then the chain is drained and one rebuild absorbs
+  /// the whole set. A set larger than a level's capacity folds
+  /// that level into the rebuild and installs directly into the first
+  /// level that fits, so coalesced records *skip* the upper-level
+  /// rewrites entirely — the duty-cycle win that lets the deamortized
+  /// path beat the blocking schedule on total re-order volume, not just
+  /// on stalls. Flush sizes depend only on chain timing, i.e. on the
+  /// observable schedule, never on record contents.
+  uint64_t defer_flush_limit = 0;
 };
 
 struct ObliviousStats {
@@ -64,8 +107,21 @@ struct ObliviousStats {
   /// pass reads each level's spilled index once instead of once per
   /// request, saving (group size - 1) reads per non-empty level.
   uint64_t probes_saved = 0;
+  /// Incremental re-order bookkeeping (deamortize_reorders).
+  uint64_t reorder_steps = 0;      // StepReorder / tax / drain slices
+  uint64_t deferred_flushes = 0;   // flush triggers coalesced into a chain
   double retrieve_ms = 0.0;  // virtual time in scans
   double sort_ms = 0.0;      // virtual time in flush/dump/re-order
+  /// Per-level re-order time (reorder_ms[i] is level i+1), summing to
+  /// sort_ms. Sized to the hierarchy height.
+  std::vector<double> reorder_ms;
+  /// Longest single serving stall attributable to re-order work: a
+  /// blocking flush/dump, a hard drain backstop, or one serving tax
+  /// slice. The deamortization headline — blocking mode reports the full
+  /// largest-rebuild time here.
+  double max_stall_ms = 0.0;
+  /// Total serving-attributable re-order stall time.
+  double stall_ms = 0.0;
 
   uint64_t TotalIo() const {
     return level_probe_reads + index_io + reorder_reads + reorder_writes;
@@ -104,13 +160,32 @@ struct ObliviousStats {
 /// still read at most once between re-orders, and the per-request trace
 /// stays one touch per non-empty level.
 ///
+/// Deamortized re-orders (options.deamortize_reorders): a flush/dump
+/// cascade is planned as a chain of resumable ReorderJobs over an
+/// immutable snapshot (flush set + live-slot sweeps), executed
+/// deepest-target-first in bounded Step increments against each level's
+/// shadow region, with an atomic base flip per install. While the chain
+/// runs, scans serve the *old* permutations; records of the snapshotted
+/// flush set are served from agent memory behind a full decoy sweep
+/// (the same per-level touch count the blocking schedule would show for
+/// them), and levels already emptied by an earlier install are probed
+/// with decoys over their projected occupancy. The union of serving
+/// probes and re-order sweep I/O therefore keeps the blocking schedule's
+/// per-level touch counts, and the sweep itself stays the data-
+/// independent ascending-read + sequential-write pattern — the
+/// obliviousness argument is interleaving-invariant. Unless
+/// strict_reorder_schedule is set, a flush firing mid-chain defers
+/// (coalescing up to 2B records into one rebuild) instead of stalling.
+///
 /// Thread safety: public operations serialize on one internal mutex at
 /// *scan-pass granularity* — a MultiRead/MultiWrite group (its level
 /// passes, buffer staging and deferred flush) is one critical section,
 /// never interleaved per block. Concurrent callers therefore observe the
 /// same trace shapes as a serial request stream; aggregation into large
-/// groups is the dispatcher's job, not the lock's. Accessors (stats(),
-/// Contains(), LevelOccupancy()) take the same lock and return copies.
+/// groups is the dispatcher's job, not the lock's. StepReorder takes the
+/// same lock, so rebuild increments never interleave inside a scan pass.
+/// Accessors (stats(), Contains(), LevelOccupancy()) take the same lock
+/// and return copies.
 class ObliviousStore {
  public:
   /// `device` is borrowed and must outlive the store. Validates the
@@ -184,6 +259,38 @@ class ObliviousStore {
   /// full Read path. No-op when the store is empty.
   Status DummyRead();
 
+  // ---- Deamortized re-order pump ------------------------------------------
+
+  /// Advances pending incremental re-order work by roughly
+  /// `budget_blocks` device I/Os (chunk-granular; see ReorderJob::Step);
+  /// 0 means the configured reorder_step_blocks. This is the idle-gap
+  /// hook for the dispatcher's I/O thread and the reader's idle dummy
+  /// ops; serving also self-paces via an internal tax, so calling this
+  /// is an optimization, never a correctness requirement. `more`
+  /// (optional) reports whether work remains. No-op (more = false) when
+  /// deamortize_reorders is off or no chain is active.
+  Status StepReorder(uint64_t budget_blocks, bool* more = nullptr);
+
+  /// True while an incremental re-order chain has unfinished work.
+  bool reorder_pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ChainActiveLocked();
+  }
+
+  /// Whether re-orders actually run deamortized: false when the option
+  /// was off *or* when Create() overrode it for a shallow (< 3 level)
+  /// hierarchy. Benches/tests check this instead of assuming the option
+  /// stuck.
+  bool deamortized() const { return options_.deamortize_reorders; }
+
+  /// Counts level-permutation installs (blocking re-orders and chain job
+  /// flips alike). Readers use it to reason about epoch consistency:
+  /// everything inside one store critical section observes one epoch.
+  uint64_t reorder_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reorder_epoch_;
+  }
+
   /// Snapshot of the counters (copied under the store lock).
   ObliviousStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -192,6 +299,7 @@ class ObliviousStore {
   void ResetStats() {
     std::lock_guard<std::mutex> lock(mu_);
     stats_ = ObliviousStats();
+    stats_.reorder_ms.assign(levels_.size(), 0.0);
   }
 
   /// Wires a virtual-clock sampler (e.g. SimBlockDevice::clock_ms) so the
@@ -203,10 +311,11 @@ class ObliviousStore {
 
   size_t payload_size() const { return codec_.payload_size(); }
 
-  /// Records currently staged in the agent buffer.
+  /// Records currently staged in the agent buffer (including a pending
+  /// flush snapshot still being installed by a re-order chain).
   uint64_t buffer_fill() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return buffer_.size();
+    return buffer_.size() + flushing_.size();
   }
 
   /// Largest request group served by one scan pass (= buffer_blocks);
@@ -215,6 +324,10 @@ class ObliviousStore {
 
   /// Level occupancies, for tests and introspection.
   std::vector<uint64_t> LevelOccupancy() const;
+
+  /// Active region base of each level (tests pin the double-buffer
+  /// ping-pong and map trace blocks back to levels).
+  std::vector<uint64_t> LevelBases() const;
 
  private:
   ObliviousStore(storage::BlockDevice* device,
@@ -254,6 +367,36 @@ class ObliviousStore {
     void Reset() { count = 0; }
   };
 
+  /// One job of an incremental cascade plus its install actions: the
+  /// source levels to clear and whether this is the final flush job
+  /// (clearing the flushing_ snapshot).
+  struct ChainStep {
+    std::unique_ptr<ReorderJob> job;
+    std::vector<size_t> clears;
+    bool is_flush = false;
+  };
+  /// An incremental flush/dump cascade: steps execute strictly in order
+  /// (deepest target first, the flush job last), each installing its
+  /// level before the next starts. Planned — snapshots, tags,
+  /// projections and all — at the flush trigger, so the chain replays
+  /// exactly the blocking recursion's re-orders.
+  struct ReorderChain {
+    std::deque<ChainStep> steps;
+    // Last-seen job I/O counters, for incremental stats deltas.
+    uint64_t front_reads_seen = 0;
+    uint64_t front_writes_seen = 0;
+  };
+  /// Per-level projection of the chain's end state, used to keep the
+  /// serving probe shape equal to the blocking schedule's while a level
+  /// sits emptied (installed downward, not yet refilled): such levels
+  /// are probed with decoys over [0, projected_occ) of the region that
+  /// will become active.
+  struct LevelProjection {
+    bool involved = false;
+    uint64_t projected_occ = 0;
+    uint64_t projected_base = 0;
+  };
+
   // Locked implementations of the public entry points; callers hold mu_.
   Status MultiReadLocked(std::span<const RecordId> ids,
                          uint8_t* out_payloads);
@@ -268,12 +411,13 @@ class ObliviousStore {
 
   /// Plans the touch pattern for a request group into the reusable
   /// `plan_`. `scan[i]` is true for requests that probe the levels;
-  /// `dup[i]` marks requests whose real slot belongs to an earlier group
-  /// member (they draw decoys in every level). DRBG draws happen in
-  /// level-major, request-minor order.
+  /// `decoy_only[i]` marks requests that draw decoys in every level —
+  /// duplicates of an earlier group member, and records of a pending
+  /// flush snapshot (served from memory but keeping the blocking trace
+  /// shape). DRBG draws happen in level-major, request-minor order.
   Status PlanScan(std::span<const RecordId> ids,
                   std::span<const uint8_t> scan,
-                  std::span<const uint8_t> dup);
+                  std::span<const uint8_t> decoy_only);
 
   /// Executes `plan_`: one IoBatch per level pass through the pattern-
   /// preserving scheduler, one drain, then per-request decrypt+extract
@@ -305,7 +449,7 @@ class ObliviousStore {
 
   /// Rebuilds `target` from its own live records, optional `source` level
   /// records (which win on duplicates) and optional in-memory records
-  /// (which win over everything). Empties `source`.
+  /// (which win over everything). Empties `source`. The blocking path.
   Status ReorderInto(Level& target, Level* source,
                      const std::vector<std::pair<RecordId, const Bytes*>>&
                          in_memory);
@@ -314,6 +458,53 @@ class ObliviousStore {
   /// (The per-pass index read is planned inline by PlanScan, so it joins
   /// the level probes in one batched request.)
   Status ChargeIndexRebuild(const Level& level);
+
+  // ---- Deamortized chain machinery (callers hold mu_) ---------------------
+
+  bool ChainActiveLocked() const {
+    return chain_ != nullptr && !chain_->steps.empty();
+  }
+
+  /// Records the buffer may coalesce before the hard flush backstop.
+  /// Auto default: N/4 — flush sets then fold every level up to a
+  /// quarter of the hierarchy, so coalesced records skip those levels'
+  /// rewrites, and the pacing window for a bottom-level rebuild spans a
+  /// quarter of the record population. Capped at 2048 records (8 MB of
+  /// agent staging RAM at 4 KB blocks — the same real-RAM-does-not-
+  /// shrink argument as the sort-run floor). When N/4 <= B the limit
+  /// degenerates to B: shallow hierarchies keep the blocking flush
+  /// schedule (coalescing there just rebuilds the bottom level per
+  /// flush) and take only the pacing/latency win.
+  uint64_t DeferLimitRecords() const {
+    if (options_.defer_flush_limit != 0) return options_.defer_flush_limit;
+    constexpr uint64_t kDeferCapRecords = 2048;
+    return std::max<uint64_t>(
+        options_.buffer_blocks,
+        std::min<uint64_t>(kDeferCapRecords, options_.capacity_blocks / 4));
+  }
+
+  /// Plans the flush cascade at trigger time (snapshot + tags +
+  /// projections), moving buffer_ into flushing_. Mirrors the blocking
+  /// Dump recursion exactly.
+  Status StartFlushChainLocked();
+
+  /// Advances the chain by roughly `budget_blocks` I/Os, installing
+  /// finished jobs. `stall` marks the time serving-attributable (tax or
+  /// drain backstop) for the stall counters.
+  Status StepChainLocked(uint64_t budget_blocks, bool stall);
+
+  /// Runs the chain to completion (hard backstop / strict schedule).
+  Status DrainChainLocked();
+
+  /// Serving tax: self-paced chain advance spreading the remaining work
+  /// over the stagings left before the hard backstop, proportional to
+  /// the `staged` records the finishing op contributed.
+  Status PaceChainLocked(uint64_t staged);
+
+  /// Installs the finished front job: flips the level to its shadow
+  /// region, applies tombstones, clears the dumped source, charges the
+  /// index rebuild and retires chain state at the end.
+  Status InstallFrontJobLocked();
 
   storage::BlockDevice* device_;
   ObliviousStoreOptions options_;
@@ -345,6 +536,25 @@ class ObliviousStore {
   Bytes payload_scratch_;
   std::vector<uint8_t> scan_scratch_;
   std::vector<uint8_t> dup_scratch_;
+  std::vector<uint8_t> ghost_scratch_;
+
+  /// Persistent re-order scratch: the external sorter (run buffer + seal
+  /// staging reused across re-orders) and the dedup set.
+  std::unique_ptr<ExternalMergeSorter> sorter_;
+  std::unordered_set<RecordId> reorder_added_;
+
+  // ---- Deamortized chain state (guarded by mu_) ---------------------------
+
+  std::unique_ptr<ReorderChain> chain_;
+  /// Flush snapshot being installed by the chain's level-1 job. Records
+  /// here are served from memory behind a full decoy sweep ("ghosts"),
+  /// so the trace keeps the blocking schedule's touch counts.
+  std::unordered_map<RecordId, Bytes> flushing_;
+  /// Ids Remove()d while the chain runs; erased from freshly installed
+  /// indexes so a snapshot can never resurrect an evicted record.
+  std::unordered_set<RecordId> chain_tombstones_;
+  std::vector<LevelProjection> projection_;
+  uint64_t reorder_epoch_ = 0;
 };
 
 }  // namespace steghide::oblivious

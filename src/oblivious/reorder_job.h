@@ -1,0 +1,131 @@
+#ifndef STEGHIDE_OBLIVIOUS_REORDER_JOB_H_
+#define STEGHIDE_OBLIVIOUS_REORDER_JOB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/cbc.h"
+#include "oblivious/hash_index.h"
+#include "oblivious/merge_sort.h"
+#include "stegfs/block_codec.h"
+#include "storage/block_device.h"
+#include "util/result.h"
+
+namespace steghide::oblivious {
+
+/// One resumable level re-order — the §5.1.2 dump + oblivious-shuffle
+/// rebuilt as a state machine the deamortized path drives in bounded
+/// Step(budget_blocks) increments while serving keeps probing the old
+/// permutation.
+///
+/// The job owns an immutable *snapshot* of its inputs, taken by the
+/// store when the re-order was triggered: the ascending live-slot sweep
+/// of its input levels (device inputs) plus the flush set (in-memory
+/// inputs), each pre-assigned a random sort tag and already
+/// de-duplicated by the store with the blocking priority (in-memory >
+/// source level > target level). Because the snapshot is fixed, later
+/// serving activity — reads re-buffering records, hidden updates,
+/// removals — cannot change which blocks the job touches: the job issues
+/// exactly the ascending input reads and sequential destination writes
+/// the blocking re-order would, merely interleaved with serving. Both
+/// sequences are data-independent, which is why the interleaving leaves
+/// the per-level touch multiset of the schedule unchanged (pinned by
+/// tests/oblivious_incremental_test.cc). Removals that race the job are
+/// reconciled by the store with tombstones at install time.
+///
+/// Phases:
+///   kBuildRuns — read device-input chunks (vectored), decrypt, feed the
+///                sorter; full runs spill to scratch sequentially.
+///   kMerge     — the sorter's chunked multi-way merge into dst_base.
+///   kDone      — slot order available via TakeOrder(); the store
+///                performs the install flip (level metadata is never
+///                touched from here).
+///
+/// Thread safety: driven under the store lock; the borrowed sorter is
+/// Reset() at construction and must not be shared until done.
+class ReorderJob {
+ public:
+  struct DeviceInput {
+    uint64_t block = 0;  // absolute device position of the sealed record
+    RecordId id = 0;
+    uint64_t tag = 0;
+  };
+  struct MemoryInput {
+    RecordId id = 0;
+    Bytes payload;
+    uint64_t tag = 0;
+  };
+  struct Inputs {
+    /// Ascending live-slot sweep order (source level then target level,
+    /// exactly the blocking read sequence).
+    std::vector<DeviceInput> device;
+    /// The flush set (agent buffer snapshot); read cost-free.
+    std::vector<MemoryInput> memory;
+  };
+  enum class Phase { kBuildRuns, kMerge, kDone };
+
+  ReorderJob(storage::BlockDevice* device, const stegfs::BlockCodec* codec,
+             const crypto::CbcCipher* cipher, ExternalMergeSorter* sorter,
+             size_t target_level, uint64_t dst_base, Inputs inputs);
+
+  ReorderJob(const ReorderJob&) = delete;
+  ReorderJob& operator=(const ReorderJob&) = delete;
+
+  /// Advances by roughly `budget_blocks` device block I/Os. Granularity
+  /// is one vectored chunk (input read, run spill, merge refill or
+  /// output flush), so a step may overshoot by up to one chunk/run;
+  /// `consumed` (optional) reports the true count. At least one block of
+  /// progress is made per call until done.
+  Status Step(uint64_t budget_blocks, uint64_t* consumed = nullptr);
+
+  Phase phase() const { return phase_; }
+  bool done() const { return phase_ == Phase::kDone; }
+  size_t target_level() const { return target_level_; }
+  uint64_t dst_base() const { return dst_base_; }
+
+  /// Records this job installs (snapshot size, post-dedup).
+  uint64_t record_count() const {
+    return inputs_.device.size() + inputs_.memory.size();
+  }
+
+  /// Device-I/O estimate for the remaining work, for self-pacing.
+  uint64_t remaining_blocks() const;
+
+  /// Record ids in final slot order; call once, when done().
+  std::vector<RecordId> TakeOrder() { return sorter_->TakeOrder(); }
+
+  /// Device I/O issued so far by this job (input reads + sorter runs and
+  /// merge traffic), split read/write for the store's counters. Zero
+  /// until the job's first Step claims the shared sorter.
+  uint64_t reads() const {
+    return started_ ? input_reads_ + sorter_->stats().reads : 0;
+  }
+  uint64_t writes() const { return started_ ? sorter_->stats().writes : 0; }
+
+ private:
+  /// How many device inputs one vectored read covers.
+  static constexpr uint64_t kInputChunkBlocks = 48;
+
+  Status StepBuildRuns(uint64_t budget_blocks, uint64_t& used);
+
+  storage::BlockDevice* device_;
+  const stegfs::BlockCodec* codec_;
+  const crypto::CbcCipher* cipher_;
+  ExternalMergeSorter* sorter_;
+  size_t target_level_;
+  uint64_t dst_base_;
+  Inputs inputs_;
+  Phase phase_ = Phase::kBuildRuns;
+  bool started_ = false;
+
+  size_t next_memory_ = 0;  // next memory input to feed
+  size_t next_device_ = 0;  // next device input to read
+  uint64_t input_reads_ = 0;
+
+  Bytes read_scratch_;      // vectored input staging
+  Bytes payload_scratch_;
+};
+
+}  // namespace steghide::oblivious
+
+#endif  // STEGHIDE_OBLIVIOUS_REORDER_JOB_H_

@@ -37,6 +37,19 @@ Status StegPartitionReader::ReadRefBatch(std::span<const BlockRef> refs,
     }
   }
 
+  // Epoch consistency: a batch spans several store critical sections
+  // (Contains() per id, one MultiInsert, one MultiRead per chunk), and a
+  // deamortized re-order chain may install a new level permutation
+  // between them. That interleaving is safe by construction — presence
+  // is install-invariant (installs move records between levels, never in
+  // or out of the store), each store group plans and executes against a
+  // single epoch under the store lock, and a record read mid-chain is
+  // simply found wherever its current epoch placed it (old level, new
+  // level, or the flush snapshot served as a ghost). The epoch stamp
+  // below records mid-batch flips so tests can pin that reads kept
+  // flowing across installs rather than being fenced out by them.
+  const uint64_t epoch_at_start = store_->reorder_epoch();
+
   // Classify: cached blocks go to one oblivious group, distinct misses
   // to one fill pass. A block repeated among the misses is fetched once
   // (§5.1.1's at-most-once rule) and copied to its duplicates. Record
@@ -152,6 +165,7 @@ Status StegPartitionReader::ReadRefBatch(std::span<const BlockRef> refs,
                   out_payloads + cached_at_[c] * ps);
     }
   }
+  stats_.reorder_epoch_flips += store_->reorder_epoch() - epoch_at_start;
   return Status::OK();
 }
 
@@ -163,6 +177,11 @@ Status StegPartitionReader::DummyStegRead() {
 }
 
 Status StegPartitionReader::IdleDummyOp() {
+  // An idle window is exactly where deamortized re-order work belongs:
+  // advance any pending chain by one slice (budget 0 = the store's
+  // configured reorder_step_blocks) before spending the window's dummy
+  // traffic. No-op when nothing is pending or deamortization is off.
+  STEGHIDE_RETURN_IF_ERROR(store_->StepReorder(0));
   STEGHIDE_RETURN_IF_ERROR(store_->DummyRead());
   return DummyStegRead();
 }

@@ -34,6 +34,11 @@ class StegPartitionReader {
     uint64_t real_fetches = 0;  // first-time fetches from the partition
     uint64_t decoy_reads = 0;   // Figure 8(a) re-reads of fetched blocks
     uint64_t dummy_reads = 0;   // idle-time dummy reads
+    /// Level-permutation installs observed *mid-batch* (a deamortized
+    /// re-order chain flipping a level between this batch's store
+    /// groups). Evidence for tests that serving kept flowing across
+    /// installs; see the epoch-consistency note in ReadRefBatch.
+    uint64_t reorder_epoch_flips = 0;
   };
 
   /// Neither pointer is owned. `core` is the StegFS partition (its whole
