@@ -17,6 +17,7 @@
 #include "baseline/stegfs2003.h"
 #include "storage/mem_block_device.h"
 #include "storage/sim_device.h"
+#include "storage/volume_set.h"
 #include "workload/adapters.h"
 
 namespace steghide::bench {
@@ -146,12 +147,19 @@ struct ObliviousSystemUnderTest {
   std::unique_ptr<storage::MemBlockDevice> cache_mem;
   std::unique_ptr<storage::SimBlockDevice> steg_sim;
   std::unique_ptr<storage::SimBlockDevice> cache_sim;
+  /// Sharded cache volume (cache_shards >= 1): K Mem+Sim stacks striped
+  /// by a ShardedBlockDevice, replacing cache_mem/cache_sim. Its
+  /// parallel clock (max per-shard delta across each join) is what the
+  /// cache contributes to clock_ms().
+  std::unique_ptr<storage::VolumeSet> cache_volumes;
   std::unique_ptr<stegfs::StegFsCore> core;
   std::unique_ptr<agent::ObliviousAgent> agent;
   std::vector<agent::ObliviousAgent::FileId> files;  // one per user
 
   double clock_ms() const {
-    return steg_sim->clock_ms() + cache_sim->clock_ms();
+    return steg_sim->clock_ms() +
+           (cache_volumes ? cache_volumes->clock_ms()
+                          : cache_sim->clock_ms());
   }
 };
 
@@ -165,7 +173,8 @@ struct ObliviousSystemUnderTest {
 /// double-buffered chains (the dispatcher pumps them in idle gaps).
 inline ObliviousSystemUnderTest MakeObliviousSystem(
     uint64_t users, uint64_t file_blocks, uint64_t seed,
-    uint64_t buffer_blocks, bool prewarm, bool deamortize = false) {
+    uint64_t buffer_blocks, bool prewarm, bool deamortize = false,
+    size_t cache_shards = 0) {
   ObliviousSystemUnderTest sys;
 
   uint64_t capacity = 2 * buffer_blocks;
@@ -176,10 +185,29 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
   sys.steg_mem = std::make_unique<storage::MemBlockDevice>(steg_blocks, 4096);
   sys.steg_sim = std::make_unique<storage::SimBlockDevice>(
       sys.steg_mem.get(), storage::DiskModelParams{});
-  sys.cache_mem = std::make_unique<storage::MemBlockDevice>(
-      hierarchy + capacity + (deamortize ? hierarchy : 0) + 16, 4096);
-  sys.cache_sim = std::make_unique<storage::SimBlockDevice>(
-      sys.cache_mem.get(), storage::DiskModelParams{});
+
+  // Shadow phase shift: under the g % K stripe, offsetting the shadow
+  // mirror by one block puts every slot's ping-pong twin on a different
+  // spindle than its primary (hierarchy is a power-of-two multiple of
+  // the shard counts swept, so the phase difference is 1 mod K).
+  const uint64_t shadow_shift = cache_shards > 1 ? 1 : 0;
+  const uint64_t cache_blocks = hierarchy + capacity +
+                                (deamortize ? hierarchy : 0) +
+                                2 * shadow_shift + 16;
+  storage::BlockDevice* cache_device = nullptr;
+  if (cache_shards >= 1) {
+    storage::VolumeSet::Options vopts;
+    vopts.shards = cache_shards;
+    vopts.total_blocks = cache_blocks;
+    sys.cache_volumes = std::make_unique<storage::VolumeSet>(vopts);
+    cache_device = &sys.cache_volumes->device();
+  } else {
+    sys.cache_mem =
+        std::make_unique<storage::MemBlockDevice>(cache_blocks, 4096);
+    sys.cache_sim = std::make_unique<storage::SimBlockDevice>(
+        sys.cache_mem.get(), storage::DiskModelParams{});
+    cache_device = sys.cache_sim.get();
+  }
 
   sys.core = std::make_unique<stegfs::StegFsCore>(
       sys.steg_sim.get(), stegfs::StegFsOptions{seed, true});
@@ -192,20 +220,27 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
   // Layout: [hierarchy][shadow mirror][scratch] — keeping each level's
   // shadow one hierarchy-length away (instead of behind scratch) trims
   // the mixed-epoch seek spread of double-buffered serving.
-  opts.shadow_base = hierarchy;
-  opts.scratch_base = deamortize ? 2 * hierarchy : hierarchy;
+  opts.shadow_base = hierarchy + shadow_shift;
+  opts.scratch_base =
+      deamortize ? 2 * hierarchy + 2 * shadow_shift : hierarchy;
   opts.deamortize_reorders = deamortize;
   opts.drbg_seed = seed ^ 0x6f626c69;
   opts.charge_index_io = true;  // §5.1.2 spilled-index serving variant
   auto agent =
-      agent::ObliviousAgent::Create(sys.core.get(), sys.cache_sim.get(), opts);
+      agent::ObliviousAgent::Create(sys.core.get(), cache_device, opts);
   if (!agent.ok()) std::abort();
   sys.agent = std::move(agent).value();
   {
     storage::SimBlockDevice* steg = sys.steg_sim.get();
-    storage::SimBlockDevice* cache = sys.cache_sim.get();
-    sys.agent->store().set_clock_fn(
-        [steg, cache] { return steg->clock_ms() + cache->clock_ms(); });
+    if (sys.cache_volumes) {
+      storage::ShardedBlockDevice* cache = &sys.cache_volumes->device();
+      sys.agent->store().set_clock_fn(
+          [steg, cache] { return steg->clock_ms() + cache->clock_ms(); });
+    } else {
+      storage::SimBlockDevice* cache = sys.cache_sim.get();
+      sys.agent->store().set_clock_fn(
+          [steg, cache] { return steg->clock_ms() + cache->clock_ms(); });
+    }
   }
 
   // Dummy pool for the Figure-6 relocating updates (provisioned in
@@ -252,6 +287,10 @@ struct DispatchRun {
   /// Whether the store actually ran deamortized (Create() falls back to
   /// the blocking schedule on shallow hierarchies).
   bool deamortized = false;
+  /// Spindles the cache I/O fanned out across (1 = single volume) and
+  /// whether the ping-pong shadow regions landed on distinct spindles.
+  size_t io_shards = 1;
+  bool shadow_separated = false;
   double virtual_ms = 0;
   double retrieve_ms = 0;
   double sort_ms = 0;
@@ -267,9 +306,10 @@ inline DispatchRun RunDispatchedServing(
     bool deamortize,
     const std::function<Status(agent::RequestDispatcher::Session&,
                                agent::ObliviousAgent::FileId, uint64_t)>&
-        task) {
-  auto sys =
-      MakeObliviousSystem(users, file_blocks, seed, buffer, true, deamortize);
+        task,
+    size_t cache_shards = 0) {
+  auto sys = MakeObliviousSystem(users, file_blocks, seed, buffer, true,
+                                 deamortize, cache_shards);
   agent::DispatcherOptions options;
   options.max_batch = buffer;
   // Wide wall-clock window: group composition then depends on the
@@ -306,6 +346,8 @@ inline DispatchRun RunDispatchedServing(
 
   DispatchRun run;
   run.deamortized = sys.agent->store().deamortized();
+  run.io_shards = sys.agent->store().io_shard_count();
+  run.shadow_separated = sys.agent->store().shadow_spindle_separated();
   run.virtual_ms = sys.clock_ms() - t0;
   const auto stats = sys.agent->store().stats();
   run.retrieve_ms = stats.retrieve_ms;

@@ -18,6 +18,7 @@ std::unique_ptr<RequestDispatcher::Session> RequestDispatcher::OpenSession() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++open_sessions_;
+    sessions_seen_ = true;
   }
   return std::unique_ptr<Session>(new Session(this));
 }
@@ -112,11 +113,16 @@ void RequestDispatcher::Stop() {
 size_t RequestDispatcher::FillTargetLocked() const {
   // Under session usage each user has at most one request in flight, so
   // once every open session has submitted there is nothing to wait for.
-  // Without sessions (direct submits) the target is the full batch and
-  // the commit window bounds the tail.
-  const size_t sessions = open_sessions_ == 0 ? options_.max_batch
-                                              : open_sessions_;
-  return std::min(options_.max_batch, std::max<size_t>(1, sessions));
+  // When every session has *closed*, the same rule holds vacuously: the
+  // requests already queued (submitted async, session since torn down)
+  // are the whole group, and waiting the window out would stall them for
+  // users that no longer exist. Only a dispatcher that never saw a
+  // session (direct submits) targets the full batch and lets the commit
+  // window bound the tail.
+  if (open_sessions_ == 0) {
+    return sessions_seen_ ? 1 : options_.max_batch;
+  }
+  return std::min(options_.max_batch, open_sessions_);
 }
 
 bool RequestDispatcher::PumpMaintenance() {

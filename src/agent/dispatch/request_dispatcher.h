@@ -187,6 +187,10 @@ class RequestDispatcher {
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   size_t open_sessions_ = 0;
+  /// Latched by the first OpenSession(): once callers use session
+  /// accounting, an empty session population means "nobody left to wait
+  /// for", not "direct-submit mode" (see FillTargetLocked).
+  bool sessions_seen_ = false;
   bool stopping_ = false;
   std::once_flag join_once_;
 

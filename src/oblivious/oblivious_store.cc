@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "crypto/key.h"
+#include "storage/async/sharded_io_scheduler.h"
+#include "storage/volume_set.h"
 
 namespace steghide::oblivious {
 
@@ -30,11 +32,18 @@ ObliviousStore::ObliviousStore(storage::BlockDevice* device,
     : device_(device),
       options_(options),
       codec_(device->block_size()),
-      drbg_(options.drbg_seed),
-      scheduler_(device) {
+      drbg_(options.drbg_seed) {
+  // A sharded backing volume gets the scheduler fan-out: per-level
+  // batches split by shard and drained in parallel on the shard threads.
+  if (auto* sharded = dynamic_cast<storage::ShardedBlockDevice*>(device)) {
+    io_shards_ = sharded->shard_count();
+    scheduler_ = std::make_unique<storage::ShardedIoScheduler>(sharded);
+  } else {
+    scheduler_ = std::make_unique<storage::IoScheduler>(device);
+  }
   // Probe counts are part of the attacker-visible pattern; the scheduler
   // must issue them verbatim (no coalescing of colliding decoys).
-  scheduler_.set_preserve_pattern(true);
+  scheduler_->set_preserve_pattern(true);
   // One persistent sorter per store: its run buffer and seal scratch are
   // recycled across re-orders instead of reconstructed per call.
   sorter_ = std::make_unique<ExternalMergeSorter>(
@@ -138,6 +147,19 @@ std::vector<uint64_t> ObliviousStore::LevelBases() const {
   return bases;
 }
 
+bool ObliviousStore::shadow_spindle_separated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (io_shards_ <= 1) return false;
+  // Slot s of a level lives at base + s and its shadow twin at
+  // alt_base + s; under the g % K stripe they differ for *every* s
+  // exactly when the bases differ mod the shard count.
+  for (const Level& level : levels_) {
+    if (!level.double_buffered()) continue;
+    if (level.base % io_shards_ == level.alt_base % io_shards_) return false;
+  }
+  return true;
+}
+
 Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
   if (!options_.charge_index_io) return Status::OK();
   // 16 bytes per entry (hashed key + slot), written sequentially.
@@ -238,9 +260,9 @@ Status ObliviousStore::ExecuteScan(uint8_t* out_payloads) {
     for (size_t i = 0; i < probes.size(); ++i) {
       batch.Read(probes[i].block, pass_bufs_[p].data() + i * bs);
     }
-    scheduler_.Submit(std::move(batch));
+    scheduler_->Submit(std::move(batch));
   }
-  STEGHIDE_RETURN_IF_ERROR(scheduler_.Drain());
+  STEGHIDE_RETURN_IF_ERROR(scheduler_->Drain());
 
   // Per-request decrypt + extract (decoys stay sealed).
   payload_scratch_.resize(codec_.payload_size());

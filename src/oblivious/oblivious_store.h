@@ -322,6 +322,17 @@ class ObliviousStore {
   /// longer spans are chunked internally.
   uint64_t max_batch() const { return options_.buffer_blocks; }
 
+  /// Number of spindles the level-scan I/O fans out across: the shard
+  /// count when the backing device is a ShardedBlockDevice, else 1.
+  size_t io_shard_count() const { return io_shards_; }
+
+  /// True when every double-buffered level's two ping-pong regions land
+  /// on disjoint shards for every slot (i.e. the base/alt_base phase
+  /// difference is nonzero mod the shard count), so shadow rebuild I/O
+  /// never competes with serving probes for the same spindle. Trivially
+  /// false for a single volume.
+  bool shadow_spindle_separated() const;
+
   /// Level occupancies, for tests and introspection.
   std::vector<uint64_t> LevelOccupancy() const;
 
@@ -511,7 +522,11 @@ class ObliviousStore {
   stegfs::BlockCodec codec_;
   crypto::HashDrbg drbg_;
   crypto::CbcCipher cipher_;
-  storage::IoScheduler scheduler_;
+  /// Single-device IoScheduler, or a ShardedIoScheduler fanning the
+  /// per-level batches out across a ShardedBlockDevice's shard threads
+  /// (chosen at construction from the device's dynamic type).
+  std::unique_ptr<storage::IoSchedulerBase> scheduler_;
+  size_t io_shards_ = 1;
   std::vector<Level> levels_;  // levels_[0] is level 1 (size 2B)
 
   std::unordered_map<RecordId, Bytes> buffer_;

@@ -59,6 +59,7 @@ class IoFuture {
 
  private:
   friend class IoScheduler;
+  friend class ShardedIoScheduler;
   struct State {
     bool done = false;
     Status status;

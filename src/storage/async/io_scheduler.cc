@@ -1,6 +1,7 @@
 #include "storage/async/io_scheduler.h"
 
 #include <cstring>
+#include <iterator>
 
 namespace steghide::storage {
 
@@ -108,21 +109,47 @@ Status IoScheduler::Drain() {
   // Issue phase: reads first (they must see pre-drain content — every
   // pending write postdates every pending read of the same block, or the
   // read would have been forwarded), then writes, each in ascending
-  // block order.
+  // block order. Ascending map runs whose primary buffers happen to sit
+  // contiguously fold into one vectored call, exactly like IssueVerbatim:
+  // the default ReadBlocks/WriteBlocks issues per block in the same
+  // ascending order, so the attacker-visible trace — and the per-block
+  // physical counter semantics — are unchanged.
+  const size_t bs = backing_->block_size();
   Status status;
-  for (auto& [block_id, dests] : reads) {
-    status = backing_->ReadBlock(block_id, dests.front());
-    if (!status.ok()) break;
-    ++stats_.physical_reads;
-    for (size_t i = 1; i < dests.size(); ++i) {
-      std::memcpy(dests[i], dests.front(), backing_->block_size());
+  for (auto it = reads.begin(); it != reads.end();) {
+    auto run_end = std::next(it);
+    // Adjacent-pair comparison only: forming `prev + bs` is at most a
+    // one-past-the-end pointer even for unrelated buffers.
+    while (run_end != reads.end() &&
+           run_end->second.front() == std::prev(run_end)->second.front() + bs) {
+      ++run_end;
     }
+    std::vector<uint64_t> ids;
+    for (auto r = it; r != run_end; ++r) ids.push_back(r->first);
+    status = backing_->ReadBlocks(ids, it->second.front());
+    if (!status.ok()) break;
+    stats_.physical_reads += ids.size();
+    for (auto r = it; r != run_end; ++r) {
+      const std::vector<uint8_t*>& dests = r->second;
+      for (size_t i = 1; i < dests.size(); ++i) {
+        std::memcpy(dests[i], dests.front(), bs);
+      }
+    }
+    it = run_end;
   }
   if (status.ok()) {
-    for (const auto& [block_id, data] : writes) {
-      status = backing_->WriteBlock(block_id, data);
+    for (auto it = writes.begin(); it != writes.end();) {
+      auto run_end = std::next(it);
+      while (run_end != writes.end() &&
+             run_end->second == std::prev(run_end)->second + bs) {
+        ++run_end;
+      }
+      std::vector<uint64_t> ids;
+      for (auto r = it; r != run_end; ++r) ids.push_back(r->first);
+      status = backing_->WriteBlocks(ids, it->second);
       if (!status.ok()) break;
-      ++stats_.physical_writes;
+      stats_.physical_writes += ids.size();
+      it = run_end;
     }
   }
 
@@ -136,7 +163,7 @@ Status IoScheduler::Drain() {
   return status;
 }
 
-Status IoScheduler::Run(IoBatch batch) {
+Status IoSchedulerBase::Run(IoBatch batch) {
   IoFuture future = Submit(std::move(batch));
   STEGHIDE_RETURN_IF_ERROR(Drain());
   return future.status();

@@ -25,6 +25,23 @@ struct IoSchedulerStats {
   uint64_t drains = 0;
 };
 
+/// Common surface of the single-device IoScheduler and the sharded
+/// fan-out scheduler (sharded_io_scheduler.h), so the oblivious store
+/// can hold either behind one seam. stats() is by value: a sharded
+/// scheduler materialises the aggregate over its shards on each call.
+class IoSchedulerBase : public AsyncBlockDevice {
+ public:
+  /// See IoScheduler::set_preserve_pattern.
+  virtual void set_preserve_pattern(bool on) = 0;
+  virtual bool preserve_pattern() const = 0;
+  virtual bool idle() const = 0;
+  virtual IoSchedulerStats stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Synchronous convenience: Submit + Drain, returning the batch status.
+  Status Run(IoBatch batch);
+};
+
 /// Deterministic request scheduler over any BlockDevice. Batches queue
 /// via Submit(); Drain() merges everything pending into one conflict-free
 /// plan and issues it:
@@ -46,16 +63,13 @@ struct IoSchedulerStats {
 /// path must therefore only batch requests whose mutual order is already
 /// covered by the indistinguishability argument (e.g. the per-level
 /// probes of one oblivious read).
-class IoScheduler : public AsyncBlockDevice {
+class IoScheduler : public IoSchedulerBase {
  public:
   /// Does not take ownership of `backing`.
   explicit IoScheduler(BlockDevice* backing) : backing_(backing) {}
 
   IoFuture Submit(IoBatch batch) override;
   Status Drain() override;
-
-  /// Synchronous convenience: Submit + Drain, returning the batch status.
-  Status Run(IoBatch batch);
 
   /// Pattern-preserving mode: Drain() issues every submitted request
   /// verbatim — submission order and duplicates included — instead of
@@ -65,12 +79,12 @@ class IoScheduler : public AsyncBlockDevice {
   /// would be an observably missing read. Contiguous request runs still
   /// go down as one vectored ReadBlocks/WriteBlocks, so caching
   /// decorators below continue to see whole batches.
-  void set_preserve_pattern(bool on) { preserve_pattern_ = on; }
-  bool preserve_pattern() const { return preserve_pattern_; }
+  void set_preserve_pattern(bool on) override { preserve_pattern_ = on; }
+  bool preserve_pattern() const override { return preserve_pattern_; }
 
-  bool idle() const { return queue_.empty(); }
-  const IoSchedulerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoSchedulerStats(); }
+  bool idle() const override { return queue_.empty(); }
+  IoSchedulerStats stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoSchedulerStats(); }
   BlockDevice* backing() { return backing_; }
 
  private:

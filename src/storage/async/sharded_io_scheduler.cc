@@ -1,0 +1,95 @@
+#include "storage/async/sharded_io_scheduler.h"
+
+#include <functional>
+#include <utility>
+
+namespace steghide::storage {
+
+ShardedIoScheduler::ShardedIoScheduler(ShardedBlockDevice* device)
+    : device_(device) {
+  inner_.reserve(device_->shard_count());
+  for (size_t k = 0; k < device_->shard_count(); ++k) {
+    inner_.push_back(std::make_unique<IoScheduler>(device_->shard(k)));
+  }
+}
+
+IoFuture ShardedIoScheduler::Submit(IoBatch batch) {
+  // Split by shard, preserving submission order within each shard; all
+  // accesses of one block land on one shard, so the per-shard scheduler
+  // sees every dependency the caller encoded in the batch order.
+  std::vector<IoBatch> split(inner_.size());
+  for (const IoRequest& req : batch.requests) {
+    IoRequest local = req;
+    local.block_id = device_->LocalBlock(req.block_id);
+    split[device_->ShardOf(req.block_id)].requests.push_back(local);
+  }
+  for (size_t k = 0; k < inner_.size(); ++k) {
+    if (!split[k].empty()) inner_[k]->Submit(std::move(split[k]));
+  }
+  IoFuture future;
+  pending_.push_back(future.state_);
+  return future;
+}
+
+Status ShardedIoScheduler::Drain() {
+  if (pending_.empty()) {
+    bool any = false;
+    for (const auto& shard : inner_) any = any || !shard->idle();
+    if (!any) return Status::OK();
+  }
+  ++drains_;
+  std::vector<std::function<Status()>> jobs(inner_.size());
+  for (size_t k = 0; k < inner_.size(); ++k) {
+    if (inner_[k]->idle()) continue;
+    IoScheduler* shard = inner_[k].get();
+    jobs[k] = [shard] { return shard->Drain(); };
+  }
+  // The join barrier inside RunOnShards orders every shard's physical
+  // I/O before the futures complete below.
+  Status status = device_->RunOnShards(std::move(jobs));
+  for (auto& state : pending_) {
+    state->done = true;
+    state->status = status;
+  }
+  pending_.clear();
+  return status;
+}
+
+void ShardedIoScheduler::set_preserve_pattern(bool on) {
+  for (auto& shard : inner_) shard->set_preserve_pattern(on);
+}
+
+bool ShardedIoScheduler::preserve_pattern() const {
+  return inner_.front()->preserve_pattern();
+}
+
+bool ShardedIoScheduler::idle() const {
+  if (!pending_.empty()) return false;
+  for (const auto& shard : inner_) {
+    if (!shard->idle()) return false;
+  }
+  return true;
+}
+
+IoSchedulerStats ShardedIoScheduler::stats() const {
+  IoSchedulerStats total;
+  for (const auto& shard : inner_) {
+    const IoSchedulerStats s = shard->stats();
+    total.submitted_reads += s.submitted_reads;
+    total.submitted_writes += s.submitted_writes;
+    total.physical_reads += s.physical_reads;
+    total.physical_writes += s.physical_writes;
+    total.coalesced_reads += s.coalesced_reads;
+    total.forwarded_reads += s.forwarded_reads;
+    total.superseded_writes += s.superseded_writes;
+  }
+  total.drains = drains_;
+  return total;
+}
+
+void ShardedIoScheduler::ResetStats() {
+  for (auto& shard : inner_) shard->ResetStats();
+  drains_ = 0;
+}
+
+}  // namespace steghide::storage

@@ -1,0 +1,62 @@
+#ifndef STEGHIDE_STORAGE_ASYNC_SHARDED_IO_SCHEDULER_H_
+#define STEGHIDE_STORAGE_ASYNC_SHARDED_IO_SCHEDULER_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/async/io_scheduler.h"
+#include "storage/volume_set.h"
+
+namespace steghide::storage {
+
+/// Scheduler fan-out over a ShardedBlockDevice: one inner IoScheduler per
+/// shard, each backed directly by that shard's device so its elevator /
+/// verbatim issue plan runs against the shard's own spindle.
+///
+/// Submit() splits every batch by shard (global ids remapped to shard-
+/// local ones) and forwards the per-shard sub-batches in submission
+/// order; Drain() drains all shard queues *in parallel* on the device's
+/// shard threads and joins before completing the submitted futures, so a
+/// scan pass's group completion still happens-after every physical I/O.
+///
+/// Correctness carries over from the single-device scheduler because the
+/// stripe map sends every access of one block to one shard: read-after-
+/// write forwarding, superseded-write elimination, and per-shard issue
+/// order (pattern preservation) are all per-block properties. What an
+/// attacker on shard k observes is exactly the single-volume schedule
+/// restricted to blocks congruent to k — pinned by the trace-equivalence
+/// suite.
+///
+/// stats() returns the sum over shards, except `drains`, which counts
+/// this scheduler's own Drain() calls (one parallel drain touches every
+/// shard); per-shard counters stay available via shard_stats().
+class ShardedIoScheduler : public IoSchedulerBase {
+ public:
+  /// Does not take ownership of `device`.
+  explicit ShardedIoScheduler(ShardedBlockDevice* device);
+
+  IoFuture Submit(IoBatch batch) override;
+  Status Drain() override;
+
+  void set_preserve_pattern(bool on) override;
+  bool preserve_pattern() const override;
+  bool idle() const override;
+  IoSchedulerStats stats() const override;
+  void ResetStats() override;
+
+  size_t shard_count() const { return inner_.size(); }
+  IoSchedulerStats shard_stats(size_t k) const { return inner_[k]->stats(); }
+  ShardedBlockDevice* device() { return device_; }
+
+ private:
+  ShardedBlockDevice* device_;
+  std::vector<std::unique_ptr<IoScheduler>> inner_;
+  /// Futures of batches submitted since the last drain; completed with
+  /// the drain's overall status (all-or-nothing, like IoScheduler).
+  std::vector<std::shared_ptr<IoFuture::State>> pending_;
+  uint64_t drains_ = 0;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_ASYNC_SHARDED_IO_SCHEDULER_H_

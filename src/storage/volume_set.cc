@@ -1,0 +1,218 @@
+#include "storage/volume_set.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace steghide::storage {
+
+ShardPool::ShardPool(size_t shards) : slots_(shards) {
+  threads_.reserve(shards);
+  for (size_t k = 0; k < shards; ++k) {
+    threads_.emplace_back([this, k] { WorkerLoop(k); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardPool::WorkerLoop(size_t shard) {
+  for (;;) {
+    std::function<Status()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || slots_[shard].has_job; });
+      if (!slots_[shard].has_job) return;  // stop_ and nothing queued
+      job = std::move(slots_[shard].job);
+      slots_[shard].has_job = false;
+    }
+    Status result = job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_[shard].result = std::move(result);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+Status ShardPool::Run(std::vector<std::function<Status()>> jobs) {
+  assert(jobs.size() == slots_.size());
+  size_t queued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t k = 0; k < jobs.size(); ++k) {
+      if (!jobs[k]) continue;
+      slots_[k].job = std::move(jobs[k]);
+      slots_[k].has_job = true;
+      slots_[k].result = Status::OK();
+      ++queued;
+    }
+    outstanding_ = queued;
+  }
+  if (queued == 0) return Status::OK();
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  for (Slot& slot : slots_) {
+    if (!slot.result.ok()) return std::move(slot.result);
+  }
+  return Status::OK();
+}
+
+ShardedBlockDevice::ShardedBlockDevice(std::vector<BlockDevice*> shards)
+    : shards_(std::move(shards)),
+      block_size_(shards_.empty() ? kDefaultBlockSize
+                                  : shards_.front()->block_size()),
+      pool_(shards_.size()),
+      split_local_(shards_.size()),
+      split_pos_(shards_.size()),
+      staging_(shards_.size()) {
+  assert(!shards_.empty());
+  uint64_t min_blocks = shards_.front()->num_blocks();
+  for (BlockDevice* shard : shards_) {
+    assert(shard->block_size() == block_size_);
+    if (shard->num_blocks() < min_blocks) min_blocks = shard->num_blocks();
+  }
+  num_blocks_ = min_blocks * shards_.size();
+}
+
+Status ShardedBlockDevice::RunOnShards(
+    std::vector<std::function<Status()>> jobs) {
+  const size_t k_shards = shards_.size();
+  std::vector<double> before(k_shards, 0.0);
+  const bool timed = static_cast<bool>(shard_clock_);
+  if (timed) {
+    for (size_t k = 0; k < k_shards; ++k) before[k] = shard_clock_(k);
+  }
+  Status status = pool_.Run(std::move(jobs));
+  if (timed) {
+    double max_delta = 0.0;
+    for (size_t k = 0; k < k_shards; ++k) {
+      const double delta = shard_clock_(k) - before[k];
+      if (delta > max_delta) max_delta = delta;
+    }
+    // Only the issuer mutates the clock; concurrent readers (latency
+    // stamps on other threads) see a torn-free atomic value.
+    clock_ms_.store(clock_ms_.load(std::memory_order_relaxed) + max_delta,
+                    std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status ShardedBlockDevice::ReadBlock(uint64_t block_id, uint8_t* out) {
+  STEGHIDE_RETURN_IF_ERROR(CheckRange(block_id));
+  const size_t shard = static_cast<size_t>(ShardOf(block_id));
+  const uint64_t local = LocalBlock(block_id);
+  std::vector<std::function<Status()>> jobs(shards_.size());
+  jobs[shard] = [this, shard, local, out] {
+    return shards_[shard]->ReadBlock(local, out);
+  };
+  return RunOnShards(std::move(jobs));
+}
+
+Status ShardedBlockDevice::WriteBlock(uint64_t block_id,
+                                      const uint8_t* data) {
+  STEGHIDE_RETURN_IF_ERROR(CheckRange(block_id));
+  const size_t shard = static_cast<size_t>(ShardOf(block_id));
+  const uint64_t local = LocalBlock(block_id);
+  std::vector<std::function<Status()>> jobs(shards_.size());
+  jobs[shard] = [this, shard, local, data] {
+    return shards_[shard]->WriteBlock(local, data);
+  };
+  return RunOnShards(std::move(jobs));
+}
+
+Status ShardedBlockDevice::FanOut(std::span<const uint64_t> ids, uint8_t* out,
+                                  const uint8_t* data) {
+  const size_t k_shards = shards_.size();
+  const size_t bs = block_size_;
+  for (size_t k = 0; k < k_shards; ++k) {
+    split_local_[k].clear();
+    split_pos_[k].clear();
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    STEGHIDE_RETURN_IF_ERROR(CheckRange(ids[i]));
+    const size_t shard = static_cast<size_t>(ShardOf(ids[i]));
+    split_local_[shard].push_back(LocalBlock(ids[i]));
+    split_pos_[shard].push_back(i);
+  }
+  std::vector<std::function<Status()>> jobs(k_shards);
+  for (size_t k = 0; k < k_shards; ++k) {
+    if (split_local_[k].empty()) continue;
+    jobs[k] = [this, k, out, data, bs] {
+      // Stage through a contiguous per-shard buffer so the shard sees one
+      // vectored call (whole-batch visibility for decorators below), then
+      // scatter/gather against the caller's strided layout. The staging
+      // buffer and the addressed slices of the caller's buffer are owned
+      // exclusively by this shard between dispatch and join.
+      const std::vector<uint64_t>& local = split_local_[k];
+      const std::vector<size_t>& pos = split_pos_[k];
+      staging_[k].resize(local.size() * bs);
+      if (out != nullptr) {
+        STEGHIDE_RETURN_IF_ERROR(
+            shards_[k]->ReadBlocks(local, staging_[k].data()));
+        for (size_t i = 0; i < pos.size(); ++i) {
+          std::memcpy(out + pos[i] * bs, staging_[k].data() + i * bs, bs);
+        }
+      } else {
+        for (size_t i = 0; i < pos.size(); ++i) {
+          std::memcpy(staging_[k].data() + i * bs, data + pos[i] * bs, bs);
+        }
+        STEGHIDE_RETURN_IF_ERROR(
+            shards_[k]->WriteBlocks(local, staging_[k].data()));
+      }
+      return Status::OK();
+    };
+  }
+  return RunOnShards(std::move(jobs));
+}
+
+Status ShardedBlockDevice::ReadBlocks(std::span<const uint64_t> ids,
+                                      uint8_t* out) {
+  if (ids.empty()) return Status::OK();
+  return FanOut(ids, out, nullptr);
+}
+
+Status ShardedBlockDevice::WriteBlocks(std::span<const uint64_t> ids,
+                                       const uint8_t* data) {
+  if (ids.empty()) return Status::OK();
+  return FanOut(ids, nullptr, data);
+}
+
+Status ShardedBlockDevice::Flush() {
+  std::vector<std::function<Status()>> jobs(shards_.size());
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    jobs[k] = [this, k] { return shards_[k]->Flush(); };
+  }
+  return RunOnShards(std::move(jobs));
+}
+
+VolumeSet::VolumeSet(const Options& options) {
+  const size_t shards = options.shards == 0 ? 1 : options.shards;
+  const uint64_t per_shard =
+      (options.total_blocks + shards - 1) / shards;
+  std::vector<BlockDevice*> tops;
+  tops.reserve(shards);
+  for (size_t k = 0; k < shards; ++k) {
+    mems_.push_back(
+        std::make_unique<MemBlockDevice>(per_shard, options.block_size));
+    BlockDevice* top = mems_.back().get();
+    if (options.traced) {
+      traces_.push_back(std::make_unique<TraceBlockDevice>(top));
+      top = traces_.back().get();
+    }
+    sims_.push_back(std::make_unique<SimBlockDevice>(top, options.disk));
+    tops.push_back(sims_.back().get());
+  }
+  device_ = std::make_unique<ShardedBlockDevice>(std::move(tops));
+  device_->set_shard_clock_fn(
+      [this](size_t k) { return sims_[k]->clock_ms(); });
+}
+
+}  // namespace steghide::storage

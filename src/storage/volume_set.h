@@ -1,0 +1,184 @@
+#ifndef STEGHIDE_STORAGE_VOLUME_SET_H_
+#define STEGHIDE_STORAGE_VOLUME_SET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "storage/mem_block_device.h"
+#include "storage/sim_device.h"
+#include "storage/trace_device.h"
+
+namespace steghide::storage {
+
+/// Fixed pool of shard worker threads with a fork/join surface. One
+/// thread per shard lives for the pool's lifetime, so every I/O a shard
+/// ever sees is issued by the same thread — the strongest form of the
+/// single-issuer contract in block_device.h, and the property that makes
+/// the sharded fan-out trivially race-free: shard k's thread is the sole
+/// issuer for shard k's device, and Run() joins before returning, so no
+/// two jobs for the same shard can ever overlap.
+class ShardPool {
+ public:
+  explicit ShardPool(size_t shards);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Runs jobs[k] on shard thread k (null entries are skipped) and blocks
+  /// until every job has finished — the join barrier. Returns the first
+  /// non-OK result in shard order. Not reentrant: one Run() at a time.
+  Status Run(std::vector<std::function<Status()>> jobs);
+
+ private:
+  void WorkerLoop(size_t shard);
+
+  struct Slot {
+    std::function<Status()> job;
+    bool has_job = false;
+    Status result;
+  };
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<Slot> slots_;
+  size_t outstanding_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Stripes a flat block space across K backing volumes, block-granular
+/// round-robin: global block g lives on shard g % K at local offset
+/// g / K. A sequence of ascending global ids therefore maps to ascending
+/// (and for stride-K runs, sequential) local ids on every shard, which
+/// preserves the rotational-disk locality the elevator schedule creates.
+///
+/// All I/O — single-block and vectored — is executed on the owning
+/// shard's pool thread; vectored calls fan out to every involved shard in
+/// parallel and join before returning. The facade itself follows the
+/// single-issuer contract of block_device.h (callers must not overlap
+/// calls into it); underneath, shard thread k is the sole issuer for
+/// shards[k] over the device's whole lifetime.
+///
+/// Virtual time: with a per-shard clock sampler installed (normally each
+/// shard's SimBlockDevice clock), the facade maintains a parallel virtual
+/// clock — each fan-out advances it by the *maximum* per-shard clock
+/// delta, i.e. the slowest spindle in the join, not the sum. This is the
+/// clock the sharded benchmarks measure.
+class ShardedBlockDevice : public BlockDevice {
+ public:
+  /// Does not take ownership of `shards`, which must all outlive this
+  /// object, share one block size, and be non-empty.
+  explicit ShardedBlockDevice(std::vector<BlockDevice*> shards);
+
+  using BlockDevice::ReadBlock;
+  using BlockDevice::WriteBlock;
+  using BlockDevice::ReadBlocks;
+
+  Status ReadBlock(uint64_t block_id, uint8_t* out) override;
+  Status WriteBlock(uint64_t block_id, const uint8_t* data) override;
+  Status ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) override;
+  Status WriteBlocks(std::span<const uint64_t> ids,
+                     const uint8_t* data) override;
+  uint64_t num_blocks() const override { return num_blocks_; }
+  size_t block_size() const override { return block_size_; }
+  Status Flush() override;
+
+  size_t shard_count() const { return shards_.size(); }
+  BlockDevice* shard(size_t k) { return shards_[k]; }
+
+  uint64_t ShardOf(uint64_t block_id) const {
+    return block_id % shards_.size();
+  }
+  uint64_t LocalBlock(uint64_t block_id) const {
+    return block_id / shards_.size();
+  }
+  uint64_t GlobalBlock(size_t shard, uint64_t local) const {
+    return local * shards_.size() + shard;
+  }
+
+  /// Installs the per-shard virtual-clock sampler feeding the parallel
+  /// clock (typically `[&](size_t k) { return sims[k]->clock_ms(); }`).
+  void set_shard_clock_fn(std::function<double(size_t)> fn) {
+    shard_clock_ = std::move(fn);
+  }
+  /// Parallel virtual clock: sum over fan-outs of the max per-shard
+  /// delta. Zero when no sampler is installed.
+  double clock_ms() const {
+    return clock_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Runs arbitrary per-shard jobs on the shard threads with the same
+  /// join barrier and max-delta clock accounting as the built-in fan-out.
+  /// Used by ShardedIoScheduler to drain per-shard queues in parallel.
+  Status RunOnShards(std::vector<std::function<Status()>> jobs);
+
+ private:
+  /// Shared fan-out: exactly one of `out` / `data` is non-null.
+  Status FanOut(std::span<const uint64_t> ids, uint8_t* out,
+                const uint8_t* data);
+
+  std::vector<BlockDevice*> shards_;
+  uint64_t num_blocks_;
+  size_t block_size_;
+  ShardPool pool_;
+  std::function<double(size_t)> shard_clock_;
+  std::atomic<double> clock_ms_{0.0};
+  // Fan-out scratch, indexed by shard. The split vectors are built by the
+  // issuer; each staging buffer is touched only by its shard's thread,
+  // strictly between the issuer's dispatch and the join.
+  std::vector<std::vector<uint64_t>> split_local_;
+  std::vector<std::vector<size_t>> split_pos_;
+  std::vector<std::vector<uint8_t>> staging_;
+};
+
+/// Owns a ready-to-use sharded simulation stack for benchmarks and
+/// tests: K MemBlockDevice shards, each optionally wrapped in a
+/// TraceBlockDevice (per-shard attacker view) and always in a
+/// SimBlockDevice with its own DiskModel clock, striped by a
+/// ShardedBlockDevice whose parallel clock samples the per-shard sims.
+class VolumeSet {
+ public:
+  struct Options {
+    size_t shards = 4;
+    /// Global capacity; each shard gets ceil(total_blocks / shards).
+    uint64_t total_blocks = 0;
+    size_t block_size = kDefaultBlockSize;
+    /// Insert a TraceBlockDevice between each shard's Mem and Sim layer.
+    bool traced = false;
+    /// Per-shard spindle parameters (every shard gets its own clock).
+    DiskModelParams disk;
+  };
+
+  explicit VolumeSet(const Options& options);
+
+  ShardedBlockDevice& device() { return *device_; }
+  size_t shard_count() const { return sims_.size(); }
+  MemBlockDevice& mem(size_t k) { return *mems_[k]; }
+  SimBlockDevice& sim(size_t k) { return *sims_[k]; }
+  /// Null when Options::traced was false.
+  TraceBlockDevice* trace(size_t k) {
+    return traces_.empty() ? nullptr : traces_[k].get();
+  }
+  /// The facade's parallel virtual clock (max-delta over joins).
+  double clock_ms() const { return device_->clock_ms(); }
+
+ private:
+  std::vector<std::unique_ptr<MemBlockDevice>> mems_;
+  std::vector<std::unique_ptr<TraceBlockDevice>> traces_;
+  std::vector<std::unique_ptr<SimBlockDevice>> sims_;
+  std::unique_ptr<ShardedBlockDevice> device_;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_VOLUME_SET_H_

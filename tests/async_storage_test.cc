@@ -239,6 +239,199 @@ TEST(IoSchedulerTest, ReadsIssueBeforeWritesAcrossBatches) {
   EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 3, image));
 }
 
+TEST(IoSchedulerTest, ForwardedReadObservesLatestWriteAcrossBatches) {
+  // Forwarding must track the newest pending image across *batches*, not
+  // just within one: a write superseded by a later batch is unobservable
+  // to any read submitted after the supersession.
+  TracedMemDevice dev(8, 512);
+  IoScheduler scheduler(&dev.traced());
+  const Bytes first = GoldenBlock(31, 6, 512);
+  const Bytes second = GoldenBlock(32, 6, 512);
+  Bytes out(512);
+  IoBatch b1, b2, b3;
+  b1.Write(6, first.data());
+  b2.Write(6, second.data());
+  b3.Read(6, out.data());
+  scheduler.Submit(std::move(b1));
+  scheduler.Submit(std::move(b2));
+  scheduler.Submit(std::move(b3));
+  ASSERT_TRUE(scheduler.Drain().ok());
+  EXPECT_EQ(out, second);
+  EXPECT_EQ(scheduler.stats().forwarded_reads, 1u);
+  EXPECT_EQ(scheduler.stats().superseded_writes, 1u);
+  // One physical write of the surviving image; the read never hit disk.
+  const IoTrace expected = {{TraceEvent::Kind::kWrite, 6}};
+  EXPECT_EQ(dev.trace(), expected);
+  EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 6, second));
+}
+
+TEST(IoSchedulerTest, InterleavedWritesAndReadsForwardPerEpochAcrossBatches) {
+  // write / read / write / read across four batches: each read observes
+  // the image pending at its submission point, and only the final write
+  // becomes physical.
+  TracedMemDevice dev(8, 512);
+  IoScheduler scheduler(&dev.traced());
+  const Bytes first = GoldenBlock(41, 2, 512);
+  const Bytes second = GoldenBlock(42, 2, 512);
+  Bytes between(512), after(512);
+  IoBatch b1, b2, b3, b4;
+  b1.Write(2, first.data());
+  b2.Read(2, between.data());
+  b3.Write(2, second.data());
+  b4.Read(2, after.data());
+  scheduler.Submit(std::move(b1));
+  scheduler.Submit(std::move(b2));
+  scheduler.Submit(std::move(b3));
+  scheduler.Submit(std::move(b4));
+  ASSERT_TRUE(scheduler.Drain().ok());
+  EXPECT_EQ(between, first);
+  EXPECT_EQ(after, second);
+  EXPECT_EQ(scheduler.stats().forwarded_reads, 2u);
+  EXPECT_EQ(scheduler.stats().superseded_writes, 1u);
+  EXPECT_EQ(scheduler.stats().physical_reads, 0u);
+  const IoTrace expected = {{TraceEvent::Kind::kWrite, 2}};
+  EXPECT_EQ(dev.trace(), expected);
+  EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), 2, second));
+}
+
+/// Decorator that counts how the layer above vectorizes: every
+/// ReadBlocks/WriteBlocks span length, forwarded verbatim to the inner
+/// device (whose default implementation keeps per-block trace events).
+class VectorSpanCountingDevice : public BlockDevice {
+ public:
+  explicit VectorSpanCountingDevice(BlockDevice* inner) : inner_(inner) {}
+
+  Status ReadBlock(uint64_t id, uint8_t* out) override {
+    read_spans.push_back(1);
+    return inner_->ReadBlock(id, out);
+  }
+  Status WriteBlock(uint64_t id, const uint8_t* data) override {
+    write_spans.push_back(1);
+    return inner_->WriteBlock(id, data);
+  }
+  Status ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) override {
+    read_spans.push_back(ids.size());
+    return inner_->ReadBlocks(ids, out);
+  }
+  Status WriteBlocks(std::span<const uint64_t> ids,
+                     const uint8_t* data) override {
+    write_spans.push_back(ids.size());
+    return inner_->WriteBlocks(ids, data);
+  }
+  uint64_t num_blocks() const override { return inner_->num_blocks(); }
+  size_t block_size() const override { return inner_->block_size(); }
+  Status Flush() override { return inner_->Flush(); }
+
+  std::vector<size_t> read_spans;
+  std::vector<size_t> write_spans;
+
+ private:
+  BlockDevice* inner_;
+};
+
+TEST(IoSchedulerTest, ElevatorFoldsContiguousRunsIntoVectoredCalls) {
+  // Ascending elevator runs whose primary buffers sit contiguously fold
+  // into one vectored device call; the per-block counters and the
+  // attacker-visible trace are pinned unchanged.
+  TracedMemDevice dev(64, 512);
+  ASSERT_TRUE(FillGolden(dev.mem(), 23).ok());
+  VectorSpanCountingDevice counted(&dev.traced());
+  IoScheduler scheduler(&counted);
+
+  // One arena with deliberate gaps, so the adjacency the fold keys on is
+  // deterministic: the run occupies slots 0..3, the duplicate and the
+  // stray sit past a hole at slot 4.
+  Bytes arena(8 * 512);
+  uint8_t* const run = arena.data();
+  uint8_t* const dup = arena.data() + 5 * 512;
+  uint8_t* const stray = arena.data() + 7 * 512;
+  IoBatch batch;
+  for (size_t i = 0; uint64_t id : {5, 6, 7, 8}) {
+    batch.Read(id, run + (i++) * 512);
+  }
+  batch.Read(6, dup);    // coalesces into the run's block 6
+  batch.Read(2, stray);  // ascending-first but not contiguous
+  ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+
+  // Two vectored calls: the stray single, then the 4-block run.
+  EXPECT_EQ(counted.read_spans, (std::vector<size_t>{1, 4}));
+  EXPECT_EQ(scheduler.stats().physical_reads, 5u);
+  EXPECT_EQ(scheduler.stats().coalesced_reads, 1u);
+  const IoTrace expected = {{TraceEvent::Kind::kRead, 2},
+                            {TraceEvent::Kind::kRead, 5},
+                            {TraceEvent::Kind::kRead, 6},
+                            {TraceEvent::Kind::kRead, 7},
+                            {TraceEvent::Kind::kRead, 8}};
+  EXPECT_EQ(dev.trace(), expected);
+  for (size_t i = 0; uint64_t id : {5, 6, 7, 8}) {
+    EXPECT_EQ(Bytes(run + i * 512, run + (i + 1) * 512),
+              GoldenBlock(23, id, 512));
+    ++i;
+  }
+  EXPECT_EQ(Bytes(dup, dup + 512), GoldenBlock(23, 6, 512));
+  EXPECT_EQ(Bytes(stray, stray + 512), GoldenBlock(23, 2, 512));
+
+  // Same shape on the write side: images in slots 0..2, the lone write's
+  // image past a hole at slot 3.
+  dev.traced().ClearTrace();
+  Bytes warena(5 * 512);
+  for (size_t i = 0; uint64_t id : {10, 11, 12}) {
+    const Bytes block = GoldenBlock(29, id, 512);
+    std::copy(block.begin(), block.end(), warena.begin() + (i++) * 512);
+  }
+  const Bytes lone_image = GoldenBlock(29, 3, 512);
+  std::copy(lone_image.begin(), lone_image.end(),
+            warena.begin() + 4 * 512);
+  IoBatch wbatch;
+  for (size_t i = 0; uint64_t id : {10, 11, 12}) {
+    wbatch.Write(id, warena.data() + (i++) * 512);
+  }
+  wbatch.Write(3, warena.data() + 4 * 512);
+  ASSERT_TRUE(scheduler.Run(std::move(wbatch)).ok());
+  EXPECT_EQ(counted.write_spans, (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(scheduler.stats().physical_writes, 4u);
+  const IoTrace wexpected = {{TraceEvent::Kind::kWrite, 3},
+                             {TraceEvent::Kind::kWrite, 10},
+                             {TraceEvent::Kind::kWrite, 11},
+                             {TraceEvent::Kind::kWrite, 12}};
+  EXPECT_EQ(dev.trace(), wexpected);
+  for (uint64_t id : {3, 10, 11, 12}) {
+    EXPECT_TRUE(steghide::testing::BlockEquals(dev.mem(), id,
+                                               GoldenBlock(29, id, 512)));
+  }
+}
+
+TEST(IoSchedulerTest, PreservePatternFoldsContiguousRunsWithoutTraceChange) {
+  // The verbatim path folds contiguous same-op runs too — including
+  // duplicate probe reads, which must stay physically visible.
+  TracedMemDevice dev(64, 512);
+  ASSERT_TRUE(FillGolden(dev.mem(), 37).ok());
+  VectorSpanCountingDevice counted(&dev.traced());
+  IoScheduler scheduler(&counted);
+  scheduler.set_preserve_pattern(true);
+
+  Bytes bufs(4 * 512);
+  IoBatch batch;
+  for (size_t i = 0; uint64_t id : {40, 7, 7, 2}) {
+    batch.Read(id, bufs.data() + (i++) * 512);
+  }
+  ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+  // One vectored call carrying the whole probe stream, duplicate intact.
+  EXPECT_EQ(counted.read_spans, (std::vector<size_t>{4}));
+  EXPECT_EQ(scheduler.stats().physical_reads, 4u);
+  EXPECT_EQ(scheduler.stats().coalesced_reads, 0u);
+  const IoTrace expected = {{TraceEvent::Kind::kRead, 40},
+                            {TraceEvent::Kind::kRead, 7},
+                            {TraceEvent::Kind::kRead, 7},
+                            {TraceEvent::Kind::kRead, 2}};
+  EXPECT_EQ(dev.trace(), expected);
+  for (size_t i = 0; uint64_t id : {40, 7, 7, 2}) {
+    EXPECT_EQ(Bytes(bufs.begin() + i * 512, bufs.begin() + (i + 1) * 512),
+              GoldenBlock(37, id, 512));
+    ++i;
+  }
+}
+
 TEST(IoSchedulerTest, ErrorFailsAllFuturesInWindow) {
   MemBlockDevice mem(4, 512);
   IoScheduler scheduler(&mem);

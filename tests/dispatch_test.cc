@@ -317,6 +317,128 @@ TEST(DispatchTraceEquivalenceTest, ArrivalOrderDoesNotChangeTheTouchCounts) {
   EXPECT_EQ(trace_a.size(), trace_b.size());
 }
 
+// ---- session teardown ----------------------------------------------------
+
+TEST(DispatchTeardownTest, SessionCloseMidWindowReleasesTheGroup) {
+  // Regression: the fill target counts open sessions, so sessions that
+  // close mid-window must shrink it. Here two idle sessions close while
+  // two loaded ones have requests pending; the group must commit as soon
+  // as the population drops to the pending count, not wait out a window
+  // sized far beyond the test timeout.
+  System sys(201);
+  const size_t payload = sys.core.payload_size();
+  const auto ids = sys.Populate(2, 2);
+
+  DispatcherOptions options;
+  options.max_batch = 8;
+  options.commit_window = std::chrono::seconds(30);
+  RequestDispatcher dispatcher(sys.agent.get(), options);
+
+  std::vector<std::unique_ptr<RequestDispatcher::Session>> sessions;
+  for (size_t u = 0; u < 4; ++u) sessions.push_back(dispatcher.OpenSession());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto read0 = sessions[0]->AsyncRead(ids[0], 0, payload);
+  auto read1 = sessions[1]->AsyncRead(ids[1], 0, payload);
+  // Give the worker time to enter the linger (queue 2 < target 4), then
+  // tear down the two sessions that will never submit.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  sessions.resize(2);
+
+  ASSERT_EQ(read0.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready)
+      << "group stalled on closed sessions";
+  ASSERT_EQ(read1.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(20));
+
+  auto data0 = read0.get();
+  auto data1 = read1.get();
+  ASSERT_TRUE(data0.ok());
+  ASSERT_TRUE(data1.ok());
+  EXPECT_EQ(*data0, sys.ExpectedBlock(0, 0));
+  EXPECT_EQ(*data1, sys.ExpectedBlock(1, 0));
+  sessions.clear();
+  dispatcher.Stop();
+  EXPECT_EQ(dispatcher.stats().requests, 2u);
+}
+
+TEST(DispatchTeardownTest, LastSessionCloseFlushesItsQueuedRequest) {
+  // Regression: with every session closed, the fill target used to fall
+  // back to max_batch — an async request whose session was torn down
+  // right after submitting would stall for the whole commit window. The
+  // sessions_seen_ latch makes an emptied session population target 1.
+  System sys(202);
+  const size_t payload = sys.core.payload_size();
+  const auto ids = sys.Populate(1, 2);
+
+  DispatcherOptions options;
+  options.max_batch = 8;
+  options.commit_window = std::chrono::seconds(30);
+  RequestDispatcher dispatcher(sys.agent.get(), options);
+
+  // Two sessions, so the linger starts with target 2 > the one pending
+  // request; both then close with the request still queued.
+  auto submitter = dispatcher.OpenSession();
+  auto bystander = dispatcher.OpenSession();
+  const auto start = std::chrono::steady_clock::now();
+  auto read = submitter->AsyncRead(ids[0], 0, payload);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  submitter.reset();
+  bystander.reset();
+
+  ASSERT_EQ(read.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready)
+      << "queued request stalled after all sessions closed";
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(20));
+  auto data = read.get();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, sys.ExpectedBlock(0, 0));
+  dispatcher.Stop();
+}
+
+TEST(DispatchTeardownTest, ChurningSessionsUnderLoadNeverStall) {
+  // Sessions opening and closing continuously while loaded neighbours
+  // keep submitting: no combination of mid-window closes may stall a
+  // committed group or corrupt content.
+  System sys(203);
+  const size_t kUsers = 4;
+  const size_t payload = sys.core.payload_size();
+  const auto ids = sys.Populate(kUsers, 2);
+
+  DispatcherOptions options;
+  options.max_batch = 8;
+  options.commit_window = std::chrono::milliseconds(20);
+  RequestDispatcher dispatcher(sys.agent.get(), options);
+
+  std::vector<std::function<Status()>> users;
+  for (size_t u = 0; u < kUsers; ++u) {
+    users.push_back([&, u]() -> Status {
+      Rng rng(7000 + u);
+      for (size_t op = 0; op < 8; ++op) {
+        // A fresh session per op: every iteration closes mid-stream
+        // relative to the other threads' windows.
+        auto session = dispatcher.OpenSession();
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(rng.Uniform(300)));
+        STEGHIDE_ASSIGN_OR_RETURN(
+            const Bytes back, session->Read(ids[u], 0, payload));
+        if (back != sys.ExpectedBlock(u, 0)) {
+          return Status::Internal("content mismatch under session churn");
+        }
+      }
+      return Status::OK();
+    });
+  }
+  for (const Status& status : workload::RunOnThreads(std::move(users))) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  dispatcher.Stop();
+  EXPECT_EQ(dispatcher.stats().requests, kUsers * 8);
+}
+
 // ---- stress --------------------------------------------------------------
 
 TEST(DispatchStressTest, ManyThreadsManyOpsKeepIntegrity) {

@@ -105,22 +105,36 @@ def main():
 
     baseline_dir = pathlib.Path(args.baseline)
     current_dir = pathlib.Path(args.current)
-    regressions, improvements, skipped = [], [], []
+    regressions, improvements, skipped, fresh = [], [], [], []
 
     for current_file in sorted(current_dir.glob("*.json")):
         baseline_file = baseline_dir / current_file.name
         if not baseline_file.exists():
-            skipped.append(f"{current_file.name}: no baseline file")
+            fresh.append(f"{current_file.name}: new counter file "
+                         f"(no baseline)")
             continue
         base = load_metrics(baseline_file)
         cur = load_metrics(current_file)
         for name, metrics in sorted(cur.items()):
             if name not in base:
-                skipped.append(f"{current_file.name} :: {name}: new benchmark")
+                fresh.append(f"{current_file.name} :: {name}: new benchmark")
                 continue
             for metric, value in sorted(metrics.items()):
                 ref = base[name].get(metric)
-                if ref is None or ref < args.min_abs:
+                if ref is None:
+                    # A tracked counter with no baseline value: cannot be
+                    # gated this run, but the artifact this run archives
+                    # becomes the next scheduled run's baseline, so it
+                    # enters the gate there. Surface it instead of
+                    # silently skipping so a renamed counter cannot fall
+                    # out of the diff unnoticed.
+                    fresh.append(f"{current_file.name} :: {name} :: "
+                                 f"{metric}: new counter "
+                                 f"(current {value:.6g})")
+                    continue
+                if ref < args.min_abs:
+                    skipped.append(f"{current_file.name} :: {name} :: "
+                                   f"{metric}: baseline below --min-abs")
                     continue
                 # Orient so that positive `rel` is always "worse".
                 rel = (value - ref) / ref
@@ -136,6 +150,10 @@ def main():
 
     for line in skipped:
         print(f"skip      {line}")
+    for line in fresh:
+        print(f"fresh     {line}")
+        print(f"::notice::bench counter has no baseline yet (gating "
+              f"starts next scheduled run): {line}")
     for line in improvements:
         print(f"improved  {line}")
         print(f"::notice::bench improved: {line}")
