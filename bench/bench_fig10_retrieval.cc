@@ -124,9 +124,13 @@ void RunDispatchSweep(benchmark::State& state, uint64_t users) {
     const DispatchRun blocking =
         RunDispatchedServing(users, kFileBlocks, 9000 + users, kBuffer,
                              /*deamortize=*/false, read_task);
-    const DispatchRun deamort =
-        RunDispatchedServing(users, kFileBlocks, 9000 + users, kBuffer,
-                             /*deamortize=*/true, read_task);
+    // Only the measured (deamortized) configuration gets the process
+    // observability sinks: the serial/blocking twins stay uninstrumented
+    // so the exported timeline/metrics describe one system.
+    const DispatchRun deamort = RunDispatchedServing(
+        users, kFileBlocks, 9000 + users, kBuffer,
+        /*deamortize=*/true, read_task, /*cache_shards=*/0, GlobalMetrics(),
+        GlobalTrace());
 
     state.counters["users"] = static_cast<double>(users);
     state.counters["requests"] = static_cast<double>(requests);
@@ -157,6 +161,7 @@ void RunDispatchSweep(benchmark::State& state, uint64_t users) {
     state.counters["serial_scan_passes"] =
         static_cast<double>(sst.scan_passes - serial_before.scan_passes);
     state.counters["p50_latency_ms"] = deamort.dstats.p50_latency_ms;
+    state.counters["p90_latency_ms"] = deamort.dstats.p90_latency_ms;
     state.counters["p99_latency_ms"] = deamort.dstats.p99_latency_ms;
     state.counters["blocking_p50_latency_ms"] = blocking.dstats.p50_latency_ms;
     state.counters["blocking_p99_latency_ms"] = blocking.dstats.p99_latency_ms;
@@ -175,7 +180,10 @@ void RunDispatchSweep(benchmark::State& state, uint64_t users) {
         sst.retrieve_ms - serial_before.retrieve_ms;
     state.counters["serial_sort_ms"] = sst.sort_ms - serial_before.sort_ms;
     state.counters["max_stall_ms"] = deamort.max_stall_ms;
+    state.counters["stall_p99_ms"] = deamort.stall_p99_ms;
     state.counters["blocking_max_stall_ms"] = blocking.max_stall_ms;
+    state.counters["blocking_stall_p99_ms"] = blocking.stall_p99_ms;
+    state.counters["queue_depth_p99"] = deamort.queue_depth_p99;
     state.counters["reorder_steps"] = deamort.reorder_steps;
     for (size_t l = 0; l < deamort.reorder_ms.size(); ++l) {
       state.counters["reorder_ms_l" + std::to_string(l + 1)] =

@@ -10,6 +10,9 @@
 
 #include "agent/dispatch/request_dispatcher.h"
 #include "agent/nonvolatile_agent.h"
+#include "obs/metrics.h"
+#include "obs/snapshotter.h"
+#include "obs/trace_log.h"
 #include "agent/oblivious_agent.h"
 #include "agent/volatile_agent.h"
 #include "workload/concurrency.h"
@@ -171,10 +174,16 @@ struct ObliviousSystemUnderTest {
 /// traffic (no first-touch miss-fills). With `deamortize`, the cache
 /// device grows a shadow mirror and re-orders run as incremental
 /// double-buffered chains (the dispatcher pumps them in idle gaps).
+/// `registry`/`trace` (both optional) wire the whole funnel's
+/// observability: the store, scheduler, agent and reader register their
+/// instruments, the simulated devices export per-spindle utilization
+/// ("steg.*", "cache.*" / "cache.shard<k>.*"), and the trace log's
+/// virtual clock is bound to this system's summed disk clocks.
 inline ObliviousSystemUnderTest MakeObliviousSystem(
     uint64_t users, uint64_t file_blocks, uint64_t seed,
     uint64_t buffer_blocks, bool prewarm, bool deamortize = false,
-    size_t cache_shards = 0) {
+    size_t cache_shards = 0, obs::Registry* registry = nullptr,
+    obs::TraceLog* trace = nullptr) {
   ObliviousSystemUnderTest sys;
 
   uint64_t capacity = 2 * buffer_blocks;
@@ -226,6 +235,8 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
   opts.deamortize_reorders = deamortize;
   opts.drbg_seed = seed ^ 0x6f626c69;
   opts.charge_index_io = true;  // §5.1.2 spilled-index serving variant
+  opts.registry = registry;
+  opts.trace = trace;
   auto agent =
       agent::ObliviousAgent::Create(sys.core.get(), cache_device, opts);
   if (!agent.ok()) std::abort();
@@ -236,10 +247,29 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
       storage::ShardedBlockDevice* cache = &sys.cache_volumes->device();
       sys.agent->store().set_clock_fn(
           [steg, cache] { return steg->clock_ms() + cache->clock_ms(); });
+      if (trace != nullptr) {
+        trace->set_clock_fn(
+            [steg, cache] { return steg->clock_ms() + cache->clock_ms(); });
+      }
     } else {
       storage::SimBlockDevice* cache = sys.cache_sim.get();
       sys.agent->store().set_clock_fn(
           [steg, cache] { return steg->clock_ms() + cache->clock_ms(); });
+      if (trace != nullptr) {
+        trace->set_clock_fn(
+            [steg, cache] { return steg->clock_ms() + cache->clock_ms(); });
+      }
+    }
+  }
+  if (registry != nullptr) {
+    sys.steg_sim->RegisterMetrics(registry, "steg");
+    if (sys.cache_volumes) {
+      for (size_t k = 0; k < sys.cache_volumes->shard_count(); ++k) {
+        sys.cache_volumes->sim(k).RegisterMetrics(
+            registry, "cache.shard" + std::to_string(k));
+      }
+    } else {
+      sys.cache_sim->RegisterMetrics(registry, "cache");
     }
   }
 
@@ -295,21 +325,32 @@ struct DispatchRun {
   double retrieve_ms = 0;
   double sort_ms = 0;
   double max_stall_ms = 0;
+  /// p99 of the per-flush/per-step stall histogram (virtual ms).
+  double stall_p99_ms = 0;
+  /// p99 of the cache scheduler's per-drain queue depth (requests).
+  double queue_depth_p99 = 0;
   double reorder_steps = 0;
   uint64_t scan_passes = 0;
   std::vector<double> reorder_ms;
   agent::DispatcherStats dstats;
 };
 
+/// `registry`/`trace` (optional, typically harness GlobalMetrics() /
+/// GlobalTrace() for the measured configuration only) instrument the run:
+/// the trace log is cleared and armed for the serving phase, a
+/// StatsSnapshotter folds periodic counter samples into the timeline
+/// from the dispatcher's pump, and the registry is latched before
+/// teardown so end-of-process dumps keep the final values.
 inline DispatchRun RunDispatchedServing(
     uint64_t users, uint64_t file_blocks, uint64_t seed, uint64_t buffer,
     bool deamortize,
     const std::function<Status(agent::RequestDispatcher::Session&,
                                agent::ObliviousAgent::FileId, uint64_t)>&
         task,
-    size_t cache_shards = 0) {
+    size_t cache_shards = 0, obs::Registry* registry = nullptr,
+    obs::TraceLog* trace = nullptr) {
   auto sys = MakeObliviousSystem(users, file_blocks, seed, buffer, true,
-                                 deamortize, cache_shards);
+                                 deamortize, cache_shards, registry, trace);
   agent::DispatcherOptions options;
   options.max_batch = buffer;
   // Wide wall-clock window: group composition then depends on the
@@ -318,7 +359,21 @@ inline DispatchRun RunDispatchedServing(
   // window, so the wall cost is nil.
   options.commit_window = std::chrono::milliseconds(50);
   options.clock_fn = [&sys] { return sys.clock_ms(); };
+  options.registry = registry;
+  options.trace = trace;
+  std::unique_ptr<obs::StatsSnapshotter> snapshotter;
+  if (registry != nullptr && trace != nullptr) {
+    snapshotter = std::make_unique<obs::StatsSnapshotter>(
+        registry, trace, /*interval_ms=*/50.0);
+    options.snapshotter = snapshotter.get();
+  }
   sys.agent->store().ResetStats();
+  if (trace != nullptr) {
+    // Arm for the serving phase only; each instrumented run restarts the
+    // timeline, so the exported trace shows the last configuration.
+    trace->Clear();
+    trace->set_enabled(true);
+  }
   const double t0 = sys.clock_ms();
   agent::RequestDispatcher dispatcher(sys.agent.get(), options);
   {
@@ -353,10 +408,16 @@ inline DispatchRun RunDispatchedServing(
   run.retrieve_ms = stats.retrieve_ms;
   run.sort_ms = stats.sort_ms;
   run.max_stall_ms = stats.max_stall_ms;
+  run.stall_p99_ms = stats.stall_p99_ms;
+  run.queue_depth_p99 = sys.agent->store().io_stats().queue_depth_p99;
   run.reorder_steps = static_cast<double>(stats.reorder_steps);
   run.scan_passes = stats.scan_passes;
   run.reorder_ms = stats.reorder_ms;
   run.dstats = dispatcher.stats();
+  if (trace != nullptr) trace->set_enabled(false);
+  // Latch while the instruments are still alive: sys tears down at
+  // return, and the end-of-process --metrics dump wants final values.
+  if (registry != nullptr) registry->Latch();
   return run;
 }
 

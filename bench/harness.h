@@ -12,18 +12,48 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+#include "obs/trace_log.h"
+
 namespace steghide::bench {
 
-/// Shared entry point for every bench binary. Handles the one flag the
+/// Shared entry point for every bench binary. Handles the flags the
 /// Google Benchmark flag parser does not know about:
 ///
-///   --json=<path>   write the per-benchmark counters (the virtual-
-///                   disk-ms numbers behind each figure point) as JSON,
-///                   in addition to the normal console output. This is
-///                   what CI archives for regression tracking.
+///   --json=<path>     write the per-benchmark counters (the virtual-
+///                     disk-ms numbers behind each figure point) as
+///                     JSON, in addition to the normal console output.
+///                     This is what CI archives for regression tracking.
+///   --trace=<path>    arm the process-wide obs::TraceLog and write the
+///                     collected request/span timeline as Chrome
+///                     trace_event JSON (Perfetto-loadable) on exit.
+///                     Benches that support tracing clear + re-arm the
+///                     log per instrumented run, so the export shows the
+///                     last instrumented configuration.
+///   --metrics=<path>  register instrumented runs against the
+///                     process-wide obs::Registry and write the final
+///                     latched name->value snapshot as JSON on exit.
 ///
 /// Mains register their benchmarks, then `return RunBenchmarks(argc,
 /// argv);`.
+
+namespace internal {
+inline std::string g_trace_path;    // NOLINT: set once in RunBenchmarks
+inline std::string g_metrics_path;  // NOLINT
+}  // namespace internal
+
+/// Span/timeline sink for instrumented runs; null unless --trace was
+/// given, so benches wire observability only when asked.
+inline obs::TraceLog* GlobalTrace() {
+  return internal::g_trace_path.empty() ? nullptr : &obs::TraceLog::Default();
+}
+
+/// Metrics sink for instrumented runs; null unless --metrics was given.
+inline obs::Registry* GlobalMetrics() {
+  return internal::g_metrics_path.empty() ? nullptr
+                                          : &obs::Registry::Default();
+}
 class JsonTeeReporter : public benchmark::ConsoleReporter {
  public:
   struct Record {
@@ -99,8 +129,16 @@ inline int RunBenchmarks(int argc, char** argv) {
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     constexpr const char kJsonFlag[] = "--json=";
+    constexpr const char kTraceFlag[] = "--trace=";
+    constexpr const char kMetricsFlag[] = "--metrics=";
     if (std::strncmp(argv[i], kJsonFlag, sizeof(kJsonFlag) - 1) == 0) {
       json_path = argv[i] + sizeof(kJsonFlag) - 1;
+    } else if (std::strncmp(argv[i], kTraceFlag, sizeof(kTraceFlag) - 1) ==
+               0) {
+      internal::g_trace_path = argv[i] + sizeof(kTraceFlag) - 1;
+    } else if (std::strncmp(argv[i], kMetricsFlag,
+                            sizeof(kMetricsFlag) - 1) == 0) {
+      internal::g_metrics_path = argv[i] + sizeof(kMetricsFlag) - 1;
     } else {
       args.push_back(argv[i]);
     }
@@ -115,6 +153,20 @@ inline int RunBenchmarks(int argc, char** argv) {
   if (!json_path.empty() && !reporter.WriteJson(json_path)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
+  }
+  if (obs::TraceLog* trace = GlobalTrace(); trace != nullptr) {
+    if (!obs::WriteChromeTrace(*trace, internal::g_trace_path)) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   internal::g_trace_path.c_str());
+      return 1;
+    }
+  }
+  if (obs::Registry* registry = GlobalMetrics(); registry != nullptr) {
+    if (!obs::WriteMetricsJson(*registry, internal::g_metrics_path)) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   internal::g_metrics_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -9,6 +9,29 @@ RequestDispatcher::RequestDispatcher(ObliviousAgent* agent,
                                      DispatcherOptions options)
     : agent_(agent), options_(std::move(options)) {
   if (options_.max_batch == 0) options_.max_batch = 1;
+  // Wire observability before the worker starts so the thread never
+  // races a registration (the thread-create is the synchronizing edge).
+  if (options_.trace != nullptr) {
+    trace_track_ = options_.trace->RegisterTrack(options_.obs_prefix);
+  }
+  if (options_.registry != nullptr) {
+    registration_ = obs::Registration(options_.registry);
+    const std::string& p = options_.obs_prefix;
+    registration_.Counter(p + ".requests", &cells_.requests);
+    registration_.Counter(p + ".read_requests", &cells_.read_requests);
+    registration_.Counter(p + ".write_requests", &cells_.write_requests);
+    registration_.Counter(p + ".groups", &cells_.groups);
+    registration_.Counter(p + ".read_groups", &cells_.read_groups);
+    registration_.Counter(p + ".write_groups", &cells_.write_groups);
+    registration_.Counter(p + ".grouped_requests", &cells_.grouped_requests);
+    registration_.Counter(p + ".maintenance_pumps",
+                          &cells_.maintenance_pumps);
+    registration_.Counter(p + ".maintenance_pump_errors",
+                          &cells_.maintenance_pump_errors);
+    registration_.Histogram(p + ".latency_ms", &cells_.latency_ms);
+    registration_.Histogram(p + ".fill", &cells_.fill);
+    registration_.Gauge(p + ".queue_depth", &cells_.queue_depth);
+  }
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -70,6 +93,11 @@ std::future<Result<Bytes>> RequestDispatcher::SubmitRead(FileId file,
           Status::FailedPrecondition("dispatcher stopped"));
       return future;
     }
+    pending.seq = next_seq_++;
+    if (options_.trace != nullptr) {
+      options_.trace->AsyncBegin("dispatch.request", pending.seq,
+                                 trace_track_, {{"write", 0}});
+    }
     queue_.push_back(std::move(pending));
   }
   cv_.notify_all();
@@ -90,6 +118,11 @@ std::future<Status> RequestDispatcher::SubmitWrite(FileId file,
       pending.write_promise.set_value(
           Status::FailedPrecondition("dispatcher stopped"));
       return future;
+    }
+    pending.seq = next_seq_++;
+    if (options_.trace != nullptr) {
+      options_.trace->AsyncBegin("dispatch.request", pending.seq,
+                                 trace_track_, {{"write", 1}});
     }
     queue_.push_back(std::move(pending));
   }
@@ -128,21 +161,18 @@ size_t RequestDispatcher::FillTargetLocked() const {
 bool RequestDispatcher::PumpMaintenance() {
   if (options_.maintenance_budget == 0) return false;
   if (!agent_->store().reorder_pending()) return false;
+  obs::ScopedSpan span(options_.trace, "dispatch.pump", trace_track_);
   auto more = agent_->PumpReorder(options_.maintenance_budget);
   if (!more.ok()) {
     // A failed slice must not read as "drained": record it and back off
     // to the condvar. The chain stays pending, and the same error will
     // surface to a caller through the serving path's own taxes/drains.
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++counters_.maintenance_pump_errors;
+    cells_.maintenance_pump_errors.Increment();
     return false;
   }
-  {
-    // Counts slices that advanced work — including the one that drains
-    // the chain dry.
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++counters_.maintenance_pumps;
-  }
+  // Counts slices that advanced work — including the one that drains
+  // the chain dry.
+  cells_.maintenance_pumps.Increment();
   return *more;
 }
 
@@ -187,6 +217,7 @@ void RequestDispatcher::WorkerLoop() {
     }
 
     std::vector<Pending> group;
+    cells_.queue_depth.Set(static_cast<double>(queue_.size()));
     const size_t take = std::min(options_.max_batch, queue_.size());
     group.reserve(take);
     for (size_t i = 0; i < take; ++i) {
@@ -199,11 +230,14 @@ void RequestDispatcher::WorkerLoop() {
     // Post-commit gap: callers are busy digesting their futures; slip
     // one re-order slice in before looking for the next group.
     PumpMaintenance();
+    if (options_.snapshotter != nullptr) options_.snapshotter->MaybeSample();
     lock.lock();
   }
 }
 
 void RequestDispatcher::CommitGroup(std::vector<Pending>& group) {
+  obs::ScopedSpan span(options_.trace, "dispatch.commit", trace_track_,
+                       {{"n", static_cast<int64_t>(group.size())}});
   // Partition while preserving arrival order within each kind.
   std::vector<size_t> read_at, write_at;
   for (size_t i = 0; i < group.size(); ++i) {
@@ -268,57 +302,51 @@ void RequestDispatcher::CommitGroup(std::vector<Pending>& group) {
     }
   }
 
-  // Record the aggregation counters and per-request latency stamps.
+  // Record the aggregation counters and per-request latency stamps —
+  // all atomic cells, so a concurrent stats() poll never tears.
   const double complete = Clock();
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  counters_.requests += group.size();
-  counters_.read_requests += read_at.size();
-  counters_.write_requests += write_at.size();
+  span.AddArg("reads", static_cast<int64_t>(read_at.size()));
+  span.AddArg("writes", static_cast<int64_t>(write_at.size()));
+  cells_.requests.Add(group.size());
+  cells_.read_requests.Add(read_at.size());
+  cells_.write_requests.Add(write_at.size());
   if (!read_at.empty()) {
-    ++counters_.groups;
-    ++counters_.read_groups;
-    counters_.max_fill = std::max<uint64_t>(counters_.max_fill,
-                                            read_at.size());
-    if (read_at.size() > 1) counters_.grouped_requests += read_at.size();
+    cells_.groups.Increment();
+    cells_.read_groups.Increment();
+    cells_.fill.Record(static_cast<double>(read_at.size()));
+    if (read_at.size() > 1) cells_.grouped_requests.Add(read_at.size());
   }
   if (!write_at.empty()) {
-    ++counters_.groups;
-    ++counters_.write_groups;
-    counters_.max_fill = std::max<uint64_t>(counters_.max_fill,
-                                            write_at.size());
-    if (write_at.size() > 1) counters_.grouped_requests += write_at.size();
+    cells_.groups.Increment();
+    cells_.write_groups.Increment();
+    cells_.fill.Record(static_cast<double>(write_at.size()));
+    if (write_at.size() > 1) cells_.grouped_requests.Add(write_at.size());
   }
   for (const Pending& pending : group) {
-    const double sample = complete - pending.arrive_clock;
-    ++latency_count_;
-    if (latency_samples_.size() < kLatencyReservoir) {
-      latency_samples_.push_back(sample);
-    } else {
-      // Algorithm R: keep each of the latency_count_ samples with equal
-      // probability. xorshift64 is plenty for sampling.
-      latency_rng_ ^= latency_rng_ << 13;
-      latency_rng_ ^= latency_rng_ >> 7;
-      latency_rng_ ^= latency_rng_ << 17;
-      const uint64_t j = latency_rng_ % latency_count_;
-      if (j < kLatencyReservoir) latency_samples_[j] = sample;
+    cells_.latency_ms.Record(complete - pending.arrive_clock);
+    if (options_.trace != nullptr) {
+      options_.trace->AsyncEnd("dispatch.request", pending.seq,
+                               trace_track_);
     }
   }
 }
 
 DispatcherStats RequestDispatcher::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  DispatcherStats out = counters_;
-  if (!latency_samples_.empty()) {
-    std::vector<double> sorted = latency_samples_;
-    std::sort(sorted.begin(), sorted.end());
-    const auto at = [&](double q) {
-      const size_t idx = std::min(
-          sorted.size() - 1,
-          static_cast<size_t>(q * static_cast<double>(sorted.size())));
-      return sorted[idx];
-    };
-    out.p50_latency_ms = at(0.50);
-    out.p99_latency_ms = at(0.99);
+  DispatcherStats out;
+  out.requests = cells_.requests.value();
+  out.read_requests = cells_.read_requests.value();
+  out.write_requests = cells_.write_requests.value();
+  out.groups = cells_.groups.value();
+  out.read_groups = cells_.read_groups.value();
+  out.write_groups = cells_.write_groups.value();
+  out.max_fill = static_cast<uint64_t>(cells_.fill.max());
+  out.grouped_requests = cells_.grouped_requests.value();
+  out.maintenance_pumps = cells_.maintenance_pumps.value();
+  out.maintenance_pump_errors = cells_.maintenance_pump_errors.value();
+  if (cells_.latency_ms.count() > 0) {
+    out.p50_latency_ms = cells_.latency_ms.Percentile(50);
+    out.p90_latency_ms = cells_.latency_ms.Percentile(90);
+    out.p99_latency_ms = cells_.latency_ms.Percentile(99);
   }
   return out;
 }

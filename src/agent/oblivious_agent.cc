@@ -23,8 +23,19 @@ Result<std::unique_ptr<ObliviousAgent>> ObliviousAgent::Create(
     const oblivious::ObliviousStoreOptions& store_options) {
   STEGHIDE_ASSIGN_OR_RETURN(auto store, oblivious::ObliviousStore::Create(
                                             cache_device, store_options));
-  return std::unique_ptr<ObliviousAgent>(
+  auto agent = std::unique_ptr<ObliviousAgent>(
       new ObliviousAgent(core, std::move(store)));
+  // The agent rides the store's observability wiring: its group spans go
+  // on an "agent" track of the same log, and the reader's counters join
+  // the same registry.
+  if (store_options.trace != nullptr) {
+    agent->trace_ = store_options.trace;
+    agent->trace_track_ = store_options.trace->RegisterTrack("agent");
+  }
+  if (store_options.registry != nullptr) {
+    agent->reader_->RegisterMetrics(store_options.registry, "reader");
+  }
+  return agent;
 }
 
 Result<Bytes> ObliviousAgent::Read(FileId id, uint64_t offset, size_t n) {
@@ -53,6 +64,8 @@ Result<std::vector<Bytes>> ObliviousAgent::ReadGroup(
 
 Result<std::vector<Bytes>> ObliviousAgent::ReadGroupImpl(
     std::span<const ReadRequest> requests) {
+  obs::ScopedSpan span(trace_, "agent.read_group", trace_track_,
+                       {{"n", static_cast<int64_t>(requests.size())}});
   const size_t payload = core_->payload_size();
 
   // One InspectFile per distinct file; the pointers stay valid for the
@@ -151,6 +164,8 @@ Status ObliviousAgent::WriteGroup(std::span<const WriteRequest> requests) {
 }
 
 Status ObliviousAgent::WriteGroupImpl(std::span<const WriteView> views) {
+  obs::ScopedSpan span(trace_, "agent.write_group", trace_track_,
+                       {{"n", static_cast<int64_t>(views.size())}});
   const size_t payload = core_->payload_size();
 
   // Per-file image pointer (re-inspected after relocating writes) and

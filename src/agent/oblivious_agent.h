@@ -9,6 +9,7 @@
 #include "agent/volatile_agent.h"
 #include "oblivious/oblivious_store.h"
 #include "oblivious/steg_partition_reader.h"
+#include "obs/trace_log.h"
 
 namespace steghide::agent {
 
@@ -173,6 +174,10 @@ class ObliviousAgent {
   VolatileAgent agent_;
   std::unique_ptr<oblivious::ObliviousStore> store_;
   std::unique_ptr<oblivious::StegPartitionReader> reader_;
+  /// Span sink shared with the store (ObliviousStoreOptions::trace);
+  /// null when observability is off.
+  obs::TraceLog* trace_ = nullptr;
+  uint32_t trace_track_ = 0;
   /// Serializes hidden-access I/O at group granularity (the reader and
   /// its Figure-8(a) state are single-threaded by contract).
   std::mutex io_mu_;

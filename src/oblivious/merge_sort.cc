@@ -36,7 +36,8 @@ void ExternalMergeSorter::Reset() {
   runs_.clear();
   scratch_used_ = 0;
   item_count_ = 0;
-  stats_ = Stats();
+  cells_.reads.Reset();
+  cells_.writes.Reset();
   merging_ = false;
   merge_done_ = false;
   mem_merge_ = false;
@@ -53,7 +54,7 @@ Status ExternalMergeSorter::Add(uint64_t src_block, uint64_t tag,
                                 uint64_t label) {
   Bytes block(codec_->block_size());
   STEGHIDE_RETURN_IF_ERROR(device_->ReadBlock(src_block, block.data()));
-  ++stats_.reads;
+  cells_.reads.Increment();
   Bytes payload(codec_->payload_size());
   STEGHIDE_RETURN_IF_ERROR(codec_->Open(*cipher_, block.data(), payload.data()));
   return AddInMemory(payload, tag, label);
@@ -99,7 +100,7 @@ Status ExternalMergeSorter::SpillRun() {
     run.labels.push_back(item.label);
   }
   STEGHIDE_RETURN_IF_ERROR(device_->WriteBlocks(ids, seal_scratch_.data()));
-  stats_.writes += ids.size();
+  cells_.writes.Add(ids.size());
   scratch_used_ += ids.size();
   runs_.push_back(std::move(run));
   pending_.clear();
@@ -155,7 +156,7 @@ Status ExternalMergeSorter::RefillCursor(Cursor& c) {
   }
   Bytes blocks;
   STEGHIDE_RETURN_IF_ERROR(device_->ReadBlocks(ids, blocks));
-  stats_.reads += ids.size();
+  cells_.reads.Add(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) {
     Bytes payload(codec_->payload_size());
     STEGHIDE_RETURN_IF_ERROR(codec_->Open(
@@ -180,7 +181,7 @@ Status ExternalMergeSorter::FlushOutput() {
     ids.push_back(dst_base_ + out_pos_ + i);
   }
   STEGHIDE_RETURN_IF_ERROR(device_->WriteBlocks(ids, seal_scratch_.data()));
-  stats_.writes += ids.size();
+  cells_.writes.Add(ids.size());
   out_pos_ += ids.size();
   out_chunk_.clear();
   return Status::OK();
@@ -281,9 +282,10 @@ Result<std::vector<uint64_t>> ExternalMergeSorter::Finish(uint64_t dst_base) {
   std::vector<uint64_t> order = TakeOrder();
   // Keep the legacy Finish() contract: the sorter is immediately reusable
   // for the next blocking re-order.
-  const Stats kept = stats_;
+  const Stats kept = stats();
   Reset();
-  stats_ = kept;
+  cells_.reads.Add(kept.reads);
+  cells_.writes.Add(kept.writes);
   return order;
 }
 

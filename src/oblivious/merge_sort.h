@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+
 #include "crypto/cbc.h"
 #include "crypto/drbg.h"
 #include "stegfs/block_codec.h"
@@ -38,6 +40,8 @@ namespace steghide::oblivious {
 /// MergeStep issues whole run/output chunks, never per-block I/O.
 class ExternalMergeSorter {
  public:
+  /// Snapshot view assembled from atomic cells, so re-order progress can
+  /// be polled from monitoring threads while a chain step is mid-merge.
   struct Stats {
     uint64_t reads = 0;
     uint64_t writes = 0;
@@ -95,7 +99,12 @@ class ExternalMergeSorter {
   void Reset();
 
   uint64_t item_count() const { return item_count_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.reads = cells_.reads.value();
+    s.writes = cells_.writes.value();
+    return s;
+  }
 
  private:
   struct Item {
@@ -130,7 +139,11 @@ class ExternalMergeSorter {
   std::vector<Item> pending_;
   std::vector<Run> runs_;
   uint64_t item_count_ = 0;
-  Stats stats_;
+  struct Cells {
+    obs::CounterCell reads;
+    obs::CounterCell writes;
+  };
+  Cells cells_;
 
   // Merge-phase state (valid while merging_).
   bool merging_ = false;

@@ -124,7 +124,106 @@ Result<std::unique_ptr<ObliviousStore>> ObliviousStore::Create(
 
   store->stats_.reorder_ms.assign(store->levels_.size(), 0.0);
   store->projection_.assign(store->levels_.size(), LevelProjection{});
+  store->ConfigureObservability();
   return store;
+}
+
+void ObliviousStore::ConfigureObservability() {
+  trace_ = options_.trace;
+  if (trace_ != nullptr) {
+    trace_track_ = trace_->RegisterTrack(options_.obs_prefix);
+    scheduler_->set_trace(trace_, trace_->RegisterTrack("io"));
+  }
+  if (options_.registry != nullptr) {
+    const std::string& p = options_.obs_prefix;
+    registration_ = obs::Registration(options_.registry);
+    registration_.Counter(p + ".user_reads", &cells_.user_reads);
+    registration_.Counter(p + ".user_writes", &cells_.user_writes);
+    registration_.Counter(p + ".dummy_reads", &cells_.dummy_reads);
+    registration_.Counter(p + ".buffer_hits", &cells_.buffer_hits);
+    registration_.Counter(p + ".level_probe_reads",
+                          &cells_.level_probe_reads);
+    registration_.Counter(p + ".index_io", &cells_.index_io);
+    registration_.Counter(p + ".reorder_reads", &cells_.reorder_reads);
+    registration_.Counter(p + ".reorder_writes", &cells_.reorder_writes);
+    registration_.Counter(p + ".reorders", &cells_.reorders);
+    registration_.Counter(p + ".buffer_flushes", &cells_.buffer_flushes);
+    registration_.Counter(p + ".batched_requests",
+                          &cells_.batched_requests);
+    registration_.Counter(p + ".scan_passes", &cells_.scan_passes);
+    registration_.Counter(p + ".probes_saved", &cells_.probes_saved);
+    registration_.Counter(p + ".reorder_steps", &cells_.reorder_steps);
+    registration_.Counter(p + ".deferred_flushes",
+                          &cells_.deferred_flushes);
+    registration_.Histogram(p + ".stall_ms", &cells_.stall);
+    registration_.Gauge(p + ".chain_pending_steps",
+                        &cells_.chain_pending_steps);
+    registration_.Gauge(p + ".chain_remaining_blocks",
+                        &cells_.chain_remaining_blocks);
+    // Virtual-time doubles accumulate under mu_; export via callbacks.
+    registration_.Callback(p + ".retrieve_ms", [this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      return stats_.retrieve_ms;
+    });
+    registration_.Callback(p + ".sort_ms", [this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      return stats_.sort_ms;
+    });
+    registration_.Callback(p + ".stall_total_ms", [this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      return stats_.stall_ms;
+    });
+    scheduler_->RegisterMetrics(options_.registry, "io");
+  }
+}
+
+ObliviousStats ObliviousStore::stats() const {
+  ObliviousStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  s.user_reads = cells_.user_reads.value();
+  s.user_writes = cells_.user_writes.value();
+  s.dummy_reads = cells_.dummy_reads.value();
+  s.buffer_hits = cells_.buffer_hits.value();
+  s.level_probe_reads = cells_.level_probe_reads.value();
+  s.index_io = cells_.index_io.value();
+  s.reorder_reads = cells_.reorder_reads.value();
+  s.reorder_writes = cells_.reorder_writes.value();
+  s.reorders = cells_.reorders.value();
+  s.buffer_flushes = cells_.buffer_flushes.value();
+  s.batched_requests = cells_.batched_requests.value();
+  s.scan_passes = cells_.scan_passes.value();
+  s.probes_saved = cells_.probes_saved.value();
+  s.reorder_steps = cells_.reorder_steps.value();
+  s.deferred_flushes = cells_.deferred_flushes.value();
+  s.stall_p99_ms = cells_.stall.Percentile(99.0);
+  return s;
+}
+
+void ObliviousStore::ResetStats() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = ObliviousStats();
+    stats_.reorder_ms.assign(levels_.size(), 0.0);
+  }
+  cells_.user_reads.Reset();
+  cells_.user_writes.Reset();
+  cells_.dummy_reads.Reset();
+  cells_.buffer_hits.Reset();
+  cells_.level_probe_reads.Reset();
+  cells_.index_io.Reset();
+  cells_.reorder_reads.Reset();
+  cells_.reorder_writes.Reset();
+  cells_.reorders.Reset();
+  cells_.buffer_flushes.Reset();
+  cells_.batched_requests.Reset();
+  cells_.scan_passes.Reset();
+  cells_.probes_saved.Reset();
+  cells_.reorder_steps.Reset();
+  cells_.deferred_flushes.Reset();
+  cells_.stall.Reset();
 }
 
 uint64_t ObliviousStore::hierarchy_blocks() const {
@@ -170,7 +269,7 @@ Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
   for (uint64_t i = 0; i < blocks && i < level.capacity; ++i) {
     STEGHIDE_RETURN_IF_ERROR(
         device_->WriteBlock(level.base + i, block.data()));
-    ++stats_.index_io;
+    cells_.index_io.Increment();
   }
   return Status::OK();
 }
@@ -178,7 +277,7 @@ Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
 Status ObliviousStore::PlanScan(std::span<const RecordId> ids,
                                 std::span<const uint8_t> scan,
                                 std::span<const uint8_t> decoy_only) {
-  ++stats_.scan_passes;
+  cells_.scan_passes.Increment();
   const size_t k = ids.size();
   size_t scan_k = 0;
   for (size_t i = 0; i < k; ++i) scan_k += scan[i] != 0;
@@ -208,8 +307,8 @@ Status ObliviousStore::PlanScan(std::span<const RecordId> ids,
       // read once per pass and answers every lookup of the group — this
       // amortization is what lowers the overhead *factor* with k.
       pass.probes.push_back({probe_base, ScanPlan::kDecoy});
-      ++stats_.index_io;
-      stats_.probes_saved += scan_k - 1;
+      cells_.index_io.Increment();
+      cells_.probes_saved.Add(scan_k - 1);
     }
     for (size_t i = 0; i < k; ++i) {
       if (!scan[i]) continue;
@@ -224,7 +323,7 @@ Status ObliviousStore::PlanScan(std::span<const RecordId> ids,
         pass.probes.push_back(
             {probe_base + drbg_.Uniform(probe_occ), ScanPlan::kDecoy});
       }
-      ++stats_.level_probe_reads;
+      cells_.level_probe_reads.Increment();
     }
     // Elevator order within the pass: the probe multiset is a fresh set
     // of uniform draws plus real slots of a concealed permutation, so
@@ -246,6 +345,8 @@ Status ObliviousStore::PlanScan(std::span<const RecordId> ids,
 }
 
 Status ObliviousStore::ExecuteScan(uint8_t* out_payloads) {
+  obs::ScopedSpan span(trace_, "store.scan", trace_track_,
+                       {{"passes", static_cast<int64_t>(plan_.count)}});
   // One IoBatch per level pass, one drain for the whole sweep. The
   // pattern-preserving scheduler issues each pass as a vectored read, so
   // a cache or timing model underneath sees whole per-level batches
@@ -285,8 +386,10 @@ Status ObliviousStore::ReadGroup(std::span<const RecordId> ids,
                                  uint8_t* out_payloads) {
   const size_t k = ids.size();
   const size_t ps = codec_.payload_size();
-  stats_.user_reads += k;
-  if (k > 1) stats_.batched_requests += k;
+  obs::ScopedSpan span(trace_, "store.read_group", trace_track_,
+                       {{"n", static_cast<int64_t>(k)}});
+  cells_.user_reads.Add(k);
+  if (k > 1) cells_.batched_requests.Add(k);
   const double t0 = Clock();
 
   scan_scratch_.assign(k, 0);
@@ -301,7 +404,7 @@ Status ObliviousStore::ReadGroup(std::span<const RecordId> ids,
     const auto buf_it = buffer_.find(ids[i]);
     if (buf_it != buffer_.end()) {
       // Buffer hit: served from agent memory, no observable I/O.
-      ++stats_.buffer_hits;
+      cells_.buffer_hits.Increment();
       std::memcpy(out_payloads + i * ps, buf_it->second.data(),
                   buf_it->second.size());
       continue;
@@ -355,7 +458,9 @@ Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
                                   const uint8_t* payloads) {
   const size_t k = ids.size();
   const size_t ps = codec_.payload_size();
-  if (k > 1) stats_.batched_requests += k;
+  obs::ScopedSpan span(trace_, "store.write_group", trace_track_,
+                       {{"n", static_cast<int64_t>(k)}});
+  if (k > 1) cells_.batched_requests.Add(k);
 
   // Capacity pre-check so the group applies atomically.
   uint64_t fresh = 0;
@@ -391,7 +496,7 @@ Status ObliviousStore::WriteGroup(std::span<const RecordId> ids,
       staged.insert(id);
       continue;
     }
-    ++stats_.user_writes;
+    cells_.user_writes.Increment();
     if (buffer_.find(id) != buffer_.end() || staged.count(id) != 0) continue;
     // Same touch pattern as a read — an observer cannot tell a hidden
     // update from a retrieval. The fetched content is superseded. A
@@ -533,8 +638,8 @@ Status ObliviousStore::DummyRead() {
   const RecordId id = present_list_[drbg_.Uniform(present_list_.size())];
   Bytes payload(codec_.payload_size());
   // Count as dummy, not user read.
-  ++stats_.dummy_reads;
-  --stats_.user_reads;  // the read below increments user_reads
+  cells_.dummy_reads.Increment();
+  cells_.user_reads.Subtract(1);  // the read below increments user_reads
   return MultiReadLocked(std::span<const RecordId>(&id, 1), payload.data());
 }
 
@@ -573,7 +678,9 @@ Status ObliviousStore::MaybeFlush() {
 Status ObliviousStore::FlushBuffer() {
   if (!options_.deamortize_reorders) {
     const double t0 = Clock();
-    ++stats_.buffer_flushes;
+    cells_.buffer_flushes.Increment();
+    obs::ScopedSpan span(trace_, "store.flush", trace_track_,
+                         {{"records", static_cast<int64_t>(buffer_.size())}});
 
     Level& level1 = levels_.front();
     // With a single level (k = 1) the level is also the last one; dedup at
@@ -599,6 +706,7 @@ Status ObliviousStore::FlushBuffer() {
     stats_.sort_ms += dt;
     stats_.stall_ms += dt;
     stats_.max_stall_ms = std::max(stats_.max_stall_ms, dt);
+    cells_.stall.Record(dt);
     return Status::OK();
   }
 
@@ -609,7 +717,7 @@ Status ObliviousStore::FlushBuffer() {
       // absorbing stagings (bounded by defer_flush_limit). One rebuild
       // then absorbs the whole set, and a set that outgrows the upper
       // levels folds them — those records skip per-level rewrites.
-      ++stats_.deferred_flushes;
+      cells_.deferred_flushes.Increment();
       return Status::OK();
     }
     // Hard backstop (or strict schedule): finish the remaining chain
@@ -642,6 +750,8 @@ Status ObliviousStore::ReorderInto(
     const std::vector<std::pair<RecordId, const Bytes*>>& in_memory) {
   const size_t level_idx = static_cast<size_t>(&target - levels_.data());
   const double t0 = Clock();
+  obs::ScopedSpan span(trace_, "store.reorder", trace_track_,
+                       {{"level", static_cast<int64_t>(level_idx) + 1}});
   sorter_->Reset();
   reorder_added_.clear();
   reorder_added_.reserve(target.capacity);
@@ -673,10 +783,10 @@ Status ObliviousStore::ReorderInto(
   target.InstallOrder(std::move(order), drbg_.NextUint64());
   if (source != nullptr) source->Clear(drbg_.NextUint64());
 
-  ++stats_.reorders;
+  cells_.reorders.Increment();
   ++reorder_epoch_;
-  stats_.reorder_reads += sorter_->stats().reads;
-  stats_.reorder_writes += sorter_->stats().writes;
+  cells_.reorder_reads.Add(sorter_->stats().reads);
+  cells_.reorder_writes.Add(sorter_->stats().writes);
   STEGHIDE_RETURN_IF_ERROR(ChargeIndexRebuild(target));
   stats_.reorder_ms[level_idx] += Clock() - t0;
   return Status::OK();
@@ -686,7 +796,7 @@ Status ObliviousStore::ReorderInto(
 
 Status ObliviousStore::StartFlushChainLocked() {
   assert(!ChainActiveLocked() && flushing_.empty());
-  ++stats_.buffer_flushes;
+  cells_.buffer_flushes.Increment();
   flushing_ = std::move(buffer_);
   buffer_.clear();
   const uint64_t flush_size = flushing_.size();
@@ -793,6 +903,12 @@ Status ObliviousStore::StartFlushChainLocked() {
   STEGHIDE_RETURN_IF_ERROR(make_job(t, std::move(flush_inputs),
                                     std::move(flush_clears),
                                     /*is_flush=*/true));
+  UpdateChainGaugesLocked();
+  if (trace_ != nullptr) {
+    trace_->Instant("store.chain_start", trace_track_,
+                    {{"records", static_cast<int64_t>(flush_size)},
+                     {"steps", static_cast<int64_t>(chain_->steps.size())}});
+  }
   return Status::OK();
 }
 
@@ -814,8 +930,13 @@ Status ObliviousStore::InstallFrontJobLocked() {
   for (const RecordId id : chain_tombstones_) target.index.Erase(id);
   for (const size_t li : front.clears) levels_[li].Clear(drbg_.NextUint64());
   if (front.is_flush) flushing_.clear();
-  ++stats_.reorders;
+  cells_.reorders.Increment();
   ++reorder_epoch_;
+  if (trace_ != nullptr) {
+    trace_->Instant(
+        "store.install", trace_track_,
+        {{"level", static_cast<int64_t>(job.target_level()) + 1}});
+  }
   if (chain_->steps.empty()) {
     chain_.reset();
     chain_tombstones_.clear();
@@ -826,7 +947,9 @@ Status ObliviousStore::InstallFrontJobLocked() {
 
 Status ObliviousStore::StepChainLocked(uint64_t budget_blocks, bool stall) {
   if (!ChainActiveLocked()) return Status::OK();
-  ++stats_.reorder_steps;
+  cells_.reorder_steps.Increment();
+  obs::ScopedSpan span(trace_, "store.reorder_step", trace_track_,
+                       {{"stall", stall ? 1 : 0}});
   const double t0 = Clock();
   uint64_t used = 0;
   while (ChainActiveLocked()) {
@@ -842,20 +965,23 @@ Status ObliviousStore::StepChainLocked(uint64_t budget_blocks, bool stall) {
     const Status status = job.Step(budget_blocks - used, &consumed);
     // Account the job's I/O and per-level time as it happens, so stats
     // snapshots mid-chain stay meaningful.
-    stats_.reorder_reads += job.reads() - chain_->front_reads_seen;
-    stats_.reorder_writes += job.writes() - chain_->front_writes_seen;
+    cells_.reorder_reads.Add(job.reads() - chain_->front_reads_seen);
+    cells_.reorder_writes.Add(job.writes() - chain_->front_writes_seen);
     chain_->front_reads_seen = job.reads();
     chain_->front_writes_seen = job.writes();
     stats_.reorder_ms[job.target_level()] += Clock() - jt0;
     STEGHIDE_RETURN_IF_ERROR(status);
     used += consumed;
   }
+  span.AddArg("used", static_cast<int64_t>(used));
   const double dt = Clock() - t0;
   stats_.sort_ms += dt;
   if (stall) {
     stats_.stall_ms += dt;
     stats_.max_stall_ms = std::max(stats_.max_stall_ms, dt);
+    cells_.stall.Record(dt);
   }
+  UpdateChainGaugesLocked();
   return Status::OK();
 }
 
@@ -886,6 +1012,19 @@ Status ObliviousStore::PaceChainLocked(uint64_t staged) {
   const uint64_t budget =
       std::max<uint64_t>(options_.reorder_step_blocks, share);
   return StepChainLocked(budget, /*stall=*/true);
+}
+
+void ObliviousStore::UpdateChainGaugesLocked() {
+  uint64_t steps = 0;
+  uint64_t remaining = 0;
+  if (chain_ != nullptr) {
+    steps = chain_->steps.size();
+    for (const ChainStep& step : chain_->steps) {
+      remaining += step.job->remaining_blocks();
+    }
+  }
+  cells_.chain_pending_steps.Set(static_cast<double>(steps));
+  cells_.chain_remaining_blocks.Set(static_cast<double>(remaining));
 }
 
 }  // namespace steghide::oblivious

@@ -13,6 +13,8 @@
 
 #include "crypto/cbc.h"
 #include "crypto/drbg.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 #include "oblivious/level.h"
 #include "oblivious/merge_sort.h"
 #include "oblivious/reorder_job.h"
@@ -84,6 +86,22 @@ struct ObliviousStoreOptions {
   /// on stalls. Flush sizes depend only on chain timing, i.e. on the
   /// observable schedule, never on record contents.
   uint64_t defer_flush_limit = 0;
+
+  // ---- Observability ------------------------------------------------------
+
+  /// Optional metrics registry: the store registers its counters (and its
+  /// scheduler's, cache-adjacent instruments excluded) under
+  /// "<obs_prefix>.*". Borrowed; must outlive the store. Null = private
+  /// instruments only (stats() keeps working).
+  obs::Registry* registry = nullptr;
+  /// Optional trace log: scans, flushes and re-order steps emit spans on
+  /// a "<obs_prefix>" track, and the scheduler gets an "io" (or per-shard
+  /// "io/shardK") track. Borrowed; must outlive the store. Recording only
+  /// — the attacker-visible device trace is unchanged (leakage-neutral,
+  /// pinned by the trace-equivalence suites).
+  obs::TraceLog* trace = nullptr;
+  /// Instrument name prefix and trace track name.
+  std::string obs_prefix = "store";
 };
 
 struct ObliviousStats {
@@ -122,6 +140,9 @@ struct ObliviousStats {
   double max_stall_ms = 0.0;
   /// Total serving-attributable re-order stall time.
   double stall_ms = 0.0;
+  /// Distribution of individual stall events (virtual ms), from the
+  /// store's stall histogram cell.
+  double stall_p99_ms = 0.0;
 
   uint64_t TotalIo() const {
     return level_probe_reads + index_io + reorder_reads + reorder_writes;
@@ -291,16 +312,15 @@ class ObliviousStore {
     return reorder_epoch_;
   }
 
-  /// Snapshot of the counters (copied under the store lock).
-  ObliviousStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = ObliviousStats();
-    stats_.reorder_ms.assign(levels_.size(), 0.0);
-  }
+  /// Snapshot: counters come from atomic cells (torn-read-free even
+  /// against a concurrent scan), virtual-time doubles are copied under
+  /// the store lock.
+  ObliviousStats stats() const;
+  void ResetStats();
+
+  /// Scheduler counters (physical I/O, drains, per-drain queue depth —
+  /// the sharded scheduler reports the deepest shard).
+  storage::IoSchedulerStats io_stats() const { return scheduler_->stats(); }
 
   /// Wires a virtual-clock sampler (e.g. SimBlockDevice::clock_ms) so the
   /// stats can split retrieve vs sort time, Figure 12(b).
@@ -345,6 +365,35 @@ class ObliviousStore {
                  const ObliviousStoreOptions& options);
 
   double Clock() const { return clock_fn_ ? clock_fn_() : 0.0; }
+
+  /// Registry/trace wiring, called from Create() after the scheduler and
+  /// levels exist.
+  void ConfigureObservability();
+
+  /// Atomic counter cells behind the ObliviousStats snapshot. Bumped
+  /// under mu_ today, but readable (and registry-exportable) without it.
+  struct Cells {
+    obs::CounterCell user_reads;
+    obs::CounterCell user_writes;
+    obs::CounterCell dummy_reads;
+    obs::CounterCell buffer_hits;
+    obs::CounterCell level_probe_reads;
+    obs::CounterCell index_io;
+    obs::CounterCell reorder_reads;
+    obs::CounterCell reorder_writes;
+    obs::CounterCell reorders;
+    obs::CounterCell buffer_flushes;
+    obs::CounterCell batched_requests;
+    obs::CounterCell scan_passes;
+    obs::CounterCell probes_saved;
+    obs::CounterCell reorder_steps;
+    obs::CounterCell deferred_flushes;
+    /// Individual serving stalls (virtual ms each).
+    obs::HistogramCell stall;
+    /// Re-order chain progress, sampled at chain transitions.
+    obs::GaugeCell chain_pending_steps;
+    obs::GaugeCell chain_remaining_blocks;
+  };
 
   /// One planned level-scan sweep serving a request group. Each pass is
   /// the probe set of one non-empty level: an optional leading index
@@ -517,6 +566,10 @@ class ObliviousStore {
   /// index rebuild and retires chain state at the end.
   Status InstallFrontJobLocked();
 
+  /// Refreshes the chain-progress gauges (pending steps, remaining
+  /// device I/Os) at chain transitions.
+  void UpdateChainGaugesLocked();
+
   storage::BlockDevice* device_;
   ObliviousStoreOptions options_;
   stegfs::BlockCodec codec_;
@@ -535,7 +588,13 @@ class ObliviousStore {
   std::vector<RecordId> present_list_;  // for uniform dummy-read sampling
 
   std::function<double()> clock_fn_;
+  /// Virtual-time accumulators (doubles + the per-level vector) stay
+  /// guarded by mu_; the uint64 counters live in cells_.
   ObliviousStats stats_;
+  Cells cells_;
+  obs::Registration registration_;
+  obs::TraceLog* trace_ = nullptr;
+  uint32_t trace_track_ = 0;
 
   /// Serializes public operations at scan-pass granularity. Plain (not
   /// recursive): public entry points delegate to *Locked impls and the

@@ -63,7 +63,7 @@ Status StegPartitionReader::ReadRefBatch(std::span<const BlockRef> refs,
   for (size_t i = 0; i < refs.size(); ++i) {
     const RecordId id = MakeRecordId(*refs[i].file, refs[i].logical);
     if (store_->Contains(id)) {
-      ++stats_.cache_hits;
+      cells_.cache_hits.Increment();
       cached_at_.push_back(i);
       cached_ids_.push_back(id);
     } else if (miss_pos.find(id) == miss_pos.end()) {
@@ -97,7 +97,7 @@ Status StegPartitionReader::ReadRefBatch(std::span<const BlockRef> refs,
         decoys_.push_back(pick < fetched_.size()
                               ? fetched_[pick]
                               : new_fetches_[pick - fetched_.size()]);
-        ++stats_.decoy_reads;
+        cells_.decoy_reads.Increment();
       }
       new_fetches_.push_back(miss_files[mi]->block_ptrs[miss_logicals[mi]]);
     }
@@ -145,7 +145,7 @@ Status StegPartitionReader::ReadRefBatch(std::span<const BlockRef> refs,
     STEGHIDE_RETURN_IF_ERROR(
         store_->MultiInsert(miss_ids_, fetch_scratch_.data()));
     fetched_.insert(fetched_.end(), new_fetches_.begin(), new_fetches_.end());
-    stats_.real_fetches += new_fetches_.size();
+    cells_.real_fetches.Add(new_fetches_.size());
 
     // Scatter fetched payloads to every position they serve.
     for (size_t i = 0; i < refs.size(); ++i) {
@@ -165,14 +165,14 @@ Status StegPartitionReader::ReadRefBatch(std::span<const BlockRef> refs,
                   out_payloads + cached_at_[c] * ps);
     }
   }
-  stats_.reorder_epoch_flips += store_->reorder_epoch() - epoch_at_start;
+  cells_.reorder_epoch_flips.Add(store_->reorder_epoch() - epoch_at_start);
   return Status::OK();
 }
 
 Status StegPartitionReader::DummyStegRead() {
   const uint64_t b3 = core_->drbg().Uniform(core_->num_blocks());
   STEGHIDE_RETURN_IF_ERROR(core_->ReadRaw(b3, decoy_scratch_));
-  ++stats_.dummy_reads;
+  cells_.dummy_reads.Increment();
   return Status::OK();
 }
 
@@ -184,6 +184,17 @@ Status StegPartitionReader::IdleDummyOp() {
   STEGHIDE_RETURN_IF_ERROR(store_->StepReorder(0));
   STEGHIDE_RETURN_IF_ERROR(store_->DummyRead());
   return DummyStegRead();
+}
+
+void StegPartitionReader::RegisterMetrics(obs::Registry* registry,
+                                          const std::string& prefix) {
+  registration_ = obs::Registration(registry);
+  registration_.Counter(prefix + ".cache_hits", &cells_.cache_hits);
+  registration_.Counter(prefix + ".real_fetches", &cells_.real_fetches);
+  registration_.Counter(prefix + ".decoy_reads", &cells_.decoy_reads);
+  registration_.Counter(prefix + ".dummy_reads", &cells_.dummy_reads);
+  registration_.Counter(prefix + ".reorder_epoch_flips",
+                        &cells_.reorder_epoch_flips);
 }
 
 }  // namespace steghide::oblivious

@@ -2,8 +2,10 @@
 #define STEGHIDE_OBLIVIOUS_STEG_PARTITION_READER_H_
 
 #include <span>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "oblivious/oblivious_store.h"
 #include "stegfs/stegfs_core.h"
 
@@ -29,6 +31,9 @@ namespace steghide::oblivious {
 /// through.
 class StegPartitionReader {
  public:
+  /// Snapshot view assembled from atomic cells: the reader itself is
+  /// single-threaded by contract, but stats() may be polled from bench /
+  /// monitoring threads while the issuing thread serves.
   struct Stats {
     uint64_t cache_hits = 0;   // served by the oblivious store
     uint64_t real_fetches = 0;  // first-time fetches from the partition
@@ -95,14 +100,34 @@ class StegPartitionReader {
   /// read.
   Status IdleDummyOp();
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.cache_hits = cells_.cache_hits.value();
+    s.real_fetches = cells_.real_fetches.value();
+    s.decoy_reads = cells_.decoy_reads.value();
+    s.dummy_reads = cells_.dummy_reads.value();
+    s.reorder_epoch_flips = cells_.reorder_epoch_flips.value();
+    return s;
+  }
   uint64_t fetched_count() const { return fetched_.size(); }
 
+  /// Registers the reader's counters under `prefix` (e.g. "reader").
+  void RegisterMetrics(obs::Registry* registry, const std::string& prefix);
+
  private:
+  struct Cells {
+    obs::CounterCell cache_hits;
+    obs::CounterCell real_fetches;
+    obs::CounterCell decoy_reads;
+    obs::CounterCell dummy_reads;
+    obs::CounterCell reorder_epoch_flips;
+  };
+
   stegfs::StegFsCore* core_;
   ObliviousStore* store_;
   std::vector<uint64_t> fetched_;  // physical blocks already copied (the set S)
-  Stats stats_;
+  Cells cells_;
+  obs::Registration registration_;
 
   // Per-pass scratch reused across batches (single-threaded by contract)
   // so the hot miss-fill/cached path stops reallocating per call.

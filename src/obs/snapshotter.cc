@@ -1,0 +1,49 @@
+#include "obs/snapshotter.h"
+
+#include <utility>
+
+namespace steghide::obs {
+
+StatsSnapshotter::StatsSnapshotter(const Registry* registry, TraceLog* log,
+                                   double interval_ms,
+                                   std::vector<std::string> prefixes)
+    : registry_(registry),
+      log_(log),
+      interval_ms_(interval_ms),
+      prefixes_(std::move(prefixes)) {}
+
+bool StatsSnapshotter::Wants(const std::string& name) const {
+  if (prefixes_.empty()) return true;
+  for (const std::string& prefix : prefixes_) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+void StatsSnapshotter::MaybeSample() {
+  if (registry_ == nullptr || log_ == nullptr || !log_->enabled()) return;
+  const double now = log_->Now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (now < next_due_ms_) return;
+    next_due_ms_ = now + interval_ms_;
+  }
+  SampleNow();
+}
+
+void StatsSnapshotter::SampleNow() {
+  if (registry_ == nullptr || log_ == nullptr || !log_->enabled()) return;
+  const std::map<std::string, double> snapshot = registry_->Snapshot();
+  for (const auto& [name, value] : snapshot) {
+    if (Wants(name)) log_->CounterSample(name, value);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++samples_;
+}
+
+uint64_t StatsSnapshotter::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+}  // namespace steghide::obs

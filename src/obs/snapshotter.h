@@ -1,0 +1,50 @@
+#ifndef STEGHIDE_OBS_SNAPSHOTTER_H_
+#define STEGHIDE_OBS_SNAPSHOTTER_H_
+
+// Periodic metrics sampler: folds Registry snapshots into the TraceLog as
+// counter-track events, so the exported timeline carries queue depths /
+// chain progress next to the spans. Driven opportunistically — callers
+// (the dispatcher worker loop) invoke MaybeSample() from their pump and
+// the snapshotter rate-limits itself on the virtual clock.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
+
+namespace steghide::obs {
+
+class StatsSnapshotter {
+ public:
+  // Samples every `interval_ms` of virtual time. When `prefixes` is
+  // non-empty only instrument names starting with one of them are
+  // emitted (histograms expand before matching, so "dispatcher." catches
+  // "dispatcher.latency_ms.p99").
+  StatsSnapshotter(const Registry* registry, TraceLog* log,
+                   double interval_ms,
+                   std::vector<std::string> prefixes = {});
+
+  // Cheap when the log is disabled or the interval has not elapsed.
+  void MaybeSample();
+  void SampleNow();
+
+  uint64_t samples() const;
+
+ private:
+  bool Wants(const std::string& name) const;
+
+  const Registry* registry_;
+  TraceLog* log_;
+  const double interval_ms_;
+  const std::vector<std::string> prefixes_;
+  mutable std::mutex mu_;
+  double next_due_ms_ = 0.0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace steghide::obs
+
+#endif  // STEGHIDE_OBS_SNAPSHOTTER_H_

@@ -1,0 +1,176 @@
+#include "obs/trace_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace steghide::obs {
+namespace {
+
+constexpr int kPid = 1;
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string Number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendArgs(std::string* out, const TraceEvent& e, bool with_wall) {
+  *out += "\"args\":{";
+  bool first = true;
+  for (uint8_t i = 0; i < e.num_args; ++i) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    AppendEscaped(out, e.args[i].key);
+    *out += "\":";
+    *out += std::to_string(e.args[i].value);
+  }
+  if (with_wall) {
+    if (!first) *out += ',';
+    first = false;
+    *out += "\"wall_us\":";
+    *out += std::to_string(e.wall_us);
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceLog& log) {
+  const std::vector<TraceEvent> events = log.events();
+  const std::vector<std::string> tracks = log.tracks();
+
+  std::string out;
+  out.reserve(events.size() * 128 + 1024);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  comma();
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"steghide\"}}";
+  for (size_t tid = 0; tid < tracks.size(); ++tid) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(kPid);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    AppendEscaped(&out, tracks[tid]);
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    comma();
+    out += "{\"name\":\"";
+    AppendEscaped(&out, e.label());
+    out += "\",\"pid\":";
+    out += std::to_string(kPid);
+    out += ",\"tid\":";
+    out += std::to_string(e.track);
+    out += ",\"ts\":";
+    out += Number(e.ts_ms * 1000.0);  // virtual ms -> trace microseconds
+    switch (e.kind) {
+      case TraceEvent::Kind::kSpan:
+        out += ",\"ph\":\"X\",\"dur\":";
+        out += Number(e.dur_ms * 1000.0);
+        out += ',';
+        AppendArgs(&out, e, /*with_wall=*/true);
+        break;
+      case TraceEvent::Kind::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\",";
+        AppendArgs(&out, e, /*with_wall=*/false);
+        break;
+      case TraceEvent::Kind::kAsyncBegin:
+      case TraceEvent::Kind::kAsyncEnd:
+        out += ",\"ph\":\"";
+        out += (e.kind == TraceEvent::Kind::kAsyncBegin) ? 'b' : 'e';
+        out += "\",\"cat\":\"request\",\"id\":";
+        out += std::to_string(e.id);
+        out += ',';
+        AppendArgs(&out, e, /*with_wall=*/false);
+        break;
+      case TraceEvent::Kind::kCounter:
+        out += ",\"ph\":\"C\",\"args\":{\"value\":";
+        out += Number(e.value);
+        out += "}}";
+        continue;  // closed inline (single-key args)
+    }
+    out += '}';
+  }
+
+  out += "],\"displayTimeUnit\":\"ms\"";
+  if (log.dropped() > 0) {
+    out += ",\"metadata\":{\"dropped_events\":";
+    out += std::to_string(log.dropped());
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+bool WriteChromeTrace(const TraceLog& log, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << ChromeTraceJson(log);
+  return static_cast<bool>(out);
+}
+
+std::string MetricsJson(const Registry& registry) {
+  const std::map<std::string, double> snapshot = registry.Snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  \"";
+    AppendEscaped(&out, name);
+    out += "\": ";
+    out += Number(value);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool WriteMetricsJson(const Registry& registry, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << MetricsJson(registry);
+  return static_cast<bool>(out);
+}
+
+}  // namespace steghide::obs

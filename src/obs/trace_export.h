@@ -1,0 +1,27 @@
+#ifndef STEGHIDE_OBS_TRACE_EXPORT_H_
+#define STEGHIDE_OBS_TRACE_EXPORT_H_
+
+// Exporters: Chrome trace_event / Perfetto JSON for TraceLog, and a flat
+// JSON object for a Registry snapshot. Timestamps are the *virtual* disk
+// clock in microseconds (ts = ts_ms * 1000); wall-clock span durations
+// ride along as a "wall_us" arg.
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
+
+namespace steghide::obs {
+
+// {"traceEvents":[...],"displayTimeUnit":"ms"} — loadable in Perfetto /
+// chrome://tracing. One tid per TraceLog track, named via 'M' metadata.
+std::string ChromeTraceJson(const TraceLog& log);
+bool WriteChromeTrace(const TraceLog& log, const std::string& path);
+
+// Flat {"name": value, ...} of Registry::Snapshot().
+std::string MetricsJson(const Registry& registry);
+bool WriteMetricsJson(const Registry& registry, const std::string& path);
+
+}  // namespace steghide::obs
+
+#endif  // STEGHIDE_OBS_TRACE_EXPORT_H_

@@ -1,0 +1,154 @@
+#include "obs/trace_log.h"
+
+#include <utility>
+
+namespace steghide::obs {
+
+TraceLog::TraceLog(size_t capacity) : capacity_(capacity) {
+  tracks_.push_back("main");  // track 0
+}
+
+TraceLog& TraceLog::Default() {
+  static TraceLog* instance = new TraceLog();
+  return *instance;
+}
+
+void TraceLog::set_clock_fn(std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_fn_ = std::move(fn);
+}
+
+uint32_t TraceLog::RegisterTrack(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<uint32_t>(i);
+  }
+  tracks_.push_back(name);
+  return static_cast<uint32_t>(tracks_.size() - 1);
+}
+
+double TraceLog::Now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_fn_ ? clock_fn_() : 0.0;
+}
+
+void TraceLog::Append(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceLog::Instant(const char* name, uint32_t track,
+                       std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.kind = TraceEvent::Kind::kInstant;
+  e.track = track;
+  e.ts_ms = Now();
+  for (const TraceArg& a : args) {
+    if (e.num_args < e.args.size()) e.args[e.num_args++] = a;
+  }
+  Append(std::move(e));
+}
+
+void TraceLog::AsyncBegin(const char* name, uint64_t id, uint32_t track,
+                          std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.kind = TraceEvent::Kind::kAsyncBegin;
+  e.track = track;
+  e.id = id;
+  e.ts_ms = Now();
+  for (const TraceArg& a : args) {
+    if (e.num_args < e.args.size()) e.args[e.num_args++] = a;
+  }
+  Append(std::move(e));
+}
+
+void TraceLog::AsyncEnd(const char* name, uint64_t id, uint32_t track) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.kind = TraceEvent::Kind::kAsyncEnd;
+  e.track = track;
+  e.id = id;
+  e.ts_ms = Now();
+  Append(std::move(e));
+}
+
+void TraceLog::CounterSample(std::string name, double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.owned_name = std::move(name);
+  e.kind = TraceEvent::Kind::kCounter;
+  e.ts_ms = Now();
+  e.value = value;
+  Append(std::move(e));
+}
+
+std::vector<TraceEvent> TraceLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<std::string> TraceLog::tracks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracks_;
+}
+
+size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void ScopedSpan::Begin(TraceLog* log, const char* name, uint32_t track,
+                       std::initializer_list<TraceArg> args) {
+  log_ = log;
+  name_ = name;
+  track_ = track;
+  ts_ms_ = log->Now();
+  for (const TraceArg& a : args) {
+    if (num_args_ < args_.size()) {
+      args_[num_args_++] = a;
+    }
+  }
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+void ScopedSpan::End() {
+  TraceEvent event;
+  event.name = name_;
+  event.kind = TraceEvent::Kind::kSpan;
+  event.track = track_;
+  event.ts_ms = ts_ms_;
+  event.dur_ms = log_->Now() - ts_ms_;
+  event.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - wall_start_)
+                      .count();
+  for (uint8_t i = 0; i < num_args_; ++i) {
+    event.args[i] = args_[i];
+  }
+  event.num_args = num_args_;
+  log_->Append(std::move(event));
+}
+
+void ScopedSpan::AddArg(const char* key, int64_t value) {
+  if (log_ == nullptr) return;
+  if (num_args_ < args_.size()) {
+    args_[num_args_] = TraceArg{key, value};
+    ++num_args_;
+  }
+}
+
+}  // namespace steghide::obs

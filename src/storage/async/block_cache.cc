@@ -73,11 +73,11 @@ Status BlockCache::InsertLocked(Shard& shard, uint64_t block_id,
     if (victim.dirty) {
       STEGHIDE_RETURN_IF_ERROR(
           BackingWrite(victim.block_id, victim.data.data()));
-      ++shard.stats.writebacks;
+      cells_.writebacks.Increment();
     }
     shard.map.erase(victim.block_id);
     shard.lru.pop_back();
-    ++shard.stats.evictions;
+    cells_.evictions.Increment();
   }
   return Status::OK();
 }
@@ -89,10 +89,10 @@ Status BlockCache::ReadBlock(uint64_t block_id, uint8_t* out) {
   if (it != shard.map.end()) {
     std::memcpy(out, it->second->data.data(), block_size());
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    ++shard.stats.hits;
+    cells_.hits.Increment();
     return Status::OK();
   }
-  ++shard.stats.misses;
+  cells_.misses.Increment();
   STEGHIDE_RETURN_IF_ERROR(BackingRead(block_id, out));
   return InsertLocked(shard, block_id, out, /*dirty=*/false);
 }
@@ -131,10 +131,10 @@ Status BlockCache::ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) {
     if (it != shard.map.end()) {
       std::memcpy(out + i * bs, it->second->data.data(), bs);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      ++shard.stats.hits;
+      cells_.hits.Increment();
       continue;
     }
-    ++shard.stats.misses;
+    cells_.misses.Increment();
     const auto [mit, inserted] = miss_index.try_emplace(ids[i], miss_ids.size());
     if (inserted) {
       miss_ids.push_back(ids[i]);
@@ -231,7 +231,7 @@ Status BlockCache::Flush() {
     for (uint64_t id : dirty_ids) {
       Shard& shard = ShardFor(id);
       shard.map.at(id)->dirty = false;
-      ++shard.stats.writebacks;
+      cells_.writebacks.Increment();
     }
   }
   std::lock_guard<std::mutex> backing_lock(backing_mu_);
@@ -274,21 +274,29 @@ uint64_t BlockCache::cached_blocks() const {
 
 BlockCacheStats BlockCache::stats() const {
   BlockCacheStats total;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    total.hits += shard.stats.hits;
-    total.misses += shard.stats.misses;
-    total.evictions += shard.stats.evictions;
-    total.writebacks += shard.stats.writebacks;
-  }
+  total.hits = cells_.hits.value();
+  total.misses = cells_.misses.value();
+  total.evictions = cells_.evictions.value();
+  total.writebacks = cells_.writebacks.value();
   return total;
 }
 
 void BlockCache::ResetStats() {
-  for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.stats = BlockCacheStats();
-  }
+  cells_.hits.Reset();
+  cells_.misses.Reset();
+  cells_.evictions.Reset();
+  cells_.writebacks.Reset();
+}
+
+void BlockCache::RegisterMetrics(obs::Registry* registry,
+                                 const std::string& prefix) {
+  registration_ = obs::Registration(registry);
+  registration_.Counter(prefix + ".hits", &cells_.hits);
+  registration_.Counter(prefix + ".misses", &cells_.misses);
+  registration_.Counter(prefix + ".evictions", &cells_.evictions);
+  registration_.Counter(prefix + ".writebacks", &cells_.writebacks);
+  registration_.Callback(prefix + ".cached_blocks",
+                         [this] { return static_cast<double>(cached_blocks()); });
 }
 
 }  // namespace steghide::storage

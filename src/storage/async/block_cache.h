@@ -3,9 +3,11 @@
 
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/block_device.h"
 
 namespace steghide::storage {
@@ -87,9 +89,12 @@ class BlockCache : public BlockDevice {
   bool Contains(uint64_t block_id) const;
 
   uint64_t cached_blocks() const;
-  /// Aggregated across shards (each shard counts under its own lock).
+  /// Snapshot of the atomic counter cells — safe from any thread while
+  /// other threads are hitting the cache.
   BlockCacheStats stats() const;
   void ResetStats();
+  /// Registers hit/miss/eviction/writeback counters under `prefix`.
+  void RegisterMetrics(obs::Registry* registry, const std::string& prefix);
   BlockDevice* backing() { return backing_; }
 
  private:
@@ -102,7 +107,6 @@ class BlockCache : public BlockDevice {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
-    BlockCacheStats stats;  // guarded by mu
     /// Bumped on every entry mutation (insert, update, eviction,
     /// invalidate). ReadBlocks snapshots it per miss and refuses to
     /// install a fetched image if the shard changed while the backing
@@ -130,6 +134,16 @@ class BlockCache : public BlockDevice {
   Status BackingWriteBlocks(std::span<const uint64_t> ids,
                             const uint8_t* data);
 
+  /// Counters live outside the shard locks as striped atomic cells:
+  /// writers on different shards never contend, and stats() needs no
+  /// locks at all.
+  struct Cells {
+    obs::CounterCell hits;
+    obs::CounterCell misses;
+    obs::CounterCell evictions;
+    obs::CounterCell writebacks;
+  };
+
   BlockDevice* backing_;
   /// Guards all calls into backing_ (acquired after any shard lock).
   std::mutex backing_mu_;
@@ -137,6 +151,8 @@ class BlockCache : public BlockDevice {
   uint64_t per_shard_capacity_;
   size_t shard_mask_;
   std::vector<Shard> shards_;
+  Cells cells_;
+  obs::Registration registration_;
 };
 
 }  // namespace steghide::storage

@@ -9,9 +9,9 @@ IoFuture IoScheduler::Submit(IoBatch batch) {
   IoFuture future;
   for (const IoRequest& req : batch.requests) {
     if (req.op == IoRequest::Op::kRead) {
-      ++stats_.submitted_reads;
+      cells_.submitted_reads.Increment();
     } else {
-      ++stats_.submitted_writes;
+      cells_.submitted_writes.Increment();
     }
   }
   queue_.push_back(Pending{std::move(batch), future.state_});
@@ -39,7 +39,7 @@ Status IoScheduler::IssueVerbatim(const IoBatch& batch) {
       ids.reserve(j - i);
       for (size_t r = i; r < j; ++r) ids.push_back(reqs[r].block_id);
       STEGHIDE_RETURN_IF_ERROR(backing_->ReadBlocks(ids, reqs[i].out));
-      stats_.physical_reads += j - i;
+      cells_.physical_reads.Add(j - i);
     } else {
       while (j < reqs.size() && reqs[j].op == IoRequest::Op::kWrite &&
              reqs[j].data == reqs[j - 1].data + bs) {
@@ -49,7 +49,7 @@ Status IoScheduler::IssueVerbatim(const IoBatch& batch) {
       ids.reserve(j - i);
       for (size_t r = i; r < j; ++r) ids.push_back(reqs[r].block_id);
       STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlocks(ids, reqs[i].data));
-      stats_.physical_writes += j - i;
+      cells_.physical_writes.Add(j - i);
     }
     i = j;
   }
@@ -58,7 +58,14 @@ Status IoScheduler::IssueVerbatim(const IoBatch& batch) {
 
 Status IoScheduler::Drain() {
   if (queue_.empty()) return Status::OK();
-  ++stats_.drains;
+  cells_.drains.Increment();
+  size_t depth = 0;
+  for (const Pending& pending : queue_) {
+    depth += pending.batch.requests.size();
+  }
+  cells_.queue_depth.Record(static_cast<double>(depth));
+  obs::ScopedSpan span(trace_, "io.drain", trace_track_,
+                       {{"reqs", static_cast<int64_t>(depth)}});
 
   if (preserve_pattern_) {
     Status status;
@@ -88,11 +95,11 @@ Status IoScheduler::Drain() {
           // Read-after-write forwarding: the pending write is the newest
           // image of this block; no physical read needed.
           std::memcpy(req.out, w->second, backing_->block_size());
-          ++stats_.forwarded_reads;
+          cells_.forwarded_reads.Increment();
           continue;
         }
         auto [it, inserted] = reads.try_emplace(req.block_id);
-        if (!inserted) ++stats_.coalesced_reads;
+        if (!inserted) cells_.coalesced_reads.Increment();
         it->second.push_back(req.out);
       } else {
         auto [it, inserted] = writes.try_emplace(req.block_id, req.data);
@@ -100,7 +107,7 @@ Status IoScheduler::Drain() {
           // Later write supersedes: any read submitted between the two
           // was forwarded above, so the earlier image is unobservable.
           it->second = req.data;
-          ++stats_.superseded_writes;
+          cells_.superseded_writes.Increment();
         }
       }
     }
@@ -128,7 +135,7 @@ Status IoScheduler::Drain() {
     for (auto r = it; r != run_end; ++r) ids.push_back(r->first);
     status = backing_->ReadBlocks(ids, it->second.front());
     if (!status.ok()) break;
-    stats_.physical_reads += ids.size();
+    cells_.physical_reads.Add(ids.size());
     for (auto r = it; r != run_end; ++r) {
       const std::vector<uint8_t*>& dests = r->second;
       for (size_t i = 1; i < dests.size(); ++i) {
@@ -148,7 +155,7 @@ Status IoScheduler::Drain() {
       for (auto r = it; r != run_end; ++r) ids.push_back(r->first);
       status = backing_->WriteBlocks(ids, it->second);
       if (!status.ok()) break;
-      stats_.physical_writes += ids.size();
+      cells_.physical_writes.Add(ids.size());
       it = run_end;
     }
   }
@@ -161,6 +168,49 @@ Status IoScheduler::Drain() {
   }
   queue_.clear();
   return status;
+}
+
+IoSchedulerStats IoScheduler::stats() const {
+  IoSchedulerStats s;
+  s.submitted_reads = cells_.submitted_reads.value();
+  s.submitted_writes = cells_.submitted_writes.value();
+  s.physical_reads = cells_.physical_reads.value();
+  s.physical_writes = cells_.physical_writes.value();
+  s.coalesced_reads = cells_.coalesced_reads.value();
+  s.forwarded_reads = cells_.forwarded_reads.value();
+  s.superseded_writes = cells_.superseded_writes.value();
+  s.drains = cells_.drains.value();
+  s.queue_depth_p99 = cells_.queue_depth.Percentile(99.0);
+  s.queue_depth_max = cells_.queue_depth.max();
+  return s;
+}
+
+void IoScheduler::ResetStats() {
+  cells_.submitted_reads.Reset();
+  cells_.submitted_writes.Reset();
+  cells_.physical_reads.Reset();
+  cells_.physical_writes.Reset();
+  cells_.coalesced_reads.Reset();
+  cells_.forwarded_reads.Reset();
+  cells_.superseded_writes.Reset();
+  cells_.drains.Reset();
+  cells_.queue_depth.Reset();
+}
+
+void IoScheduler::RegisterMetrics(obs::Registry* registry,
+                                  const std::string& prefix) {
+  registration_ = obs::Registration(registry);
+  registration_.Counter(prefix + ".submitted_reads", &cells_.submitted_reads);
+  registration_.Counter(prefix + ".submitted_writes",
+                        &cells_.submitted_writes);
+  registration_.Counter(prefix + ".physical_reads", &cells_.physical_reads);
+  registration_.Counter(prefix + ".physical_writes", &cells_.physical_writes);
+  registration_.Counter(prefix + ".coalesced_reads", &cells_.coalesced_reads);
+  registration_.Counter(prefix + ".forwarded_reads", &cells_.forwarded_reads);
+  registration_.Counter(prefix + ".superseded_writes",
+                        &cells_.superseded_writes);
+  registration_.Counter(prefix + ".drains", &cells_.drains);
+  registration_.Histogram(prefix + ".queue_depth", &cells_.queue_depth);
 }
 
 Status IoSchedulerBase::Run(IoBatch batch) {

@@ -2,14 +2,20 @@
 #define STEGHIDE_STORAGE_ASYNC_IO_SCHEDULER_H_
 
 #include <map>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 #include "storage/async/io_request.h"
 #include "storage/block_device.h"
 
 namespace steghide::storage {
 
 /// Counters describing what a drain pass did to the request stream.
+/// Snapshot view: the live values are atomic cells inside the scheduler,
+/// so this struct can be materialised from any thread while shard threads
+/// keep draining.
 struct IoSchedulerStats {
   uint64_t submitted_reads = 0;
   uint64_t submitted_writes = 0;
@@ -23,6 +29,10 @@ struct IoSchedulerStats {
   /// Writes made obsolete by a later write to the same block.
   uint64_t superseded_writes = 0;
   uint64_t drains = 0;
+  /// Pending requests per drain (distribution over drains; sharded
+  /// schedulers report the deepest shard).
+  double queue_depth_p99 = 0.0;
+  double queue_depth_max = 0.0;
 };
 
 /// Common surface of the single-device IoScheduler and the sharded
@@ -37,6 +47,16 @@ class IoSchedulerBase : public AsyncBlockDevice {
   virtual bool idle() const = 0;
   virtual IoSchedulerStats stats() const = 0;
   virtual void ResetStats() = 0;
+
+  /// Attaches a trace log: every Drain() emits an "io.drain" span on
+  /// `track` (sharded schedulers assign one track per shard). Null
+  /// detaches.
+  virtual void set_trace(obs::TraceLog* log, uint32_t track) = 0;
+
+  /// Registers this scheduler's instruments under `prefix`
+  /// (e.g. "io" -> "io.physical_reads"). Null registry unregisters.
+  virtual void RegisterMetrics(obs::Registry* registry,
+                               const std::string& prefix) = 0;
 
   /// Synchronous convenience: Submit + Drain, returning the batch status.
   Status Run(IoBatch batch);
@@ -83,8 +103,14 @@ class IoScheduler : public IoSchedulerBase {
   bool preserve_pattern() const override { return preserve_pattern_; }
 
   bool idle() const override { return queue_.empty(); }
-  IoSchedulerStats stats() const override { return stats_; }
-  void ResetStats() override { stats_ = IoSchedulerStats(); }
+  IoSchedulerStats stats() const override;
+  void ResetStats() override;
+  void set_trace(obs::TraceLog* log, uint32_t track) override {
+    trace_ = log;
+    trace_track_ = track;
+  }
+  void RegisterMetrics(obs::Registry* registry,
+                       const std::string& prefix) override;
   BlockDevice* backing() { return backing_; }
 
  private:
@@ -93,12 +119,29 @@ class IoScheduler : public IoSchedulerBase {
     std::shared_ptr<IoFuture::State> state;
   };
 
+  /// Atomic counter cells: bumped on whichever thread drains (a shard
+  /// thread, in the sharded scheduler), summed lock-free by stats().
+  struct Cells {
+    obs::CounterCell submitted_reads;
+    obs::CounterCell submitted_writes;
+    obs::CounterCell physical_reads;
+    obs::CounterCell physical_writes;
+    obs::CounterCell coalesced_reads;
+    obs::CounterCell forwarded_reads;
+    obs::CounterCell superseded_writes;
+    obs::CounterCell drains;
+    obs::HistogramCell queue_depth;
+  };
+
   /// Issues one batch verbatim (pattern-preserving drain).
   Status IssueVerbatim(const IoBatch& batch);
 
   BlockDevice* backing_;
   std::vector<Pending> queue_;
-  IoSchedulerStats stats_;
+  Cells cells_;
+  obs::Registration registration_;
+  obs::TraceLog* trace_ = nullptr;
+  uint32_t trace_track_ = 0;
   bool preserve_pattern_ = false;
 };
 

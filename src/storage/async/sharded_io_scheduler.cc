@@ -1,6 +1,8 @@
 #include "storage/async/sharded_io_scheduler.h"
 
+#include <algorithm>
 #include <functional>
+#include <string>
 #include <utility>
 
 namespace steghide::storage {
@@ -37,7 +39,9 @@ Status ShardedIoScheduler::Drain() {
     for (const auto& shard : inner_) any = any || !shard->idle();
     if (!any) return Status::OK();
   }
-  ++drains_;
+  drains_.Increment();
+  obs::ScopedSpan span(trace_, "io.drain_all", trace_track_,
+                       {{"shards", static_cast<int64_t>(inner_.size())}});
   std::vector<std::function<Status()>> jobs(inner_.size());
   for (size_t k = 0; k < inner_.size(); ++k) {
     if (inner_[k]->idle()) continue;
@@ -72,6 +76,9 @@ bool ShardedIoScheduler::idle() const {
 }
 
 IoSchedulerStats ShardedIoScheduler::stats() const {
+  // Safe to call while shard threads are mid-drain: each per-shard
+  // stats() is assembled from atomic cells, so the aggregate can lag a
+  // racing drain but never tears.
   IoSchedulerStats total;
   for (const auto& shard : inner_) {
     const IoSchedulerStats s = shard->stats();
@@ -82,14 +89,41 @@ IoSchedulerStats ShardedIoScheduler::stats() const {
     total.coalesced_reads += s.coalesced_reads;
     total.forwarded_reads += s.forwarded_reads;
     total.superseded_writes += s.superseded_writes;
+    // The bottleneck spindle defines the depth of a parallel drain.
+    total.queue_depth_p99 = std::max(total.queue_depth_p99, s.queue_depth_p99);
+    total.queue_depth_max = std::max(total.queue_depth_max, s.queue_depth_max);
   }
-  total.drains = drains_;
+  total.drains = drains_.value();
   return total;
 }
 
 void ShardedIoScheduler::ResetStats() {
   for (auto& shard : inner_) shard->ResetStats();
-  drains_ = 0;
+  drains_.Reset();
+}
+
+void ShardedIoScheduler::set_trace(obs::TraceLog* log, uint32_t track) {
+  trace_ = log;
+  trace_track_ = track;
+  for (size_t k = 0; k < inner_.size(); ++k) {
+    uint32_t shard_track = 0;
+    if (log != nullptr) {
+      const std::string base =
+          track < log->tracks().size() ? log->tracks()[track] : "io";
+      shard_track = log->RegisterTrack(base + "/shard" + std::to_string(k));
+    }
+    inner_[k]->set_trace(log, shard_track);
+  }
+}
+
+void ShardedIoScheduler::RegisterMetrics(obs::Registry* registry,
+                                         const std::string& prefix) {
+  registration_ = obs::Registration(registry);
+  registration_.Counter(prefix + ".drains", &drains_);
+  for (size_t k = 0; k < inner_.size(); ++k) {
+    inner_[k]->RegisterMetrics(registry,
+                               prefix + ".shard" + std::to_string(k));
+  }
 }
 
 }  // namespace steghide::storage

@@ -44,6 +44,14 @@ class ShardedIoScheduler : public IoSchedulerBase {
   IoSchedulerStats stats() const override;
   void ResetStats() override;
 
+  /// Gives every shard its own trace track ("<base track name>/shard<k>")
+  /// so drains render as parallel lanes in the exported timeline.
+  void set_trace(obs::TraceLog* log, uint32_t track) override;
+  /// Registers the aggregate under `prefix` and each shard's counters
+  /// under "<prefix>.shard<k>".
+  void RegisterMetrics(obs::Registry* registry,
+                       const std::string& prefix) override;
+
   size_t shard_count() const { return inner_.size(); }
   IoSchedulerStats shard_stats(size_t k) const { return inner_[k]->stats(); }
   ShardedBlockDevice* device() { return device_; }
@@ -54,7 +62,12 @@ class ShardedIoScheduler : public IoSchedulerBase {
   /// Futures of batches submitted since the last drain; completed with
   /// the drain's overall status (all-or-nothing, like IoScheduler).
   std::vector<std::shared_ptr<IoFuture::State>> pending_;
-  uint64_t drains_ = 0;
+  /// Atomic: bumped on the submitting thread, read by stats() from bench
+  /// threads while shard threads are mid-drain.
+  obs::CounterCell drains_;
+  obs::Registration registration_;
+  obs::TraceLog* trace_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace steghide::storage

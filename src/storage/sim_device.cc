@@ -9,26 +9,38 @@ SimBlockDevice::SimBlockDevice(BlockDevice* backing,
 
 void SimBlockDevice::Charge(uint64_t block_id) {
   const uint64_t seq_before = model_.sequential_accesses();
-  stats_.busy_ms += model_.Access(block_id);
+  cells_.busy_ms.Add(model_.Access(block_id));
   if (model_.sequential_accesses() > seq_before) {
-    ++stats_.sequential;
+    cells_.sequential.Increment();
   } else {
-    ++stats_.random;
+    cells_.random.Increment();
   }
 }
 
 Status SimBlockDevice::ReadBlock(uint64_t block_id, uint8_t* out) {
   STEGHIDE_RETURN_IF_ERROR(backing_->ReadBlock(block_id, out));
   Charge(block_id);
-  ++stats_.reads;
+  cells_.reads.Increment();
   return Status::OK();
 }
 
 Status SimBlockDevice::WriteBlock(uint64_t block_id, const uint8_t* data) {
   STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlock(block_id, data));
   Charge(block_id);
-  ++stats_.writes;
+  cells_.writes.Increment();
   return Status::OK();
+}
+
+void SimBlockDevice::RegisterMetrics(obs::Registry* registry,
+                                     const std::string& prefix) {
+  registration_ = obs::Registration(registry);
+  registration_.Counter(prefix + ".reads", &cells_.reads);
+  registration_.Counter(prefix + ".writes", &cells_.writes);
+  registration_.Counter(prefix + ".sequential", &cells_.sequential);
+  registration_.Counter(prefix + ".random", &cells_.random);
+  registration_.Gauge(prefix + ".busy_ms", &cells_.busy_ms);
+  registration_.Callback(prefix + ".clock_ms",
+                         [this] { return model_.clock_ms(); });
 }
 
 }  // namespace steghide::storage

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "obs/metrics.h"
 #include "storage/block_device.h"
 #include "storage/disk_model.h"
 
@@ -38,20 +39,50 @@ class SimBlockDevice : public BlockDevice {
   Status Flush() override { return backing_->Flush(); }
 
   double clock_ms() const { return model_.clock_ms(); }
-  const IoStats& stats() const { return stats_; }
+
+  /// Torn-read-free snapshot: counters live in sharded atomic cells, so a
+  /// reader racing the issuing thread sees consistent (merely stale)
+  /// values, never garbage.
+  IoStats stats() const {
+    IoStats s;
+    s.reads = cells_.reads.value();
+    s.writes = cells_.writes.value();
+    s.sequential = cells_.sequential.value();
+    s.random = cells_.random.value();
+    s.busy_ms = cells_.busy_ms.value();
+    return s;
+  }
   DiskModel& model() { return model_; }
 
   /// Resets counters but not the clock (experiments often measure phases).
-  void ResetStats() { stats_ = IoStats(); }
+  void ResetStats() {
+    cells_.reads.Reset();
+    cells_.writes.Reset();
+    cells_.sequential.Reset();
+    cells_.random.Reset();
+    cells_.busy_ms.Reset();
+  }
+
+  /// Registers this device's instruments under `prefix` (e.g. "io.shard0").
+  void RegisterMetrics(obs::Registry* registry, const std::string& prefix);
 
   BlockDevice* backing() { return backing_; }
 
  private:
+  struct IoCells {
+    obs::CounterCell reads;
+    obs::CounterCell writes;
+    obs::CounterCell sequential;
+    obs::CounterCell random;
+    obs::GaugeCell busy_ms;
+  };
+
   void Charge(uint64_t block_id);
 
   BlockDevice* backing_;
   DiskModel model_;
-  IoStats stats_;
+  IoCells cells_;
+  obs::Registration registration_;
 };
 
 }  // namespace steghide::storage

@@ -8,10 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "agent/dispatch/request_dispatcher.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 #include "storage/mem_block_device.h"
 #include "storage/trace_device.h"
 #include "util/random.h"
@@ -497,6 +500,102 @@ TEST(DispatchStressTest, ManyThreadsManyOpsKeepIntegrity) {
   EXPECT_GE(stats.requests, kUsers * kOps);
   EXPECT_GT(stats.grouped_requests, 0u);
   EXPECT_LE(stats.p50_latency_ms, stats.p99_latency_ms);
+}
+
+TEST(DispatchStressTest, StatsSnapshotDuringLoadIsTearFree) {
+  // Pollers racing the worker's counter updates: stats() is assembled
+  // from atomic cells, so a snapshot taken mid-commit must be
+  // consistent (never torn, monotone counters, percentiles ordered).
+  // The dispatcher is wired to a live registry + trace log so the
+  // instrumented path itself runs under TSan too.
+  System sys(993);
+  const size_t kUsers = 6;
+  const size_t payload = sys.core.payload_size();
+  const auto ids = sys.Populate(kUsers, 3);
+
+  obs::Registry registry;
+  obs::TraceLog trace(1u << 12);
+  trace.set_enabled(true);
+  DispatcherOptions options;
+  options.max_batch = 8;
+  options.commit_window = std::chrono::milliseconds(2);
+  options.registry = &registry;
+  options.trace = &trace;
+  RequestDispatcher dispatcher(sys.agent.get(), options);
+
+  std::vector<std::unique_ptr<RequestDispatcher::Session>> sessions;
+  for (size_t u = 0; u < kUsers; ++u) {
+    sessions.push_back(dispatcher.OpenSession());
+  }
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    uint64_t last = 0;
+    uint64_t last_grouped = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const DispatcherStats s = dispatcher.stats();
+      EXPECT_GE(s.requests, last);
+      // Every commit's grouped bump is preceded by its submit bump, but
+      // the poller's reads are not one instant: cells read later can
+      // include progress the earlier reads missed. The order-robust
+      // form bounds this iteration's requests by the PREVIOUS
+      // iteration's grouped count.
+      EXPECT_GE(s.requests, last_grouped);
+      EXPECT_LE(s.p50_latency_ms, s.p99_latency_ms);
+      last = s.requests;
+      last_grouped = s.grouped_requests;
+      // Snapshot and stats() read the same monotone cell at different
+      // instants, so the earlier read can only be <= (exact equality is
+      // asserted after quiescence below).
+      const auto snap = registry.Snapshot();
+      EXPECT_LE(static_cast<uint64_t>(snap.at("dispatcher.requests")),
+                dispatcher.stats().requests);
+    }
+  });
+
+  std::vector<std::function<Status()>> users;
+  for (size_t u = 0; u < kUsers; ++u) {
+    users.push_back([&, u]() -> Status {
+      Rng rng(7000 + u);
+      for (size_t op = 0; op < 10; ++op) {
+        const uint64_t block = rng.Uniform(3);
+        if (rng.Bernoulli(0.3)) {
+          Bytes data(payload, static_cast<uint8_t>(u + op));
+          STEGHIDE_RETURN_IF_ERROR(
+              sessions[u]->Write(ids[u], block * payload, data));
+        } else {
+          STEGHIDE_RETURN_IF_ERROR(
+              sessions[u]->Read(ids[u], block * payload, payload).status());
+        }
+      }
+      return Status::OK();
+    });
+  }
+  for (const Status& status : workload::RunOnThreads(std::move(users))) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  done.store(true, std::memory_order_release);
+  poller.join();
+  sessions.clear();
+  dispatcher.Stop();
+
+  const DispatcherStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.requests, kUsers * 10);
+  // Quiesced: the registry view and the stats() view agree exactly.
+  EXPECT_EQ(static_cast<uint64_t>(
+                registry.Snapshot().at("dispatcher.requests")),
+            stats.requests);
+  // Every submit opened an async trace interval and every completion
+  // closed one.
+  size_t begins = 0, ends = 0;
+  for (const obs::TraceEvent& ev : trace.events()) {
+    begins += ev.kind == obs::TraceEvent::Kind::kAsyncBegin;
+    ends += ev.kind == obs::TraceEvent::Kind::kAsyncEnd;
+  }
+  if (trace.dropped() == 0) {
+    EXPECT_EQ(begins, kUsers * 10);
+    EXPECT_EQ(begins, ends);
+  }
 }
 
 // ---- deamortized re-orders under the dispatcher ---------------------------

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <thread>
 #include <vector>
@@ -300,6 +301,53 @@ TEST(ShardedIoSchedulerTest, AggregatesPerShardStats) {
   const IoSchedulerStats cleared = scheduler.stats();
   EXPECT_EQ(cleared.submitted_reads, 0u);
   EXPECT_EQ(cleared.drains, 0u);
+}
+
+TEST(ShardedIoSchedulerTest, StatsSnapshotDuringLoadIsTearFree) {
+  // Regression for the torn-counter aggregation: stats() used to sum
+  // plain per-shard structs while shard threads were mid-increment (and
+  // bumped a plain uint64_t drains_ from the issuer), so a snapshot
+  // taken during a drain could tear. The counters are atomic cells now;
+  // a poller racing the load must only ever see consistent,
+  // monotonically growing values. Under TSan this is also the data-race
+  // pin for snapshot-during-load.
+  ShardedFixture fx(4, 64);
+  ShardedIoScheduler scheduler(fx.device.get());
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    uint64_t last_reads = 0, last_drains = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const IoSchedulerStats s = scheduler.stats();
+      EXPECT_GE(s.physical_reads, last_reads);
+      EXPECT_GE(s.drains, last_drains);
+      // Submits precede drains, but the poller's reads are not one
+      // instant: the physical count read later can include reads whose
+      // submit bump the earlier read missed. Bounding the submitted
+      // count by the PREVIOUS iteration's physical count is robust
+      // under any interleaving.
+      EXPECT_GE(s.submitted_reads, last_reads);
+      last_reads = s.physical_reads;
+      last_drains = s.drains;
+    }
+  });
+  const Bytes image = GoldenBlock(5, 0, 512);
+  Bytes out(32 * 512);
+  for (int round = 0; round < 64; ++round) {
+    IoBatch batch;
+    for (uint64_t i = 0; i < 32; ++i) {
+      if (i % 4 == 0) {
+        batch.Write(i, image.data());
+      } else {
+        batch.Read(i, out.data() + i * 512);
+      }
+    }
+    ASSERT_TRUE(scheduler.Run(std::move(batch)).ok());
+  }
+  done.store(true, std::memory_order_release);
+  poller.join();
+  const IoSchedulerStats s = scheduler.stats();
+  EXPECT_EQ(s.drains, 64u);
+  EXPECT_EQ(s.submitted_reads, 64u * 24u);
 }
 
 TEST(ShardedIoSchedulerTest, ConcurrentSubmittersThroughOneIssuer) {

@@ -20,10 +20,14 @@ metrics (only a worsening fails): max_stall_ms (longest serving stall
 attributable to re-order work) is lower-is-better, and the dispatch
 sweeps' p99_latency_ms joins the gate — its stamps are virtual-clock
 and, under saturation, dominated by the deterministic re-order
-schedule, unlike the OS-scheduling-sensitive p50. The derived
-speedup_vs_blocking_reorder / p99_improvement_vs_blocking ratios are
-archived but exempt: their constituents are gated individually, and an
-improvement confined to the blocking twin must not fail the diff.
+schedule, unlike the OS-scheduling-sensitive p50. p90_latency_ms and
+stall_p99_ms (the dispatch sweep's stall-distribution tail) are gated
+the same way, so a latency-distribution regression fails even when the
+mean survives. The derived speedup_vs_blocking_reorder /
+p99_improvement_vs_blocking ratios are archived but exempt: their
+constituents are gated individually, and an improvement confined to the
+blocking twin must not fail the diff. queue_depth_p99 is archived but
+exempt (group arrival interleaving shifts it at the margin).
 
 Only virtual-clock counters are compared — the benchmark's own
 real_time is host wall-clock and noisy across CI runners. The workloads
@@ -52,13 +56,13 @@ import sys
 #: Counters where a *drop* is the regression.
 HIGHER_IS_BETTER = ("speedup_vs_serial",)
 
-#: Archived, never gated: scheduling-dependent fill, plus the derived
-#: blocking-vs-deamortized ratios — their constituents (blocking_*_ms,
-#: *_per_vsec, p99_latency_ms, max_stall_ms) are each tracked on their
-#: own, and gating the ratio too would fail CI when only the blocking
-#: twin improves.
+#: Archived, never gated: scheduling-dependent fill and queue depth,
+#: plus the derived blocking-vs-deamortized ratios — their constituents
+#: (blocking_*_ms, *_per_vsec, p90/p99_latency_ms, max_stall_ms,
+#: stall_p99_ms) are each tracked on their own, and gating the ratio too
+#: would fail CI when only the blocking twin improves.
 EXEMPT = ("mean_batch_fill", "speedup_vs_blocking_reorder",
-          "p99_improvement_vs_blocking")
+          "p99_improvement_vs_blocking", "queue_depth_p99")
 
 
 def is_higher_better(key):
@@ -69,9 +73,11 @@ def is_tracked(key):
     if key in EXEMPT:
         return False
     if key.endswith("_latency_ms"):
-        # Dispatch p99 is virtual-clock and re-order-schedule dominated:
-        # gated (lower is better). p50 stays scheduling-sensitive noise.
-        return key.endswith("p99_latency_ms")
+        # Dispatch tail percentiles are virtual-clock and
+        # re-order-schedule dominated: gated (lower is better). p50
+        # stays scheduling-sensitive noise.
+        return (key.endswith("p99_latency_ms") or
+                key.endswith("p90_latency_ms"))
     return (key == "overhead_factor" or key.endswith("_ms") or
             is_higher_better(key))
 
