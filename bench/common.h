@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "baseline/plain_fs.h"
 #include "baseline/stegfs2003.h"
 #include "storage/mem_block_device.h"
+#include "storage/retry_device.h"
 #include "storage/sim_device.h"
 #include "storage/volume_set.h"
 #include "workload/adapters.h"
@@ -179,11 +181,21 @@ struct ObliviousSystemUnderTest {
 /// instruments, the simulated devices export per-spindle utilization
 /// ("steg.*", "cache.*" / "cache.shard<k>.*"), and the trace log's
 /// virtual clock is bound to this system's summed disk clocks.
+/// `cache_replicas`/`cache_fault_plan`/`replication` (sharded cache
+/// only) mirror every cache shard R ways behind a ReplicatedBlockDevice
+/// and script per-(shard, replica) fault injection; `io_retry` arms the
+/// store scheduler's bounded retry budget so transient device errors
+/// that survive the replica layer (e.g. a degraded shard's last healthy
+/// replica hiccuping) are re-driven instead of failing the request.
 inline ObliviousSystemUnderTest MakeObliviousSystem(
     uint64_t users, uint64_t file_blocks, uint64_t seed,
     uint64_t buffer_blocks, bool prewarm, bool deamortize = false,
     size_t cache_shards = 0, obs::Registry* registry = nullptr,
-    obs::TraceLog* trace = nullptr) {
+    obs::TraceLog* trace = nullptr, size_t cache_replicas = 1,
+    std::function<storage::FaultPlan(size_t, size_t)> cache_fault_plan =
+        nullptr,
+    std::optional<storage::RetryPolicy> io_retry = std::nullopt,
+    storage::ReplicationOptions replication = {}) {
   ObliviousSystemUnderTest sys;
 
   uint64_t capacity = 2 * buffer_blocks;
@@ -207,7 +219,10 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
   if (cache_shards >= 1) {
     storage::VolumeSet::Options vopts;
     vopts.shards = cache_shards;
+    vopts.replicas = cache_replicas;
     vopts.total_blocks = cache_blocks;
+    vopts.fault_plan = std::move(cache_fault_plan);
+    vopts.replication = replication;
     sys.cache_volumes = std::make_unique<storage::VolumeSet>(vopts);
     cache_device = &sys.cache_volumes->device();
   } else {
@@ -235,6 +250,7 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
   opts.deamortize_reorders = deamortize;
   opts.drbg_seed = seed ^ 0x6f626c69;
   opts.charge_index_io = true;  // §5.1.2 spilled-index serving variant
+  opts.io_retry = io_retry;
   opts.registry = registry;
   opts.trace = trace;
   auto agent =
@@ -264,9 +280,15 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
   if (registry != nullptr) {
     sys.steg_sim->RegisterMetrics(registry, "steg");
     if (sys.cache_volumes) {
-      for (size_t k = 0; k < sys.cache_volumes->shard_count(); ++k) {
-        sys.cache_volumes->sim(k).RegisterMetrics(
-            registry, "cache.shard" + std::to_string(k));
+      if (sys.cache_volumes->replica_count() > 1) {
+        // Replicated layout: per-replica sim/fault counters plus the
+        // per-shard replication health gauges, all under "cache.".
+        sys.cache_volumes->RegisterMetrics(registry, "cache");
+      } else {
+        for (size_t k = 0; k < sys.cache_volumes->shard_count(); ++k) {
+          sys.cache_volumes->sim(k).RegisterMetrics(
+              registry, "cache.shard" + std::to_string(k));
+        }
       }
     } else {
       sys.cache_sim->RegisterMetrics(registry, "cache");

@@ -28,6 +28,10 @@ RequestDispatcher::RequestDispatcher(ObliviousAgent* agent,
                           &cells_.maintenance_pumps);
     registration_.Counter(p + ".maintenance_pump_errors",
                           &cells_.maintenance_pump_errors);
+    registration_.Counter(p + ".maintenance_pump_retries",
+                          &cells_.maintenance_pump_retries);
+    registration_.Counter(p + ".maintenance_escalations",
+                          &cells_.maintenance_escalations);
     registration_.Histogram(p + ".latency_ms", &cells_.latency_ms);
     registration_.Histogram(p + ".fill", &cells_.fill);
     registration_.Gauge(p + ".queue_depth", &cells_.queue_depth);
@@ -158,39 +162,93 @@ size_t RequestDispatcher::FillTargetLocked() const {
   return std::min(options_.max_batch, open_sessions_);
 }
 
-bool RequestDispatcher::PumpMaintenance() {
-  if (options_.maintenance_budget == 0) return false;
-  if (!agent_->store().reorder_pending()) return false;
-  obs::ScopedSpan span(options_.trace, "dispatch.pump", trace_track_);
-  auto more = agent_->PumpReorder(options_.maintenance_budget);
-  if (!more.ok()) {
-    // A failed slice must not read as "drained": record it and back off
-    // to the condvar. The chain stays pending, and the same error will
-    // surface to a caller through the serving path's own taxes/drains.
-    cells_.maintenance_pump_errors.Increment();
-    return false;
+RequestDispatcher::PumpResult RequestDispatcher::PumpMaintenance() {
+  if (options_.maintenance_budget == 0) return PumpResult::kIdle;
+  if (agent_->store().reorder_pending()) {
+    obs::ScopedSpan span(options_.trace, "dispatch.pump", trace_track_);
+    auto more = agent_->PumpReorder(options_.maintenance_budget);
+    if (!more.ok()) {
+      // A failed slice must not read as "drained": the chain stays
+      // pending, and the worker must keep polling (bounded backoff) —
+      // parking on the condvar here is the historical wedge: nothing
+      // ever signals it while the only remaining work is the chain's.
+      cells_.maintenance_pump_errors.Increment();
+      return PumpResult::kFailed;
+    }
+    // Counts slices that advanced work — including the one that drains
+    // the chain dry.
+    cells_.maintenance_pumps.Increment();
+    if (*more) return PumpResult::kMore;
   }
-  // Counts slices that advanced work — including the one that drains
-  // the chain dry.
-  cells_.maintenance_pumps.Increment();
-  return *more;
+  // Chain idle: spend the gap on secondary maintenance (replica repair).
+  if (options_.extra_maintenance) {
+    obs::ScopedSpan span(options_.trace, "dispatch.repair", trace_track_);
+    auto more = options_.extra_maintenance(options_.maintenance_budget);
+    if (!more.ok()) {
+      cells_.maintenance_pump_errors.Increment();
+      return PumpResult::kFailed;
+    }
+    if (*more) {
+      cells_.maintenance_pumps.Increment();
+      return PumpResult::kMore;
+    }
+  }
+  return PumpResult::kIdle;
+}
+
+std::chrono::microseconds RequestDispatcher::RetryBackoff(
+    size_t consecutive_failures) const {
+  constexpr std::chrono::microseconds kCap{50'000};
+  std::chrono::microseconds delay = options_.maintenance_retry_backoff;
+  if (delay <= std::chrono::microseconds::zero()) {
+    delay = std::chrono::microseconds{500};
+  }
+  for (size_t i = 1; i < consecutive_failures && delay < kCap; ++i) {
+    delay *= 2;
+  }
+  return std::min(delay, kCap);
 }
 
 void RequestDispatcher::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
+  // Consecutive failed maintenance slices; drives the retry backoff and
+  // the escalation alarm, reset by any slice that succeeds.
+  size_t pump_failures = 0;
   for (;;) {
     // Idle: while no requests are pending, spend the gap pumping any
     // deamortized re-order backlog (one bounded slice per poll, so a
     // fresh submission is picked up at chunk granularity); block on the
-    // condvar only once the backlog is drained.
+    // condvar only once the backlog is drained. A *failed* slice is not
+    // a drained one: it retries after a bounded backoff — an indefinite
+    // wait here with the chain still pending is the stuck-maintenance
+    // bug (nothing signals the condvar when the only remaining work is
+    // the chain's own).
     while (!stopping_ && queue_.empty()) {
       lock.unlock();
-      const bool more = PumpMaintenance();
+      const PumpResult pump = PumpMaintenance();
       lock.lock();
       if (stopping_ || !queue_.empty()) break;
-      if (!more) {
-        cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (pump == PumpResult::kMore) {
+        pump_failures = 0;
+        continue;
       }
+      if (pump == PumpResult::kFailed) {
+        ++pump_failures;
+        cells_.maintenance_pump_retries.Increment();
+        if (pump_failures == options_.maintenance_retry_limit) {
+          cells_.maintenance_escalations.Increment();
+          if (options_.trace != nullptr) {
+            options_.trace->Instant(
+                "dispatch.pump_stuck", trace_track_,
+                {{"failures", static_cast<int64_t>(pump_failures)}});
+          }
+        }
+        cv_.wait_for(lock, RetryBackoff(pump_failures),
+                     [&] { return stopping_ || !queue_.empty(); });
+        continue;
+      }
+      pump_failures = 0;
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
     }
     if (queue_.empty()) {
       if (stopping_) return;
@@ -206,7 +264,9 @@ void RequestDispatcher::WorkerLoop() {
         std::chrono::steady_clock::now() + options_.commit_window;
     while (!stopping_ && queue_.size() < FillTargetLocked()) {
       lock.unlock();
-      const bool more = PumpMaintenance();
+      // kFailed counts as "no more": the linger loop is already bounded
+      // by the deadline, so the retry happens on the next idle pass.
+      const bool more = PumpMaintenance() == PumpResult::kMore;
       lock.lock();
       if (std::chrono::steady_clock::now() >= deadline) break;
       if (stopping_ || queue_.size() >= FillTargetLocked()) break;
@@ -343,6 +403,8 @@ DispatcherStats RequestDispatcher::stats() const {
   out.grouped_requests = cells_.grouped_requests.value();
   out.maintenance_pumps = cells_.maintenance_pumps.value();
   out.maintenance_pump_errors = cells_.maintenance_pump_errors.value();
+  out.maintenance_pump_retries = cells_.maintenance_pump_retries.value();
+  out.maintenance_escalations = cells_.maintenance_escalations.value();
   if (cells_.latency_ms.count() > 0) {
     out.p50_latency_ms = cells_.latency_ms.Percentile(50);
     out.p90_latency_ms = cells_.latency_ms.Percentile(90);

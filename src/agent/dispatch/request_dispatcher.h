@@ -41,6 +41,21 @@ struct DispatcherOptions {
   /// rebuild I/O rides the gaps instead of stalling a serving request.
   /// 0 disables the pump (the store still self-paces via serving taxes).
   uint64_t maintenance_budget = 64;
+  /// Extra idle-gap maintenance (e.g. VolumeSet::PumpRepair driving a
+  /// replica rebuild). Called from the I/O thread — the single storage
+  /// issuer — with the maintenance budget, only when the re-order chain
+  /// has no work, returning whether more remains. May be empty.
+  std::function<Result<bool>(uint64_t budget)> extra_maintenance;
+  /// Consecutive failed maintenance slices before the dispatcher counts
+  /// an escalation (stats().maintenance_escalations — the "a spindle is
+  /// not coming back" alarm). Retrying continues past the limit at the
+  /// capped backoff: a pending chain is never abandoned to an unbounded
+  /// condvar wait, which is how a transient fault used to wedge the
+  /// worker (see WorkerLoop).
+  size_t maintenance_retry_limit = 8;
+  /// Base wall-clock delay between failed-slice retries; doubles per
+  /// consecutive failure, capped at ~50ms.
+  std::chrono::microseconds maintenance_retry_backoff{500};
   /// Observability sinks, all optional (null = zero-cost). The registry
   /// gets the dispatcher's counters/histograms under `obs_prefix`; the
   /// trace log gets commit/maintenance spans on a dispatcher track plus
@@ -74,6 +89,10 @@ struct DispatcherStats {
   /// Maintenance slices that failed with an I/O error (the chain stays
   /// pending; the error also surfaces through the serving path).
   uint64_t maintenance_pump_errors = 0;
+  /// Failed slices re-attempted after a bounded backoff.
+  uint64_t maintenance_pump_retries = 0;
+  /// Failure streaks that crossed maintenance_retry_limit.
+  uint64_t maintenance_escalations = 0;
 
   double p50_latency_ms = 0.0;
   double p90_latency_ms = 0.0;
@@ -189,9 +208,16 @@ class RequestDispatcher {
 
   void WorkerLoop();
   void CommitGroup(std::vector<Pending>& group);
-  /// One maintenance slice (caller must NOT hold mu_); returns whether
-  /// re-order work remains.
-  bool PumpMaintenance();
+  /// What a maintenance slice did: advanced work that remains (kMore),
+  /// found nothing left to do (kIdle), or failed and left its chain
+  /// pending (kFailed — the worker must keep polling, never block
+  /// indefinitely, or the chain wedges).
+  enum class PumpResult : uint8_t { kIdle, kMore, kFailed };
+  /// One maintenance slice (caller must NOT hold mu_): re-order chain
+  /// first, then options_.extra_maintenance once the chain is idle.
+  PumpResult PumpMaintenance();
+  /// Exponential failed-slice retry delay, capped at ~50ms.
+  std::chrono::microseconds RetryBackoff(size_t consecutive_failures) const;
   double Clock() const {
     return options_.clock_fn ? options_.clock_fn() : 0.0;
   }
@@ -228,6 +254,8 @@ class RequestDispatcher {
     obs::CounterCell grouped_requests;
     obs::CounterCell maintenance_pumps;
     obs::CounterCell maintenance_pump_errors;
+    obs::CounterCell maintenance_pump_retries;
+    obs::CounterCell maintenance_escalations;
     /// Per-request virtual latency (queueing + service), ms.
     obs::HistogramCell latency_ms;
     /// Committed group sizes (per kind); max() is the old max_fill.

@@ -44,10 +44,20 @@ ObliviousStore::ObliviousStore(storage::BlockDevice* device,
   // Probe counts are part of the attacker-visible pattern; the scheduler
   // must issue them verbatim (no coalescing of colliding decoys).
   scheduler_->set_preserve_pattern(true);
+  if (options_.io_retry.has_value()) {
+    scheduler_->set_retry_policy(*options_.io_retry);
+    // The re-order / merge path issues straight device calls outside the
+    // scheduler; give it the same budget via the decorator so a transient
+    // fault mid-chain cannot fail the serving call that paid the tax.
+    maintenance_retry_ = std::make_unique<storage::RetryingBlockDevice>(
+        device_, *options_.io_retry);
+  }
+  maint_device_ =
+      maintenance_retry_ != nullptr ? maintenance_retry_.get() : device_;
   // One persistent sorter per store: its run buffer and seal scratch are
   // recycled across re-orders instead of reconstructed per call.
   sorter_ = std::make_unique<ExternalMergeSorter>(
-      device_, &codec_, &cipher_, &drbg_, options_.scratch_base,
+      maint_device_, &codec_, &cipher_, &drbg_, options_.scratch_base,
       std::max<uint64_t>(options_.buffer_blocks, kReorderRunFloor));
 }
 
@@ -174,6 +184,11 @@ void ObliviousStore::ConfigureObservability() {
       return stats_.stall_ms;
     });
     scheduler_->RegisterMetrics(options_.registry, "io");
+    if (maintenance_retry_ != nullptr) {
+      // Re-order / merge path re-drives, separate from the scheduler's
+      // "io.shardK.retries" (both fold into io_stats().retries).
+      maintenance_retry_->RegisterMetrics(options_.registry, "io.reorder");
+    }
   }
 }
 
@@ -268,7 +283,7 @@ Status ObliviousStore::ChargeIndexRebuild(const Level& level) {
   Bytes block(codec_.block_size(), 0);
   for (uint64_t i = 0; i < blocks && i < level.capacity; ++i) {
     STEGHIDE_RETURN_IF_ERROR(
-        device_->WriteBlock(level.base + i, block.data()));
+        maint_device_->WriteBlock(level.base + i, block.data()));
     cells_.index_io.Increment();
   }
   return Status::OK();
@@ -860,7 +875,7 @@ Status ObliviousStore::StartFlushChainLocked() {
     }
     ChainStep step;
     step.job = std::make_unique<ReorderJob>(
-        device_, &codec_, &cipher_, sorter_.get(), target_idx,
+        maint_device_, &codec_, &cipher_, sorter_.get(), target_idx,
         levels_[target_idx].alt_base, std::move(inputs));
     step.clears = std::move(clears);
     step.is_flush = is_flush;

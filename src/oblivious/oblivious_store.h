@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,6 +22,7 @@
 #include "stegfs/block_codec.h"
 #include "storage/async/io_scheduler.h"
 #include "storage/block_device.h"
+#include "storage/retry_device.h"
 #include "util/result.h"
 
 namespace steghide::oblivious {
@@ -86,6 +88,17 @@ struct ObliviousStoreOptions {
   /// on stalls. Flush sizes depend only on chain timing, i.e. on the
   /// observable schedule, never on record contents.
   uint64_t defer_flush_limit = 0;
+
+  // ---- Fault tolerance ----------------------------------------------------
+
+  /// Optional retry budget for physical I/O: the scheduler re-drives any
+  /// vectored issue that fails with kIoError, up to max_attempts total
+  /// tries (see IoSchedulerBase::set_retry_policy). Retries are counted
+  /// in io_stats().retries and traced as "io.retry" instants. Retry
+  /// timing depends only on which physical ops fail — fault-plan
+  /// territory, not record contents — so the pattern argument is
+  /// unchanged. Nullopt = fail fast.
+  std::optional<storage::RetryPolicy> io_retry;
 
   // ---- Observability ------------------------------------------------------
 
@@ -319,8 +332,18 @@ class ObliviousStore {
   void ResetStats();
 
   /// Scheduler counters (physical I/O, drains, per-drain queue depth —
-  /// the sharded scheduler reports the deepest shard).
-  storage::IoSchedulerStats io_stats() const { return scheduler_->stats(); }
+  /// the sharded scheduler reports the deepest shard). Retries folded in
+  /// from both re-drive layers: the scheduler (request path) and the
+  /// maintenance-path RetryingBlockDevice (re-order / merge I/O).
+  storage::IoSchedulerStats io_stats() const {
+    storage::IoSchedulerStats s = scheduler_->stats();
+    if (maintenance_retry_ != nullptr) {
+      const storage::RetryStats m = maintenance_retry_->stats();
+      s.retries += m.retries;
+      s.retry_exhausted += m.exhausted;
+    }
+    return s;
+  }
 
   /// Wires a virtual-clock sampler (e.g. SimBlockDevice::clock_ms) so the
   /// stats can split retrieve vs sort time, Figure 12(b).
@@ -571,6 +594,14 @@ class ObliviousStore {
   void UpdateChainGaugesLocked();
 
   storage::BlockDevice* device_;
+  /// Maintenance-path re-drive layer: the reorder jobs, the external
+  /// merge sorter and the index-rebuild charges bypass the scheduler and
+  /// issue straight device calls; with io_retry set those go through this
+  /// decorator, so a transient kIoError during a serving-tax re-order
+  /// step is re-driven instead of failing the request that paid the tax.
+  /// Null when io_retry is unset — maint_device_ is then device_ itself.
+  std::unique_ptr<storage::RetryingBlockDevice> maintenance_retry_;
+  storage::BlockDevice* maint_device_ = nullptr;
   ObliviousStoreOptions options_;
   stegfs::BlockCodec codec_;
   crypto::HashDrbg drbg_;

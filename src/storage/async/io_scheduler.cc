@@ -18,6 +18,33 @@ IoFuture IoScheduler::Submit(IoBatch batch) {
   return future;
 }
 
+Status IoScheduler::IssueBacking(std::span<const uint64_t> ids, uint8_t* out,
+                                 const uint8_t* data) {
+  int attempt = 0;
+  for (;;) {
+    Status status = data != nullptr ? backing_->WriteBlocks(ids, data)
+                                    : backing_->ReadBlocks(ids, out);
+    if (status.ok()) return status;
+    // Only true I/O failures are retriable, and only a whole-call
+    // re-drive is safe: block reads/writes are idempotent per call, so
+    // re-issuing a torn batch completes it without changing the per-
+    // block image. The retry burns no separate backoff clock — the
+    // re-issued physical I/O itself is the (virtual-time) cost.
+    if (!retry_.has_value() || status.code() != StatusCode::kIoError ||
+        attempt + 1 >= retry_->max_attempts) {
+      if (attempt > 0) cells_.retry_exhausted.Increment();
+      return status;
+    }
+    ++attempt;
+    cells_.retries.Increment();
+    if (trace_ != nullptr) {
+      trace_->Instant("io.retry", trace_track_,
+                      {{"attempt", static_cast<int64_t>(attempt)},
+                       {"blocks", static_cast<int64_t>(ids.size())}});
+    }
+  }
+}
+
 Status IoScheduler::IssueVerbatim(const IoBatch& batch) {
   // Walk the batch once, folding maximal same-op runs whose buffers are
   // laid out contiguously (the common shape: a caller reading a probe set
@@ -38,7 +65,7 @@ Status IoScheduler::IssueVerbatim(const IoBatch& batch) {
       std::vector<uint64_t> ids;
       ids.reserve(j - i);
       for (size_t r = i; r < j; ++r) ids.push_back(reqs[r].block_id);
-      STEGHIDE_RETURN_IF_ERROR(backing_->ReadBlocks(ids, reqs[i].out));
+      STEGHIDE_RETURN_IF_ERROR(IssueBacking(ids, reqs[i].out, nullptr));
       cells_.physical_reads.Add(j - i);
     } else {
       while (j < reqs.size() && reqs[j].op == IoRequest::Op::kWrite &&
@@ -48,7 +75,7 @@ Status IoScheduler::IssueVerbatim(const IoBatch& batch) {
       std::vector<uint64_t> ids;
       ids.reserve(j - i);
       for (size_t r = i; r < j; ++r) ids.push_back(reqs[r].block_id);
-      STEGHIDE_RETURN_IF_ERROR(backing_->WriteBlocks(ids, reqs[i].data));
+      STEGHIDE_RETURN_IF_ERROR(IssueBacking(ids, nullptr, reqs[i].data));
       cells_.physical_writes.Add(j - i);
     }
     i = j;
@@ -133,7 +160,7 @@ Status IoScheduler::Drain() {
     }
     std::vector<uint64_t> ids;
     for (auto r = it; r != run_end; ++r) ids.push_back(r->first);
-    status = backing_->ReadBlocks(ids, it->second.front());
+    status = IssueBacking(ids, it->second.front(), nullptr);
     if (!status.ok()) break;
     cells_.physical_reads.Add(ids.size());
     for (auto r = it; r != run_end; ++r) {
@@ -153,7 +180,7 @@ Status IoScheduler::Drain() {
       }
       std::vector<uint64_t> ids;
       for (auto r = it; r != run_end; ++r) ids.push_back(r->first);
-      status = backing_->WriteBlocks(ids, it->second);
+      status = IssueBacking(ids, nullptr, it->second);
       if (!status.ok()) break;
       cells_.physical_writes.Add(ids.size());
       it = run_end;
@@ -180,6 +207,8 @@ IoSchedulerStats IoScheduler::stats() const {
   s.forwarded_reads = cells_.forwarded_reads.value();
   s.superseded_writes = cells_.superseded_writes.value();
   s.drains = cells_.drains.value();
+  s.retries = cells_.retries.value();
+  s.retry_exhausted = cells_.retry_exhausted.value();
   s.queue_depth_p99 = cells_.queue_depth.Percentile(99.0);
   s.queue_depth_max = cells_.queue_depth.max();
   return s;
@@ -194,6 +223,8 @@ void IoScheduler::ResetStats() {
   cells_.forwarded_reads.Reset();
   cells_.superseded_writes.Reset();
   cells_.drains.Reset();
+  cells_.retries.Reset();
+  cells_.retry_exhausted.Reset();
   cells_.queue_depth.Reset();
 }
 
@@ -210,6 +241,9 @@ void IoScheduler::RegisterMetrics(obs::Registry* registry,
   registration_.Counter(prefix + ".superseded_writes",
                         &cells_.superseded_writes);
   registration_.Counter(prefix + ".drains", &cells_.drains);
+  registration_.Counter(prefix + ".retries", &cells_.retries);
+  registration_.Counter(prefix + ".retry_exhausted",
+                        &cells_.retry_exhausted);
   registration_.Histogram(prefix + ".queue_depth", &cells_.queue_depth);
 }
 

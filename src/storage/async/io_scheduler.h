@@ -2,6 +2,7 @@
 #define STEGHIDE_STORAGE_ASYNC_IO_SCHEDULER_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "obs/trace_log.h"
 #include "storage/async/io_request.h"
 #include "storage/block_device.h"
+#include "storage/retry_device.h"
 
 namespace steghide::storage {
 
@@ -29,6 +31,10 @@ struct IoSchedulerStats {
   /// Writes made obsolete by a later write to the same block.
   uint64_t superseded_writes = 0;
   uint64_t drains = 0;
+  /// Physical issue attempts re-driven after a kIoError (see
+  /// set_retry_policy), and the calls that burned the whole budget.
+  uint64_t retries = 0;
+  uint64_t retry_exhausted = 0;
   /// Pending requests per drain (distribution over drains; sharded
   /// schedulers report the deepest shard).
   double queue_depth_p99 = 0.0;
@@ -44,6 +50,16 @@ class IoSchedulerBase : public AsyncBlockDevice {
   /// See IoScheduler::set_preserve_pattern.
   virtual void set_preserve_pattern(bool on) = 0;
   virtual bool preserve_pattern() const = 0;
+
+  /// Installs a retry budget for physical issues: a vectored call that
+  /// fails with kIoError is re-driven whole, up to
+  /// policy.max_attempts total attempts (block writes/reads are
+  /// idempotent, so a torn batch is simply completed). Retries count in
+  /// stats().retries and emit an "io.retry" trace instant; exhausting
+  /// the budget surfaces the error to every pending future of the drain
+  /// (all-or-nothing, as before). Sharded schedulers fan the policy out
+  /// per shard.
+  virtual void set_retry_policy(const RetryPolicy& policy) = 0;
   virtual bool idle() const = 0;
   virtual IoSchedulerStats stats() const = 0;
   virtual void ResetStats() = 0;
@@ -102,6 +118,10 @@ class IoScheduler : public IoSchedulerBase {
   void set_preserve_pattern(bool on) override { preserve_pattern_ = on; }
   bool preserve_pattern() const override { return preserve_pattern_; }
 
+  void set_retry_policy(const RetryPolicy& policy) override {
+    retry_ = policy;
+  }
+
   bool idle() const override { return queue_.empty(); }
   IoSchedulerStats stats() const override;
   void ResetStats() override;
@@ -130,14 +150,21 @@ class IoScheduler : public IoSchedulerBase {
     obs::CounterCell forwarded_reads;
     obs::CounterCell superseded_writes;
     obs::CounterCell drains;
+    obs::CounterCell retries;
+    obs::CounterCell retry_exhausted;
     obs::HistogramCell queue_depth;
   };
 
   /// Issues one batch verbatim (pattern-preserving drain).
   Status IssueVerbatim(const IoBatch& batch);
+  /// The single funnel to the backing device: one vectored call, re-
+  /// driven under the retry budget. Exactly one of out/data is non-null.
+  Status IssueBacking(std::span<const uint64_t> ids, uint8_t* out,
+                      const uint8_t* data);
 
   BlockDevice* backing_;
   std::vector<Pending> queue_;
+  std::optional<RetryPolicy> retry_;
   Cells cells_;
   obs::Registration registration_;
   obs::TraceLog* trace_ = nullptr;

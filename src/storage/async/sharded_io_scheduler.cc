@@ -63,6 +63,15 @@ void ShardedIoScheduler::set_preserve_pattern(bool on) {
   for (auto& shard : inner_) shard->set_preserve_pattern(on);
 }
 
+void ShardedIoScheduler::set_retry_policy(const RetryPolicy& policy) {
+  for (auto& shard : inner_) shard->set_retry_policy(policy);
+}
+
+void ShardedIoScheduler::set_shard_retry_policy(size_t k,
+                                                const RetryPolicy& policy) {
+  inner_[k]->set_retry_policy(policy);
+}
+
 bool ShardedIoScheduler::preserve_pattern() const {
   return inner_.front()->preserve_pattern();
 }
@@ -89,6 +98,8 @@ IoSchedulerStats ShardedIoScheduler::stats() const {
     total.coalesced_reads += s.coalesced_reads;
     total.forwarded_reads += s.forwarded_reads;
     total.superseded_writes += s.superseded_writes;
+    total.retries += s.retries;
+    total.retry_exhausted += s.retry_exhausted;
     // The bottleneck spindle defines the depth of a parallel drain.
     total.queue_depth_p99 = std::max(total.queue_depth_p99, s.queue_depth_p99);
     total.queue_depth_max = std::max(total.queue_depth_max, s.queue_depth_max);

@@ -40,6 +40,11 @@ class ShardedIoScheduler : public IoSchedulerBase {
 
   void set_preserve_pattern(bool on) override;
   bool preserve_pattern() const override;
+  void set_retry_policy(const RetryPolicy& policy) override;
+  /// Overrides the retry budget of one shard (a flaky spindle can get a
+  /// deeper budget than its healthy peers). Apply after set_retry_policy:
+  /// the global setter overwrites every shard.
+  void set_shard_retry_policy(size_t k, const RetryPolicy& policy);
   bool idle() const override;
   IoSchedulerStats stats() const override;
   void ResetStats() override;

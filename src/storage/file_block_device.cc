@@ -110,6 +110,9 @@ Status FileBlockDevice::WriteBlock(uint64_t block_id, const uint8_t* data) {
       if (errno == EINTR) continue;
       return ErrnoStatus("pwrite");
     }
+    // POSIX allows a zero-progress pwrite (e.g. on some special files);
+    // looping on it would spin forever.
+    if (n == 0) return Status::IoError("pwrite made no progress");
     done += static_cast<size_t>(n);
   }
   return Status::OK();

@@ -1,0 +1,266 @@
+#include "storage/replicated_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace steghide::storage {
+
+ReplicatedBlockDevice::ReplicatedBlockDevice(
+    std::vector<BlockDevice*> replicas, ReplicationOptions options)
+    : replicas_(std::move(replicas)),
+      options_(options),
+      block_size_(replicas_.empty() ? kDefaultBlockSize
+                                    : replicas_.front()->block_size()),
+      states_(replicas_.size()),
+      consecutive_read_errors_(replicas_.size(), 0) {
+  assert(!replicas_.empty());
+  uint64_t min_blocks = replicas_.front()->num_blocks();
+  for (BlockDevice* replica : replicas_) {
+    assert(replica->block_size() == block_size_);
+    if (replica->num_blocks() < min_blocks) min_blocks = replica->num_blocks();
+  }
+  num_blocks_ = min_blocks;
+  cells_.healthy_replicas.Set(static_cast<double>(replicas_.size()));
+}
+
+void ReplicatedBlockDevice::SetState(size_t r, ReplicaState state) {
+  states_[r].store(static_cast<uint8_t>(state), std::memory_order_relaxed);
+  cells_.healthy_replicas.Set(static_cast<double>(healthy_count()));
+}
+
+size_t ReplicatedBlockDevice::healthy_count() const {
+  size_t n = 0;
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (replica_state(r) == ReplicaState::kHealthy) ++n;
+  }
+  return n;
+}
+
+void ReplicatedBlockDevice::Quarantine(size_t r) { QuarantineLocked(r); }
+
+void ReplicatedBlockDevice::QuarantineLocked(size_t r) {
+  if (replica_state(r) == ReplicaState::kQuarantined) return;
+  SetState(r, ReplicaState::kQuarantined);
+  cells_.quarantines.Increment();
+}
+
+bool ReplicatedBlockDevice::ServingOrder(std::vector<size_t>* order) {
+  order->clear();
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (replica_state(r) == ReplicaState::kHealthy) order->push_back(r);
+  }
+  if (order->empty()) return false;
+  // Data-independent replica choice: rotate the healthy list by a
+  // counter of read calls. The first entry serves; the rest are the
+  // failover order.
+  const size_t shift = static_cast<size_t>(rr_++ % order->size());
+  std::rotate(order->begin(), order->begin() + shift, order->end());
+  return true;
+}
+
+Status ReplicatedBlockDevice::ReadFrom(std::span<const uint64_t> ids,
+                                       uint8_t* out) {
+  cells_.reads.Add(ids.size());
+  std::vector<size_t> order;
+  if (!ServingOrder(&order)) {
+    return Status::IoError("replicated device: no healthy replicas");
+  }
+  const double t0 = clock_fn_ ? clock_fn_() : 0.0;
+  Status status;
+  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const size_t r = order[attempt];
+    status = replicas_[r]->ReadBlocks(ids, out);
+    if (status.ok()) {
+      consecutive_read_errors_[r] = 0;
+      if (attempt > 0) {
+        cells_.failovers.Increment();
+        if (clock_fn_) cells_.failover_ms.Record(clock_fn_() - t0);
+      }
+      return status;
+    }
+    // Transient hiccups stay in rotation; a replica that keeps failing
+    // gets benched so serving stops paying its failover latency.
+    if (++consecutive_read_errors_[r] >= options_.quarantine_after) {
+      QuarantineLocked(r);
+    }
+  }
+  return status;
+}
+
+Status ReplicatedBlockDevice::WriteTo(std::span<const uint64_t> ids,
+                                      const uint8_t* data) {
+  cells_.writes.Add(ids.size());
+  bool healthy_ok = false;
+  Status healthy_error;
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    const ReplicaState state = replica_state(r);
+    if (state == ReplicaState::kQuarantined) continue;
+    Status status;
+    for (int attempt = 0; attempt < std::max(1, options_.write_attempts);
+         ++attempt) {
+      status = replicas_[r]->WriteBlocks(ids, data);
+      if (status.ok() || status.code() != StatusCode::kIoError) break;
+    }
+    if (status.ok()) {
+      if (state == ReplicaState::kHealthy) healthy_ok = true;
+      continue;
+    }
+    // A replica that missed a write is stale: it must never serve a read
+    // again until a repair sweep re-mirrors it (this is also how a
+    // repairing replica drops back to quarantined on error).
+    QuarantineLocked(r);
+    if (state == ReplicaState::kHealthy && healthy_error.ok()) {
+      healthy_error = status;
+    }
+  }
+  if (healthy_ok) return Status::OK();
+  // No serving replica durably holds the new image; surface the failure
+  // (a successful write confined to a mid-repair replica does not count
+  // — its content is not servable yet).
+  return healthy_error.ok()
+             ? Status::IoError("replicated device: no healthy replicas")
+             : healthy_error;
+}
+
+Status ReplicatedBlockDevice::ReadBlock(uint64_t block_id, uint8_t* out) {
+  STEGHIDE_RETURN_IF_ERROR(CheckRange(block_id));
+  return ReadFrom(std::span<const uint64_t>(&block_id, 1), out);
+}
+
+Status ReplicatedBlockDevice::WriteBlock(uint64_t block_id,
+                                         const uint8_t* data) {
+  STEGHIDE_RETURN_IF_ERROR(CheckRange(block_id));
+  return WriteTo(std::span<const uint64_t>(&block_id, 1), data);
+}
+
+Status ReplicatedBlockDevice::ReadBlocks(std::span<const uint64_t> ids,
+                                         uint8_t* out) {
+  if (ids.empty()) return Status::OK();
+  for (uint64_t id : ids) STEGHIDE_RETURN_IF_ERROR(CheckRange(id));
+  return ReadFrom(ids, out);
+}
+
+Status ReplicatedBlockDevice::WriteBlocks(std::span<const uint64_t> ids,
+                                          const uint8_t* data) {
+  if (ids.empty()) return Status::OK();
+  for (uint64_t id : ids) STEGHIDE_RETURN_IF_ERROR(CheckRange(id));
+  return WriteTo(ids, data);
+}
+
+Status ReplicatedBlockDevice::Flush() {
+  bool healthy_ok = false;
+  Status healthy_error;
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    const ReplicaState state = replica_state(r);
+    if (state == ReplicaState::kQuarantined) continue;
+    const Status status = replicas_[r]->Flush();
+    if (status.ok()) {
+      if (state == ReplicaState::kHealthy) healthy_ok = true;
+      continue;
+    }
+    QuarantineLocked(r);
+    if (state == ReplicaState::kHealthy && healthy_error.ok()) {
+      healthy_error = status;
+    }
+  }
+  if (healthy_ok) return Status::OK();
+  return healthy_error.ok()
+             ? Status::IoError("replicated device: no healthy replicas")
+             : healthy_error;
+}
+
+Status ReplicatedBlockDevice::StartRepair(size_t r) {
+  if (r >= replicas_.size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  if (replica_state(r) != ReplicaState::kQuarantined) {
+    return Status::FailedPrecondition("replica is not quarantined");
+  }
+  SetState(r, ReplicaState::kRepairing);
+  // The sweep restarts from block 0 — also when a second replica joins
+  // an in-flight repair; re-copying a prefix is correct (write-all keeps
+  // it consistent) and keeps the scrub order a fixed public schedule.
+  repair_cursor_ = 0;
+  consecutive_read_errors_[r] = 0;
+  return Status::OK();
+}
+
+bool ReplicatedBlockDevice::repair_pending() const {
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (replica_state(r) == ReplicaState::kRepairing) return true;
+  }
+  return false;
+}
+
+Status ReplicatedBlockDevice::RepairStep(uint64_t budget_blocks, bool* more) {
+  if (more != nullptr) *more = false;
+  if (!repair_pending()) return Status::OK();
+  // Lowest-index healthy source: like the scrub order, a fixed public
+  // choice — repair traffic cannot leak which blocks changed while the
+  // replica was out.
+  size_t source = replicas_.size();
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (replica_state(r) == ReplicaState::kHealthy) {
+      source = r;
+      break;
+    }
+  }
+  if (source == replicas_.size()) {
+    return Status::FailedPrecondition("repair has no healthy source");
+  }
+  repair_buf_.resize(block_size_);
+  const uint64_t end = std::min(num_blocks_, repair_cursor_ + budget_blocks);
+  for (uint64_t b = repair_cursor_; b < end; ++b) {
+    STEGHIDE_RETURN_IF_ERROR(replicas_[source]->ReadBlock(b,
+                                                          repair_buf_.data()));
+    for (size_t r = 0; r < replicas_.size(); ++r) {
+      if (replica_state(r) != ReplicaState::kRepairing) continue;
+      const Status status = replicas_[r]->WriteBlock(b, repair_buf_.data());
+      if (!status.ok()) QuarantineLocked(r);
+    }
+    cells_.repair_blocks.Increment();
+    repair_cursor_ = b + 1;
+  }
+  if (repair_cursor_ >= num_blocks_) {
+    for (size_t r = 0; r < replicas_.size(); ++r) {
+      if (replica_state(r) != ReplicaState::kRepairing) continue;
+      STEGHIDE_RETURN_IF_ERROR(replicas_[r]->Flush());
+      SetState(r, ReplicaState::kHealthy);
+      cells_.repairs_completed.Increment();
+    }
+    repair_cursor_ = 0;
+    return Status::OK();
+  }
+  if (more != nullptr) *more = repair_pending();
+  return Status::OK();
+}
+
+ReplicationStats ReplicatedBlockDevice::stats() const {
+  ReplicationStats s;
+  s.reads = cells_.reads.value();
+  s.writes = cells_.writes.value();
+  s.failovers = cells_.failovers.value();
+  s.quarantines = cells_.quarantines.value();
+  s.repairs_completed = cells_.repairs_completed.value();
+  s.repair_blocks = cells_.repair_blocks.value();
+  s.healthy_replicas = healthy_count();
+  s.failover_ms_max = cells_.failover_ms.max();
+  s.failover_ms_mean = cells_.failover_ms.mean();
+  return s;
+}
+
+void ReplicatedBlockDevice::RegisterMetrics(obs::Registry* registry,
+                                            const std::string& prefix) {
+  registration_ = obs::Registration(registry);
+  registration_.Counter(prefix + ".reads", &cells_.reads);
+  registration_.Counter(prefix + ".writes", &cells_.writes);
+  registration_.Counter(prefix + ".failovers", &cells_.failovers);
+  registration_.Counter(prefix + ".quarantines", &cells_.quarantines);
+  registration_.Counter(prefix + ".repairs_completed",
+                        &cells_.repairs_completed);
+  registration_.Counter(prefix + ".repair_blocks", &cells_.repair_blocks);
+  registration_.Gauge(prefix + ".healthy_replicas", &cells_.healthy_replicas);
+  registration_.Histogram(prefix + ".failover_ms", &cells_.failover_ms);
+}
+
+}  // namespace steghide::storage

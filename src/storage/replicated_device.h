@@ -1,0 +1,148 @@
+#ifndef STEGHIDE_STORAGE_REPLICATED_DEVICE_H_
+#define STEGHIDE_STORAGE_REPLICATED_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/block_device.h"
+
+namespace steghide::storage {
+
+/// Mirroring policy knobs.
+struct ReplicationOptions {
+  /// Immediate same-replica attempts per write before the replica is
+  /// declared stale and quarantined (a replica that misses one write can
+  /// never serve reads again until repaired).
+  int write_attempts = 2;
+  /// Consecutive failed *reads* after which a replica is quarantined
+  /// instead of merely failed over (transient hiccups stay in rotation).
+  int quarantine_after = 3;
+};
+
+enum class ReplicaState : uint8_t { kHealthy, kQuarantined, kRepairing };
+
+/// Counter snapshot of the mirror's life so far.
+struct ReplicationStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  /// Reads answered by a replica other than the first one tried.
+  uint64_t failovers = 0;
+  uint64_t quarantines = 0;
+  uint64_t repairs_completed = 0;
+  uint64_t repair_blocks = 0;
+  size_t healthy_replicas = 0;
+  double failover_ms_max = 0.0;
+  double failover_ms_mean = 0.0;
+};
+
+/// R-way mirrored block device: write-all / read-one over equally sized
+/// replicas, with failover, quarantine, degraded-mode serving, and
+/// incremental repair.
+///
+/// *Oblivious replication*: every choice this layer makes is
+/// data-independent. The serving replica for a read is picked by a
+/// rotation counter over the currently-healthy set (a function of the op
+/// count and the fault history, never of block contents); writes go to
+/// every serviceable replica in index order; repair copies blocks in
+/// plain ascending order from the lowest-index healthy source. An
+/// attacker tracing any single replica therefore sees a stream whose
+/// shape depends only on the request pattern and the (data-independent)
+/// fault schedule — pinned by the per-replica distinguisher suites.
+///
+/// Threading: I/O entry points and RepairStep follow the single-issuer
+/// contract (in the VolumeSet they all run on the owning shard's pool
+/// thread); replica_state()/healthy_count()/stats() are thread-safe
+/// snapshots.
+class ReplicatedBlockDevice : public BlockDevice {
+ public:
+  /// Does not take ownership of `replicas`, which must share one block
+  /// size and outlive this object. All replicas start healthy.
+  explicit ReplicatedBlockDevice(std::vector<BlockDevice*> replicas,
+                                 ReplicationOptions options = {});
+
+  using BlockDevice::ReadBlock;
+  using BlockDevice::WriteBlock;
+
+  Status ReadBlock(uint64_t block_id, uint8_t* out) override;
+  Status WriteBlock(uint64_t block_id, const uint8_t* data) override;
+  Status ReadBlocks(std::span<const uint64_t> ids, uint8_t* out) override;
+  Status WriteBlocks(std::span<const uint64_t> ids,
+                     const uint8_t* data) override;
+  uint64_t num_blocks() const override { return num_blocks_; }
+  size_t block_size() const override { return block_size_; }
+  Status Flush() override;
+
+  size_t replica_count() const { return replicas_.size(); }
+  BlockDevice* replica(size_t r) { return replicas_[r]; }
+  ReplicaState replica_state(size_t r) const {
+    return static_cast<ReplicaState>(
+        states_[r].load(std::memory_order_relaxed));
+  }
+  size_t healthy_count() const;
+
+  /// Manual quarantine (tests; an external health checker).
+  void Quarantine(size_t r);
+
+  /// Re-admits a quarantined replica for repair: it immediately receives
+  /// all new writes (so the repaired prefix can never go stale) and a
+  /// full sequential copy pass re-mirrors it from the lowest-index
+  /// healthy replica. The caller must have revived/replaced the
+  /// underlying device first.
+  Status StartRepair(size_t r);
+  /// Copies up to `budget_blocks` blocks into every repairing replica;
+  /// *more = work remains. Completing the sweep promotes the replicas to
+  /// healthy. Fixed ascending scrub order: repair traffic is
+  /// data-independent by construction.
+  Status RepairStep(uint64_t budget_blocks, bool* more);
+  bool repair_pending() const;
+  /// Next block the repair sweep will copy (progress indicator).
+  uint64_t repair_cursor() const { return repair_cursor_; }
+
+  /// Virtual-clock sampler for the failover latency histogram.
+  void set_clock_fn(std::function<double()> fn) { clock_fn_ = std::move(fn); }
+
+  ReplicationStats stats() const;
+  void RegisterMetrics(obs::Registry* registry, const std::string& prefix);
+
+ private:
+  struct Cells {
+    obs::CounterCell reads;
+    obs::CounterCell writes;
+    obs::CounterCell failovers;
+    obs::CounterCell quarantines;
+    obs::CounterCell repairs_completed;
+    obs::CounterCell repair_blocks;
+    obs::GaugeCell healthy_replicas;
+    obs::HistogramCell failover_ms;
+  };
+
+  void SetState(size_t r, ReplicaState state);
+  void QuarantineLocked(size_t r);
+  /// Serving replicas in rotation order starting at the rr counter.
+  /// Returns false when none are healthy.
+  bool ServingOrder(std::vector<size_t>* order);
+  Status ReadFrom(std::span<const uint64_t> ids, uint8_t* out);
+  Status WriteTo(std::span<const uint64_t> ids, const uint8_t* data);
+
+  std::vector<BlockDevice*> replicas_;
+  ReplicationOptions options_;
+  uint64_t num_blocks_;
+  size_t block_size_;
+  /// Atomic so a bench thread can poll degraded state mid-run.
+  std::vector<std::atomic<uint8_t>> states_;
+  /// Issuer-thread-only serving state.
+  uint64_t rr_ = 0;
+  std::vector<int> consecutive_read_errors_;
+  uint64_t repair_cursor_ = 0;
+  std::vector<uint8_t> repair_buf_;
+  std::function<double()> clock_fn_;
+  Cells cells_;
+  obs::Registration registration_;
+};
+
+}  // namespace steghide::storage
+
+#endif  // STEGHIDE_STORAGE_REPLICATED_DEVICE_H_

@@ -1,0 +1,55 @@
+#include "storage/retry_device.h"
+
+namespace steghide::storage {
+
+Status RetryingBlockDevice::Retry(const std::function<Status()>& call) {
+  Status status = call();
+  if (status.ok()) return status;
+  for (int attempt = 1; attempt < policy_.max_attempts; ++attempt) {
+    if (status.code() != StatusCode::kIoError) return status;
+    if (latency_fn_) latency_fn_(policy_.BackoffFor(attempt - 1));
+    cells_.retries.Increment();
+    status = call();
+    if (status.ok()) {
+      cells_.recovered.Increment();
+      return status;
+    }
+  }
+  if (policy_.max_attempts > 1 && status.code() == StatusCode::kIoError) {
+    cells_.exhausted.Increment();
+  }
+  return status;
+}
+
+Status RetryingBlockDevice::ReadBlock(uint64_t block_id, uint8_t* out) {
+  return Retry([&] { return backing_->ReadBlock(block_id, out); });
+}
+
+Status RetryingBlockDevice::WriteBlock(uint64_t block_id,
+                                       const uint8_t* data) {
+  return Retry([&] { return backing_->WriteBlock(block_id, data); });
+}
+
+Status RetryingBlockDevice::ReadBlocks(std::span<const uint64_t> ids,
+                                       uint8_t* out) {
+  return Retry([&] { return backing_->ReadBlocks(ids, out); });
+}
+
+Status RetryingBlockDevice::WriteBlocks(std::span<const uint64_t> ids,
+                                        const uint8_t* data) {
+  return Retry([&] { return backing_->WriteBlocks(ids, data); });
+}
+
+Status RetryingBlockDevice::Flush() {
+  return Retry([&] { return backing_->Flush(); });
+}
+
+void RetryingBlockDevice::RegisterMetrics(obs::Registry* registry,
+                                          const std::string& prefix) {
+  registration_ = obs::Registration(registry);
+  registration_.Counter(prefix + ".retries", &cells_.retries);
+  registration_.Counter(prefix + ".recovered", &cells_.recovered);
+  registration_.Counter(prefix + ".exhausted", &cells_.exhausted);
+}
+
+}  // namespace steghide::storage

@@ -1,7 +1,9 @@
 #include "storage/volume_set.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <string>
 #include <utility>
 
 namespace steghide::storage {
@@ -194,25 +196,130 @@ Status ShardedBlockDevice::Flush() {
 }
 
 VolumeSet::VolumeSet(const Options& options) {
-  const size_t shards = options.shards == 0 ? 1 : options.shards;
+  shards_ = options.shards == 0 ? 1 : options.shards;
+  replicas_ = options.replicas == 0 ? 1 : options.replicas;
   const uint64_t per_shard =
-      (options.total_blocks + shards - 1) / shards;
+      (options.total_blocks + shards_ - 1) / shards_;
   std::vector<BlockDevice*> tops;
-  tops.reserve(shards);
-  for (size_t k = 0; k < shards; ++k) {
-    mems_.push_back(
-        std::make_unique<MemBlockDevice>(per_shard, options.block_size));
-    BlockDevice* top = mems_.back().get();
-    if (options.traced) {
-      traces_.push_back(std::make_unique<TraceBlockDevice>(top));
-      top = traces_.back().get();
+  tops.reserve(shards_);
+  for (size_t k = 0; k < shards_; ++k) {
+    // Per-replica stack, bottom up: Mem -> [Fault] -> [Trace] -> Sim.
+    // The fault layer sits below the trace so the per-replica attacker
+    // view records exactly the ops that reached the platter; the sim
+    // sits on top so failed attempts still cost virtual time upstream
+    // retries can measure.
+    std::vector<BlockDevice*> replica_tops;
+    for (size_t r = 0; r < replicas_; ++r) {
+      mems_.push_back(
+          std::make_unique<MemBlockDevice>(per_shard, options.block_size));
+      BlockDevice* top = mems_.back().get();
+      if (options.fault_plan) {
+        faults_.push_back(std::make_unique<FaultInjectionBlockDevice>(
+            top, options.fault_plan(k, r)));
+        top = faults_.back().get();
+      }
+      if (options.traced) {
+        traces_.push_back(std::make_unique<TraceBlockDevice>(top));
+        top = traces_.back().get();
+      }
+      sims_.push_back(std::make_unique<SimBlockDevice>(top, options.disk));
+      if (options.fault_plan) {
+        // Latency-spike charges land on this replica's spindle clock.
+        DiskModel* model = &sims_.back()->model();
+        faults_.back()->set_latency_fn(
+            [model](double ms) { model->AdvanceClock(ms); });
+      }
+      replica_tops.push_back(sims_.back().get());
     }
-    sims_.push_back(std::make_unique<SimBlockDevice>(top, options.disk));
-    tops.push_back(sims_.back().get());
+    if (replicas_ > 1) {
+      reps_.push_back(std::make_unique<ReplicatedBlockDevice>(
+          std::move(replica_tops), options.replication));
+      tops.push_back(reps_.back().get());
+    } else {
+      tops.push_back(replica_tops.front());
+    }
   }
   device_ = std::make_unique<ShardedBlockDevice>(std::move(tops));
-  device_->set_shard_clock_fn(
-      [this](size_t k) { return sims_[k]->clock_ms(); });
+  // Shard clock = the busiest replica of the shard: mirrored writes hit
+  // independent spindles, so within a shard (as across shards) the join
+  // costs the slowest member, not the sum.
+  device_->set_shard_clock_fn([this](size_t k) {
+    double ms = 0.0;
+    for (size_t r = 0; r < replicas_; ++r) {
+      ms = std::max(ms, sims_[Slot(k, r)]->clock_ms());
+    }
+    return ms;
+  });
+  if (replicas_ > 1) {
+    for (size_t k = 0; k < shards_; ++k) {
+      ReplicatedBlockDevice* rep = reps_[k].get();
+      rep->set_clock_fn([this, k] {
+        double ms = 0.0;
+        for (size_t r = 0; r < replicas_; ++r) {
+          ms = std::max(ms, sims_[Slot(k, r)]->clock_ms());
+        }
+        return ms;
+      });
+    }
+  }
+}
+
+Status VolumeSet::ReviveAndRepair(size_t k, size_t r) {
+  if (reps_.empty()) {
+    return Status::FailedPrecondition("volume set is not replicated");
+  }
+  if (fault(k, r) != nullptr) fault(k, r)->Revive();
+  // The replica may still be marked healthy if it died without any
+  // traffic catching it; force the quarantine so repair has a defined
+  // starting state.
+  if (reps_[k]->replica_state(r) == ReplicaState::kHealthy) {
+    reps_[k]->Quarantine(r);
+  }
+  return reps_[k]->StartRepair(r);
+}
+
+bool VolumeSet::repair_pending() const {
+  for (const auto& rep : reps_) {
+    if (rep->repair_pending()) return true;
+  }
+  return false;
+}
+
+Result<bool> VolumeSet::PumpRepair(uint64_t budget_blocks) {
+  if (reps_.empty()) return false;
+  std::vector<std::function<Status()>> jobs(shards_);
+  bool any = false;
+  for (size_t k = 0; k < shards_; ++k) {
+    ReplicatedBlockDevice* rep = reps_[k].get();
+    if (!rep->repair_pending()) continue;
+    any = true;
+    jobs[k] = [rep, budget_blocks] {
+      bool more = false;
+      return rep->RepairStep(budget_blocks, &more);
+    };
+  }
+  if (!any) return false;
+  STEGHIDE_RETURN_IF_ERROR(device_->RunOnShards(std::move(jobs)));
+  return repair_pending();
+}
+
+void VolumeSet::RegisterMetrics(obs::Registry* registry,
+                                const std::string& prefix) {
+  for (size_t k = 0; k < shards_; ++k) {
+    const std::string shard_prefix = prefix + ".shard" + std::to_string(k);
+    for (size_t r = 0; r < replicas_; ++r) {
+      const std::string rep_prefix =
+          replicas_ > 1 ? shard_prefix + ".r" + std::to_string(r)
+                        : shard_prefix;
+      sims_[Slot(k, r)]->RegisterMetrics(registry, rep_prefix);
+      if (fault(k, r) != nullptr) {
+        fault(k, r)->RegisterMetrics(registry, rep_prefix + ".fault");
+      }
+    }
+    if (!reps_.empty()) {
+      reps_[k]->RegisterMetrics(registry, shard_prefix);
+    }
+  }
 }
 
 }  // namespace steghide::storage

@@ -9,8 +9,12 @@
 #include <thread>
 #include <vector>
 
+#include "util/result.h"
+
 #include "storage/block_device.h"
+#include "storage/fault_device.h"
 #include "storage/mem_block_device.h"
+#include "storage/replicated_device.h"
 #include "storage/sim_device.h"
 #include "storage/trace_device.h"
 
@@ -142,40 +146,87 @@ class ShardedBlockDevice : public BlockDevice {
 };
 
 /// Owns a ready-to-use sharded simulation stack for benchmarks and
-/// tests: K MemBlockDevice shards, each optionally wrapped in a
-/// TraceBlockDevice (per-shard attacker view) and always in a
-/// SimBlockDevice with its own DiskModel clock, striped by a
-/// ShardedBlockDevice whose parallel clock samples the per-shard sims.
+/// tests: K shards of R mirrored replicas, each replica a
+/// MemBlockDevice optionally wrapped in a FaultInjectionBlockDevice
+/// (scripted spindle faults) and a TraceBlockDevice (per-replica
+/// attacker view), always in a SimBlockDevice with its own DiskModel
+/// clock. With R > 1 each shard's replicas sit behind a
+/// ReplicatedBlockDevice (write-all / read-one, failover, repair); the
+/// shard tops are striped by a ShardedBlockDevice whose parallel clock
+/// samples the busiest replica of each shard.
 class VolumeSet {
  public:
   struct Options {
     size_t shards = 4;
+    /// Mirrored replicas per shard (1 = the plain striped layout).
+    size_t replicas = 1;
     /// Global capacity; each shard gets ceil(total_blocks / shards).
     uint64_t total_blocks = 0;
     size_t block_size = kDefaultBlockSize;
-    /// Insert a TraceBlockDevice between each shard's Mem and Sim layer.
+    /// Insert a TraceBlockDevice above each replica's fault layer.
     bool traced = false;
-    /// Per-shard spindle parameters (every shard gets its own clock).
+    /// Insert a FaultInjectionBlockDevice at the bottom of every
+    /// replica's stack, scripted per (shard, replica). Null = no fault
+    /// layer. Return an empty plan for replicas that should only be
+    /// killable by hand (Kill()/Revive()).
+    std::function<FaultPlan(size_t shard, size_t replica)> fault_plan;
+    /// Mirroring knobs (replicas > 1 only).
+    ReplicationOptions replication;
+    /// Per-shard spindle parameters (every replica gets its own clock).
     DiskModelParams disk;
   };
 
   explicit VolumeSet(const Options& options);
 
   ShardedBlockDevice& device() { return *device_; }
-  size_t shard_count() const { return sims_.size(); }
-  MemBlockDevice& mem(size_t k) { return *mems_[k]; }
-  SimBlockDevice& sim(size_t k) { return *sims_[k]; }
+  size_t shard_count() const { return shards_; }
+  size_t replica_count() const { return replicas_; }
+  MemBlockDevice& mem(size_t k, size_t r = 0) { return *mems_[Slot(k, r)]; }
+  SimBlockDevice& sim(size_t k, size_t r = 0) { return *sims_[Slot(k, r)]; }
   /// Null when Options::traced was false.
-  TraceBlockDevice* trace(size_t k) {
-    return traces_.empty() ? nullptr : traces_[k].get();
+  TraceBlockDevice* trace(size_t k, size_t r = 0) {
+    return traces_.empty() ? nullptr : traces_[Slot(k, r)].get();
+  }
+  /// Null when Options::fault_plan was null.
+  FaultInjectionBlockDevice* fault(size_t k, size_t r = 0) {
+    return faults_.empty() ? nullptr : faults_[Slot(k, r)].get();
+  }
+  /// Null when replicas == 1.
+  ReplicatedBlockDevice* replicated(size_t k) {
+    return reps_.empty() ? nullptr : reps_[k].get();
   }
   /// The facade's parallel virtual clock (max-delta over joins).
   double clock_ms() const { return device_->clock_ms(); }
 
+  /// Pulls the plug on one replica (thread-safe; requires fault_plan).
+  void KillReplica(size_t k, size_t r) { fault(k, r)->Kill(); }
+  /// Revives the replica's device and re-admits it to shard k's mirror
+  /// for repair (requires replicas > 1; fault layer optional).
+  Status ReviveAndRepair(size_t k, size_t r);
+
+  /// Any shard still owing repair copy work?
+  bool repair_pending() const;
+  /// Advances every shard's repair sweep by up to `budget_blocks`
+  /// blocks, in parallel on the shard threads (same join barrier and
+  /// clock accounting as serving I/O — the caller must be the device's
+  /// single issuer). Returns whether repair work remains.
+  Result<bool> PumpRepair(uint64_t budget_blocks);
+
+  /// Registers per-replica sim counters under "<prefix>.shard<k>.r<r>",
+  /// per-shard replication health under "<prefix>.shard<k>", and fault
+  /// counters under "<prefix>.shard<k>.r<r>.fault".
+  void RegisterMetrics(obs::Registry* registry, const std::string& prefix);
+
  private:
+  size_t Slot(size_t k, size_t r) const { return k * replicas_ + r; }
+
+  size_t shards_ = 0;
+  size_t replicas_ = 1;
   std::vector<std::unique_ptr<MemBlockDevice>> mems_;
+  std::vector<std::unique_ptr<FaultInjectionBlockDevice>> faults_;
   std::vector<std::unique_ptr<TraceBlockDevice>> traces_;
   std::vector<std::unique_ptr<SimBlockDevice>> sims_;
+  std::vector<std::unique_ptr<ReplicatedBlockDevice>> reps_;
   std::unique_ptr<ShardedBlockDevice> device_;
 };
 

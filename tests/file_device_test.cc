@@ -10,7 +10,9 @@
 
 #include "stegfs/stegfs_core.h"
 #include "storage/async/block_cache.h"
+#include "storage/fault_device.h"
 #include "storage/file_block_device.h"
+#include "storage/retry_device.h"
 #include "testing/golden.h"
 #include "testing/temp_dir.h"
 
@@ -112,6 +114,61 @@ TEST_F(FileDeviceTest, VectoredReadMatchesSingleReads) {
               GoldenBlock(16, ids[i], 512))
         << "position " << i;
   }
+}
+
+TEST_F(FileDeviceTest, RetryOverFaultOverFileRecoversTransientErrors) {
+  // The deployment error path end to end: a file-backed volume with a
+  // flaky controller (every 3rd op fails once) behind the retry layer.
+  // Every logical op must succeed, and the persisted image must match a
+  // fault-free run's.
+  auto file = FileBlockDevice::Create(path_, 16, 512);
+  ASSERT_TRUE(file.ok());
+  FaultPlan plan;
+  plan.seed = 21;
+  FaultSpec flaky;
+  flaky.kind = FaultSpec::Kind::kTransientError;
+  flaky.every_nth = 3;
+  plan.faults.push_back(flaky);
+  FaultInjectionBlockDevice fault(&*file, plan);
+  RetryingBlockDevice retry(&fault);
+
+  ASSERT_TRUE(FillGolden(retry, /*seed=*/33).ok());
+  EXPECT_TRUE(DeviceMatchesGolden(retry, 33));
+  ASSERT_TRUE(retry.Flush().ok());
+
+  const RetryStats rs = retry.stats();
+  EXPECT_GT(rs.retries, 0u);
+  EXPECT_EQ(rs.exhausted, 0u);
+  EXPECT_GT(fault.stats().injected_errors, 0u);
+
+  // The bytes that reached the platter are the golden image, not a torn
+  // interleaving of failed attempts.
+  auto reopened = FileBlockDevice::Open(path_, 512);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(DeviceMatchesGolden(*reopened, 33));
+}
+
+TEST_F(FileDeviceTest, ExhaustedRetryBudgetSurfacesIoError) {
+  auto file = FileBlockDevice::Create(path_, 4, 512);
+  ASSERT_TRUE(file.ok());
+  FaultPlan plan;
+  FaultSpec dead_sector;
+  dead_sector.kind = FaultSpec::Kind::kStickyError;
+  dead_sector.first_block = 2;
+  dead_sector.last_block = 2;
+  plan.faults.push_back(dead_sector);
+  FaultInjectionBlockDevice fault(&*file, plan);
+  RetryingBlockDevice retry(&fault, RetryPolicy{.max_attempts = 4});
+
+  const Bytes image = GoldenBlock(3, 2, 512);
+  const Status status = retry.WriteBlock(2, image.data());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  const RetryStats rs = retry.stats();
+  EXPECT_EQ(rs.retries, 3u);
+  EXPECT_EQ(rs.exhausted, 1u);
+  EXPECT_EQ(rs.recovered, 0u);
+  // Blocks outside the bad region keep working.
+  EXPECT_TRUE(retry.WriteBlock(1, image.data()).ok());
 }
 
 TEST_F(FileDeviceTest, WriteBackCachePersistsAcrossReopen) {

@@ -41,6 +41,13 @@ mean_batch_fill shift with OS scheduling at the group boundaries, so
 they are recorded in the artifacts yet exempt from the pass/fail
 threshold.
 
+The degraded-mode sweep (Fig10bDegraded) additionally carries hard
+zero-gates: counters in ZERO_GATED (failed_requests — requests the
+fault-tolerance stack failed to serve — and io_retry_exhausted) fail
+the diff whenever the *current* run reports a nonzero value, baseline
+or not. Its throughput joins the direction-aware *_per_vsec gate like
+every other sweep.
+
 Exit status 1 when any metric is worse than --max-regression (relative).
 Emits GitHub workflow annotations (::error / ::notice) so regressions
 surface on the PR without digging through logs.
@@ -63,6 +70,12 @@ HIGHER_IS_BETTER = ("speedup_vs_serial",)
 #: would fail CI when only the blocking twin improves.
 EXEMPT = ("mean_batch_fill", "speedup_vs_blocking_reorder",
           "p99_improvement_vs_blocking", "queue_depth_p99")
+
+#: Hard zero-gates: a nonzero *current* value fails the diff outright,
+#: with or without a baseline. These are correctness counters — a served
+#: request that failed, or a retry budget that ran dry — not
+#: performance, so no relative threshold applies.
+ZERO_GATED = ("failed_requests", "io_retry_exhausted")
 
 
 def is_higher_better(key):
@@ -97,6 +110,21 @@ def load_metrics(path):
     return out
 
 
+def zero_gate_violations(path):
+    """ZERO_GATED counters with nonzero values in one counter file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    violations = []
+    for record in doc.get("benchmarks", []):
+        for key in ZERO_GATED:
+            value = record.get("counters", {}).get(key)
+            if isinstance(value, (int, float)) and value > 0:
+                violations.append(f"{path.name} :: "
+                                  f"{record.get('name', '?')} :: "
+                                  f"{key}: {value:.6g} (must be 0)")
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -113,7 +141,12 @@ def main():
     current_dir = pathlib.Path(args.current)
     regressions, improvements, skipped, fresh = [], [], [], []
 
+    zero_failures = []
     for current_file in sorted(current_dir.glob("*.json")):
+        # Correctness counters gate on the current run alone — a new
+        # benchmark with failed requests must not pass just because no
+        # baseline exists yet.
+        zero_failures.extend(zero_gate_violations(current_file))
         baseline_file = baseline_dir / current_file.name
         if not baseline_file.exists():
             fresh.append(f"{current_file.name}: new counter file "
@@ -167,10 +200,16 @@ def main():
         print(f"REGRESSED {line}")
         print(f"::error::bench regression >"
               f"{args.max_regression:.0%}: {line}")
+    for line in zero_failures:
+        print(f"FAILED    {line}")
+        print(f"::error::bench correctness gate: {line}")
 
-    if regressions:
-        print(f"{len(regressions)} metric(s) regressed beyond "
-              f"{args.max_regression:.0%}")
+    if regressions or zero_failures:
+        if regressions:
+            print(f"{len(regressions)} metric(s) regressed beyond "
+                  f"{args.max_regression:.0%}")
+        if zero_failures:
+            print(f"{len(zero_failures)} correctness counter(s) nonzero")
         return 1
     print("no bench regressions beyond threshold")
     return 0
