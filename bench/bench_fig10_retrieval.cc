@@ -185,6 +185,14 @@ void RunDispatchSweep(benchmark::State& state, uint64_t users) {
     state.counters["blocking_max_stall_ms"] = blocking.max_stall_ms;
     state.counters["blocking_stall_p99_ms"] = blocking.stall_p99_ms;
     state.counters["queue_depth_p99"] = deamort.queue_depth_p99;
+    // Crypto cost of the serving phase: wall time spent decrypting scan
+    // probes (off the virtual disk clock) and the batched traffic that
+    // the hardware path amortizes.
+    state.counters["crypto_wall_ms"] = deamort.crypto_wall_ms;
+    state.counters["crypto_mb"] =
+        static_cast<double>(deamort.crypto_bytes) / (1024.0 * 1024.0);
+    state.counters["crypto_batches"] =
+        static_cast<double>(deamort.crypto_batches);
     state.counters["reorder_steps"] = deamort.reorder_steps;
     for (size_t l = 0; l < deamort.reorder_ms.size(); ++l) {
       state.counters["reorder_ms_l" + std::to_string(l + 1)] =
@@ -252,6 +260,11 @@ void RunShardSweep(benchmark::State& state, size_t shards, uint64_t users) {
     state.counters["retrieve_ms"] = run.retrieve_ms;
     state.counters["sort_ms"] = run.sort_ms;
     state.counters["max_stall_ms"] = run.max_stall_ms;
+    state.counters["crypto_wall_ms"] = run.crypto_wall_ms;
+    state.counters["crypto_mb"] =
+        static_cast<double>(run.crypto_bytes) / (1024.0 * 1024.0);
+    state.counters["crypto_batches"] =
+        static_cast<double>(run.crypto_batches);
   }
 }
 

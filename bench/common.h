@@ -12,6 +12,7 @@
 #include "agent/dispatch/request_dispatcher.h"
 #include "agent/nonvolatile_agent.h"
 #include "obs/metrics.h"
+#include "stegfs/block_codec.h"
 #include "obs/snapshotter.h"
 #include "obs/trace_log.h"
 #include "agent/oblivious_agent.h"
@@ -160,6 +161,9 @@ struct ObliviousSystemUnderTest {
   std::unique_ptr<stegfs::StegFsCore> core;
   std::unique_ptr<agent::ObliviousAgent> agent;
   std::vector<agent::ObliviousAgent::FileId> files;  // one per user
+  /// Keeps the process-wide crypto instruments (crypto.bytes/batches,
+  /// dispatch gauges) registered while an instrumented run is alive.
+  obs::Registration crypto_metrics;
 
   double clock_ms() const {
     return steg_sim->clock_ms() +
@@ -278,6 +282,7 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
     }
   }
   if (registry != nullptr) {
+    sys.crypto_metrics = stegfs::RegisterCryptoMetrics(registry);
     sys.steg_sim->RegisterMetrics(registry, "steg");
     if (sys.cache_volumes) {
       if (sys.cache_volumes->replica_count() > 1) {
@@ -353,6 +358,12 @@ struct DispatchRun {
   double queue_depth_p99 = 0;
   double reorder_steps = 0;
   uint64_t scan_passes = 0;
+  /// Wall-clock time the scan passes spent decrypting probes (never on
+  /// the virtual disk clock) and the serving phase's share of the
+  /// process-wide crypto traffic (delta over the measured window).
+  double crypto_wall_ms = 0;
+  uint64_t crypto_bytes = 0;
+  uint64_t crypto_batches = 0;
   std::vector<double> reorder_ms;
   agent::DispatcherStats dstats;
 };
@@ -397,6 +408,7 @@ inline DispatchRun RunDispatchedServing(
     trace->set_enabled(true);
   }
   const double t0 = sys.clock_ms();
+  const stegfs::CryptoTrafficSnapshot crypto0 = stegfs::GlobalCryptoTraffic();
   agent::RequestDispatcher dispatcher(sys.agent.get(), options);
   {
     std::vector<std::unique_ptr<agent::RequestDispatcher::Session>> sessions;
@@ -434,6 +446,10 @@ inline DispatchRun RunDispatchedServing(
   run.queue_depth_p99 = sys.agent->store().io_stats().queue_depth_p99;
   run.reorder_steps = static_cast<double>(stats.reorder_steps);
   run.scan_passes = stats.scan_passes;
+  run.crypto_wall_ms = stats.crypto_wall_ms;
+  const stegfs::CryptoTrafficSnapshot crypto1 = stegfs::GlobalCryptoTraffic();
+  run.crypto_bytes = crypto1.bytes - crypto0.bytes;
+  run.crypto_batches = crypto1.batches - crypto0.batches;
   run.reorder_ms = stats.reorder_ms;
   run.dstats = dispatcher.stats();
   if (trace != nullptr) trace->set_enabled(false);

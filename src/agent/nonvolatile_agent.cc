@@ -172,10 +172,10 @@ Status NonVolatileAgent::DummyUpdate(uint64_t physical) {
   // interpreted).
   STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* cipher,
                             core_->CipherFor(agent_key_));
-  Bytes block;
+  Bytes& block = dummy_block_scratch_;
   STEGHIDE_RETURN_IF_ERROR(core_->ReadRaw(physical, block));
-  STEGHIDE_RETURN_IF_ERROR(
-      core_->codec().Refresh(*cipher, core_->drbg(), block.data()));
+  STEGHIDE_RETURN_IF_ERROR(core_->codec().RefreshBlocks(
+      *cipher, core_->drbg(), block.data(), 1, &refresh_scratch_));
   return core_->WriteRaw(physical, block);
 }
 

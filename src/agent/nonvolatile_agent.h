@@ -144,6 +144,11 @@ class NonVolatileAgent : public BlockRegistry {
   UpdateEngine engine_;
   std::map<FileId, std::unique_ptr<stegfs::HiddenFile>> open_files_;
   FileId next_id_ = 1;
+  /// DummyUpdate staging reused across calls (guarded by mu_): the block
+  /// image and the codec's transient refresh plaintext — the §4.1.3 hot
+  /// loop allocates nothing per update.
+  Bytes dummy_block_scratch_;
+  Bytes refresh_scratch_;
 };
 
 }  // namespace steghide::agent

@@ -240,7 +240,7 @@ Status VolatileAgent::DummyUpdate(uint64_t physical) {
   }
   const OpenFile& of = *files_.at(it->second.file_id);
 
-  Bytes block;
+  Bytes& block = dummy_block_scratch_;
   STEGHIDE_RETURN_IF_ERROR(core_->ReadRaw(physical, block));
   if (it->second.kind == BlockKind::kData && of.file.is_dummy) {
     // Unkeyed dummy content: a rewrite with fresh randomness is the
@@ -252,8 +252,8 @@ Status VolatileAgent::DummyUpdate(uint64_t physical) {
                            : of.file.fak.header_key;
     STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* cipher,
                               core_->CipherFor(key));
-    STEGHIDE_RETURN_IF_ERROR(
-        core_->codec().Refresh(*cipher, core_->drbg(), block.data()));
+    STEGHIDE_RETURN_IF_ERROR(core_->codec().RefreshBlocks(
+        *cipher, core_->drbg(), block.data(), 1, &refresh_scratch_));
   }
   return core_->WriteRaw(physical, block);
 }

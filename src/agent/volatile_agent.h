@@ -207,6 +207,10 @@ class VolatileAgent : public BlockRegistry {
   std::unordered_map<uint64_t, size_t> domain_index_;
   uint64_t dummy_count_ = 0;
   FileId next_id_ = 1;
+  /// DummyUpdate staging reused across calls (guarded by mu_): the block
+  /// image and the codec's transient refresh plaintext.
+  Bytes dummy_block_scratch_;
+  Bytes refresh_scratch_;
 };
 
 }  // namespace steghide::agent

@@ -2,7 +2,22 @@
 
 #include <cstring>
 
+#include "crypto/cpu_features.h"
+#if defined(__aarch64__)
+#include "crypto/aes_armv8.h"
+#else
+#include "crypto/aes_ni.h"
+#endif
+
 namespace steghide::crypto {
+
+namespace {
+#if defined(__aarch64__)
+namespace hw = aesarm;
+#else
+namespace hw = aesni;
+#endif
+}  // namespace
 
 namespace {
 
@@ -176,11 +191,24 @@ Status Aes::SetKey(const uint8_t* key, size_t key_len) {
     if (round != 0 && round != rounds_) w = InvMixColumn(w);
     dec_keys_[i] = w;
   }
+
+  // Big-endian word dumps of both schedules give exactly the round-key
+  // byte layout the AES-NI/ARMv8 kernels load, so the scalar expansion
+  // above stays the single source of truth for both paths.
+  for (int i = 0; i < total_words; ++i) {
+    StoreBigEndian32(enc_rk_ + 4 * i, enc_keys_[i]);
+    StoreBigEndian32(dec_rk_ + 4 * i, dec_keys_[i]);
+  }
+  accel_ = AesAccelerated();
   return Status::OK();
 }
 
 void Aes::EncryptBlock(const uint8_t in[kBlockSize],
                        uint8_t out[kBlockSize]) const {
+  if (accel_) {
+    hw::EncryptBlock(enc_rk_, rounds_, in, out);
+    return;
+  }
   uint32_t s0 = LoadBigEndian32(in) ^ enc_keys_[0];
   uint32_t s1 = LoadBigEndian32(in + 4) ^ enc_keys_[1];
   uint32_t s2 = LoadBigEndian32(in + 8) ^ enc_keys_[2];
@@ -224,6 +252,10 @@ void Aes::EncryptBlock(const uint8_t in[kBlockSize],
 
 void Aes::DecryptBlock(const uint8_t in[kBlockSize],
                        uint8_t out[kBlockSize]) const {
+  if (accel_) {
+    hw::DecryptBlock(dec_rk_, rounds_, in, out);
+    return;
+  }
   uint32_t s0 = LoadBigEndian32(in) ^ dec_keys_[0];
   uint32_t s1 = LoadBigEndian32(in + 4) ^ dec_keys_[1];
   uint32_t s2 = LoadBigEndian32(in + 8) ^ dec_keys_[2];

@@ -1,0 +1,120 @@
+#include "crypto/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "crypto/aes_armv8.h"
+#include "crypto/aes_ni.h"
+#include "crypto/sha_ni.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define STEGHIDE_X86_64 1
+#elif defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#define STEGHIDE_AARCH64_LINUX 1
+#endif
+
+namespace steghide::crypto {
+
+namespace {
+
+CpuCrypto Probe() {
+  CpuCrypto out;
+#if defined(STEGHIDE_X86_64)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return out;
+  out.aes = (ecx & (1u << 25)) != 0;  // AESNI
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7)) {
+    out.sha256 = (ebx7 & (1u << 29)) != 0;  // SHA extensions
+    const bool avx2 = (ebx7 & (1u << 5)) != 0;
+    const bool vaes = (ecx7 & (1u << 9)) != 0;
+    // VAES on ymm additionally needs the OS to save AVX state (xcr0
+    // bits 1 and 2: XMM + YMM).
+    bool ymm_enabled = false;
+    if (osxsave && avx) {
+      unsigned lo = 0, hi = 0;
+      __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+      ymm_enabled = (lo & 0x6) == 0x6;
+    }
+    out.vaes = out.aes && vaes && avx2 && ymm_enabled;
+  }
+#elif defined(STEGHIDE_AARCH64_LINUX)
+  const unsigned long hwcap = getauxval(AT_HWCAP);
+  // HWCAP_AES = 1<<3, HWCAP_SHA2 = 1<<6 (asm/hwcap.h); spelled out so the
+  // probe compiles against old headers.
+  out.aes = (hwcap & (1ul << 3)) != 0;
+  out.sha256 = (hwcap & (1ul << 6)) != 0;
+#endif
+  return out;
+}
+
+// -1 = resolve from env/hardware, otherwise a CryptoImpl value installed
+// by ScopedCryptoImpl.
+std::atomic<int> g_override{-1};
+
+CryptoImpl ResolveFromEnv() {
+  const char* env = std::getenv("STEGHIDE_CRYPTO_IMPL");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return CryptoImpl::kScalar;
+  }
+  // "accel" and unset both request the hardware path; per-primitive
+  // fallback handles CPUs that lack an extension.
+  return CryptoImpl::kAccel;
+}
+
+}  // namespace
+
+const CpuCrypto& CpuCryptoSupport() {
+  static const CpuCrypto features = Probe();
+  return features;
+}
+
+CryptoImpl ActiveCryptoImpl() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<CryptoImpl>(forced);
+  static const CryptoImpl resolved = ResolveFromEnv();
+  return resolved;
+}
+
+bool AesAccelerated() {
+  // The hardware may support an extension the binary was not built with
+  // (kernels compile only under their per-file ISA flags), so gate on
+  // both the probe and the compiled-in kernels.
+#if defined(__aarch64__)
+  static const bool compiled = aesarm::Compiled();
+#else
+  static const bool compiled = aesni::Compiled();
+#endif
+  return compiled && ActiveCryptoImpl() == CryptoImpl::kAccel &&
+         CpuCryptoSupport().aes;
+}
+
+bool Sha256Accelerated() {
+#if defined(__aarch64__)
+  static const bool compiled = shaarm::Compiled();
+#else
+  static const bool compiled = shani::Compiled();
+#endif
+  return compiled && ActiveCryptoImpl() == CryptoImpl::kAccel &&
+         CpuCryptoSupport().sha256;
+}
+
+const char* CryptoImplName(CryptoImpl impl) {
+  return impl == CryptoImpl::kScalar ? "scalar" : "accel";
+}
+
+ScopedCryptoImpl::ScopedCryptoImpl(CryptoImpl impl)
+    : previous_(g_override.exchange(static_cast<int>(impl),
+                                    std::memory_order_relaxed)) {}
+
+ScopedCryptoImpl::~ScopedCryptoImpl() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace steghide::crypto

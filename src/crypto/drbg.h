@@ -2,7 +2,9 @@
 #define STEGHIDE_CRYPTO_DRBG_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string_view>
 
 #include "crypto/sha256.h"
 #include "util/bytes.h"
@@ -49,6 +51,18 @@ class HashDrbg {
   /// Uniform double in [0, 1).
   double NextDouble();
 
+  /// Seed material for an independent child stream, derived from this
+  /// generator's *seed state* (the state right after construction or the
+  /// last Reseed) together with `domain` and `id`. Deterministic: the same
+  /// (seed, reseed history, domain, id) always yields the same child,
+  /// regardless of how much output the parent has produced — and deriving
+  /// a fork consumes no parent output.
+  Bytes ForkSeed(std::string_view domain, uint64_t id) const;
+
+  /// Convenience wrapper: a heap-allocated child stream seeded with
+  /// ForkSeed (HashDrbg itself is immovable because of its mutex).
+  std::unique_ptr<HashDrbg> Fork(std::string_view domain, uint64_t id) const;
+
  private:
   void Ratchet();
   void GenerateLocked(uint8_t* out, size_t n);
@@ -56,6 +70,7 @@ class HashDrbg {
 
   mutable std::mutex mu_;
   Sha256::Digest v_;          // secret state
+  Sha256::Digest seed_v_;     // V right after seeding/reseeding (for forks)
   Sha256::Digest block_;      // current output block
   size_t block_offset_ = 0;   // consumed bytes of block_
   uint64_t counter_ = 0;

@@ -1,0 +1,53 @@
+#include "crypto/drbg_streams.h"
+
+#include <atomic>
+#include <unordered_map>
+
+namespace steghide::crypto {
+
+namespace {
+
+uint64_t NextFamilyId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+DrbgStreams::DrbgStreams(const Bytes& seed)
+    : family_id_(NextFamilyId()), root_(seed) {}
+
+DrbgStreams::DrbgStreams(uint64_t seed)
+    : family_id_(NextFamilyId()), root_(seed) {}
+
+HashDrbg& DrbgStreams::ForThread() {
+  // family id -> this thread's stream. Entries for destroyed families go
+  // stale but are keyed by never-reused ids, so they can only waste a map
+  // slot, never dangle into a lookup.
+  thread_local std::unordered_map<uint64_t, HashDrbg*> cache;
+  auto it = cache.find(family_id_);
+  if (it != cache.end()) return *it->second;
+  HashDrbg* stream = Acquire();
+  cache.emplace(family_id_, stream);
+  return *stream;
+}
+
+HashDrbg* DrbgStreams::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!root_taken_) {
+    root_taken_ = true;
+    return &root_;
+  }
+  // Arrival index 0 is the root itself; forks count from 1. The deque
+  // keeps stream addresses stable for the thread-local caches.
+  const uint64_t index = forks_.size() + 1;
+  forks_.push_back(root_.Fork("steghide-thread-stream", index));
+  return forks_.back().get();
+}
+
+size_t DrbgStreams::stream_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return (root_taken_ ? 1 : 0) + forks_.size();
+}
+
+}  // namespace steghide::crypto

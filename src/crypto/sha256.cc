@@ -2,6 +2,13 @@
 
 #include <cstring>
 
+#include "crypto/cpu_features.h"
+#if defined(__aarch64__)
+#include "crypto/aes_armv8.h"
+#else
+#include "crypto/sha_ni.h"
+#endif
+
 namespace steghide::crypto {
 
 namespace {
@@ -21,6 +28,12 @@ constexpr uint32_t kK[64] = {
 
 uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+#if defined(__aarch64__)
+namespace hwsha = shaarm;
+#else
+namespace hwsha = shani;
+#endif
+
 }  // namespace
 
 Sha256::Sha256() { Reset(); }
@@ -36,9 +49,10 @@ void Sha256::Reset() {
   h_[7] = 0x5be0cd19;
   buffer_len_ = 0;
   total_len_ = 0;
+  accel_ = Sha256Accelerated();
 }
 
-void Sha256::Compress(const uint8_t block[kBlockSize]) {
+void Sha256::CompressScalar(const uint8_t block[kBlockSize]) {
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) w[i] = LoadBigEndian32(block + 4 * i);
   for (int i = 16; i < 64; ++i) {
@@ -79,6 +93,14 @@ void Sha256::Compress(const uint8_t block[kBlockSize]) {
   h_[7] += h;
 }
 
+void Sha256::CompressBlocks(const uint8_t* blocks, size_t nblocks) {
+  if (accel_) {
+    hwsha::Compress(h_, blocks, nblocks);
+    return;
+  }
+  for (size_t i = 0; i < nblocks; ++i) CompressScalar(blocks + i * kBlockSize);
+}
+
 void Sha256::Update(const uint8_t* data, size_t n) {
   total_len_ += n;
   if (buffer_len_ > 0) {
@@ -88,14 +110,17 @@ void Sha256::Update(const uint8_t* data, size_t n) {
     data += take;
     n -= take;
     if (buffer_len_ == kBlockSize) {
-      Compress(buffer_);
+      CompressBlocks(buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (n >= kBlockSize) {
-    Compress(data);
-    data += kBlockSize;
-    n -= kBlockSize;
+  if (n >= kBlockSize) {
+    // Feed the whole run of full blocks to one kernel invocation; the
+    // hardware path keeps the state in registers across blocks.
+    const size_t full = n / kBlockSize;
+    CompressBlocks(data, full);
+    data += full * kBlockSize;
+    n -= full * kBlockSize;
   }
   if (n > 0) {
     std::memcpy(buffer_, data, n);
@@ -113,7 +138,7 @@ Sha256::Digest Sha256::Finish() {
   StoreBigEndian64(len_bytes, bit_len);
   // Bypass total_len_ bookkeeping: append length directly.
   std::memcpy(buffer_ + 56, len_bytes, 8);
-  Compress(buffer_);
+  CompressBlocks(buffer_, 1);
   buffer_len_ = 0;
 
   Digest out;

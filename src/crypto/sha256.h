@@ -43,12 +43,18 @@ class Sha256 {
   }
 
  private:
-  void Compress(const uint8_t block[kBlockSize]);
+  /// Runs the compression function over `nblocks` consecutive 64-byte
+  /// blocks — a single SHA-NI/ARMv8 kernel call on the accelerated path,
+  /// the scalar round function per block otherwise.
+  void CompressBlocks(const uint8_t* blocks, size_t nblocks);
+  void CompressScalar(const uint8_t block[kBlockSize]);
 
   uint32_t h_[8];
   uint8_t buffer_[kBlockSize];
   size_t buffer_len_ = 0;
   uint64_t total_len_ = 0;
+  // Latched per object at Reset() so one hash never mixes paths.
+  bool accel_ = false;
 };
 
 }  // namespace steghide::crypto

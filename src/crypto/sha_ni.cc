@@ -1,0 +1,106 @@
+#include "crypto/sha_ni.h"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) && defined(__SHA__)
+#define STEGHIDE_HAVE_SHANI 1
+#include <immintrin.h>
+#endif
+
+namespace steghide::crypto::shani {
+
+#if defined(STEGHIDE_HAVE_SHANI)
+
+namespace {
+
+// FIPS 180-2 round constants, packed four per register for the
+// two-rounds-at-a-time SHA256RNDS2 flow.
+alignas(16) constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace
+
+bool Compiled() { return true; }
+
+void Compress(uint32_t state[8], const uint8_t* blocks, size_t nblocks) {
+  // Register layout follows Intel's reference flow: the eight working
+  // words live as ABEF/CDGH pairs so SHA256RNDS2 can consume them
+  // directly.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  const __m128i mask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);                  // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);            // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  while (nblocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    // m[j] holds message dwords W[4t .. 4t+3] as a ring buffer.
+    __m128i m[4];
+    for (int j = 0; j < 4; ++j) {
+      m[j] = _mm_shuffle_epi8(
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(blocks + 16 * j)),
+          mask);
+    }
+
+    for (int i = 0; i < 16; ++i) {
+      if (i >= 4) {
+        // W[t] = W[t-16] + s0(W[t-15]) + W[t-7] + s1(W[t-2]), four at a
+        // time: MSG1 folds the s0 terms, ALIGNR supplies W[t-7..t-4],
+        // MSG2 folds the (serially dependent) s1 terms.
+        const __m128i m1 = m[(i + 1) & 3];
+        const __m128i m2 = m[(i + 2) & 3];
+        const __m128i m3 = m[(i + 3) & 3];
+        m[i & 3] = _mm_sha256msg2_epu32(
+            _mm_add_epi32(_mm_sha256msg1_epu32(m[i & 3], m1),
+                          _mm_alignr_epi8(m3, m2, 4)),
+            m3);
+      }
+      __m128i wk = _mm_add_epi32(
+          m[i & 3],
+          _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[4 * i])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      wk = _mm_shuffle_epi32(wk, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, wk);
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    blocks += 64;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);               // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);            // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);         // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);            // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#else  // !STEGHIDE_HAVE_SHANI
+
+bool Compiled() { return false; }
+
+void Compress(uint32_t[8], const uint8_t*, size_t) { std::abort(); }
+
+#endif  // STEGHIDE_HAVE_SHANI
+
+}  // namespace steghide::crypto::shani

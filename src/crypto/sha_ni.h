@@ -1,0 +1,20 @@
+#ifndef STEGHIDE_CRYPTO_SHA_NI_H_
+#define STEGHIDE_CRYPTO_SHA_NI_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace steghide::crypto::shani {
+
+/// True when this translation unit was built with real SHA-NI kernels.
+bool Compiled();
+
+/// Runs the SHA-256 compression function over `nblocks` consecutive
+/// 64-byte message blocks, updating `state` (the eight working words in
+/// FIPS 180-2 order) in place. Must only be called when
+/// CpuCryptoSupport().sha256 is true.
+void Compress(uint32_t state[8], const uint8_t* blocks, size_t nblocks);
+
+}  // namespace steghide::crypto::shani
+
+#endif  // STEGHIDE_CRYPTO_SHA_NI_H_

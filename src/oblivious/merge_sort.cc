@@ -60,6 +60,18 @@ Status ExternalMergeSorter::Add(uint64_t src_block, uint64_t tag,
   return AddInMemory(payload, tag, label);
 }
 
+Status ExternalMergeSorter::AddInMemory(const uint8_t* payload, uint64_t tag,
+                                        uint64_t label) {
+  if (merging_) {
+    return Status::FailedPrecondition("sorter is already merging");
+  }
+  pending_.push_back(
+      Item{tag, label, Bytes(payload, payload + codec_->payload_size())});
+  ++item_count_;
+  if (pending_.size() >= run_blocks_) STEGHIDE_RETURN_IF_ERROR(SpillRun());
+  return Status::OK();
+}
+
 Status ExternalMergeSorter::AddInMemory(const Bytes& payload, uint64_t tag,
                                         uint64_t label) {
   if (merging_) {
@@ -90,15 +102,18 @@ Status ExternalMergeSorter::SpillRun() {
   seal_scratch_.resize(pending_.size() * codec_->block_size());
   std::vector<uint64_t> ids;
   ids.reserve(pending_.size());
+  batch_in_.clear();
+  batch_out_.clear();
   for (size_t i = 0; i < pending_.size(); ++i) {
     const Item& item = pending_[i];
-    STEGHIDE_RETURN_IF_ERROR(
-        codec_->Seal(*cipher_, *drbg_, item.payload.data(),
-                     seal_scratch_.data() + i * codec_->block_size()));
+    batch_in_.push_back(item.payload.data());
+    batch_out_.push_back(seal_scratch_.data() + i * codec_->block_size());
     ids.push_back(run.base + i);
     run.tags.push_back(item.tag);
     run.labels.push_back(item.label);
   }
+  STEGHIDE_RETURN_IF_ERROR(
+      codec_->SealScatter(*cipher_, *drbg_, batch_in_, batch_out_));
   STEGHIDE_RETURN_IF_ERROR(device_->WriteBlocks(ids, seal_scratch_.data()));
   cells_.writes.Add(ids.size());
   scratch_used_ += ids.size();
@@ -157,13 +172,15 @@ Status ExternalMergeSorter::RefillCursor(Cursor& c) {
   Bytes blocks;
   STEGHIDE_RETURN_IF_ERROR(device_->ReadBlocks(ids, blocks));
   cells_.reads.Add(ids.size());
+  // One batched open for the whole look-ahead chunk.
+  batch_in_.clear();
+  batch_out_.clear();
   for (size_t i = 0; i < ids.size(); ++i) {
-    Bytes payload(codec_->payload_size());
-    STEGHIDE_RETURN_IF_ERROR(codec_->Open(
-        *cipher_, blocks.data() + i * codec_->block_size(), payload.data()));
-    c.chunk_payloads.push_back(std::move(payload));
+    c.chunk_payloads.emplace_back(codec_->payload_size());
+    batch_in_.push_back(blocks.data() + i * codec_->block_size());
+    batch_out_.push_back(c.chunk_payloads.back().data());
   }
-  return Status::OK();
+  return codec_->OpenScatter(*cipher_, batch_in_, batch_out_);
 }
 
 Status ExternalMergeSorter::FlushOutput() {
@@ -174,12 +191,15 @@ Status ExternalMergeSorter::FlushOutput() {
   seal_scratch_.resize(out_chunk_.size() * codec_->block_size());
   std::vector<uint64_t> ids;
   ids.reserve(out_chunk_.size());
+  batch_in_.clear();
+  batch_out_.clear();
   for (size_t i = 0; i < out_chunk_.size(); ++i) {
-    STEGHIDE_RETURN_IF_ERROR(
-        codec_->Seal(*cipher_, *drbg_, out_chunk_[i].data(),
-                     seal_scratch_.data() + i * codec_->block_size()));
+    batch_in_.push_back(out_chunk_[i].data());
+    batch_out_.push_back(seal_scratch_.data() + i * codec_->block_size());
     ids.push_back(dst_base_ + out_pos_ + i);
   }
+  STEGHIDE_RETURN_IF_ERROR(
+      codec_->SealScatter(*cipher_, *drbg_, batch_in_, batch_out_));
   STEGHIDE_RETURN_IF_ERROR(device_->WriteBlocks(ids, seal_scratch_.data()));
   cells_.writes.Add(ids.size());
   out_pos_ += ids.size();

@@ -63,6 +63,10 @@ class ExternalMergeSorter {
   /// Adds an item whose payload is already in memory (e.g. the agent's
   /// buffer contents) — no device read.
   Status AddInMemory(const Bytes& payload, uint64_t tag, uint64_t label);
+  /// Same, from a raw payload_size()-byte pointer (batch-decrypt callers
+  /// slice one contiguous plaintext buffer instead of materializing a
+  /// Bytes per item).
+  Status AddInMemory(const uint8_t* payload, uint64_t tag, uint64_t label);
 
   /// Merges everything to device positions [dst_base, dst_base + n) in
   /// ascending tag order and returns the labels in that order. The sorter
@@ -157,6 +161,10 @@ class ExternalMergeSorter {
   std::vector<Bytes> out_chunk_;
   std::vector<uint64_t> order_;
   Bytes seal_scratch_;        // sealed-images staging, reused across calls
+  // Pointer tables feeding the codec's scattered batch seal/open, reused
+  // across spill/refill/flush calls.
+  std::vector<const uint8_t*> batch_in_;
+  std::vector<uint8_t*> batch_out_;
 };
 
 }  // namespace steghide::oblivious

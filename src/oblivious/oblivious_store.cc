@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <limits>
 
@@ -57,7 +58,7 @@ ObliviousStore::ObliviousStore(storage::BlockDevice* device,
   // One persistent sorter per store: its run buffer and seal scratch are
   // recycled across re-orders instead of reconstructed per call.
   sorter_ = std::make_unique<ExternalMergeSorter>(
-      maint_device_, &codec_, &cipher_, &drbg_, options_.scratch_base,
+      maint_device_, &codec_, &cipher_, &drbg_.root(), options_.scratch_base,
       std::max<uint64_t>(options_.buffer_blocks, kReorderRunFloor));
 }
 
@@ -72,7 +73,7 @@ Result<std::unique_ptr<ObliviousStore>> ObliviousStore::Create(
   std::unique_ptr<ObliviousStore> store(new ObliviousStore(device, options));
 
   Bytes key = options.store_key.empty()
-                  ? store->drbg_.Generate(crypto::kDefaultKeyLen)
+                  ? store->Drbg().Generate(crypto::kDefaultKeyLen)
                   : options.store_key;
   STEGHIDE_RETURN_IF_ERROR(store->cipher_.SetKey(key));
 
@@ -336,7 +337,7 @@ Status ObliviousStore::PlanScan(std::span<const RecordId> ids,
         // Decoy: uniformly random occupied slot. Stale slots are
         // eligible — to the observer every slot is the same.
         pass.probes.push_back(
-            {probe_base + drbg_.Uniform(probe_occ), ScanPlan::kDecoy});
+            {probe_base + Drbg().Uniform(probe_occ), ScanPlan::kDecoy});
       }
       cells_.level_probe_reads.Increment();
     }
@@ -380,20 +381,40 @@ Status ObliviousStore::ExecuteScan(uint8_t* out_payloads) {
   }
   STEGHIDE_RETURN_IF_ERROR(scheduler_->Drain());
 
-  // Per-request decrypt + extract (decoys stay sealed).
-  payload_scratch_.resize(codec_.payload_size());
+  // Batched decrypt + extract (decoys stay sealed): the real probes of
+  // every pass in the sweep go through one scattered codec open, which
+  // pipelines their CBC chains across the AES units. Payloads land
+  // directly in the caller's buffer — real slots own distinct requests,
+  // so the destinations never alias.
+  const size_t ps = codec_.payload_size();
+  open_blocks_scratch_.clear();
+  open_payloads_scratch_.clear();
   for (size_t p = 0; p < plan_.count; ++p) {
     const auto& probes = plan_.passes[p].probes;
     for (size_t i = 0; i < probes.size(); ++i) {
       if (probes[i].owner == ScanPlan::kDecoy) continue;
-      STEGHIDE_RETURN_IF_ERROR(codec_.Open(cipher_, pass_bufs_[p].data() + i * bs,
-                                           payload_scratch_.data()));
-      if (out_payloads != nullptr) {
-        std::memcpy(out_payloads + probes[i].owner * codec_.payload_size(),
-                    payload_scratch_.data(), payload_scratch_.size());
-      }
+      open_blocks_scratch_.push_back(pass_bufs_[p].data() + i * bs);
+      open_payloads_scratch_.push_back(
+          out_payloads != nullptr ? out_payloads + probes[i].owner * ps
+                                  : nullptr);
     }
   }
+  if (open_blocks_scratch_.empty()) return Status::OK();
+  if (out_payloads == nullptr) {
+    // Write-shaped scans discard the plaintext; still run the opens (same
+    // work as the read path) into per-chain scratch slots.
+    payload_scratch_.resize(open_blocks_scratch_.size() * ps);
+    for (size_t i = 0; i < open_payloads_scratch_.size(); ++i) {
+      open_payloads_scratch_[i] = payload_scratch_.data() + i * ps;
+    }
+  }
+  const auto crypto_t0 = std::chrono::steady_clock::now();
+  STEGHIDE_RETURN_IF_ERROR(
+      codec_.OpenScatter(cipher_, open_blocks_scratch_, open_payloads_scratch_));
+  stats_.crypto_wall_ms +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - crypto_t0)
+          .count();
   return Status::OK();
 }
 
@@ -650,7 +671,7 @@ Status ObliviousStore::Remove(RecordId id) {
 Status ObliviousStore::DummyRead() {
   std::lock_guard<std::mutex> lock(mu_);
   if (present_list_.empty()) return Status::OK();
-  const RecordId id = present_list_[drbg_.Uniform(present_list_.size())];
+  const RecordId id = present_list_[Drbg().Uniform(present_list_.size())];
   Bytes payload(codec_.payload_size());
   // Count as dummy, not user read.
   cells_.dummy_reads.Increment();
@@ -774,7 +795,7 @@ Status ObliviousStore::ReorderInto(
   // Priority: in-memory (newest) > source level > target level.
   for (const auto& [id, payload] : in_memory) {
     STEGHIDE_RETURN_IF_ERROR(
-        sorter_->AddInMemory(*payload, drbg_.NextUint64(), id));
+        sorter_->AddInMemory(*payload, Drbg().NextUint64(), id));
     reorder_added_.insert(id);
   }
   for (Level* src : {source, &target}) {
@@ -785,7 +806,7 @@ Status ObliviousStore::ReorderInto(
       if (reorder_added_.find(id) != reorder_added_.end()) continue;
       reorder_added_.insert(id);
       STEGHIDE_RETURN_IF_ERROR(
-          sorter_->Add(src->base + slot, drbg_.NextUint64(), id));
+          sorter_->Add(src->base + slot, Drbg().NextUint64(), id));
     }
   }
 
@@ -795,8 +816,8 @@ Status ObliviousStore::ReorderInto(
 
   STEGHIDE_ASSIGN_OR_RETURN(std::vector<uint64_t> order,
                             sorter_->Finish(target.base));
-  target.InstallOrder(std::move(order), drbg_.NextUint64());
-  if (source != nullptr) source->Clear(drbg_.NextUint64());
+  target.InstallOrder(std::move(order), Drbg().NextUint64());
+  if (source != nullptr) source->Clear(Drbg().NextUint64());
 
   cells_.reorders.Increment();
   ++reorder_epoch_;
@@ -863,7 +884,7 @@ Status ObliviousStore::StartFlushChainLocked() {
       if (level.IsStale(slot)) continue;
       if (!reorder_added_.insert(id).second) continue;
       inputs.device.push_back(
-          {level.base + slot, id, drbg_.NextUint64()});
+          {level.base + slot, id, Drbg().NextUint64()});
     }
   };
   const auto make_job = [&](size_t target_idx, ReorderJob::Inputs inputs,
@@ -901,7 +922,7 @@ Status ObliviousStore::StartFlushChainLocked() {
   ReorderJob::Inputs flush_inputs;
   flush_inputs.memory.reserve(flush_size);
   for (const auto& [id, payload] : flushing_) {
-    flush_inputs.memory.push_back({id, payload, drbg_.NextUint64()});
+    flush_inputs.memory.push_back({id, payload, Drbg().NextUint64()});
     reorder_added_.insert(id);
   }
   std::vector<size_t> flush_clears;
@@ -939,11 +960,11 @@ Status ObliviousStore::InstallFrontJobLocked() {
   chain_->front_writes_seen = 0;
   ReorderJob& job = *front.job;
   Level& target = levels_[job.target_level()];
-  target.InstallOrderAt(job.dst_base(), job.TakeOrder(), drbg_.NextUint64());
+  target.InstallOrderAt(job.dst_base(), job.TakeOrder(), Drbg().NextUint64());
   // Strip records evicted while the snapshot was in flight: their slots
   // turn stale (decoy fodder until the next re-order), unreachable.
   for (const RecordId id : chain_tombstones_) target.index.Erase(id);
-  for (const size_t li : front.clears) levels_[li].Clear(drbg_.NextUint64());
+  for (const size_t li : front.clears) levels_[li].Clear(Drbg().NextUint64());
   if (front.is_flush) flushing_.clear();
   cells_.reorders.Increment();
   ++reorder_epoch_;

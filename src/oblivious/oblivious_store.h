@@ -14,6 +14,7 @@
 
 #include "crypto/cbc.h"
 #include "crypto/drbg.h"
+#include "crypto/drbg_streams.h"
 #include "obs/metrics.h"
 #include "obs/trace_log.h"
 #include "oblivious/level.h"
@@ -143,6 +144,10 @@ struct ObliviousStats {
   uint64_t deferred_flushes = 0;   // flush triggers coalesced into a chain
   double retrieve_ms = 0.0;  // virtual time in scans
   double sort_ms = 0.0;      // virtual time in flush/dump/re-order
+  /// Wall-clock (host) time spent decrypting scan-pass probes — the
+  /// agent-side crypto cost the hardware path is meant to shrink. Not on
+  /// the virtual disk clock.
+  double crypto_wall_ms = 0.0;
   /// Per-level re-order time (reorder_ms[i] is level i+1), summing to
   /// sort_ms. Sized to the hierarchy height.
   std::vector<double> reorder_ms;
@@ -389,6 +394,9 @@ class ObliviousStore {
 
   double Clock() const { return clock_fn_ ? clock_fn_() : 0.0; }
 
+  /// This thread's DRBG stream (decoy slots, shuffle tags, IVs).
+  crypto::HashDrbg& Drbg() { return drbg_.ForThread(); }
+
   /// Registry/trace wiring, called from Create() after the scheduler and
   /// levels exist.
   void ConfigureObservability();
@@ -604,7 +612,12 @@ class ObliviousStore {
   storage::BlockDevice* maint_device_ = nullptr;
   ObliviousStoreOptions options_;
   stegfs::BlockCodec codec_;
-  crypto::HashDrbg drbg_;
+  /// Per-thread DRBG stream family (root + deterministic forks). All
+  /// draws happen under mu_, so this is about killing lock *handoff*
+  /// cost and draw-order coupling between dispatcher threads, not data
+  /// races; single-threaded callers always see the root stream, i.e. the
+  /// exact byte stream the shared-DRBG design produced.
+  crypto::DrbgStreams drbg_;
   crypto::CbcCipher cipher_;
   /// Single-device IoScheduler, or a ShardedIoScheduler fanning the
   /// per-level batches out across a ShardedBlockDevice's shard threads
@@ -639,6 +652,9 @@ class ObliviousStore {
   ScanPlan plan_;
   std::vector<Bytes> pass_bufs_;
   Bytes payload_scratch_;
+  /// Pointer tables for the sweep-wide scattered batch open.
+  std::vector<const uint8_t*> open_blocks_scratch_;
+  std::vector<uint8_t*> open_payloads_scratch_;
   std::vector<uint8_t> scan_scratch_;
   std::vector<uint8_t> dup_scratch_;
   std::vector<uint8_t> ghost_scratch_;

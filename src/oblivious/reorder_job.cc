@@ -40,7 +40,6 @@ Status ReorderJob::StepBuildRuns(uint64_t budget_blocks, uint64_t& used) {
     used += sorter_io() - before;
   }
 
-  payload_scratch_.resize(codec_->payload_size());
   while (next_device_ < inputs_.device.size()) {
     if (used >= budget_blocks) return Status::OK();
     // One vectored chunk of the ascending live-slot sweep.
@@ -56,18 +55,22 @@ Status ReorderJob::StepBuildRuns(uint64_t budget_blocks, uint64_t& used) {
     STEGHIDE_RETURN_IF_ERROR(device_->ReadBlocks(ids, read_scratch_));
     input_reads_ += take;
     used += take;
+    // Decrypt the whole chunk in one multi-chain batch (side-effect
+    // free, so a re-driven step simply decrypts its fresh read again),
+    // then feed the sorter from the contiguous plaintext.
+    payload_scratch_.resize(take * codec_->payload_size());
+    STEGHIDE_RETURN_IF_ERROR(codec_->OpenBlocks(
+        *cipher_, read_scratch_.data(), take, payload_scratch_.data()));
     for (uint64_t i = 0; i < take; ++i) {
       const DeviceInput& in = inputs_.device[next_device_];
       // Consumed before the fallible add — see the memory loop above.
       // A re-driven step then re-reads any not-yet-added tail of this
       // chunk through a fresh vectored read, never re-adds this item.
       ++next_device_;
-      STEGHIDE_RETURN_IF_ERROR(
-          codec_->Open(*cipher_, read_scratch_.data() + i * codec_->block_size(),
-                       payload_scratch_.data()));
       const uint64_t before = sorter_io();
-      STEGHIDE_RETURN_IF_ERROR(
-          sorter_->AddInMemory(payload_scratch_, in.tag, in.id));
+      STEGHIDE_RETURN_IF_ERROR(sorter_->AddInMemory(
+          payload_scratch_.data() + i * codec_->payload_size(), in.tag,
+          in.id));
       used += sorter_io() - before;
     }
   }

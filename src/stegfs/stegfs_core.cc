@@ -9,7 +9,7 @@ StegFsCore::StegFsCore(storage::BlockDevice* device,
                        const StegFsOptions& options)
     : device_(device),
       codec_(device->block_size()),
-      drbg_(options.drbg_seed),
+      drbg_streams_(options.drbg_seed),
       format_rng_(options.drbg_seed ^ 0x666f726d61745f5fULL),
       fast_format_(options.fast_format) {
   assert(device->block_size() >= kMinBlockSize);
@@ -22,7 +22,7 @@ Status StegFsCore::Format() {
     if (fast_format_) {
       format_rng_.Fill(block.data(), block.size());
     } else {
-      drbg_.Generate(block.data(), block.size());
+      drbg().Generate(block.data(), block.size());
     }
     STEGHIDE_RETURN_IF_ERROR(device_->WriteBlock(b, block.data()));
   }
@@ -59,15 +59,19 @@ Result<HiddenFile> StegFsCore::LoadFile(const FileAccessKey& fak) {
       ParseHeader(payload.data(), codec_.block_size(), &file));
 
   // Pull in indirect blocks to complete the pointer map — one vectored
-  // read for the whole tree.
+  // read and one batched open for the whole tree.
   if (!file.indirect_locs.empty()) {
     Bytes tree;
     STEGHIDE_RETURN_IF_ERROR(ReadRawBatch(file.indirect_locs, tree));
-    for (uint64_t i = 0; i < file.indirect_locs.size(); ++i) {
-      STEGHIDE_RETURN_IF_ERROR(codec_.Open(
-          *header_cipher, tree.data() + i * codec_.block_size(),
-          payload.data()));
-      ParseIndirect(payload.data(), i, codec_.block_size(), &file);
+    const size_t count = file.indirect_locs.size();
+    if (tree_payloads_.size() < count * codec_.payload_size()) {
+      tree_payloads_.resize(count * codec_.payload_size());
+    }
+    STEGHIDE_RETURN_IF_ERROR(codec_.OpenBlocks(*header_cipher, tree.data(),
+                                               count, tree_payloads_.data()));
+    for (uint64_t i = 0; i < count; ++i) {
+      ParseIndirect(tree_payloads_.data() + i * codec_.payload_size(), i,
+                    codec_.block_size(), &file);
     }
   }
   return file;
@@ -88,25 +92,25 @@ Status StegFsCore::StoreFile(HiddenFile& file) {
   STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* header_cipher,
                             CipherFor(file.fak.header_key));
 
-  // Seal header + tree into one image and write it with a single
-  // vectored request (header first, as before).
-  Bytes payload(codec_.payload_size());
+  // Serialize header + tree into consecutive payloads, seal them as one
+  // multi-chain batch, and write the images with a single vectored
+  // request (header first, as before).
+  const size_t ps = codec_.payload_size();
+  const size_t count = 1 + file.indirect_locs.size();
   std::vector<uint64_t> ids;
-  ids.reserve(1 + file.indirect_locs.size());
-  Bytes images((1 + file.indirect_locs.size()) * codec_.block_size());
+  ids.reserve(count);
+  Bytes images(count * codec_.block_size());
+  if (tree_payloads_.size() < count * ps) tree_payloads_.resize(count * ps);
 
-  SerializeHeader(file, codec_.block_size(), payload.data());
-  STEGHIDE_RETURN_IF_ERROR(
-      codec_.Seal(*header_cipher, drbg_, payload.data(), images.data()));
+  SerializeHeader(file, codec_.block_size(), tree_payloads_.data());
   ids.push_back(file.fak.header_location);
-
   for (uint64_t i = 0; i < file.indirect_locs.size(); ++i) {
-    SerializeIndirect(file, i, codec_.block_size(), payload.data());
-    STEGHIDE_RETURN_IF_ERROR(codec_.Seal(
-        *header_cipher, drbg_, payload.data(),
-        images.data() + (i + 1) * codec_.block_size()));
+    SerializeIndirect(file, i, codec_.block_size(),
+                      tree_payloads_.data() + (i + 1) * ps);
     ids.push_back(file.indirect_locs[i]);
   }
+  STEGHIDE_RETURN_IF_ERROR(codec_.SealBlocks(
+      *header_cipher, drbg(), tree_payloads_.data(), count, images.data()));
   STEGHIDE_RETURN_IF_ERROR(device_->WriteBlocks(ids, images.data()));
   file.dirty = false;
   return Status::OK();
@@ -147,21 +151,21 @@ Status StegFsCore::ReadFileBlockSet(const HiddenFile& file,
   Bytes blocks;
   STEGHIDE_RETURN_IF_ERROR(ReadRawBatch(physical, blocks));
 
-  const crypto::CbcCipher* cipher = nullptr;
-  if (!file.is_dummy) {
-    STEGHIDE_ASSIGN_OR_RETURN(cipher, CipherFor(file.fak.content_key));
-  }
-  for (size_t i = 0; i < logicals.size(); ++i) {
-    const uint8_t* block = blocks.data() + i * codec_.block_size();
-    uint8_t* out = out_payloads + i * codec_.payload_size();
-    if (file.is_dummy) {
-      // Dummy content is unkeyed randomness; hand back the raw data field.
-      std::memcpy(out, block + kIvSize, codec_.payload_size());
-    } else {
-      STEGHIDE_RETURN_IF_ERROR(codec_.Open(*cipher, block, out));
+  if (file.is_dummy) {
+    // Dummy content is unkeyed randomness; hand back the raw data fields.
+    for (size_t i = 0; i < logicals.size(); ++i) {
+      std::memcpy(out_payloads + i * codec_.payload_size(),
+                  blocks.data() + i * codec_.block_size() + kIvSize,
+                  codec_.payload_size());
     }
+    return Status::OK();
   }
-  return Status::OK();
+  STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* cipher,
+                            CipherFor(file.fak.content_key));
+  // Both sides are contiguous: the whole miss-fill decrypts as one
+  // multi-chain batch.
+  return codec_.OpenBlocks(*cipher, blocks.data(), logicals.size(),
+                           out_payloads);
 }
 
 Status StegFsCore::ReadFileBlocks(const HiddenFile& file, uint64_t logical,
@@ -183,12 +187,12 @@ Status StegFsCore::WriteDataBlockAt(const HiddenFile& file, uint64_t physical,
   std::lock_guard<std::recursive_mutex> lock(mu_);
   Bytes block(codec_.block_size());
   if (file.is_dummy) {
-    codec_.Randomize(drbg_, block.data());
+    codec_.Randomize(drbg(), block.data());
   } else {
     STEGHIDE_ASSIGN_OR_RETURN(const crypto::CbcCipher* cipher,
                               CipherFor(file.fak.content_key));
     STEGHIDE_RETURN_IF_ERROR(
-        codec_.Seal(*cipher, drbg_, payload, block.data()));
+        codec_.Seal(*cipher, drbg(), payload, block.data()));
   }
   return WriteRaw(physical, block);
 }
@@ -212,7 +216,7 @@ Status StegFsCore::WriteRaw(uint64_t physical, const Bytes& block) {
 Status StegFsCore::RandomizeBlock(uint64_t physical) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   Bytes block(codec_.block_size());
-  codec_.Randomize(drbg_, block.data());
+  codec_.Randomize(drbg(), block.data());
   return WriteRaw(physical, block);
 }
 

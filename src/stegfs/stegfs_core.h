@@ -7,6 +7,7 @@
 
 #include "crypto/cbc.h"
 #include "crypto/drbg.h"
+#include "crypto/drbg_streams.h"
 #include "stegfs/block_codec.h"
 #include "stegfs/header.h"
 #include "stegfs/keys.h"
@@ -40,11 +41,14 @@ struct StegFsOptions {
 /// (recursive) mutex at whole-operation granularity — a header-tree load,
 /// a vectored data-block read, a raw write each run as one critical
 /// section, which also means the underlying device keeps seeing
-/// single-issuer call sequences. The DRBG has its own lock, so accessor
-/// draws through drbg() stay safe from any thread. Pointers/references
-/// returned by accessors (device(), codec()) must only be used by code
-/// that already holds a higher-level serialization (the dispatcher's
-/// single I/O thread or an agent lock).
+/// single-issuer call sequences. drbg() returns the calling thread's
+/// stream of a DrbgStreams family (root for the first-arriving thread,
+/// deterministic forks for later ones), so concurrent draws never
+/// contend on one generator lock and never couple their byte streams;
+/// single-threaded use is byte-identical to the old shared generator.
+/// Pointers/references returned by accessors (device(), codec()) must
+/// only be used by code that already holds a higher-level serialization
+/// (the dispatcher's single I/O thread or an agent lock).
 class StegFsCore {
  public:
   /// Does not take ownership of `device`.
@@ -52,7 +56,10 @@ class StegFsCore {
 
   storage::BlockDevice& device() { return *device_; }
   const BlockCodec& codec() const { return codec_; }
-  crypto::HashDrbg& drbg() { return drbg_; }
+  /// The calling thread's DRBG stream.
+  crypto::HashDrbg& drbg() { return drbg_streams_.ForThread(); }
+  /// The whole stream family (introspection / tests).
+  crypto::DrbgStreams& drbg_streams() { return drbg_streams_; }
   uint64_t num_blocks() const { return device_->num_blocks(); }
   size_t payload_size() const { return codec_.payload_size(); }
 
@@ -122,9 +129,12 @@ class StegFsCore {
  private:
   storage::BlockDevice* device_;
   BlockCodec codec_;
-  crypto::HashDrbg drbg_;
+  crypto::DrbgStreams drbg_streams_;
   Rng format_rng_;
   bool fast_format_;
+  /// Header/indirect payload staging reused across LoadFile/StoreFile
+  /// calls (guarded by mu_ like the operations themselves).
+  Bytes tree_payloads_;
   std::map<Bytes, std::unique_ptr<crypto::CbcCipher>> cipher_cache_;
   /// Serializes public operations. Recursive because the compound
   /// operations (LoadFile, StoreFile, ReadFileBlockSet, ...) are built

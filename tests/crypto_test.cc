@@ -4,10 +4,14 @@
 #include <cstring>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "crypto/aes.h"
 #include "crypto/cbc.h"
+#include "crypto/cpu_features.h"
 #include "crypto/drbg.h"
+#include "crypto/drbg_streams.h"
 #include "crypto/hmac.h"
 #include "crypto/key.h"
 #include "crypto/sha256.h"
@@ -301,6 +305,242 @@ TEST(DrbgTest, OutputLooksBalanced) {
   for (uint8_t b : out) ones += std::popcount(static_cast<unsigned>(b));
   const double frac = static_cast<double>(ones) / (out.size() * 8.0);
   EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+
+// ---- hardware dispatch ---------------------------------------------------
+
+TEST(CpuFeaturesTest, OverrideForcesScalar) {
+  {
+    ScopedCryptoImpl scoped(CryptoImpl::kScalar);
+    EXPECT_FALSE(AesAccelerated());
+    EXPECT_FALSE(Sha256Accelerated());
+    EXPECT_STREQ(CryptoImplName(ActiveCryptoImpl()), "scalar");
+  }
+  // The accelerated path reports "accel" only when both the CPU and the
+  // build provide the kernels; either way the name is consistent.
+  if (AesAccelerated() || Sha256Accelerated()) {
+    EXPECT_STREQ(CryptoImplName(ActiveCryptoImpl()), "accel");
+  }
+}
+
+TEST(CpuFeaturesTest, ObjectsLatchImplAtKeySetup) {
+  // An Aes keyed while scalar is forced stays scalar for its lifetime
+  // even after the override lifts — one object never mixes kernels.
+  const Bytes key(16, 0x42);
+  Aes forced;
+  {
+    ScopedCryptoImpl scoped(CryptoImpl::kScalar);
+    ASSERT_TRUE(forced.SetKey(key).ok());
+  }
+  Aes current;
+  ASSERT_TRUE(current.SetKey(key).ok());
+  uint8_t in[16] = {1, 2, 3};
+  uint8_t a[16], b[16];
+  forced.EncryptBlock(in, a);
+  current.EncryptBlock(in, b);
+  EXPECT_EQ(std::memcmp(a, b, 16), 0);  // same cipher either way
+}
+
+TEST(CpuFeaturesTest, ScalarAndAcceleratedAgree) {
+  // Property cross-check on top of the fixed vectors: for random keys and
+  // messages the two paths must produce identical bytes in every mode.
+  HashDrbg rng(uint64_t{0x5ca1a});
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t key_len = trial % 2 == 0 ? 16 : 32;
+    const Bytes key = rng.Generate(key_len);
+    const Bytes msg = rng.Generate(16 * (1 + trial % 7));
+    Iv iv;
+    rng.Generate(iv.data(), iv.size());
+
+    Bytes ct_a(msg.size()), ct_b(msg.size());
+    Bytes pt_a(msg.size()), pt_b(msg.size());
+    {
+      CbcCipher c;
+      ASSERT_TRUE(c.SetKey(key).ok());
+      ASSERT_TRUE(c.Encrypt(iv, msg.data(), msg.size(), ct_a.data()).ok());
+      ASSERT_TRUE(c.Decrypt(iv, ct_a.data(), ct_a.size(), pt_a.data()).ok());
+    }
+    {
+      ScopedCryptoImpl scoped(CryptoImpl::kScalar);
+      CbcCipher c;
+      ASSERT_TRUE(c.SetKey(key).ok());
+      ASSERT_TRUE(c.Encrypt(iv, msg.data(), msg.size(), ct_b.data()).ok());
+      ASSERT_TRUE(c.Decrypt(iv, ct_b.data(), ct_b.size(), pt_b.data()).ok());
+    }
+    EXPECT_EQ(ct_a, ct_b);
+    EXPECT_EQ(pt_a, msg);
+    EXPECT_EQ(pt_b, msg);
+
+    const Bytes digest_in = rng.Generate(1 + trial * 37);
+    Sha256::Digest d_a = Sha256::Hash(digest_in.data(), digest_in.size());
+    Sha256::Digest d_b;
+    {
+      ScopedCryptoImpl scoped(CryptoImpl::kScalar);
+      d_b = Sha256::Hash(digest_in.data(), digest_in.size());
+    }
+    EXPECT_EQ(d_a, d_b);
+  }
+}
+
+// ---- multi-chain CBC batches ---------------------------------------------
+
+class CbcChainsTest : public ::testing::TestWithParam<CryptoImpl> {};
+
+TEST_P(CbcChainsTest, MatchesSequentialCalls) {
+  ScopedCryptoImpl scoped(GetParam());
+  HashDrbg rng(uint64_t{77});
+  CbcCipher cipher;
+  ASSERT_TRUE(cipher.SetKey(rng.Generate(16)).ok());
+
+  // Chain counts straddling the 4-wide and (VAES) 8-wide kernel widths.
+  for (const size_t nchains : {size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                               size_t{8}, size_t{13}, size_t{64}}) {
+    const size_t n = 16 * 9;  // bytes per chain
+    Bytes ivs_buf = rng.Generate(nchains * 16);
+    Bytes ins_buf = rng.Generate(nchains * n);
+    Bytes batch_out(nchains * n), seq_out(nchains * n);
+    std::vector<const uint8_t*> ivs(nchains), ins(nchains);
+    std::vector<uint8_t*> outs(nchains);
+    for (size_t c = 0; c < nchains; ++c) {
+      ivs[c] = ivs_buf.data() + c * 16;
+      ins[c] = ins_buf.data() + c * n;
+      outs[c] = batch_out.data() + c * n;
+    }
+    ASSERT_TRUE(
+        cipher.EncryptChains(ivs.data(), ins.data(), outs.data(), n, nchains)
+            .ok());
+    for (size_t c = 0; c < nchains; ++c) {
+      Iv iv;
+      std::memcpy(iv.data(), ivs[c], 16);
+      ASSERT_TRUE(
+          cipher.Encrypt(iv, ins[c], n, seq_out.data() + c * n).ok());
+    }
+    EXPECT_EQ(batch_out, seq_out) << "encrypt nchains=" << nchains;
+
+    // Decrypt the batch ciphertext back through DecryptChains.
+    Bytes round(nchains * n);
+    std::vector<const uint8_t*> cts(nchains);
+    std::vector<uint8_t*> pts(nchains);
+    for (size_t c = 0; c < nchains; ++c) {
+      cts[c] = batch_out.data() + c * n;
+      pts[c] = round.data() + c * n;
+    }
+    ASSERT_TRUE(
+        cipher.DecryptChains(ivs.data(), cts.data(), pts.data(), n, nchains)
+            .ok());
+    EXPECT_EQ(round, ins_buf) << "decrypt nchains=" << nchains;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, CbcChainsTest,
+                         ::testing::Values(CryptoImpl::kScalar,
+                                           CryptoImpl::kAccel),
+                         [](const auto& info) {
+                           return info.param == CryptoImpl::kScalar
+                                      ? "Scalar"
+                                      : "Accel";
+                         });
+
+// ---- DRBG stream forking -------------------------------------------------
+
+TEST(DrbgForkTest, ForkIsDeterministicAndConsumptionIndependent) {
+  HashDrbg fresh(uint64_t{21});
+  HashDrbg drained(uint64_t{21});
+  (void)drained.Generate(4096);  // parent position must not matter
+  const auto a = fresh.Fork("steghide-thread-stream", 1);
+  const auto b = drained.Fork("steghide-thread-stream", 1);
+  EXPECT_EQ(a->Generate(64), b->Generate(64));
+}
+
+TEST(DrbgForkTest, ForkConsumesNoParentOutput) {
+  HashDrbg forked(uint64_t{22});
+  (void)forked.Fork("steghide-thread-stream", 1);
+  HashDrbg plain(uint64_t{22});
+  EXPECT_EQ(forked.Generate(64), plain.Generate(64));
+}
+
+TEST(DrbgForkTest, DomainAndIdSeparateStreams) {
+  HashDrbg parent(uint64_t{23});
+  const Bytes s1 = parent.ForkSeed("steghide-thread-stream", 1);
+  const Bytes s2 = parent.ForkSeed("steghide-thread-stream", 2);
+  const Bytes s3 = parent.ForkSeed("other-domain", 1);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_NE(parent.Fork("steghide-thread-stream", 1)->Generate(64),
+            parent.Generate(64));
+}
+
+TEST(DrbgStreamsTest, SingleThreadEqualsPlainDrbg) {
+  // The first (here: only) drawing thread owns the root stream, so a
+  // single-threaded run is byte-identical to the shared-generator design
+  // — which is what keeps every golden/trace test unchanged.
+  DrbgStreams streams(uint64_t{31});
+  HashDrbg plain(uint64_t{31});
+  EXPECT_EQ(streams.ForThread().Generate(256), plain.Generate(256));
+  EXPECT_EQ(streams.stream_count(), 1u);
+}
+
+TEST(DrbgStreamsTest, ThreadsGetDeterministicDisjointStreams) {
+  // Same seed => the same set of per-thread streams regardless of which
+  // OS thread arrives when; draws on one stream never perturb another.
+  DrbgStreams streams(uint64_t{32});
+  (void)streams.ForThread();  // main thread takes the root
+  Bytes from_worker;
+  std::thread worker(
+      [&] { from_worker = streams.ForThread().Generate(64); });
+  worker.join();
+
+  HashDrbg root(uint64_t{32});
+  EXPECT_EQ(root.Fork("steghide-thread-stream", 1)->Generate(64),
+            from_worker);
+  EXPECT_EQ(streams.stream_count(), 2u);
+}
+
+TEST(DrbgStreamsTest, ConcurrentDrawsAreRaceFreeAndPerThreadDeterministic) {
+  // TSan hammer: many threads drawing concurrently, each checking its own
+  // stream against an independently derived copy.
+  DrbgStreams streams(uint64_t{33});
+  (void)streams.ForThread();  // root pinned to the main thread
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Bytes> outs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      HashDrbg& mine = streams.ForThread();
+      Bytes acc;
+      for (int i = 0; i < 64; ++i) {
+        const Bytes chunk = mine.Generate(16 + (i % 3));
+        acc.insert(acc.end(), chunk.begin(), chunk.end());
+      }
+      outs[t] = std::move(acc);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(streams.stream_count(), 1u + kThreads);
+
+  // Every thread stream equals one of the deterministic forks 1..k, and
+  // no two threads shared a stream.
+  HashDrbg root(uint64_t{33});
+  std::set<size_t> matched;
+  for (int t = 0; t < kThreads; ++t) {
+    bool found = false;
+    for (size_t idx = 1; idx <= kThreads; ++idx) {
+      auto fork = root.Fork("steghide-thread-stream", idx);
+      Bytes expect;
+      for (int i = 0; i < 64; ++i) {
+        const Bytes chunk = fork->Generate(16 + (i % 3));
+        expect.insert(expect.end(), chunk.begin(), chunk.end());
+      }
+      if (expect == outs[t]) {
+        EXPECT_TRUE(matched.insert(idx).second)
+            << "two threads shared fork " << idx;
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "thread " << t << " stream matches no fork";
+  }
 }
 
 // ---- key derivation ------------------------------------------------------

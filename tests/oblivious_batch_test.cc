@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 
+#include "crypto/cpu_features.h"
 #include "oblivious/oblivious_store.h"
 #include "storage/mem_block_device.h"
 #include "storage/trace_device.h"
@@ -286,6 +288,41 @@ TEST(ObliviousBatchTraceTest, OversizedGroupChunksAtBufferSize) {
     EXPECT_EQ(outs[i * s.store().payload_size()], static_cast<uint8_t>(ids[i]))
         << "request " << i;
   }
+}
+
+// ---- crypto-path independence -------------------------------------------
+
+TEST(ObliviousBatchTraceTest, TraceByteIdenticalAcrossCryptoImpls) {
+  // The accelerated kernels compute the same AES/SHA functions, so the
+  // device-level trace — block ids, ordering, and the ciphertext a
+  // disk-watching attacker records — must be bit-for-bit independent of
+  // which implementation ran. The override scope covers construction:
+  // ciphers latch their path at SetKey.
+  const ObliviousStoreOptions opts = BatchOptions(false);
+  auto drive = [&opts](StoreUnderTrace& s, Bytes* outs) {
+    const std::vector<RecordId> reads = {2, 9, 31, 44};
+    outs->resize(reads.size() * s.store().payload_size());
+    ASSERT_TRUE(s.store().MultiRead(reads, outs->data()).ok());
+    const std::vector<RecordId> writes = {5, 27, 50};
+    Bytes payloads(writes.size() * s.store().payload_size(), 0xcd);
+    ASSERT_TRUE(s.store().MultiWrite(writes, payloads.data()).ok());
+    Bytes one(s.store().payload_size());
+    ASSERT_TRUE(s.store().Read(27, one.data()).ok());
+    outs->insert(outs->end(), one.begin(), one.end());
+  };
+
+  std::optional<StoreUnderTrace> accel, scalar;
+  Bytes accel_out, scalar_out;
+  accel.emplace(opts);
+  drive(*accel, &accel_out);
+  {
+    crypto::ScopedCryptoImpl force(crypto::CryptoImpl::kScalar);
+    scalar.emplace(opts);
+    drive(*scalar, &scalar_out);
+  }
+
+  EXPECT_EQ(accel_out, scalar_out);
+  EXPECT_EQ(accel->trace(), scalar->trace());
 }
 
 TEST(ObliviousBatchTraceTest, MissingIdFailsBeforeAnyIo) {

@@ -163,6 +163,81 @@ TEST_F(BlockCodecTest, RandomizeFillsWholeBlock) {
   EXPECT_NE(block, Bytes(codec_.block_size(), 0));
 }
 
+TEST_F(BlockCodecTest, BatchSealEqualsSequentialSeals) {
+  // A SealBlocks batch must be byte-for-byte what n single Seals produce
+  // from the same DRBG position — including the IVs, i.e. the batch
+  // consumes the stream exactly as the sequential path would.
+  constexpr size_t kN = 71;  // crosses the internal chain-chunk boundary
+  crypto::HashDrbg payload_rng(uint64_t{40});
+  const Bytes payloads = payload_rng.Generate(kN * codec_.payload_size());
+
+  crypto::HashDrbg drbg_a(uint64_t{41}), drbg_b(uint64_t{41});
+  Bytes batch(kN * codec_.block_size()), single(kN * codec_.block_size());
+  ASSERT_TRUE(
+      codec_.SealBlocks(cipher_, drbg_a, payloads.data(), kN, batch.data())
+          .ok());
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(codec_.Seal(cipher_, drbg_b,
+                            payloads.data() + i * codec_.payload_size(),
+                            single.data() + i * codec_.block_size())
+                    .ok());
+  }
+  EXPECT_EQ(batch, single);
+
+  // OpenBlocks (contiguous) and OpenScatter (pointer-indexed, reversed
+  // order) both recover every payload.
+  Bytes back(kN * codec_.payload_size());
+  ASSERT_TRUE(
+      codec_.OpenBlocks(cipher_, batch.data(), kN, back.data()).ok());
+  EXPECT_EQ(back, payloads);
+
+  std::vector<const uint8_t*> blocks(kN);
+  std::vector<uint8_t*> outs(kN);
+  Bytes scattered(kN * codec_.payload_size());
+  for (size_t i = 0; i < kN; ++i) {
+    blocks[i] = batch.data() + (kN - 1 - i) * codec_.block_size();
+    outs[i] = scattered.data() + (kN - 1 - i) * codec_.payload_size();
+  }
+  ASSERT_TRUE(codec_.OpenScatter(cipher_, blocks, outs).ok());
+  EXPECT_EQ(scattered, payloads);
+}
+
+TEST_F(BlockCodecTest, RefreshBlocksPreservesPlaintextWithScratchReuse) {
+  constexpr size_t kN = 5;
+  const Bytes payloads = drbg_.Generate(kN * codec_.payload_size());
+  Bytes blocks(kN * codec_.block_size());
+  ASSERT_TRUE(
+      codec_.SealBlocks(cipher_, drbg_, payloads.data(), kN, blocks.data())
+          .ok());
+  const Bytes before = blocks;
+  Bytes scratch;
+  ASSERT_TRUE(
+      codec_.RefreshBlocks(cipher_, drbg_, blocks.data(), kN, &scratch).ok());
+  EXPECT_NE(blocks, before);
+  Bytes back(kN * codec_.payload_size());
+  ASSERT_TRUE(codec_.OpenBlocks(cipher_, blocks.data(), kN, back.data()).ok());
+  EXPECT_EQ(back, payloads);
+  // Scratch sized once; a second refresh reuses it without regrowing.
+  const size_t cap = scratch.capacity();
+  ASSERT_TRUE(
+      codec_.RefreshBlocks(cipher_, drbg_, blocks.data(), kN, &scratch).ok());
+  EXPECT_EQ(scratch.capacity(), cap);
+}
+
+TEST_F(BlockCodecTest, TrafficCountersAdvance) {
+  const stegfs::CryptoTrafficSnapshot before = GlobalCryptoTraffic();
+  constexpr size_t kN = 3;
+  const Bytes payloads = drbg_.Generate(kN * codec_.payload_size());
+  Bytes blocks(kN * codec_.block_size());
+  ASSERT_TRUE(
+      codec_.SealBlocks(cipher_, drbg_, payloads.data(), kN, blocks.data())
+          .ok());
+  const stegfs::CryptoTrafficSnapshot after = GlobalCryptoTraffic();
+  EXPECT_EQ(after.blocks - before.blocks, kN);
+  EXPECT_EQ(after.bytes - before.bytes, kN * codec_.payload_size());
+  EXPECT_EQ(after.batches - before.batches, 1u);
+}
+
 // ---- header serialization ----------------------------------------------------
 
 TEST(HeaderTest, IndirectNeededBoundaries) {
