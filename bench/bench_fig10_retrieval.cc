@@ -444,6 +444,177 @@ void RunDegradedSweep(benchmark::State& state, size_t shards,
   }
 }
 
+// Distributed-volume sweep: the Fig10bDegraded serving path with shard
+// 0's second mirror served over the loopback block-RPC transport and
+// the mirror running in quorum mode (W = R = 1, per-block version
+// stamps). Half-way through the request stream the remote link is
+// partitioned: every RPC to it fails fast, quorum writes keep
+// succeeding on the local replica, and quorum reads only ever serve
+// version-current stamps. The acceptance bars are failed_requests == 0
+// AND quorum_stale_reads == 0 (both hard-gated by bench_diff.py). After
+// the serving phase the link heals, the endpoint restarts, and the
+// repair sweep re-converges the remote mirror; RPC and transport
+// counters ride along.
+void RunRemoteSweep(benchmark::State& state, size_t shards,
+                    uint64_t users) {
+  constexpr uint64_t kFileBlocks = 16;
+  const uint64_t kBuffer =
+      std::min<uint64_t>(128, std::max<uint64_t>(32, users));
+  const size_t payload = stegfs::BlockCodec(4096).payload_size();
+  for (auto _ : state) {
+    const uint64_t requests = users * kFileBlocks;
+
+    storage::RetryPolicy retry;
+    retry.max_attempts = 12;
+    storage::ReplicationOptions replication;
+    replication.quorum = true;
+    replication.write_quorum = 1;
+    replication.read_quorum = 1;
+    // The partitioned remote fails fast on every touch; keep it lagging
+    // long enough to exercise degraded quorum serving, but let sustained
+    // failures bench it so serving stops paying the fail-fast errors.
+    replication.quarantine_after = 64;
+    storage::remote::RemoteDeviceOptions remote_options;
+    remote_options.rpc_deadline_ms = 5000.0;
+    remote_options.retry.max_attempts = 2;
+
+    auto sys = MakeObliviousSystem(
+        users, kFileBlocks, 9800 + users, kBuffer, true,
+        /*deamortize=*/true, shards, GlobalMetrics(), GlobalTrace(),
+        /*cache_replicas=*/2,
+        [](size_t, size_t) { return storage::FaultPlan{}; }, retry,
+        replication,
+        /*cache_remote=*/[](size_t k, size_t r) { return k == 0 && r == 1; },
+        /*cache_transport_fault_plan=*/nullptr, remote_options);
+
+    agent::DispatcherOptions options;
+    options.max_batch = kBuffer;
+    options.commit_window = std::chrono::milliseconds(50);
+    options.clock_fn = [&sys] { return sys.clock_ms(); };
+    options.registry = GlobalMetrics();
+    options.trace = GlobalTrace();
+    options.extra_maintenance =
+        [&sys](uint64_t budget) -> Result<bool> {
+      if (!sys.cache_volumes->repair_pending()) return false;
+      return sys.cache_volumes->PumpRepair(budget);
+    };
+    sys.agent->store().ResetStats();
+    if (obs::TraceLog* trace = GlobalTrace(); trace != nullptr) {
+      trace->Clear();
+      trace->set_enabled(true);
+    }
+
+    const double t0 = sys.clock_ms();
+    std::atomic<uint64_t> done{0};
+    std::atomic<uint64_t> failed{0};
+    double partition_ms = 0;
+    {
+      agent::RequestDispatcher dispatcher(sys.agent.get(), options);
+      std::vector<std::unique_ptr<agent::RequestDispatcher::Session>>
+          sessions;
+      for (uint64_t u = 0; u < users; ++u) {
+        sessions.push_back(dispatcher.OpenSession());
+      }
+      std::vector<std::function<Status()>> tasks;
+      for (uint64_t u = 0; u < users; ++u) {
+        tasks.push_back([&, u]() -> Status {
+          for (uint64_t block = 0; block < kFileBlocks; ++block) {
+            if (!sessions[u]
+                     ->Read(sys.files[u], block * payload, payload)
+                     .ok()) {
+              failed.fetch_add(1, std::memory_order_relaxed);
+            }
+            // Black-hole the remote link half-way through the request
+            // stream (Partition() is thread-safe by contract).
+            if (done.fetch_add(1, std::memory_order_relaxed) + 1 ==
+                requests / 2) {
+              partition_ms = sys.clock_ms() - t0;
+              sys.cache_volumes->PartitionReplica(0, 1);
+            }
+          }
+          return Status::OK();
+        });
+      }
+      for (const Status& status :
+           workload::RunOnThreads(std::move(tasks))) {
+        if (!status.ok()) std::abort();
+      }
+      dispatcher.Stop();
+    }
+    bool more = true;
+    while (more) {
+      if (!sys.agent->store().StepReorder(1u << 20, &more).ok()) {
+        std::abort();
+      }
+    }
+    const double serving_ms = sys.clock_ms() - t0;
+
+    // Reconnect: heal the link (ReviveAndRepair does), restart anything
+    // crashed, and re-converge the remote mirror byte-identically.
+    const double repair_t0 = sys.clock_ms();
+    if (!sys.cache_volumes->ReviveAndRepair(0, 1).ok()) std::abort();
+    for (;;) {
+      auto pending = sys.cache_volumes->PumpRepair(64);
+      if (!pending.ok()) std::abort();
+      if (!*pending) break;
+    }
+    const double repair_ms = sys.clock_ms() - repair_t0;
+    const auto rstats = sys.cache_volumes->replicated(0)->stats();
+    const auto iostats = sys.agent->store().io_stats();
+    const auto remote_stats =
+        sys.cache_volumes->remote_device(0, 1)->stats();
+    const auto transport_stats =
+        sys.cache_volumes->transport_fault(0, 1)->stats();
+
+    state.counters["users"] = static_cast<double>(users);
+    state.counters["shards"] = static_cast<double>(shards);
+    state.counters["replicas"] = 2.0;
+    state.counters["requests"] = static_cast<double>(requests);
+    state.counters["failed_requests"] =
+        static_cast<double>(failed.load());
+    state.counters["quorum_stale_reads"] =
+        static_cast<double>(rstats.quorum_stale_reads);
+    state.counters["write_quorum_failures"] =
+        static_cast<double>(rstats.write_quorum_failures);
+    state.counters["quorum_widened"] =
+        static_cast<double>(rstats.quorum_widened);
+    state.counters["read_repairs"] =
+        static_cast<double>(rstats.read_repairs);
+    state.counters["virtual_ms"] = serving_ms;
+    state.counters["requests_per_vsec"] =
+        static_cast<double>(requests) / (serving_ms / 1e3);
+    state.counters["partition_ms"] = partition_ms;
+    state.counters["io_retries"] = static_cast<double>(iostats.retries);
+    state.counters["io_retry_exhausted"] =
+        static_cast<double>(iostats.retry_exhausted);
+    state.counters["failovers"] = static_cast<double>(rstats.failovers);
+    state.counters["quarantines"] =
+        static_cast<double>(rstats.quarantines);
+    state.counters["failover_ms_max"] = rstats.failover_ms_max;
+    state.counters["failover_ms_p99"] = rstats.failover_ms_p99;
+    state.counters["rpcs"] = static_cast<double>(remote_stats.rpcs);
+    state.counters["rpc_retries"] =
+        static_cast<double>(remote_stats.rpc_retries);
+    state.counters["rpc_timeouts"] =
+        static_cast<double>(remote_stats.timeouts);
+    state.counters["reconnects"] =
+        static_cast<double>(remote_stats.reconnects);
+    state.counters["partitioned_frames"] =
+        static_cast<double>(transport_stats.partitioned_frames);
+    state.counters["repair_ms"] = repair_ms;
+    state.counters["repair_blocks"] =
+        static_cast<double>(rstats.repair_blocks);
+    state.counters["repairs_completed"] =
+        static_cast<double>(rstats.repairs_completed);
+    if (obs::TraceLog* trace = GlobalTrace(); trace != nullptr) {
+      trace->set_enabled(false);
+    }
+    if (obs::Registry* registry = GlobalMetrics(); registry != nullptr) {
+      registry->Latch();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace steghide::bench
 
@@ -495,6 +666,15 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark(
       "Fig10bDegraded/shards:4/users:256",
       [](benchmark::State& s) { RunDegradedSweep(s, 4, 256); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  // Distributed volumes: one mirror behind the loopback block-RPC
+  // transport, quorum serving, a partition injected mid-run. The
+  // acceptance bars are failed_requests == 0 and quorum_stale_reads == 0
+  // (both gated by bench_diff.py).
+  benchmark::RegisterBenchmark(
+      "Fig10bRemote/shards:4/users:256",
+      [](benchmark::State& s) { RunRemoteSweep(s, 4, 256); })
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
   return RunBenchmarks(argc, argv);

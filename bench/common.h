@@ -191,6 +191,12 @@ struct ObliviousSystemUnderTest {
 /// store scheduler's bounded retry budget so transient device errors
 /// that survive the replica layer (e.g. a degraded shard's last healthy
 /// replica hiccuping) are re-driven instead of failing the request.
+/// `cache_remote` marks cache replicas served over the loopback
+/// block-RPC transport (their local stack moves behind a server thread
+/// and the mirror talks to a RemoteBlockDevice client);
+/// `cache_transport_fault_plan` scripts partition/delay/drop faults on
+/// those links, and `remote_options` sets the client RPC deadline and
+/// reconnect budget.
 inline ObliviousSystemUnderTest MakeObliviousSystem(
     uint64_t users, uint64_t file_blocks, uint64_t seed,
     uint64_t buffer_blocks, bool prewarm, bool deamortize = false,
@@ -199,7 +205,11 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
     std::function<storage::FaultPlan(size_t, size_t)> cache_fault_plan =
         nullptr,
     std::optional<storage::RetryPolicy> io_retry = std::nullopt,
-    storage::ReplicationOptions replication = {}) {
+    storage::ReplicationOptions replication = {},
+    std::function<bool(size_t, size_t)> cache_remote = nullptr,
+    std::function<storage::FaultPlan(size_t, size_t)>
+        cache_transport_fault_plan = nullptr,
+    storage::remote::RemoteDeviceOptions remote_options = {}) {
   ObliviousSystemUnderTest sys;
 
   uint64_t capacity = 2 * buffer_blocks;
@@ -227,6 +237,9 @@ inline ObliviousSystemUnderTest MakeObliviousSystem(
     vopts.total_blocks = cache_blocks;
     vopts.fault_plan = std::move(cache_fault_plan);
     vopts.replication = replication;
+    vopts.remote = std::move(cache_remote);
+    vopts.transport_fault_plan = std::move(cache_transport_fault_plan);
+    vopts.remote_options = remote_options;
     sys.cache_volumes = std::make_unique<storage::VolumeSet>(vopts);
     cache_device = &sys.cache_volumes->device();
   } else {

@@ -106,6 +106,12 @@ Status FaultInjectionBlockDevice::Op(uint64_t block_id, uint8_t* out,
         cells_.latency_events.Increment();
         if (latency_fn_) latency_fn_(spec.latency_ms);
         break;
+      case FaultSpec::Kind::kPartition:
+      case FaultSpec::Kind::kDelayRpc:
+      case FaultSpec::Kind::kDropConnection:
+        // Transport-layer kinds: interpreted by TransportFaultController
+        // against the frame stream, a no-op on the block-op stream.
+        break;
     }
   }
 

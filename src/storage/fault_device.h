@@ -40,6 +40,21 @@ struct FaultSpec {
     /// The whole device dies at the trigger: every later op fails until
     /// Revive() is called.
     kDeath,
+    /// Transport-layer kinds, interpreted by TransportFaultController
+    /// (storage/remote/transport.h) against the RPC frame stream rather
+    /// than the block-op stream. At the block layer they are no-ops, so
+    /// one FaultPlan can script both layers of a replica.
+    ///
+    /// The link drops every frame from the trigger on (both directions
+    /// fail fast with kDeadlineExceeded) until Heal() is called — a
+    /// network partition.
+    kPartition,
+    /// The matching frame is delivered after charging `latency_ms`
+    /// through the latency hook — a slow or congested link.
+    kDelayRpc,
+    /// The connection is closed under the matching frame; in-flight and
+    /// later ops on it fail with kIoError until the client reconnects.
+    kDropConnection,
   };
   enum class OpFilter : uint8_t { kAny, kRead, kWrite };
 

@@ -1,0 +1,202 @@
+#include "storage/remote/wire.h"
+
+#include <cstring>
+#include <string>
+
+namespace steghide::storage::remote {
+
+namespace {
+
+void PutU32At(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void PutU64At(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+bool ValidFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kReply);
+}
+
+}  // namespace
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  size_t at = out.size();
+  out.resize(at + 4);
+  PutU32At(out.data() + at, v);
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  size_t at = out.size();
+  out.resize(at + 8);
+  PutU64At(out.data() + at, v);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+void EncodeFrameHeader(FrameType type, uint64_t request_id,
+                       uint32_t payload_len, uint8_t* out) {
+  PutU32At(out, kWireMagic);
+  out[4] = static_cast<uint8_t>(type);
+  out[5] = 0;  // flags
+  out[6] = 0;  // reserved
+  out[7] = 0;
+  PutU64At(out + 8, request_id);
+  PutU32At(out + 16, payload_len);
+}
+
+Status DecodeFrameHeader(const uint8_t* in, FrameHeader* out) {
+  if (GetU32(in) != kWireMagic) {
+    return Status::Corruption("remote: bad frame magic");
+  }
+  if (!ValidFrameType(in[4])) {
+    return Status::Corruption("remote: unknown frame type " +
+                              std::to_string(in[4]));
+  }
+  out->type = static_cast<FrameType>(in[4]);
+  out->request_id = GetU64(in + 8);
+  out->payload_len = GetU32(in + 16);
+  if (out->payload_len > kMaxFramePayload) {
+    return Status::Corruption("remote: oversized frame payload");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::vector<uint8_t> StartFrame(FrameType type, uint64_t request_id,
+                                size_t payload_len) {
+  std::vector<uint8_t> frame(kFrameHeaderSize);
+  frame.reserve(kFrameHeaderSize + payload_len);
+  EncodeFrameHeader(type, request_id, static_cast<uint32_t>(payload_len),
+                    frame.data());
+  return frame;
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildHello(uint64_t request_id) {
+  return StartFrame(FrameType::kHello, request_id, 0);
+}
+
+std::vector<uint8_t> BuildHelloReply(uint64_t request_id,
+                                     uint64_t num_blocks,
+                                     uint32_t block_size) {
+  std::vector<uint8_t> frame = StartFrame(FrameType::kHelloReply, request_id,
+                                          12);
+  PutU64(frame, num_blocks);
+  PutU32(frame, block_size);
+  return frame;
+}
+
+std::vector<uint8_t> BuildRead(uint64_t request_id,
+                               std::span<const uint64_t> ids) {
+  std::vector<uint8_t> frame =
+      StartFrame(FrameType::kRead, request_id, 4 + 8 * ids.size());
+  PutU32(frame, static_cast<uint32_t>(ids.size()));
+  for (uint64_t id : ids) PutU64(frame, id);
+  return frame;
+}
+
+std::vector<uint8_t> BuildWrite(uint64_t request_id,
+                                std::span<const uint64_t> ids,
+                                const uint8_t* data, size_t block_size) {
+  const size_t data_len = ids.size() * block_size;
+  std::vector<uint8_t> frame =
+      StartFrame(FrameType::kWrite, request_id, 4 + 8 * ids.size() + data_len);
+  PutU32(frame, static_cast<uint32_t>(ids.size()));
+  for (uint64_t id : ids) PutU64(frame, id);
+  frame.insert(frame.end(), data, data + data_len);
+  return frame;
+}
+
+std::vector<uint8_t> BuildFlush(uint64_t request_id) {
+  return StartFrame(FrameType::kFlush, request_id, 0);
+}
+
+std::vector<uint8_t> BuildReply(uint64_t request_id, const Status& status,
+                                const uint8_t* data, size_t data_len) {
+  const std::string& msg = status.message();
+  std::vector<uint8_t> frame = StartFrame(
+      FrameType::kReply, request_id, 8 + msg.size() + data_len);
+  PutU32(frame, static_cast<uint32_t>(status.code()));
+  PutU32(frame, static_cast<uint32_t>(msg.size()));
+  frame.insert(frame.end(), msg.begin(), msg.end());
+  if (data_len != 0) frame.insert(frame.end(), data, data + data_len);
+  return frame;
+}
+
+Status ParseHelloReply(std::span<const uint8_t> payload,
+                       uint64_t* num_blocks, uint32_t* block_size) {
+  if (payload.size() != 12) {
+    return Status::Corruption("remote: malformed hello reply");
+  }
+  *num_blocks = GetU64(payload.data());
+  *block_size = GetU32(payload.data() + 8);
+  return Status::OK();
+}
+
+Status ParseIds(std::span<const uint8_t> payload, size_t block_size,
+                bool with_data, std::vector<uint64_t>* ids,
+                const uint8_t** data) {
+  if (payload.size() < 4) {
+    return Status::Corruption("remote: truncated request payload");
+  }
+  const uint32_t count = GetU32(payload.data());
+  const size_t want =
+      4 + 8 * static_cast<size_t>(count) +
+      (with_data ? static_cast<size_t>(count) * block_size : 0);
+  if (payload.size() != want) {
+    return Status::Corruption("remote: request payload length mismatch");
+  }
+  ids->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    (*ids)[i] = GetU64(payload.data() + 4 + 8 * static_cast<size_t>(i));
+  }
+  if (data != nullptr) {
+    *data = with_data ? payload.data() + 4 + 8 * static_cast<size_t>(count)
+                      : nullptr;
+  }
+  return Status::OK();
+}
+
+Status ParseReply(std::span<const uint8_t> payload, Status* status,
+                  std::span<const uint8_t>* data) {
+  if (payload.size() < 8) {
+    return Status::Corruption("remote: truncated reply payload");
+  }
+  const uint32_t code = GetU32(payload.data());
+  const uint32_t msg_len = GetU32(payload.data() + 4);
+  if (payload.size() < 8 + static_cast<size_t>(msg_len)) {
+    return Status::Corruption("remote: reply message overruns payload");
+  }
+  if (code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::Corruption("remote: unknown status code in reply");
+  }
+  if (code == 0) {
+    *status = Status::OK();
+  } else {
+    *status = Status(
+        static_cast<StatusCode>(code),
+        std::string(reinterpret_cast<const char*>(payload.data()) + 8,
+                    msg_len));
+  }
+  *data = payload.subspan(8 + msg_len);
+  return Status::OK();
+}
+
+}  // namespace steghide::storage::remote

@@ -1,0 +1,105 @@
+#ifndef STEGHIDE_STORAGE_REMOTE_WIRE_H_
+#define STEGHIDE_STORAGE_REMOTE_WIRE_H_
+
+// Block-RPC wire format: length-prefixed frames over a byte stream.
+//
+// Every frame is a fixed 20-byte header followed by `payload_len` bytes:
+//
+//   [u32 magic "SGBR"][u8 type][u8 flags=0][u16 reserved=0]
+//   [u64 request_id][u32 payload_len][payload...]
+//
+// all fixed-width fields little-endian. The protocol is synchronous
+// request/response with one outstanding RPC per connection: the client
+// sends kHello/kRead/kWrite/kFlush, the server answers kHelloReply or
+// kReply with a matching request_id.
+//
+// Payloads:
+//   kHello       — empty.
+//   kHelloReply  — [u64 num_blocks][u32 block_size]: the served geometry.
+//   kRead        — [u32 count][count x u64 block_id].
+//   kWrite       — [u32 count][count x u64 block_id][count x block_size
+//                  data bytes].
+//   kFlush       — empty.
+//   kReply       — [u32 status_code][u32 msg_len][msg bytes][data bytes]
+//                  (data only for successful reads: count x block_size).
+//
+// Obliviousness: a frame's size is a function of (type, block count,
+// block size) only — block ids and payload bytes are fixed-width — so
+// the byte lengths on the wire leak nothing beyond what the already-
+// pinned per-replica block trace leaks. The distinguisher suite pins
+// this by comparing (direction, type, length) frame logs across runs
+// with identical request patterns and different contents.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace steghide::storage::remote {
+
+inline constexpr uint32_t kWireMagic = 0x52424753;  // "SGBR" little-endian
+inline constexpr size_t kFrameHeaderSize = 20;
+/// Upper bound on a payload a peer may announce; caps allocation when a
+/// corrupt or hostile header arrives.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kHelloReply = 2,
+  kRead = 3,
+  kWrite = 4,
+  kFlush = 5,
+  kReply = 6,
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kHello;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+/// Appends little-endian fixed-width values to a frame under
+/// construction.
+void PutU32(std::vector<uint8_t>& out, uint32_t v);
+void PutU64(std::vector<uint8_t>& out, uint64_t v);
+uint32_t GetU32(const uint8_t* p);
+uint64_t GetU64(const uint8_t* p);
+
+/// Serializes a header into the first kFrameHeaderSize bytes of a frame.
+void EncodeFrameHeader(FrameType type, uint64_t request_id,
+                       uint32_t payload_len, uint8_t* out);
+/// Validates magic and payload bound; fills `out`.
+Status DecodeFrameHeader(const uint8_t* in, FrameHeader* out);
+
+/// Frame builders: each returns the complete frame (header + payload).
+std::vector<uint8_t> BuildHello(uint64_t request_id);
+std::vector<uint8_t> BuildHelloReply(uint64_t request_id,
+                                     uint64_t num_blocks,
+                                     uint32_t block_size);
+std::vector<uint8_t> BuildRead(uint64_t request_id,
+                               std::span<const uint64_t> ids);
+std::vector<uint8_t> BuildWrite(uint64_t request_id,
+                                std::span<const uint64_t> ids,
+                                const uint8_t* data, size_t block_size);
+std::vector<uint8_t> BuildFlush(uint64_t request_id);
+/// `data`/`data_len` carry read payloads; both zero for writes/flushes
+/// and for error replies.
+std::vector<uint8_t> BuildReply(uint64_t request_id, const Status& status,
+                                const uint8_t* data = nullptr,
+                                size_t data_len = 0);
+
+/// Payload parsers (operate on the bytes after the header).
+Status ParseHelloReply(std::span<const uint8_t> payload,
+                       uint64_t* num_blocks, uint32_t* block_size);
+Status ParseIds(std::span<const uint8_t> payload, size_t block_size,
+                bool with_data, std::vector<uint64_t>* ids,
+                const uint8_t** data);
+/// Decodes the embedded Status; `data` is set to the trailing payload
+/// bytes (empty unless a successful read reply).
+Status ParseReply(std::span<const uint8_t> payload, Status* status,
+                  std::span<const uint8_t>* data);
+
+}  // namespace steghide::storage::remote
+
+#endif  // STEGHIDE_STORAGE_REMOTE_WIRE_H_

@@ -5,6 +5,17 @@
 
 namespace steghide::storage {
 
+namespace {
+
+bool RetriableWrite(const Status& status) {
+  // kDeadlineExceeded is what a partitioned/timed-out remote replica
+  // surfaces; it is as transient as kIoError.
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
 ReplicatedBlockDevice::ReplicatedBlockDevice(
     std::vector<BlockDevice*> replicas, ReplicationOptions options)
     : replicas_(std::move(replicas)),
@@ -12,7 +23,8 @@ ReplicatedBlockDevice::ReplicatedBlockDevice(
       block_size_(replicas_.empty() ? kDefaultBlockSize
                                     : replicas_.front()->block_size()),
       states_(replicas_.size()),
-      consecutive_read_errors_(replicas_.size(), 0) {
+      consecutive_read_errors_(replicas_.size(), 0),
+      consecutive_write_errors_(replicas_.size(), 0) {
   assert(!replicas_.empty());
   uint64_t min_blocks = replicas_.front()->num_blocks();
   for (BlockDevice* replica : replicas_) {
@@ -20,18 +32,37 @@ ReplicatedBlockDevice::ReplicatedBlockDevice(
     if (replica->num_blocks() < min_blocks) min_blocks = replica->num_blocks();
   }
   num_blocks_ = min_blocks;
+  if (options_.quorum) {
+    write_quorum_ = std::clamp<size_t>(options_.write_quorum, 1,
+                                       replicas_.size());
+    read_quorum_ = std::clamp<size_t>(options_.read_quorum, 1,
+                                      replicas_.size());
+    latest_ver_.assign(num_blocks_, 0);
+    replica_ver_.assign(replicas_.size(),
+                        std::vector<uint64_t>(num_blocks_, 0));
+    stale_count_.assign(replicas_.size(), 0);
+  }
   cells_.healthy_replicas.Set(static_cast<double>(replicas_.size()));
 }
 
 void ReplicatedBlockDevice::SetState(size_t r, ReplicaState state) {
   states_[r].store(static_cast<uint8_t>(state), std::memory_order_relaxed);
   cells_.healthy_replicas.Set(static_cast<double>(healthy_count()));
+  cells_.lagging_replicas.Set(static_cast<double>(lagging_count()));
 }
 
 size_t ReplicatedBlockDevice::healthy_count() const {
   size_t n = 0;
   for (size_t r = 0; r < replicas_.size(); ++r) {
     if (replica_state(r) == ReplicaState::kHealthy) ++n;
+  }
+  return n;
+}
+
+size_t ReplicatedBlockDevice::lagging_count() const {
+  size_t n = 0;
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (replica_state(r) == ReplicaState::kLagging) ++n;
   }
   return n;
 }
@@ -44,13 +75,18 @@ void ReplicatedBlockDevice::QuarantineLocked(size_t r) {
   cells_.quarantines.Increment();
 }
 
-bool ReplicatedBlockDevice::ServingOrder(std::vector<size_t>* order) {
+bool ReplicatedBlockDevice::ServingOrder(std::vector<size_t>* order,
+                                         bool include_lagging) {
   order->clear();
   for (size_t r = 0; r < replicas_.size(); ++r) {
-    if (replica_state(r) == ReplicaState::kHealthy) order->push_back(r);
+    const ReplicaState state = replica_state(r);
+    if (state == ReplicaState::kHealthy ||
+        (include_lagging && state == ReplicaState::kLagging)) {
+      order->push_back(r);
+    }
   }
   if (order->empty()) return false;
-  // Data-independent replica choice: rotate the healthy list by a
+  // Data-independent replica choice: rotate the serving list by a
   // counter of read calls. The first entry serves; the rest are the
   // failover order.
   const size_t shift = static_cast<size_t>(rr_++ % order->size());
@@ -58,11 +94,14 @@ bool ReplicatedBlockDevice::ServingOrder(std::vector<size_t>* order) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Strict mode (write-all / read-one)
+
 Status ReplicatedBlockDevice::ReadFrom(std::span<const uint64_t> ids,
                                        uint8_t* out) {
   cells_.reads.Add(ids.size());
   std::vector<size_t> order;
-  if (!ServingOrder(&order)) {
+  if (!ServingOrder(&order, /*include_lagging=*/false)) {
     return Status::IoError("replicated device: no healthy replicas");
   }
   const double t0 = clock_fn_ ? clock_fn_() : 0.0;
@@ -99,7 +138,7 @@ Status ReplicatedBlockDevice::WriteTo(std::span<const uint64_t> ids,
     for (int attempt = 0; attempt < std::max(1, options_.write_attempts);
          ++attempt) {
       status = replicas_[r]->WriteBlocks(ids, data);
-      if (status.ok() || status.code() != StatusCode::kIoError) break;
+      if (status.ok() || !RetriableWrite(status)) break;
     }
     if (status.ok()) {
       if (state == ReplicaState::kHealthy) healthy_ok = true;
@@ -122,32 +161,275 @@ Status ReplicatedBlockDevice::WriteTo(std::span<const uint64_t> ids,
              : healthy_error;
 }
 
+// ---------------------------------------------------------------------------
+// Quorum mode
+
+bool ReplicatedBlockDevice::CurrentForAll(
+    size_t r, std::span<const uint64_t> ids) const {
+  // Cheap whole-replica check first: a replica with no stale blocks is
+  // current for any id set.
+  if (stale_count_[r] == 0) return true;
+  const std::vector<uint64_t>& vers = replica_ver_[r];
+  for (uint64_t id : ids) {
+    if (vers[id] != latest_ver_[id]) return false;
+  }
+  return true;
+}
+
+void ReplicatedBlockDevice::MarkCurrent(size_t r, uint64_t id) {
+  uint64_t& v = replica_ver_[r][id];
+  if (v != latest_ver_[id]) {
+    v = latest_ver_[id];
+    --stale_count_[r];
+  }
+}
+
+void ReplicatedBlockDevice::BumpVersions(std::span<const uint64_t> ids) {
+  for (uint64_t id : ids) {
+    const uint64_t next = ++latest_ver_[id];
+    for (size_t r = 0; r < replicas_.size(); ++r) {
+      // Replicas current for this block a moment ago are now stale
+      // until their write lands; already-stale ones stay counted once.
+      if (replica_ver_[r][id] + 1 == next) ++stale_count_[r];
+    }
+  }
+}
+
+void ReplicatedBlockDevice::NoteWriteFailure(size_t r) {
+  const ReplicaState state = replica_state(r);
+  if (++consecutive_write_errors_[r] >= options_.quarantine_after) {
+    QuarantineLocked(r);
+    return;
+  }
+  if (state == ReplicaState::kHealthy) SetState(r, ReplicaState::kLagging);
+}
+
+void ReplicatedBlockDevice::MaybePromote(size_t r) {
+  if (replica_state(r) == ReplicaState::kLagging && stale_count_[r] == 0) {
+    SetState(r, ReplicaState::kHealthy);
+  }
+}
+
+Status ReplicatedBlockDevice::QuorumWriteTo(std::span<const uint64_t> ids,
+                                            const uint8_t* data) {
+  cells_.writes.Add(ids.size());
+  BumpVersions(ids);
+  size_t acks = 0;
+  Status first_error;
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    const ReplicaState state = replica_state(r);
+    if (state == ReplicaState::kQuarantined) continue;
+    Status status;
+    for (int attempt = 0; attempt < std::max(1, options_.write_attempts);
+         ++attempt) {
+      status = replicas_[r]->WriteBlocks(ids, data);
+      if (status.ok() || !RetriableWrite(status)) break;
+    }
+    if (status.ok()) {
+      consecutive_write_errors_[r] = 0;
+      for (uint64_t id : ids) MarkCurrent(r, id);
+      // A mid-repair replica's ack is not servable until its sweep
+      // finishes, so it does not count toward the quorum.
+      if (state != ReplicaState::kRepairing) ++acks;
+      MaybePromote(r);
+      continue;
+    }
+    if (first_error.ok()) first_error = status;
+    // The stamps already record exactly which blocks this replica
+    // missed (BumpVersions), so it can keep serving its current blocks
+    // as a lagging replica instead of being benched outright.
+    NoteWriteFailure(r);
+  }
+  if (acks >= write_quorum_) return Status::OK();
+  cells_.write_quorum_failures.Increment();
+  return first_error.ok()
+             ? Status::IoError("replicated device: write quorum not met")
+             : first_error;
+}
+
+Status ReplicatedBlockDevice::QuorumReadFrom(std::span<const uint64_t> ids,
+                                             uint8_t* out) {
+  cells_.reads.Add(ids.size());
+  std::vector<size_t> order;
+  if (!ServingOrder(&order, /*include_lagging=*/true)) {
+    return Status::IoError("replicated device: no healthy replicas");
+  }
+  const size_t quorum_window = std::min(read_quorum_, order.size());
+  const double t0 = clock_fn_ ? clock_fn_() : 0.0;
+  const size_t bs = block_size_;
+
+  // Fast path: a replica that is current for the entire batch serves it
+  // in one vectored call, in rotation-failover order.
+  Status last_error;
+  bool widened = false;
+  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const size_t r = order[attempt];
+    if (!CurrentForAll(r, ids)) continue;
+    if (attempt >= quorum_window) widened = true;
+    Status status = replicas_[r]->ReadBlocks(ids, out);
+    if (status.ok()) {
+      consecutive_read_errors_[r] = 0;
+      if (attempt > 0) {
+        cells_.failovers.Increment();
+        if (clock_fn_) cells_.failover_ms.Record(clock_fn_() - t0);
+      }
+      if (widened) cells_.quorum_widened.Increment();
+      ReadRepair(ids, out, std::vector<bool>(ids.size(), true));
+      return Status::OK();
+    }
+    last_error = status;
+    if (++consecutive_read_errors_[r] >= options_.quarantine_after) {
+      QuarantineLocked(r);
+    }
+  }
+
+  // Assembly path: no single serving replica holds the whole batch at
+  // the latest stamps (mid-partition, mid-repair). Serve each block
+  // from a replica that is current *for that block*; only if no current
+  // replica is reachable does a stale stamp get served — and counted,
+  // because that is data loss.
+  std::vector<bool> served_current(ids.size(), false);
+  bool any_failover = false;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const uint64_t id = ids[i];
+    uint8_t* dst = out + i * bs;
+    bool done = false;
+    for (size_t attempt = 0; attempt < order.size() && !done; ++attempt) {
+      const size_t r = order[attempt];
+      if (replica_ver_[r][id] != latest_ver_[id]) continue;
+      if (attempt >= quorum_window) widened = true;
+      if (attempt > 0) any_failover = true;
+      Status status = replicas_[r]->ReadBlock(id, dst);
+      if (status.ok()) {
+        consecutive_read_errors_[r] = 0;
+        served_current[i] = true;
+        done = true;
+        break;
+      }
+      last_error = status;
+      if (++consecutive_read_errors_[r] >= options_.quarantine_after) {
+        QuarantineLocked(r);
+      }
+    }
+    if (done) continue;
+    // Stale fallback: newest reachable stamp wins. Deterministic tie
+    // break on replica index keeps the choice data-independent.
+    size_t best = replicas_.size();
+    uint64_t best_ver = 0;
+    for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+      const size_t r = order[attempt];
+      if (best == replicas_.size() || replica_ver_[r][id] > best_ver) {
+        best = r;
+        best_ver = replica_ver_[r][id];
+      }
+    }
+    if (best == replicas_.size()) {
+      return last_error.ok()
+                 ? Status::IoError("replicated device: no healthy replicas")
+                 : last_error;
+    }
+    Status status = replicas_[best]->ReadBlock(id, dst);
+    if (!status.ok()) {
+      if (++consecutive_read_errors_[best] >= options_.quarantine_after) {
+        QuarantineLocked(best);
+      }
+      return status;
+    }
+    consecutive_read_errors_[best] = 0;
+    cells_.quorum_stale_reads.Increment();
+  }
+  if (any_failover) {
+    cells_.failovers.Increment();
+    if (clock_fn_) cells_.failover_ms.Record(clock_fn_() - t0);
+  }
+  if (widened) cells_.quorum_widened.Increment();
+  ReadRepair(ids, out, served_current);
+  return Status::OK();
+}
+
+void ReplicatedBlockDevice::ReadRepair(std::span<const uint64_t> ids,
+                                       const uint8_t* out,
+                                       const std::vector<bool>& served_current) {
+  const size_t bs = block_size_;
+  std::vector<uint64_t> fix_ids;
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (replica_state(r) != ReplicaState::kLagging) continue;
+    fix_ids.clear();
+    repair_buf_.clear();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!served_current[i]) continue;  // never propagate a stale read
+      if (replica_ver_[r][ids[i]] == latest_ver_[ids[i]]) continue;
+      fix_ids.push_back(ids[i]);
+      repair_buf_.insert(repair_buf_.end(), out + i * bs, out + (i + 1) * bs);
+    }
+    if (fix_ids.empty()) continue;
+    Status status = replicas_[r]->WriteBlocks(
+        std::span<const uint64_t>(fix_ids), repair_buf_.data());
+    if (status.ok()) {
+      consecutive_write_errors_[r] = 0;
+      for (uint64_t id : fix_ids) MarkCurrent(r, id);
+      cells_.read_repairs.Add(fix_ids.size());
+      MaybePromote(r);
+    } else {
+      NoteWriteFailure(r);
+    }
+  }
+}
+
+Status ReplicatedBlockDevice::QuorumFlush() {
+  size_t acks = 0;
+  Status first_error;
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    const ReplicaState state = replica_state(r);
+    if (state == ReplicaState::kQuarantined) continue;
+    const Status status = replicas_[r]->Flush();
+    if (status.ok()) {
+      consecutive_write_errors_[r] = 0;
+      if (state != ReplicaState::kRepairing) ++acks;
+      continue;
+    }
+    if (first_error.ok()) first_error = status;
+    NoteWriteFailure(r);
+  }
+  if (acks >= write_quorum_) return Status::OK();
+  cells_.write_quorum_failures.Increment();
+  return first_error.ok()
+             ? Status::IoError("replicated device: flush quorum not met")
+             : first_error;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+
 Status ReplicatedBlockDevice::ReadBlock(uint64_t block_id, uint8_t* out) {
   STEGHIDE_RETURN_IF_ERROR(CheckRange(block_id));
-  return ReadFrom(std::span<const uint64_t>(&block_id, 1), out);
+  const std::span<const uint64_t> ids(&block_id, 1);
+  return options_.quorum ? QuorumReadFrom(ids, out) : ReadFrom(ids, out);
 }
 
 Status ReplicatedBlockDevice::WriteBlock(uint64_t block_id,
                                          const uint8_t* data) {
   STEGHIDE_RETURN_IF_ERROR(CheckRange(block_id));
-  return WriteTo(std::span<const uint64_t>(&block_id, 1), data);
+  const std::span<const uint64_t> ids(&block_id, 1);
+  return options_.quorum ? QuorumWriteTo(ids, data) : WriteTo(ids, data);
 }
 
 Status ReplicatedBlockDevice::ReadBlocks(std::span<const uint64_t> ids,
                                          uint8_t* out) {
   if (ids.empty()) return Status::OK();
   for (uint64_t id : ids) STEGHIDE_RETURN_IF_ERROR(CheckRange(id));
-  return ReadFrom(ids, out);
+  return options_.quorum ? QuorumReadFrom(ids, out) : ReadFrom(ids, out);
 }
 
 Status ReplicatedBlockDevice::WriteBlocks(std::span<const uint64_t> ids,
                                           const uint8_t* data) {
   if (ids.empty()) return Status::OK();
   for (uint64_t id : ids) STEGHIDE_RETURN_IF_ERROR(CheckRange(id));
-  return WriteTo(ids, data);
+  return options_.quorum ? QuorumWriteTo(ids, data) : WriteTo(ids, data);
 }
 
 Status ReplicatedBlockDevice::Flush() {
+  if (options_.quorum) return QuorumFlush();
   bool healthy_ok = false;
   Status healthy_error;
   for (size_t r = 0; r < replicas_.size(); ++r) {
@@ -169,19 +451,28 @@ Status ReplicatedBlockDevice::Flush() {
              : healthy_error;
 }
 
+// ---------------------------------------------------------------------------
+// Repair
+
 Status ReplicatedBlockDevice::StartRepair(size_t r) {
   if (r >= replicas_.size()) {
     return Status::InvalidArgument("no such replica");
   }
-  if (replica_state(r) != ReplicaState::kQuarantined) {
+  const ReplicaState state = replica_state(r);
+  const bool admissible =
+      state == ReplicaState::kQuarantined ||
+      (options_.quorum && state == ReplicaState::kLagging);
+  if (!admissible) {
     return Status::FailedPrecondition("replica is not quarantined");
   }
   SetState(r, ReplicaState::kRepairing);
   // The sweep restarts from block 0 — also when a second replica joins
-  // an in-flight repair; re-copying a prefix is correct (write-all keeps
-  // it consistent) and keeps the scrub order a fixed public schedule.
+  // an in-flight repair; re-copying a prefix is correct (live writes
+  // keep it consistent) and keeps the scrub order a fixed public
+  // schedule.
   repair_cursor_ = 0;
   consecutive_read_errors_[r] = 0;
+  consecutive_write_errors_[r] = 0;
   return Status::OK();
 }
 
@@ -195,45 +486,76 @@ bool ReplicatedBlockDevice::repair_pending() const {
 Status ReplicatedBlockDevice::RepairStep(uint64_t budget_blocks, bool* more) {
   if (more != nullptr) *more = false;
   if (!repair_pending()) return Status::OK();
-  // Lowest-index healthy source: like the scrub order, a fixed public
-  // choice — repair traffic cannot leak which blocks changed while the
-  // replica was out.
-  size_t source = replicas_.size();
-  for (size_t r = 0; r < replicas_.size(); ++r) {
-    if (replica_state(r) == ReplicaState::kHealthy) {
-      source = r;
-      break;
-    }
-  }
-  if (source == replicas_.size()) {
-    return Status::FailedPrecondition("repair has no healthy source");
-  }
   repair_buf_.resize(block_size_);
   const uint64_t end = std::min(num_blocks_, repair_cursor_ + budget_blocks);
   for (uint64_t b = repair_cursor_; b < end; ++b) {
+    // Source selection is a fixed public choice — repair traffic cannot
+    // leak which blocks changed while the replica was out. Strict mode:
+    // the lowest-index healthy replica (healthy == complete). Quorum
+    // mode: the lowest-index serving replica whose stamp for *this*
+    // block is current, so repair converges even when no replica is
+    // complete but the serving set jointly is.
+    size_t source = replicas_.size();
+    for (size_t r = 0; r < replicas_.size(); ++r) {
+      const ReplicaState state = replica_state(r);
+      if (options_.quorum) {
+        const bool serving = state == ReplicaState::kHealthy ||
+                             state == ReplicaState::kLagging;
+        if (serving && replica_ver_[r][b] == latest_ver_[b]) {
+          source = r;
+          break;
+        }
+      } else if (state == ReplicaState::kHealthy) {
+        source = r;
+        break;
+      }
+    }
+    if (source == replicas_.size()) {
+      return Status::FailedPrecondition("repair has no healthy source");
+    }
     STEGHIDE_RETURN_IF_ERROR(replicas_[source]->ReadBlock(b,
                                                           repair_buf_.data()));
     for (size_t r = 0; r < replicas_.size(); ++r) {
       if (replica_state(r) != ReplicaState::kRepairing) continue;
       const Status status = replicas_[r]->WriteBlock(b, repair_buf_.data());
-      if (!status.ok()) QuarantineLocked(r);
+      if (!status.ok()) {
+        QuarantineLocked(r);
+      } else if (options_.quorum) {
+        MarkCurrent(r, b);
+      }
     }
     cells_.repair_blocks.Increment();
     repair_cursor_ = b + 1;
   }
   if (repair_cursor_ >= num_blocks_) {
+    bool restart = false;
     for (size_t r = 0; r < replicas_.size(); ++r) {
       if (replica_state(r) != ReplicaState::kRepairing) continue;
-      STEGHIDE_RETURN_IF_ERROR(replicas_[r]->Flush());
+      if (options_.quorum && stale_count_[r] != 0) {
+        // A live write raced the sweep and missed this replica behind
+        // the cursor; one more pass picks the block up. The restart
+        // decision depends only on write/fault timing, never contents.
+        restart = true;
+        continue;
+      }
+      const Status status = replicas_[r]->Flush();
+      if (!status.ok()) {
+        QuarantineLocked(r);
+        continue;
+      }
       SetState(r, ReplicaState::kHealthy);
       cells_.repairs_completed.Increment();
     }
     repair_cursor_ = 0;
+    if (more != nullptr) *more = restart && repair_pending();
     return Status::OK();
   }
   if (more != nullptr) *more = repair_pending();
   return Status::OK();
 }
+
+// ---------------------------------------------------------------------------
+// Stats
 
 ReplicationStats ReplicatedBlockDevice::stats() const {
   ReplicationStats s;
@@ -243,9 +565,16 @@ ReplicationStats ReplicatedBlockDevice::stats() const {
   s.quarantines = cells_.quarantines.value();
   s.repairs_completed = cells_.repairs_completed.value();
   s.repair_blocks = cells_.repair_blocks.value();
+  s.read_repairs = cells_.read_repairs.value();
+  s.quorum_widened = cells_.quorum_widened.value();
+  s.quorum_stale_reads = cells_.quorum_stale_reads.value();
+  s.write_quorum_failures = cells_.write_quorum_failures.value();
   s.healthy_replicas = healthy_count();
+  s.lagging_replicas = lagging_count();
   s.failover_ms_max = cells_.failover_ms.max();
   s.failover_ms_mean = cells_.failover_ms.mean();
+  s.failover_ms_p50 = cells_.failover_ms.Percentile(50);
+  s.failover_ms_p99 = cells_.failover_ms.Percentile(99);
   return s;
 }
 
@@ -259,7 +588,14 @@ void ReplicatedBlockDevice::RegisterMetrics(obs::Registry* registry,
   registration_.Counter(prefix + ".repairs_completed",
                         &cells_.repairs_completed);
   registration_.Counter(prefix + ".repair_blocks", &cells_.repair_blocks);
+  registration_.Counter(prefix + ".read_repairs", &cells_.read_repairs);
+  registration_.Counter(prefix + ".quorum_widened", &cells_.quorum_widened);
+  registration_.Counter(prefix + ".quorum_stale_reads",
+                        &cells_.quorum_stale_reads);
+  registration_.Counter(prefix + ".write_quorum_failures",
+                        &cells_.write_quorum_failures);
   registration_.Gauge(prefix + ".healthy_replicas", &cells_.healthy_replicas);
+  registration_.Gauge(prefix + ".lagging_replicas", &cells_.lagging_replicas);
   registration_.Histogram(prefix + ".failover_ms", &cells_.failover_ms);
 }
 

@@ -14,15 +14,38 @@ namespace steghide::storage {
 /// Mirroring policy knobs.
 struct ReplicationOptions {
   /// Immediate same-replica attempts per write before the replica is
-  /// declared stale and quarantined (a replica that misses one write can
-  /// never serve reads again until repaired).
+  /// declared stale (a missed write quarantines the replica in strict
+  /// mode; in quorum mode it marks the blocks stale and demotes the
+  /// replica to lagging).
   int write_attempts = 2;
   /// Consecutive failed *reads* after which a replica is quarantined
   /// instead of merely failed over (transient hiccups stay in rotation).
+  /// In quorum mode the same threshold applies to consecutive failed
+  /// writes/flushes before a lagging replica is quarantined.
   int quarantine_after = 3;
+  /// Quorum mode: per-block version stamps, lagging replicas, W/R
+  /// quorums, and read-repair. false = the strict write-all/read-one
+  /// mirror (a replica that misses one write is quarantined until a
+  /// full repair sweep).
+  bool quorum = false;
+  /// Acks (from healthy or lagging replicas) required for a write or
+  /// flush to succeed. Clamped to [1, R]. Quorum mode only.
+  size_t write_quorum = 1;
+  /// Replicas consulted per read before the search is counted as
+  /// "widened" beyond the quorum. Clamped to [1, R]. Quorum mode only.
+  size_t read_quorum = 1;
 };
 
-enum class ReplicaState : uint8_t { kHealthy, kQuarantined, kRepairing };
+enum class ReplicaState : uint8_t {
+  kHealthy,
+  kQuarantined,
+  kRepairing,
+  /// Quorum mode: reachable but missing some writes (e.g. the far side
+  /// of a healed partition). Still serves reads for blocks it holds at
+  /// the latest version, receives all new writes, and re-converges via
+  /// read-repair or a repair sweep.
+  kLagging,
+};
 
 /// Counter snapshot of the mirror's life so far.
 struct ReplicationStats {
@@ -33,21 +56,54 @@ struct ReplicationStats {
   uint64_t quarantines = 0;
   uint64_t repairs_completed = 0;
   uint64_t repair_blocks = 0;
+  /// Quorum mode: stale blocks pushed back to lagging replicas on the
+  /// read path.
+  uint64_t read_repairs = 0;
+  /// Quorum mode: reads that had to consult replicas beyond the first
+  /// read_quorum rotation candidates.
+  uint64_t quorum_widened = 0;
+  /// Quorum mode: blocks served from a replica whose stamp is behind
+  /// the latest version — this is data loss and must never happen while
+  /// a write-quorum's worth of current replicas exists (hard-gated to
+  /// zero in the benches).
+  uint64_t quorum_stale_reads = 0;
+  /// Quorum mode: writes that could not collect write_quorum acks.
+  uint64_t write_quorum_failures = 0;
   size_t healthy_replicas = 0;
+  size_t lagging_replicas = 0;
+  /// Failover latency distribution (virtual ms), all quantiles from the
+  /// same registry HistogramCell the metrics export reads.
   double failover_ms_max = 0.0;
   double failover_ms_mean = 0.0;
+  double failover_ms_p50 = 0.0;
+  double failover_ms_p99 = 0.0;
 };
 
-/// R-way mirrored block device: write-all / read-one over equally sized
-/// replicas, with failover, quarantine, degraded-mode serving, and
-/// incremental repair.
+/// R-way mirrored block device with failover, quarantine, degraded-mode
+/// serving, and incremental repair. Two consistency modes:
+///
+///  * strict (default): write-all / read-one. A replica that misses a
+///    single write is quarantined until a full repair sweep re-mirrors
+///    it. Total loss of any replica fails nothing; a write error on the
+///    last healthy replica fails the write.
+///  * quorum: every block carries a version stamp (client-side, per
+///    mirror). Writes succeed on W acks; replicas that miss writes are
+///    demoted to *lagging* and only ever serve blocks they hold at the
+///    latest stamp, so quorum reads can never return stale data. Reads
+///    consult up to R rotation candidates and fall back per-block to
+///    any replica that is current for that block; fresh data is pushed
+///    back to reachable lagging replicas (read-repair). This is what
+///    lets a partitioned or crashed *remote* replica degrade service
+///    instead of failing it, and re-converge byte-identically after
+///    reconnect.
 ///
 /// *Oblivious replication*: every choice this layer makes is
 /// data-independent. The serving replica for a read is picked by a
-/// rotation counter over the currently-healthy set (a function of the op
-/// count and the fault history, never of block contents); writes go to
-/// every serviceable replica in index order; repair copies blocks in
-/// plain ascending order from the lowest-index healthy source. An
+/// rotation counter over the serving set (a function of the op count
+/// and the fault history, never of block contents); version stamps are
+/// functions of the (public) write pattern and fault schedule; writes
+/// go to every serviceable replica in index order; repair copies blocks
+/// in plain ascending order from a per-block version-current source. An
 /// attacker tracing any single replica therefore sees a stream whose
 /// shape depends only on the request pattern and the (data-independent)
 /// fault schedule — pinned by the per-replica distinguisher suites.
@@ -59,7 +115,8 @@ struct ReplicationStats {
 class ReplicatedBlockDevice : public BlockDevice {
  public:
   /// Does not take ownership of `replicas`, which must share one block
-  /// size and outlive this object. All replicas start healthy.
+  /// size and outlive this object. All replicas start healthy and (in
+  /// quorum mode) version-current.
   explicit ReplicatedBlockDevice(std::vector<BlockDevice*> replicas,
                                  ReplicationOptions options = {});
 
@@ -82,24 +139,33 @@ class ReplicatedBlockDevice : public BlockDevice {
         states_[r].load(std::memory_order_relaxed));
   }
   size_t healthy_count() const;
+  size_t lagging_count() const;
 
   /// Manual quarantine (tests; an external health checker).
   void Quarantine(size_t r);
 
-  /// Re-admits a quarantined replica for repair: it immediately receives
-  /// all new writes (so the repaired prefix can never go stale) and a
-  /// full sequential copy pass re-mirrors it from the lowest-index
-  /// healthy replica. The caller must have revived/replaced the
+  /// Re-admits a quarantined (or, in quorum mode, lagging) replica for
+  /// repair: it immediately receives all new writes (so the repaired
+  /// prefix can never go stale) and a full sequential copy pass
+  /// re-mirrors it. The caller must have revived/replaced the
   /// underlying device first.
   Status StartRepair(size_t r);
   /// Copies up to `budget_blocks` blocks into every repairing replica;
   /// *more = work remains. Completing the sweep promotes the replicas to
-  /// healthy. Fixed ascending scrub order: repair traffic is
-  /// data-independent by construction.
+  /// healthy (in quorum mode, only once every block is verifiably at the
+  /// latest stamp — a sweep raced by failed live writes restarts).
+  /// Fixed ascending scrub order: repair traffic is data-independent by
+  /// construction.
   Status RepairStep(uint64_t budget_blocks, bool* more);
   bool repair_pending() const;
   /// Next block the repair sweep will copy (progress indicator).
   uint64_t repair_cursor() const { return repair_cursor_; }
+
+  /// Quorum mode: number of blocks replica `r` holds at a stale stamp.
+  /// Issuer-thread only (like the version bookkeeping it reads).
+  uint64_t stale_blocks(size_t r) const {
+    return options_.quorum ? stale_count_[r] : 0;
+  }
 
   /// Virtual-clock sampler for the failover latency histogram.
   void set_clock_fn(std::function<double()> fn) { clock_fn_ = std::move(fn); }
@@ -115,29 +181,63 @@ class ReplicatedBlockDevice : public BlockDevice {
     obs::CounterCell quarantines;
     obs::CounterCell repairs_completed;
     obs::CounterCell repair_blocks;
+    obs::CounterCell read_repairs;
+    obs::CounterCell quorum_widened;
+    obs::CounterCell quorum_stale_reads;
+    obs::CounterCell write_quorum_failures;
     obs::GaugeCell healthy_replicas;
+    obs::GaugeCell lagging_replicas;
     obs::HistogramCell failover_ms;
   };
 
   void SetState(size_t r, ReplicaState state);
   void QuarantineLocked(size_t r);
   /// Serving replicas in rotation order starting at the rr counter.
-  /// Returns false when none are healthy.
-  bool ServingOrder(std::vector<size_t>* order);
+  /// Strict mode serves from healthy replicas only; quorum mode also
+  /// admits lagging ones (their per-block stamps gate what they serve).
+  /// Returns false when the set is empty.
+  bool ServingOrder(std::vector<size_t>* order, bool include_lagging);
+
+  // Strict-mode paths (exactly the historical write-all/read-one).
   Status ReadFrom(std::span<const uint64_t> ids, uint8_t* out);
   Status WriteTo(std::span<const uint64_t> ids, const uint8_t* data);
+
+  // Quorum-mode paths.
+  bool CurrentForAll(size_t r, std::span<const uint64_t> ids) const;
+  /// Marks `id` written at the latest stamp on replica `r`.
+  void MarkCurrent(size_t r, uint64_t id);
+  /// Bumps the latest stamp of every id and accounts the new staleness.
+  void BumpVersions(std::span<const uint64_t> ids);
+  /// Demotion ladder for a failed write/flush on replica `r`.
+  void NoteWriteFailure(size_t r);
+  void MaybePromote(size_t r);
+  Status QuorumReadFrom(std::span<const uint64_t> ids, uint8_t* out);
+  Status QuorumWriteTo(std::span<const uint64_t> ids, const uint8_t* data);
+  Status QuorumFlush();
+  /// Pushes the (version-current) blocks just read back to reachable
+  /// lagging replicas. `served_current[i]` guards against propagating a
+  /// stale fallback.
+  void ReadRepair(std::span<const uint64_t> ids, const uint8_t* out,
+                  const std::vector<bool>& served_current);
 
   std::vector<BlockDevice*> replicas_;
   ReplicationOptions options_;
   uint64_t num_blocks_;
   size_t block_size_;
+  size_t write_quorum_ = 1;
+  size_t read_quorum_ = 1;
   /// Atomic so a bench thread can poll degraded state mid-run.
   std::vector<std::atomic<uint8_t>> states_;
   /// Issuer-thread-only serving state.
   uint64_t rr_ = 0;
   std::vector<int> consecutive_read_errors_;
+  std::vector<int> consecutive_write_errors_;
   uint64_t repair_cursor_ = 0;
   std::vector<uint8_t> repair_buf_;
+  /// Quorum mode version bookkeeping (issuer-thread only).
+  std::vector<uint64_t> latest_ver_;                // [num_blocks]
+  std::vector<std::vector<uint64_t>> replica_ver_;  // [R][num_blocks]
+  std::vector<uint64_t> stale_count_;               // [R]
   std::function<double()> clock_fn_;
   Cells cells_;
   obs::Registration registration_;

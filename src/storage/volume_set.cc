@@ -200,6 +200,11 @@ VolumeSet::VolumeSet(const Options& options) {
   replicas_ = options.replicas == 0 ? 1 : options.replicas;
   const uint64_t per_shard =
       (options.total_blocks + shards_ - 1) / shards_;
+  if (options.remote) {
+    tfaults_.resize(shards_ * replicas_);
+    endpoints_.resize(shards_ * replicas_);
+    remotes_.resize(shards_ * replicas_);
+  }
   std::vector<BlockDevice*> tops;
   tops.reserve(shards_);
   for (size_t k = 0; k < shards_; ++k) {
@@ -207,7 +212,10 @@ VolumeSet::VolumeSet(const Options& options) {
     // The fault layer sits below the trace so the per-replica attacker
     // view records exactly the ops that reached the platter; the sim
     // sits on top so failed attempts still cost virtual time upstream
-    // retries can measure.
+    // retries can measure. A remote replica keeps that whole stack —
+    // it becomes the server side behind a loopback endpoint, with the
+    // endpoint's thread as its sole issuer — and contributes a
+    // RemoteBlockDevice client as its top instead.
     std::vector<BlockDevice*> replica_tops;
     for (size_t r = 0; r < replicas_; ++r) {
       mems_.push_back(
@@ -229,7 +237,11 @@ VolumeSet::VolumeSet(const Options& options) {
         faults_.back()->set_latency_fn(
             [model](double ms) { model->AdvanceClock(ms); });
       }
-      replica_tops.push_back(sims_.back().get());
+      top = sims_.back().get();
+      if (options.remote && options.remote(k, r)) {
+        top = MakeRemote(k, r, top, options);
+      }
+      replica_tops.push_back(top);
     }
     if (replicas_ > 1) {
       reps_.push_back(std::make_unique<ReplicatedBlockDevice>(
@@ -264,14 +276,66 @@ VolumeSet::VolumeSet(const Options& options) {
   }
 }
 
+BlockDevice* VolumeSet::MakeRemote(size_t k, size_t r, BlockDevice* backing,
+                                   const Options& options) {
+  const size_t slot = Slot(k, r);
+  DiskModel* model = &sims_[slot]->model();
+
+  endpoints_[slot] = std::make_unique<remote::LoopbackEndpoint>(backing);
+  remote::LoopbackEndpoint* endpoint = endpoints_[slot].get();
+
+  FaultPlan plan;
+  if (options.transport_fault_plan) plan = options.transport_fault_plan(k, r);
+  tfaults_[slot] =
+      std::make_unique<remote::TransportFaultController>(std::move(plan));
+  remote::TransportFaultController* ctrl = tfaults_[slot].get();
+  // kDelayRpc charges land on the replica's spindle clock, like the
+  // block-layer latency spikes.
+  ctrl->set_latency_fn([model](double ms) { model->AdvanceClock(ms); });
+  endpoint->set_transport_wrapper(
+      [ctrl](std::unique_ptr<remote::Transport> t) {
+        return ctrl->Wrap(std::move(t),
+                          remote::TransportFaultController::Side::kServer);
+      });
+
+  remote::RemoteDeviceOptions ropts = options.remote_options;
+  // Decorrelate the replica clients' reconnect backoff.
+  ropts.retry = ropts.retry.WithJitterSeed(0x524d545645ULL + slot);
+  Result<std::unique_ptr<remote::RemoteBlockDevice>> client =
+      remote::RemoteBlockDevice::Create(
+          [endpoint, ctrl]() -> Result<std::unique_ptr<remote::Transport>> {
+            Result<std::unique_ptr<remote::Transport>> conn =
+                endpoint->Connect();
+            if (!conn.ok()) return conn.status();
+            return ctrl->Wrap(std::move(conn).value(),
+                              remote::TransportFaultController::Side::kClient);
+          },
+          ropts);
+  // The loopback endpoint is up and fault-free at construction, so the
+  // handshake cannot fail short of resource exhaustion.
+  assert(client.ok());
+  remotes_[slot] = std::move(client).value();
+  remotes_[slot]->set_backoff_fn(
+      [model](double ms) { model->AdvanceClock(ms); });
+  return remotes_[slot].get();
+}
+
 Status VolumeSet::ReviveAndRepair(size_t k, size_t r) {
   if (reps_.empty()) {
     return Status::FailedPrecondition("volume set is not replicated");
   }
   if (fault(k, r) != nullptr) fault(k, r)->Revive();
+  if (remote_endpoint(k, r) != nullptr && remote_endpoint(k, r)->crashed()) {
+    remote_endpoint(k, r)->Restart();
+  }
+  if (transport_fault(k, r) != nullptr &&
+      transport_fault(k, r)->partitioned()) {
+    transport_fault(k, r)->Heal();
+  }
   // The replica may still be marked healthy if it died without any
   // traffic catching it; force the quarantine so repair has a defined
-  // starting state.
+  // starting state. (Quorum mode may have demoted it to lagging
+  // already; StartRepair accepts that directly.)
   if (reps_[k]->replica_state(r) == ReplicaState::kHealthy) {
     reps_[k]->Quarantine(r);
   }
@@ -314,6 +378,14 @@ void VolumeSet::RegisterMetrics(obs::Registry* registry,
       sims_[Slot(k, r)]->RegisterMetrics(registry, rep_prefix);
       if (fault(k, r) != nullptr) {
         fault(k, r)->RegisterMetrics(registry, rep_prefix + ".fault");
+      }
+      if (is_remote(k, r)) {
+        remote_device(k, r)->RegisterMetrics(registry,
+                                             rep_prefix + ".remote");
+        transport_fault(k, r)->RegisterMetrics(registry,
+                                               rep_prefix + ".transport");
+        remote_endpoint(k, r)->server().RegisterMetrics(
+            registry, rep_prefix + ".server");
       }
     }
     if (!reps_.empty()) {

@@ -14,6 +14,9 @@
 #include "storage/block_device.h"
 #include "storage/fault_device.h"
 #include "storage/mem_block_device.h"
+#include "storage/remote/block_server.h"
+#include "storage/remote/remote_device.h"
+#include "storage/remote/transport.h"
 #include "storage/replicated_device.h"
 #include "storage/sim_device.h"
 #include "storage/trace_device.h"
@@ -174,6 +177,19 @@ class VolumeSet {
     ReplicationOptions replication;
     /// Per-shard spindle parameters (every replica gets its own clock).
     DiskModelParams disk;
+    /// Marks replicas served over the loopback block-RPC transport: the
+    /// replica's whole local stack moves behind a LoopbackEndpoint (its
+    /// server thread becomes the sole issuer) and the mirror talks to a
+    /// RemoteBlockDevice client instead. Null = every replica local.
+    std::function<bool(size_t shard, size_t replica)> remote;
+    /// Transport-layer fault schedule per remote replica (kPartition /
+    /// kDelayRpc / kDropConnection specs; block-layer kinds in the plan
+    /// are ignored here). Null = clean links.
+    std::function<FaultPlan(size_t shard, size_t replica)>
+        transport_fault_plan;
+    /// Client-side RPC knobs shared by every remote replica; each
+    /// client's retry policy gets a distinct jitter seed on top.
+    remote::RemoteDeviceOptions remote_options;
   };
 
   explicit VolumeSet(const Options& options);
@@ -195,13 +211,38 @@ class VolumeSet {
   ReplicatedBlockDevice* replicated(size_t k) {
     return reps_.empty() ? nullptr : reps_[k].get();
   }
+  /// Remote-replica plumbing; all null unless Options::remote marked
+  /// (k, r) as remote.
+  remote::RemoteBlockDevice* remote_device(size_t k, size_t r) {
+    return remotes_.empty() ? nullptr : remotes_[Slot(k, r)].get();
+  }
+  remote::LoopbackEndpoint* remote_endpoint(size_t k, size_t r) {
+    return endpoints_.empty() ? nullptr : endpoints_[Slot(k, r)].get();
+  }
+  remote::TransportFaultController* transport_fault(size_t k, size_t r) {
+    return tfaults_.empty() ? nullptr : tfaults_[Slot(k, r)].get();
+  }
+  bool is_remote(size_t k, size_t r) const {
+    return !remotes_.empty() && remotes_[Slot(k, r)] != nullptr;
+  }
   /// The facade's parallel virtual clock (max-delta over joins).
   double clock_ms() const { return device_->clock_ms(); }
 
   /// Pulls the plug on one replica (thread-safe; requires fault_plan).
   void KillReplica(size_t k, size_t r) { fault(k, r)->Kill(); }
-  /// Revives the replica's device and re-admits it to shard k's mirror
-  /// for repair (requires replicas > 1; fault layer optional).
+  /// Black-holes a remote replica's link until HealReplica: every RPC
+  /// fails fast with kDeadlineExceeded and in-flight transfers are
+  /// severed (thread-safe; requires a remote replica).
+  void PartitionReplica(size_t k, size_t r) {
+    transport_fault(k, r)->Partition();
+  }
+  void HealReplica(size_t k, size_t r) { transport_fault(k, r)->Heal(); }
+  /// The remote host dies mid-whatever-it-was-doing; the backing volume
+  /// keeps its durable state (thread-safe; requires a remote replica).
+  void CrashReplica(size_t k, size_t r) { remote_endpoint(k, r)->Crash(); }
+  /// Revives the replica's device — fault layer, crashed endpoint, and
+  /// partitioned link alike — and re-admits it to shard k's mirror for
+  /// repair (requires replicas > 1).
   Status ReviveAndRepair(size_t k, size_t r);
 
   /// Any shard still owing repair copy work?
@@ -213,19 +254,33 @@ class VolumeSet {
   Result<bool> PumpRepair(uint64_t budget_blocks);
 
   /// Registers per-replica sim counters under "<prefix>.shard<k>.r<r>",
-  /// per-shard replication health under "<prefix>.shard<k>", and fault
-  /// counters under "<prefix>.shard<k>.r<r>.fault".
+  /// per-shard replication health under "<prefix>.shard<k>", fault
+  /// counters under "<prefix>.shard<k>.r<r>.fault", and remote-replica
+  /// plumbing under "<prefix>.shard<k>.r<r>.{remote,transport,server}".
   void RegisterMetrics(obs::Registry* registry, const std::string& prefix);
 
  private:
   size_t Slot(size_t k, size_t r) const { return k * replicas_ + r; }
+  /// Moves the freshly built local stack of (k, r) behind a loopback
+  /// endpoint and returns the RemoteBlockDevice client that replaces it
+  /// as the replica top.
+  BlockDevice* MakeRemote(size_t k, size_t r, BlockDevice* backing,
+                          const Options& options);
 
   size_t shards_ = 0;
   size_t replicas_ = 1;
+  // Declaration order is teardown order in reverse: the sharded facade
+  // (and its pool threads) dies first, then the mirrors, then the RPC
+  // clients, then the endpoints (joining their server threads), then
+  // the fault controllers their wrappers point into, and only then the
+  // local stacks everything was backed by.
   std::vector<std::unique_ptr<MemBlockDevice>> mems_;
   std::vector<std::unique_ptr<FaultInjectionBlockDevice>> faults_;
   std::vector<std::unique_ptr<TraceBlockDevice>> traces_;
   std::vector<std::unique_ptr<SimBlockDevice>> sims_;
+  std::vector<std::unique_ptr<remote::TransportFaultController>> tfaults_;
+  std::vector<std::unique_ptr<remote::LoopbackEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<remote::RemoteBlockDevice>> remotes_;
   std::vector<std::unique_ptr<ReplicatedBlockDevice>> reps_;
   std::unique_ptr<ShardedBlockDevice> device_;
 };

@@ -279,6 +279,44 @@ TEST(RetryDeviceTest, BackoffChargesTheLatencySink) {
   EXPECT_EQ(stats.exhausted, 0u);
 }
 
+TEST(RetryDeviceTest, BackoffJitterIsDeterministicAndBounded) {
+  RetryPolicy base;
+  base.max_attempts = 5;
+  base.backoff_ms = 1.0;
+  base.backoff_multiplier = 2.0;
+
+  // jitter = 0 (the default, relied on by the exact-charge pins above)
+  // reproduces the exact un-jittered ladder.
+  EXPECT_DOUBLE_EQ(base.BackoffFor(0), 1.0);
+  EXPECT_DOUBLE_EQ(base.BackoffFor(1), 2.0);
+  EXPECT_DOUBLE_EQ(base.BackoffFor(2), 4.0);
+
+  RetryPolicy jittered = base;
+  jittered.jitter = 0.25;
+  RetryPolicy seeded = jittered.WithJitterSeed(0xfeedULL);
+  for (int i = 0; i < 4; ++i) {
+    const double ladder = base.BackoffFor(i);
+    const double ms = seeded.BackoffFor(i);
+    // Bounded: within [1 - jitter, 1 + jitter] of the un-jittered value.
+    EXPECT_GE(ms, ladder * 0.75) << "retry " << i;
+    EXPECT_LE(ms, ladder * 1.25) << "retry " << i;
+    // Deterministic: a pure function of (seed, retry index) — twin
+    // schedules with equal seeds are byte-identical.
+    EXPECT_DOUBLE_EQ(ms, jittered.WithJitterSeed(0xfeedULL).BackoffFor(i));
+  }
+
+  // Distinct seeds decorrelate: R replicas retrying the same transient
+  // fault must not thunder in lockstep.
+  bool any_differ = false;
+  for (int i = 0; i < 4; ++i) {
+    if (seeded.BackoffFor(i) !=
+        jittered.WithJitterSeed(0xbeefULL).BackoffFor(i)) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
 TEST(RetryDeviceTest, NonIoErrorsAreNotRetried) {
   MemBlockDevice mem(8, 512);
   RetryingBlockDevice retry(&mem);

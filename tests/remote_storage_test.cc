@@ -1,0 +1,404 @@
+// Remote-matrix suite for the block-RPC subsystem: wire framing
+// round-trips and content-independent frame sizes, SocketTransport
+// deadline semantics, the full BlockDevice contract of a
+// RemoteBlockDevice over a loopback endpoint (in-band server errors,
+// crash/restart reconnect-and-re-drive), and the scripted transport
+// fault kinds (kDelayRpc, kDropConnection, kPartition) plus the
+// delivered-frame log the RPC-stream distinguisher compares.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "storage/fault_device.h"
+#include "storage/mem_block_device.h"
+#include "storage/remote/block_server.h"
+#include "storage/remote/remote_device.h"
+#include "storage/remote/transport.h"
+#include "storage/remote/wire.h"
+#include "testing/golden.h"
+#include "util/bytes.h"
+
+namespace steghide::storage::remote {
+namespace {
+
+using steghide::testing::FillGolden;
+using steghide::testing::GoldenBlock;
+
+// ---- Wire format ---------------------------------------------------------
+
+TEST(WireTest, HeaderRoundTrip) {
+  uint8_t buf[kFrameHeaderSize];
+  EncodeFrameHeader(FrameType::kWrite, 0x1122334455667788ULL, 4096, buf);
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(buf, &h).ok());
+  EXPECT_EQ(h.type, FrameType::kWrite);
+  EXPECT_EQ(h.request_id, 0x1122334455667788ULL);
+  EXPECT_EQ(h.payload_len, 4096u);
+}
+
+TEST(WireTest, HeaderRejectsCorruption) {
+  uint8_t buf[kFrameHeaderSize];
+  EncodeFrameHeader(FrameType::kRead, 7, 16, buf);
+  FrameHeader h;
+
+  uint8_t bad_magic[kFrameHeaderSize];
+  std::copy(buf, buf + kFrameHeaderSize, bad_magic);
+  bad_magic[0] ^= 0xff;
+  EXPECT_EQ(DecodeFrameHeader(bad_magic, &h).code(), StatusCode::kCorruption);
+
+  uint8_t bad_type[kFrameHeaderSize];
+  std::copy(buf, buf + kFrameHeaderSize, bad_type);
+  bad_type[4] = 0x7f;  // no such FrameType
+  EXPECT_EQ(DecodeFrameHeader(bad_type, &h).code(), StatusCode::kCorruption);
+
+  // A hostile header cannot make the receiver allocate unboundedly.
+  EncodeFrameHeader(FrameType::kWrite, 7, kMaxFramePayload + 1, buf);
+  EXPECT_EQ(DecodeFrameHeader(buf, &h).code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, RequestRoundTrips) {
+  const std::vector<uint64_t> ids = {5, 0, 11};
+  Bytes data(3 * 64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 13);
+  }
+  const std::vector<uint8_t> frame = BuildWrite(42, ids, data.data(), 64);
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(frame.data(), &h).ok());
+  EXPECT_EQ(h.type, FrameType::kWrite);
+  EXPECT_EQ(h.request_id, 42u);
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + h.payload_len);
+
+  std::vector<uint64_t> got_ids;
+  const uint8_t* got_data = nullptr;
+  ASSERT_TRUE(ParseIds({frame.data() + kFrameHeaderSize, h.payload_len}, 64,
+                       /*with_data=*/true, &got_ids, &got_data)
+                  .ok());
+  EXPECT_EQ(got_ids, ids);
+  ASSERT_NE(got_data, nullptr);
+  EXPECT_EQ(Bytes(got_data, got_data + data.size()), data);
+}
+
+TEST(WireTest, ReplyCarriesStatusAndData) {
+  // An error travels with its code and message, no data.
+  const std::vector<uint8_t> err =
+      BuildReply(9, Status::IoError("spindle on fire"));
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(err.data(), &h).ok());
+  Status in_band;
+  std::span<const uint8_t> data;
+  ASSERT_TRUE(
+      ParseReply({err.data() + kFrameHeaderSize, h.payload_len}, &in_band,
+                 &data)
+          .ok());
+  EXPECT_EQ(in_band.code(), StatusCode::kIoError);
+  EXPECT_TRUE(data.empty());
+
+  // A successful read reply carries the blocks verbatim.
+  const Bytes blocks(2 * 32, 0xd7);
+  const std::vector<uint8_t> ok_reply =
+      BuildReply(10, Status::OK(), blocks.data(), blocks.size());
+  ASSERT_TRUE(DecodeFrameHeader(ok_reply.data(), &h).ok());
+  ASSERT_TRUE(ParseReply({ok_reply.data() + kFrameHeaderSize, h.payload_len},
+                         &in_band, &data)
+                  .ok());
+  EXPECT_TRUE(in_band.ok());
+  EXPECT_EQ(Bytes(data.begin(), data.end()), blocks);
+}
+
+TEST(WireTest, FrameSizeDependsOnShapeNotContents) {
+  // The oblivious-transport premise: two frames of the same (type,
+  // count, block_size) are the same length regardless of ids or data.
+  const std::vector<uint64_t> ids_a = {0, 1, 2};
+  const std::vector<uint64_t> ids_b = {7, 93, 2048};
+  const Bytes zeros(3 * 128, 0x00);
+  const Bytes noise(3 * 128, 0xa5);
+  EXPECT_EQ(BuildWrite(1, ids_a, zeros.data(), 128).size(),
+            BuildWrite(2, ids_b, noise.data(), 128).size());
+  EXPECT_EQ(BuildRead(3, ids_a).size(), BuildRead(4, ids_b).size());
+  EXPECT_EQ(BuildReply(5, Status::OK(), zeros.data(), zeros.size()).size(),
+            BuildReply(6, Status::OK(), noise.data(), noise.size()).size());
+}
+
+// ---- SocketTransport -----------------------------------------------------
+
+TEST(SocketTransportTest, RoundTripAndDeadline) {
+  std::unique_ptr<SocketTransport> a, b;
+  ASSERT_TRUE(SocketTransport::MakePair(&a, &b).ok());
+
+  const Bytes msg = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(a->Send(msg.data(), msg.size(), 1000.0).ok());
+  Bytes got(msg.size());
+  ASSERT_TRUE(b->Recv(got.data(), got.size(), 1000.0).ok());
+  EXPECT_EQ(got, msg);
+
+  // Nothing pending: a bounded Recv expires instead of hanging.
+  EXPECT_EQ(b->Recv(got.data(), 1, 20.0).code(),
+            StatusCode::kDeadlineExceeded);
+
+  // Close wakes the peer with an I/O error, not a deadline.
+  a->Close();
+  EXPECT_EQ(b->Recv(got.data(), 1, 1000.0).code(), StatusCode::kIoError);
+}
+
+// ---- RemoteBlockDevice over a loopback endpoint --------------------------
+
+struct LoopbackFixture {
+  explicit LoopbackFixture(uint64_t blocks = 32, size_t block_size = 512,
+                           FaultPlan server_faults = {},
+                           RemoteDeviceOptions options = {
+                               .rpc_deadline_ms = 5000.0,
+                               .retry = {.max_attempts = 3,
+                                         .backoff_ms = 1.0,
+                                         .backoff_multiplier = 2.0}},
+                           FaultPlan transport_faults = {})
+      : mem(blocks, block_size),
+        fault(&mem, std::move(server_faults)),
+        controller(std::move(transport_faults)),
+        endpoint(&fault) {
+    endpoint.set_transport_wrapper([this](std::unique_ptr<Transport> t) {
+      return controller.Wrap(std::move(t),
+                             TransportFaultController::Side::kServer);
+    });
+    auto created = RemoteBlockDevice::Create(
+        [this]() -> Result<std::unique_ptr<Transport>> {
+          Result<std::unique_ptr<Transport>> conn = endpoint.Connect();
+          if (!conn.ok()) return conn.status();
+          return controller.Wrap(std::move(conn).value(),
+                                 TransportFaultController::Side::kClient);
+        },
+        options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    remote = std::move(created).value();
+  }
+
+  MemBlockDevice mem;
+  FaultInjectionBlockDevice fault;
+  // The controller outlives the endpoint: server-side wrappers queued
+  // in the endpoint deregister from the controller on destruction.
+  TransportFaultController controller;
+  LoopbackEndpoint endpoint;
+  std::unique_ptr<RemoteBlockDevice> remote;
+};
+
+TEST(RemoteDeviceTest, GeometryAndFullContractOverLoopback) {
+  LoopbackFixture fx(32, 512);
+  EXPECT_EQ(fx.remote->num_blocks(), 32u);
+  EXPECT_EQ(fx.remote->block_size(), 512u);
+
+  // Single-block, vectored, flush: the remote device is a drop-in
+  // BlockDevice — the golden round-trip lands on the backing volume.
+  ASSERT_TRUE(FillGolden(*fx.remote, 17).ok());
+  EXPECT_TRUE(steghide::testing::DeviceMatchesGolden(fx.mem, 17));
+
+  const std::vector<uint64_t> ids = {3, 9, 27};
+  Bytes batch(3 * 512);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const Bytes block = GoldenBlock(99, ids[i], 512);
+    std::copy(block.begin(), block.end(), batch.begin() + i * 512);
+  }
+  ASSERT_TRUE(fx.remote->WriteBlocks(ids, batch.data()).ok());
+  Bytes back(3 * 512);
+  ASSERT_TRUE(fx.remote->ReadBlocks(ids, back.data()).ok());
+  EXPECT_EQ(back, batch);
+  EXPECT_TRUE(fx.remote->Flush().ok());
+
+  // Range errors are client-side: no RPC is burned on them.
+  Bytes out(512);
+  const uint64_t rpcs_before = fx.remote->stats().rpcs;
+  EXPECT_EQ(fx.remote->ReadBlock(32, out.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(fx.remote->stats().rpcs, rpcs_before);
+}
+
+TEST(RemoteDeviceTest, ServerErrorsTravelInBandWithoutReconnect) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kTransientError;
+  spec.max_fires = 1;
+  plan.faults.push_back(spec);
+  LoopbackFixture fx(16, 512, std::move(plan));
+
+  // The backing volume fails the op; the client sees exactly that
+  // status, and the connection survives — no reconnect, no retry (the
+  // transport never failed).
+  Bytes out(512);
+  EXPECT_EQ(fx.remote->ReadBlock(0, out.data()).code(), StatusCode::kIoError);
+  ASSERT_TRUE(fx.remote->ReadBlock(0, out.data()).ok());
+  const RemoteStats stats = fx.remote->stats();
+  EXPECT_EQ(stats.reconnects, 0u);
+  EXPECT_EQ(stats.rpc_retries, 0u);
+  EXPECT_EQ(stats.timeouts, 0u);
+}
+
+TEST(RemoteDeviceTest, CrashSeversRestartRedrives) {
+  LoopbackFixture fx(16, 512);
+  ASSERT_TRUE(FillGolden(*fx.remote, 5).ok());
+
+  // Crash with the connection up, restart immediately: the next RPC's
+  // first attempt dies on the severed socket, the reconnect succeeds,
+  // and the re-driven op completes — invisible to the caller.
+  fx.endpoint.Crash();
+  fx.endpoint.Restart();
+  Bytes out(512);
+  ASSERT_TRUE(fx.remote->ReadBlock(2, out.data()).ok());
+  EXPECT_EQ(out, GoldenBlock(5, 2, 512));
+  EXPECT_GE(fx.remote->stats().reconnects, 1u);
+  EXPECT_GE(fx.remote->stats().rpc_retries, 1u);
+
+  // Crash without restart: the retry budget exhausts and the failure
+  // surfaces. Connect refusals fail fast, so no deadline is burned.
+  fx.endpoint.Crash();
+  EXPECT_FALSE(fx.remote->ReadBlock(2, out.data()).ok());
+  EXPECT_FALSE(fx.remote->connected());
+
+  // Restart: service resumes with the volume's durable state intact.
+  fx.endpoint.Restart();
+  ASSERT_TRUE(fx.remote->ReadBlock(2, out.data()).ok());
+  EXPECT_EQ(out, GoldenBlock(5, 2, 512));
+}
+
+TEST(RemoteDeviceTest, BackoffChargesTheSinkOnRedrive) {
+  LoopbackFixture fx(16, 512);
+  double charged = 0.0;
+  fx.remote->set_backoff_fn([&charged](double ms) { charged += ms; });
+  ASSERT_TRUE(FillGolden(*fx.remote, 5).ok());
+
+  fx.endpoint.Crash();
+  fx.endpoint.Restart();
+  Bytes out(512);
+  ASSERT_TRUE(fx.remote->ReadBlock(0, out.data()).ok());
+  // One re-drive, first backoff step of the policy: 1.0 ms.
+  EXPECT_DOUBLE_EQ(charged, 1.0);
+}
+
+// ---- Transport fault kinds -----------------------------------------------
+
+TEST(TransportFaultTest, DelayRpcChargesTheLatencySink) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kDelayRpc;
+  spec.latency_ms = 7.5;
+  spec.every_nth = 2;
+  plan.faults.push_back(spec);
+  LoopbackFixture fx(16, 512, /*server_faults=*/{},
+                     RemoteDeviceOptions{}, std::move(plan));
+  double charged = 0.0;
+  fx.controller.set_latency_fn([&charged](double ms) { charged += ms; });
+
+  // Frame 0 is the construction-time Hello (already counted before the
+  // sink was installed). Frames 1..4: every second client frame pays.
+  Bytes out(512);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fx.remote->ReadBlock(0, out.data()).ok());
+  }
+  EXPECT_DOUBLE_EQ(charged, 2 * 7.5);
+  EXPECT_EQ(fx.controller.stats().delayed_frames, 3u);  // hello + 2 reads
+}
+
+TEST(TransportFaultTest, DropConnectionRedrivesTransparently) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kDropConnection;
+  spec.start_after = 3;  // hello, write, read pass; the next frame drops
+  spec.max_fires = 1;
+  plan.faults.push_back(spec);
+  LoopbackFixture fx(16, 512, /*server_faults=*/{},
+                     RemoteDeviceOptions{}, std::move(plan));
+
+  const Bytes image = GoldenBlock(8, 4, 512);
+  ASSERT_TRUE(fx.remote->WriteBlock(4, image.data()).ok());
+  Bytes out(512);
+  ASSERT_TRUE(fx.remote->ReadBlock(4, out.data()).ok());
+  // This op's frame hits the drop: its connection dies, the client
+  // reconnects and re-drives, the caller never notices.
+  ASSERT_TRUE(fx.remote->ReadBlock(4, out.data()).ok());
+  EXPECT_EQ(out, image);
+  EXPECT_EQ(fx.controller.stats().dropped_connections, 1u);
+  EXPECT_EQ(fx.remote->stats().reconnects, 1u);
+}
+
+TEST(TransportFaultTest, ScriptedPartitionFailsFastUntilHealed) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kPartition;
+  spec.start_after = 2;  // hello + one op, then the link black-holes
+  spec.max_fires = 1;    // one partition event; the latch does the rest
+  plan.faults.push_back(spec);
+  LoopbackFixture fx(16, 512, /*server_faults=*/{},
+                     RemoteDeviceOptions{}, std::move(plan));
+
+  Bytes out(512);
+  ASSERT_TRUE(fx.remote->ReadBlock(0, out.data()).ok());
+  // The partition latches: every attempt (including reconnect Hellos)
+  // fails fast with kDeadlineExceeded — no wall-clock timeout is spent
+  // simulating a black-holed link.
+  EXPECT_EQ(fx.remote->ReadBlock(0, out.data()).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(fx.controller.partitioned());
+  EXPECT_GT(fx.remote->stats().timeouts, 0u);
+
+  // Healing restores service; the volume state was never at risk.
+  fx.controller.Heal();
+  ASSERT_TRUE(FillGolden(*fx.remote, 21).ok());
+  EXPECT_TRUE(steghide::testing::DeviceMatchesGolden(fx.mem, 21));
+}
+
+TEST(TransportFaultTest, FrameLogIsContentIndependent) {
+  // Twin clients, identical op pattern, different block contents: the
+  // delivered-frame logs — direction, type, and byte length of every
+  // frame both ways, Hello included — must be identical. This is the
+  // per-replica trace-content-independence distinguisher extended to
+  // the RPC stream.
+  auto run = [](uint8_t fill, std::vector<FrameRecord>* log) {
+    MemBlockDevice mem(16, 512);
+    TransportFaultController controller;  // outlives the endpoint's wrappers
+    LoopbackEndpoint endpoint(&mem);
+    controller.set_frame_log(log);
+    endpoint.set_transport_wrapper(
+        [&controller](std::unique_ptr<Transport> t) {
+          return controller.Wrap(std::move(t),
+                                 TransportFaultController::Side::kServer);
+        });
+    auto created = RemoteBlockDevice::Create(
+        [&]() -> Result<std::unique_ptr<Transport>> {
+          Result<std::unique_ptr<Transport>> conn = endpoint.Connect();
+          if (!conn.ok()) return conn.status();
+          return controller.Wrap(std::move(conn).value(),
+                                 TransportFaultController::Side::kClient);
+        });
+    ASSERT_TRUE(created.ok());
+    std::unique_ptr<RemoteBlockDevice> remote = std::move(created).value();
+
+    const Bytes image(512, fill);
+    ASSERT_TRUE(remote->WriteBlock(3, image.data()).ok());
+    const std::vector<uint64_t> ids = {1, 2, 7};
+    Bytes batch(3 * 512, static_cast<uint8_t>(fill ^ 0x5a));
+    ASSERT_TRUE(remote->WriteBlocks(ids, batch.data()).ok());
+    Bytes out(3 * 512);
+    ASSERT_TRUE(remote->ReadBlocks(ids, out.data()).ok());
+    ASSERT_TRUE(remote->Flush().ok());
+  };
+
+  std::vector<FrameRecord> log_a, log_b;
+  run(0x11, &log_a);
+  run(0xee, &log_b);
+  ASSERT_FALSE(log_a.empty());
+  EXPECT_EQ(log_a, log_b);
+
+  // Spot-check the shape: strict request/reply alternation starting
+  // with the Hello handshake.
+  ASSERT_GE(log_a.size(), 2u);
+  EXPECT_EQ(log_a[0].dir, 0u);
+  EXPECT_EQ(log_a[0].type, static_cast<uint8_t>(FrameType::kHello));
+  EXPECT_EQ(log_a[1].dir, 1u);
+  EXPECT_EQ(log_a[1].type, static_cast<uint8_t>(FrameType::kHelloReply));
+  for (size_t i = 0; i < log_a.size(); ++i) {
+    EXPECT_EQ(log_a[i].dir, i % 2) << "frame " << i;
+  }
+}
+
+}  // namespace
+}  // namespace steghide::storage::remote

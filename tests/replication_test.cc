@@ -204,6 +204,189 @@ TEST(ReplicatedDeviceTest, RepairTrafficIsAFixedPublicSchedule) {
   }
 }
 
+// ---- Quorum mode (R = 3): W/R windows, concurrent quarantines, ----------
+// ---- repair racing live writes ------------------------------------------
+
+ReplicationOptions QuorumOptions(size_t w, size_t r, int quarantine_after) {
+  ReplicationOptions options;
+  options.quorum = true;
+  options.write_quorum = w;
+  options.read_quorum = r;
+  options.quarantine_after = quarantine_after;
+  return options;
+}
+
+TEST(QuorumReplicationTest, TwoConcurrentQuarantinesServeAndRepair) {
+  // W = 1 survives the loss of two of three replicas: writes keep
+  // succeeding on the lone survivor, both casualties walk the
+  // lagging -> quarantined ladder independently, and one repair sweep
+  // re-mirrors them together.
+  MirrorFixture fx(3, 16, QuorumOptions(1, 1, /*quarantine_after=*/2));
+  ASSERT_TRUE(FillGolden(*fx.rep, 21).ok());
+  fx.faults[1]->Kill();
+  fx.faults[2]->Kill();
+
+  for (uint64_t b = 0; b < 8; ++b) {
+    const Bytes image = GoldenBlock(22, b, 512);
+    ASSERT_TRUE(fx.rep->WriteBlock(b, image.data()).ok()) << "block " << b;
+  }
+  EXPECT_EQ(fx.rep->replica_state(1), ReplicaState::kQuarantined);
+  EXPECT_EQ(fx.rep->replica_state(2), ReplicaState::kQuarantined);
+  ReplicationStats stats = fx.rep->stats();
+  EXPECT_EQ(stats.quarantines, 2u);
+  EXPECT_EQ(stats.write_quorum_failures, 0u);
+  EXPECT_EQ(stats.healthy_replicas, 1u);
+
+  Bytes out(512);
+  for (uint64_t b = 0; b < 16; ++b) {
+    ASSERT_TRUE(fx.rep->ReadBlock(b, out.data()).ok());
+    EXPECT_EQ(out, GoldenBlock(b < 8 ? 22 : 21, b, 512)) << "block " << b;
+  }
+  EXPECT_EQ(fx.rep->stats().quorum_stale_reads, 0u);
+
+  // Both replicas repair in the same sweep and come back byte-identical.
+  fx.faults[1]->Revive();
+  fx.faults[2]->Revive();
+  ASSERT_TRUE(fx.rep->StartRepair(1).ok());
+  ASSERT_TRUE(fx.rep->StartRepair(2).ok());
+  bool more = true;
+  while (more) {
+    ASSERT_TRUE(fx.rep->RepairStep(4, &more).ok());
+  }
+  EXPECT_EQ(fx.rep->replica_state(1), ReplicaState::kHealthy);
+  EXPECT_EQ(fx.rep->replica_state(2), ReplicaState::kHealthy);
+  for (uint64_t b = 0; b < 16; ++b) {
+    Bytes a(512), c(512), d(512);
+    ASSERT_TRUE(fx.mems[0]->ReadBlock(b, a.data()).ok());
+    ASSERT_TRUE(fx.mems[1]->ReadBlock(b, c.data()).ok());
+    ASSERT_TRUE(fx.mems[2]->ReadBlock(b, d.data()).ok());
+    EXPECT_EQ(a, c) << "block " << b;
+    EXPECT_EQ(a, d) << "block " << b;
+  }
+}
+
+TEST(QuorumReplicationTest, RepairSweepRestartsWhenRacedByAFailedWrite) {
+  MirrorFixture fx(3, 8, QuorumOptions(1, 1, /*quarantine_after=*/3));
+  ASSERT_TRUE(FillGolden(*fx.rep, 30).ok());
+
+  // Replica 2 misses one write, comes back, and starts repairing.
+  fx.faults[2]->Kill();
+  const Bytes missed = GoldenBlock(31, 3, 512);
+  ASSERT_TRUE(fx.rep->WriteBlock(3, missed.data()).ok());
+  ASSERT_EQ(fx.rep->replica_state(2), ReplicaState::kLagging);
+  fx.faults[2]->Revive();
+  ASSERT_TRUE(fx.rep->StartRepair(2).ok());
+
+  // The sweep copies blocks 0..3, then a live write to block 1 — already
+  // behind the cursor — fails on the repairing replica. The completed
+  // sweep may not promote: it restarts until every stamp is current.
+  bool more = true;
+  ASSERT_TRUE(fx.rep->RepairStep(4, &more).ok());
+  ASSERT_TRUE(more);
+  ASSERT_EQ(fx.rep->repair_cursor(), 4u);
+  fx.faults[2]->Kill();
+  const Bytes behind = GoldenBlock(32, 1, 512);
+  ASSERT_TRUE(fx.rep->WriteBlock(1, behind.data()).ok());
+  fx.faults[2]->Revive();
+  // A racing write *ahead* of the cursor lands directly and needs no
+  // second pass.
+  const Bytes ahead = GoldenBlock(32, 6, 512);
+  ASSERT_TRUE(fx.rep->WriteBlock(6, ahead.data()).ok());
+
+  ASSERT_TRUE(fx.rep->RepairStep(4, &more).ok());
+  EXPECT_TRUE(more) << "sweep must restart: block 1 is stale again";
+  EXPECT_EQ(fx.rep->replica_state(2), ReplicaState::kRepairing);
+  while (more) {
+    ASSERT_TRUE(fx.rep->RepairStep(4, &more).ok());
+  }
+  EXPECT_EQ(fx.rep->replica_state(2), ReplicaState::kHealthy);
+  EXPECT_EQ(fx.rep->stale_blocks(2), 0u);
+
+  Bytes out(512);
+  ASSERT_TRUE(fx.rep->ReadBlock(1, out.data()).ok());
+  EXPECT_EQ(out, behind);
+  for (uint64_t b = 0; b < 8; ++b) {
+    Bytes a(512), c(512);
+    ASSERT_TRUE(fx.mems[0]->ReadBlock(b, a.data()).ok());
+    ASSERT_TRUE(fx.mems[2]->ReadBlock(b, c.data()).ok());
+    EXPECT_EQ(a, c) << "block " << b;
+  }
+  EXPECT_EQ(fx.rep->stats().quorum_stale_reads, 0u);
+}
+
+TEST(QuorumReplicationTest, ReadWindowAtTheIntersectionBoundary) {
+  // W + R = R_total + 1 (2 + 2 = 3 + 1): any read window of two rotation
+  // candidates intersects every write quorum, so with one lagging
+  // replica no read ever widens beyond the window — and none is stale.
+  MirrorFixture fx(3, 8, QuorumOptions(2, 2, /*quarantine_after=*/100));
+  ASSERT_TRUE(FillGolden(*fx.rep, 33).ok());
+  fx.faults[2]->Kill();
+  const Bytes fresh = GoldenBlock(34, 4, 512);
+  ASSERT_TRUE(fx.rep->WriteBlock(4, fresh.data()).ok());  // two acks = W
+  ASSERT_EQ(fx.rep->replica_state(2), ReplicaState::kLagging);
+
+  Bytes out(512);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(fx.rep->ReadBlock(4, out.data()).ok());
+    EXPECT_EQ(out, fresh) << "read " << i;
+  }
+  ReplicationStats stats = fx.rep->stats();
+  EXPECT_EQ(stats.quorum_widened, 0u);
+  EXPECT_EQ(stats.quorum_stale_reads, 0u);
+}
+
+TEST(QuorumReplicationTest, BelowTheBoundaryReadsWidenButNeverGoStale) {
+  // W + R = R_total (1 + 2 = 3): two laggards can hold stale copies, so
+  // a window of two rotation candidates sometimes contains no current
+  // replica. The search widens (and says so) rather than serve a stale
+  // stamp.
+  MirrorFixture fx(3, 8, QuorumOptions(1, 2, /*quarantine_after=*/100));
+  ASSERT_TRUE(FillGolden(*fx.rep, 35).ok());
+  fx.faults[1]->Kill();
+  fx.faults[2]->Kill();
+  const Bytes fresh = GoldenBlock(36, 4, 512);
+  ASSERT_TRUE(fx.rep->WriteBlock(4, fresh.data()).ok());  // one ack = W
+
+  Bytes out(512);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(fx.rep->ReadBlock(4, out.data()).ok());
+    EXPECT_EQ(out, fresh) << "read " << i;
+  }
+  ReplicationStats stats = fx.rep->stats();
+  EXPECT_GT(stats.quorum_widened, 0u);
+  EXPECT_EQ(stats.quorum_stale_reads, 0u);
+}
+
+TEST(QuorumReplicationTest, StaleFallbackOnlyWhenNoCurrentReplicaRemains) {
+  MirrorFixture fx(3, 8, QuorumOptions(1, 2, /*quarantine_after=*/2));
+  ASSERT_TRUE(FillGolden(*fx.rep, 37).ok());
+
+  // Replicas 1 and 2 miss the update to block 4, then come back
+  // reachable (but still stale). The only current copy — replica 0 —
+  // dies.
+  fx.faults[1]->Kill();
+  fx.faults[2]->Kill();
+  const Bytes fresh = GoldenBlock(38, 4, 512);
+  ASSERT_TRUE(fx.rep->WriteBlock(4, fresh.data()).ok());
+  fx.faults[1]->Revive();
+  fx.faults[2]->Revive();
+  fx.faults[0]->Kill();
+
+  // While replica 0 is still in rotation the read refuses to serve a
+  // stale stamp: it fails instead (and the repeated errors bench the
+  // dead replica).
+  Bytes out(512);
+  ASSERT_FALSE(fx.rep->ReadBlock(4, out.data()).ok());
+  EXPECT_EQ(fx.rep->replica_state(0), ReplicaState::kQuarantined);
+  EXPECT_EQ(fx.rep->stats().quorum_stale_reads, 0u);
+
+  // With no current replica left at all, degraded mode serves the
+  // newest reachable stamp — and counts the loss.
+  ASSERT_TRUE(fx.rep->ReadBlock(4, out.data()).ok());
+  EXPECT_EQ(out, GoldenBlock(37, 4, 512));
+  EXPECT_EQ(fx.rep->stats().quorum_stale_reads, 1u);
+}
+
 // ---- VolumeSet kill / revive / repair -----------------------------------
 
 TEST(VolumeSetReplicationTest, KillReviveRepairRoundTrip) {

@@ -93,9 +93,11 @@ EXEMPT = ("mean_batch_fill", "speedup_vs_blocking_reorder",
 
 #: Hard zero-gates: a nonzero *current* value fails the diff outright,
 #: with or without a baseline. These are correctness counters — a served
-#: request that failed, or a retry budget that ran dry — not
-#: performance, so no relative threshold applies.
-ZERO_GATED = ("failed_requests", "io_retry_exhausted")
+#: request that failed, a retry budget that ran dry, or a quorum read
+#: that returned a stale version stamp (data loss) — not performance, so
+#: no relative threshold applies.
+ZERO_GATED = ("failed_requests", "io_retry_exhausted",
+              "quorum_stale_reads", "write_quorum_failures")
 
 
 def is_higher_better(key):
